@@ -1,0 +1,251 @@
+package sdx
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the hot paths. The custom metrics reported via
+// b.ReportMetric are the paper's y-axes:
+//
+//	BenchmarkTable1TraceSynthesis    updates/s of trace generation
+//	BenchmarkFig5a / Fig5b           end-to-end deployment replays
+//	BenchmarkFig6PrefixGroups        groups (sub-linear in prefixes)
+//	BenchmarkFig7FlowRules           rules (linear in groups)
+//	BenchmarkFig8InitialCompilation  compile ns (superlinear in groups)
+//	BenchmarkFig9BurstRules          additional rules per 100-update burst
+//	BenchmarkFig10UpdateTime         fast-path ns per BGP update
+//
+// Run them all with:  go test -bench=. -benchmem
+// cmd/sdx-bench prints the same data as full tables/series.
+
+import (
+	"fmt"
+	"testing"
+
+	"sdx/internal/bgp"
+	"sdx/internal/experiments"
+	"sdx/internal/iputil"
+	"sdx/internal/workload"
+)
+
+func BenchmarkTable1TraceSynthesis(b *testing.B) {
+	x := workload.NewIXP(workload.DefaultTopology(100, 5000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := workload.GenerateTrace(x, workload.DefaultTrace(5000, int64(i)))
+		if len(tr.Events) != 5000 {
+			b.Fatal("bad trace")
+		}
+	}
+	b.ReportMetric(5000, "updates/op")
+}
+
+func BenchmarkFig5aAppSpecificPeering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig5a(120, 40, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.CheckFig5a(40, 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5bLoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig5b(80, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.CheckFig5b(30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6PrefixGroups(b *testing.B) {
+	for _, n := range []int{100, 200, 300} {
+		for _, prefixes := range []int{5000, 10000} {
+			b.Run(fmt.Sprintf("participants=%d/prefixes=%d", n, prefixes), func(b *testing.B) {
+				var groups int
+				for i := 0; i < b.N; i++ {
+					pts := experiments.Fig6([]int{n}, []int{prefixes}, prefixes, 1)
+					groups = pts[0].Groups
+				}
+				b.ReportMetric(float64(groups), "groups")
+			})
+		}
+	}
+}
+
+func BenchmarkFig7FlowRules(b *testing.B) {
+	for _, n := range []int{100, 200, 300} {
+		for _, groups := range []int{200, 400} {
+			b.Run(fmt.Sprintf("participants=%d/groups=%d", n, groups), func(b *testing.B) {
+				var rules int
+				for i := 0; i < b.N; i++ {
+					pts, err := experiments.Fig78([]int{n}, []int{groups}, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rules = pts[0].Rules
+				}
+				b.ReportMetric(float64(rules), "rules")
+			})
+		}
+	}
+}
+
+func BenchmarkFig8InitialCompilation(b *testing.B) {
+	for _, n := range []int{100, 300} {
+		for _, groups := range []int{200, 400} {
+			b.Run(fmt.Sprintf("participants=%d/groups=%d", n, groups), func(b *testing.B) {
+				pts, err := experiments.Fig78([]int{n}, []int{groups}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Report the measured compile time as the benchmark's
+				// own metric; the loop recompiles for timing stability.
+				b.ReportMetric(float64(pts[0].CompileTime.Nanoseconds()), "compile-ns")
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Fig78([]int{n}, []int{groups}, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig9BurstRules(b *testing.B) {
+	for _, n := range []int{100, 300} {
+		b.Run(fmt.Sprintf("participants=%d/burst=100", n), func(b *testing.B) {
+			var additional int
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Fig9([]int{n}, []int{100}, 200, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				additional = pts[0].AdditionalRules
+			}
+			b.ReportMetric(float64(additional), "rules/burst")
+		})
+	}
+}
+
+func BenchmarkFig10UpdateTime(b *testing.B) {
+	for _, n := range []int{100, 300} {
+		b.Run(fmt.Sprintf("participants=%d", n), func(b *testing.B) {
+			res, err := experiments.Fig10([]int{n}, 100, 200, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res[0].Percentile(0.5).Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(res[0].Percentile(0.99).Nanoseconds()), "p99-ns")
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig10([]int{n}, 10, 200, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation runs the design-choice ablations (DESIGN.md §3): the
+// reported metrics compare the full pipeline against variants with VNH
+// grouping, memoization, or disjoint concatenation disabled.
+func BenchmarkAblation(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Ablation(40, 100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Rules), r.Mode+"-rules")
+	}
+}
+
+// --- Hot-path micro-benchmarks ----------------------------------------------
+
+// BenchmarkProcessUpdate measures the controller's full fast path for a
+// single-prefix announcement against a loaded exchange.
+func BenchmarkProcessUpdate(b *testing.B) {
+	x := workload.NewIXP(workload.DefaultTopology(100, 2000, 1))
+	ctrl, err := workload.Load(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.InstallPolicies(ctrl, workload.AssignPolicies(x, workload.DefaultPolicyMix(1))); err != nil {
+		b.Fatal(err)
+	}
+	ctrl.Recompile()
+	peer := x.Participants[0].AS
+	prefix := x.Participants[0].Prefixes[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.ProcessUpdate(peer, &bgp.Update{
+			Attrs: &bgp.PathAttrs{ASPath: []uint32{peer, uint32(900 + i%50)}, NextHop: iputil.Addr(peer)},
+			NLRI:  []iputil.Prefix{prefix},
+		})
+		if i%200 == 199 {
+			b.StopTimer()
+			ctrl.Recompile()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRecompile measures the full optimization pass on a mid-size
+// exchange.
+func BenchmarkRecompile(b *testing.B) {
+	x := workload.NewIXP(workload.DefaultTopology(100, 2000, 1))
+	ctrl, err := workload.Load(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.InstallPolicies(ctrl, workload.AssignPolicies(x, workload.DefaultPolicyMix(1))); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := ctrl.Recompile()
+		if rep.Rules == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+// BenchmarkFabricForwarding measures a single packet through the compiled
+// fabric (switch lookup + action application).
+func BenchmarkFabricForwarding(b *testing.B) {
+	s, err := experiments.Fig5a(2, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = s
+	// Reuse the e2e Figure 1 fixture shape through the public API.
+	ctrl := New()
+	ctrl.AddParticipant(ParticipantConfig{AS: 100, Name: "A", Ports: []PhysicalPort{{ID: 1}}})
+	ctrl.AddParticipant(ParticipantConfig{AS: 200, Name: "B", Ports: []PhysicalPort{{ID: 2}}})
+	ctrl.ProcessUpdate(200, &bgp.Update{
+		Attrs: &bgp.PathAttrs{ASPath: []uint32{200}, NextHop: iputil.Addr(PortIP(2))},
+		NLRI:  []iputil.Prefix{MustParsePrefix("20.0.0.0/8")},
+	})
+	ctrl.SetPolicyAndCompile(100, nil, []Term{Fwd(MatchAll.DstPort(80), 200)})
+	comp := ctrl.Compiled()
+	if len(comp.VMACs) == 0 {
+		b.Fatal("no groups")
+	}
+	p := Packet{
+		EthType: 0x0800, DstMAC: comp.VMACs[0],
+		SrcIP: MustParseAddr("10.0.0.1"), DstIP: MustParseAddr("20.0.0.1"),
+		Proto: 6, DstPort: 80,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.InjectFromPort(1, p)
+	}
+}

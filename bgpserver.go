@@ -1,0 +1,163 @@
+package sdx
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+)
+
+// BGPServer accepts BGP sessions from participant border routers over
+// TCP, the way the paper's participants peer with the SDX route server:
+// received UPDATEs flow into the controller's update pipeline, and the
+// controller's (VNH-rewritten) advertisements flow back over the session.
+// A connecting router is identified by the AS number in its OPEN, which
+// must belong to a registered participant.
+type BGPServer struct {
+	ctrl     *Controller
+	localAS  uint32
+	routerID iputil.Addr
+	ln       net.Listener
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	closed   bool
+	sessions map[*bgp.Session]struct{}
+}
+
+// ListenBGP starts a route-server endpoint on addr (e.g. "127.0.0.1:0").
+// localAS is the route server's own AS (IXP route servers convention-
+// ally use a private AS).
+func ListenBGP(ctrl *Controller, addr string, localAS uint32) (*BGPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &BGPServer{
+		ctrl: ctrl, localAS: localAS,
+		routerID: MustParseAddr("172.0.255.254"),
+		ln:       ln,
+		sessions: make(map[*bgp.Session]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *BGPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections, terminates every established
+// session with a CEASE notification, and waits for all handlers to exit.
+func (s *BGPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	open := make([]*bgp.Session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sess := range open {
+		sess.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *BGPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *BGPServer) handle(conn net.Conn) {
+	sess, err := bgp.Establish(conn, bgp.SessionConfig{
+		LocalAS:  s.localAS,
+		RouterID: s.routerID,
+		OnUpdate: func(sess *bgp.Session, u *bgp.Update) {
+			s.ctrl.ProcessUpdate(sess.PeerAS(), u)
+		},
+	})
+	if err != nil {
+		return
+	}
+	peerAS := sess.PeerAS()
+	if _, ok := s.ctrl.Participant(peerAS); !ok {
+		sess.Close()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+	}()
+
+	// Stream the controller's advertisements to this session. The sink
+	// remains registered after the session dies but becomes a no-op.
+	err = s.ctrl.OnRoute(peerAS, func(ad RouteAd) {
+		select {
+		case <-sess.Done():
+			return
+		default:
+		}
+		sess.SendUpdate(adToUpdate(ad))
+	})
+	if err != nil {
+		sess.Close()
+		return
+	}
+	// Initial table transfer: everything the participant should know.
+	for _, ad := range s.ctrl.RoutesFor(peerAS) {
+		if err := sess.SendUpdate(adToUpdate(ad)); err != nil {
+			sess.Close()
+			return
+		}
+	}
+	sess.Start()
+	<-sess.Done()
+}
+
+func adToUpdate(ad RouteAd) *bgp.Update {
+	if ad.Withdraw {
+		return &bgp.Update{Withdrawn: []iputil.Prefix{ad.Prefix}}
+	}
+	attrs := ad.Attrs.Clone()
+	attrs.NextHop = ad.NextHop
+	return &bgp.Update{Attrs: attrs, NLRI: []iputil.Prefix{ad.Prefix}}
+}
+
+// DialBGP connects a border router's BGP side to an SDX route server and
+// returns the established session. The caller wires cfg.OnUpdate to its
+// FIB before dialing.
+func DialBGP(addr string, cfg bgp.SessionConfig) (*bgp.Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sdx: dialing route server: %w", err)
+	}
+	sess, err := bgp.Establish(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess.Start()
+	return sess, nil
+}

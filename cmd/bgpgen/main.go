@@ -1,0 +1,61 @@
+// Command bgpgen synthesizes BGP update traces with the statistical
+// shape of the paper's Table 1 / §4.3.2 analysis (bursty arrivals, heavy-
+// tailed burst sizes, a small updated-prefix fraction) and writes them as
+// one line per update:
+//
+//	<offset-ms> <peer-as> announce <prefix> <as-path...>
+//	<offset-ms> <peer-as> withdraw <prefix>
+//
+// The trace replays against an SDX controller with `sdx-bench` or any
+// consumer of the textual format.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sdx/internal/workload"
+)
+
+func main() {
+	participants := flag.Int("participants", 100, "IXP participants")
+	prefixes := flag.Int("prefixes", 10000, "announced prefixes")
+	updates := flag.Int("updates", 100000, "updates to generate")
+	fraction := flag.Float64("updated-fraction", 0.12, "fraction of prefixes that see updates")
+	withdraw := flag.Float64("withdraw-fraction", 0.2, "fraction of updates that are withdrawals")
+	seed := flag.Int64("seed", 1, "generator seed")
+	stats := flag.Bool("stats", false, "print Table 1-style statistics instead of the trace")
+	flag.Parse()
+
+	x := workload.NewIXP(workload.DefaultTopology(*participants, *prefixes, *seed))
+	tr := workload.GenerateTrace(x, workload.TraceConfig{
+		Seed: *seed, Updates: *updates,
+		UpdatedFraction: *fraction, WithdrawFraction: *withdraw,
+	})
+
+	if *stats {
+		st := tr.Stats(*prefixes)
+		fmt.Printf("updates            %d\n", st.Updates)
+		fmt.Printf("prefixes updated   %d (%.2f%% of %d)\n", st.PrefixesUpdated, st.UpdatedFraction*100, *prefixes)
+		fmt.Printf("bursts             %d (P75 size %d, max %d)\n", st.Bursts, st.BurstP75, st.MaxBurst)
+		fmt.Printf("inter-arrival      P25 %v, median %v\n", st.InterArrivalP25, st.InterArrivalP50)
+		fmt.Printf("trace duration     %v\n", st.Duration)
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, e := range tr.Events {
+		if len(e.Update.Withdrawn) > 0 {
+			fmt.Fprintf(w, "%d %d withdraw %s\n", e.At.Milliseconds(), e.Peer, e.Update.Withdrawn[0])
+			continue
+		}
+		fmt.Fprintf(w, "%d %d announce %s", e.At.Milliseconds(), e.Peer, e.Update.NLRI[0])
+		for _, as := range e.Update.Attrs.ASPath {
+			fmt.Fprintf(w, " %d", as)
+		}
+		fmt.Fprintln(w)
+	}
+}

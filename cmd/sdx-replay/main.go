@@ -1,0 +1,197 @@
+// Command sdx-replay replays a textual BGP update trace (the format
+// cmd/bgpgen emits) against an SDX:
+//
+//	bgpgen -participants 50 -prefixes 5000 -updates 2000 > trace.txt
+//	sdx-replay -participants 50 -prefixes 5000 < trace.txt
+//
+// By default the exchange is rebuilt in-process from the same topology
+// flags (and seed) the trace was generated with, the §6.1 policy mix is
+// installed, and the replay reports the incremental-update metrics of the
+// paper's §6.3: fast-path latency percentiles, additional rules, and
+// background recompilations.
+//
+// With -target <host:port>, updates are instead streamed to a running
+// sdxd over real BGP sessions, one per distinct peer in the trace (the
+// peers must be registered participants there).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/core"
+	"sdx/internal/iputil"
+	"sdx/internal/workload"
+)
+
+func main() {
+	participants := flag.Int("participants", 100, "IXP participants (must match the trace's generator)")
+	prefixes := flag.Int("prefixes", 10000, "announced prefixes (must match the trace's generator)")
+	seed := flag.Int64("seed", 1, "topology seed (must match the trace's generator)")
+	target := flag.String("target", "", "stream to a running sdxd at host:port instead of replaying in-process")
+	recompileEvery := flag.Int("recompile-every", 500, "run the background optimization after this many updates (0 = never)")
+	flag.Parse()
+
+	events, err := readTrace(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d updates from %d peers", len(events), countPeers(events))
+
+	if *target != "" {
+		if err := stream(*target, events); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	x := workload.NewIXP(workload.DefaultTopology(*participants, *prefixes, *seed))
+	ctrl, err := workload.Load(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := workload.InstallPolicies(ctrl, workload.AssignPolicies(x, workload.DefaultPolicyMix(*seed))); err != nil {
+		log.Fatal(err)
+	}
+	rep := ctrl.Recompile()
+	log.Printf("exchange ready: %d groups, %d rules", rep.Groups, rep.Rules)
+
+	var times []time.Duration
+	additional, affected, recompiles := 0, 0, 0
+	start := time.Now()
+	for i, e := range events {
+		res := ctrl.ProcessUpdate(e.peer, e.update)
+		times = append(times, res.Elapsed)
+		additional += res.AdditionalRules
+		affected += res.AffectedGroups
+		if *recompileEvery > 0 && (i+1)%*recompileEvery == 0 {
+			ctrl.Recompile()
+			recompiles++
+		}
+	}
+	wall := time.Since(start)
+	ctrl.Recompile()
+
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	pct := func(p float64) time.Duration { return times[int(p*float64(len(times)-1))] }
+	fmt.Printf("updates           %d in %v (%.0f/s)\n",
+		len(events), wall.Round(time.Millisecond), float64(len(events))/wall.Seconds())
+	fmt.Printf("policy-affected   %d updates, %d fast-band rules pushed\n", affected, additional)
+	fmt.Printf("fast path         P50 %v  P90 %v  P99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Printf("recompilations    %d background + 1 final; final table %d rules\n",
+		recompiles, ctrl.Switch().Table().Len())
+}
+
+type traceEvent struct {
+	at     time.Duration
+	peer   uint32
+	update *bgp.Update
+}
+
+func readTrace(f *os.File) ([]traceEvent, error) {
+	var out []traceEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("line %d: too few fields", lineno)
+		}
+		ms, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad offset %q", lineno, fields[0])
+		}
+		peer, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad peer %q", lineno, fields[1])
+		}
+		prefix, err := iputil.ParsePrefix(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		ev := traceEvent{at: time.Duration(ms) * time.Millisecond, peer: uint32(peer)}
+		switch fields[2] {
+		case "withdraw":
+			ev.update = &bgp.Update{Withdrawn: []iputil.Prefix{prefix}}
+		case "announce":
+			attrs := &bgp.PathAttrs{NextHop: core.PortIP(1)}
+			for _, a := range fields[4:] {
+				asn, err := strconv.ParseUint(a, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad AS %q", lineno, a)
+				}
+				attrs.ASPath = append(attrs.ASPath, uint32(asn))
+			}
+			if len(attrs.ASPath) == 0 {
+				attrs.ASPath = []uint32{uint32(peer)}
+			}
+			ev.update = &bgp.Update{Attrs: attrs, NLRI: []iputil.Prefix{prefix}}
+		default:
+			return nil, fmt.Errorf("line %d: unknown verb %q", lineno, fields[2])
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+func countPeers(events []traceEvent) int {
+	seen := map[uint32]bool{}
+	for _, e := range events {
+		seen[e.peer] = true
+	}
+	return len(seen)
+}
+
+// stream pushes the trace to a remote route server over one BGP session
+// per peer.
+func stream(target string, events []traceEvent) error {
+	sessions := map[uint32]*bgp.Session{}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	sent := 0
+	start := time.Now()
+	for _, e := range events {
+		sess := sessions[e.peer]
+		if sess == nil {
+			conn, err := net.Dial("tcp", target)
+			if err != nil {
+				return err
+			}
+			sess, err = bgp.Establish(conn, bgp.SessionConfig{
+				LocalAS:  e.peer,
+				RouterID: iputil.Addr(e.peer),
+			})
+			if err != nil {
+				return fmt.Errorf("peer AS%d: %w", e.peer, err)
+			}
+			sess.Start()
+			sessions[e.peer] = sess
+		}
+		if err := sess.SendUpdate(e.update); err != nil {
+			return fmt.Errorf("peer AS%d: %w", e.peer, err)
+		}
+		sent++
+	}
+	log.Printf("streamed %d updates over %d sessions in %v",
+		sent, len(sessions), time.Since(start).Round(time.Millisecond))
+	return nil
+}

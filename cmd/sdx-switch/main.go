@@ -1,0 +1,54 @@
+// Command sdx-switch runs a standalone SDX fabric switch that accepts a
+// controller connection over the OpenFlow-style control channel — the
+// separated data plane of the paper's deployment (the role Open vSwitch
+// played in Figure 3). Pair it with `sdxd -fabric <addr>`.
+//
+// Delivered packets are logged; the switch is a software fabric for
+// experiments, not a NIC-attached forwarder.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/openflow"
+	"sdx/internal/pkt"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:6633", "controller listen address")
+	ports := flag.String("ports", "1,2,3,4", "comma-separated fabric port IDs")
+	quiet := flag.Bool("quiet", false, "do not log delivered packets")
+	flag.Parse()
+
+	sw := dataplane.NewSwitch("sdx-fabric")
+	for _, f := range strings.Split(*ports, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+		if err != nil {
+			log.Fatalf("bad port %q: %v", f, err)
+		}
+		pid := pkt.PortID(id)
+		deliver := func(p pkt.Packet) {
+			if !*quiet {
+				log.Printf("port %d <- %v", pid, p)
+			}
+		}
+		if err := sw.AddPort(pid, f, deliver); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fabric switch with ports %s awaiting controller on %s", *ports, ln.Addr())
+	agent := openflow.NewAgent(sw)
+	if err := agent.ListenAndServe(ln); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart walks through the paper's Figure 1 scenario end to end:
+// three participant ASes, application-specific peering for AS A, the
+// forwarding-equivalence-class grouping of §4.2, and live packets through
+// the compiled fabric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdx"
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+	"sdx/internal/router"
+)
+
+func main() {
+	x := sdx.New()
+
+	// Three participants: A on port 1, B on ports 2 and 3, C on port 4.
+	mustAdd(x, sdx.ParticipantConfig{AS: 100, Name: "A", Ports: []sdx.PhysicalPort{{ID: 1}}})
+	mustAdd(x, sdx.ParticipantConfig{AS: 200, Name: "B", Ports: []sdx.PhysicalPort{{ID: 2}, {ID: 3}}})
+	mustAdd(x, sdx.ParticipantConfig{AS: 300, Name: "C", Ports: []sdx.PhysicalPort{{ID: 4}}})
+
+	// One border router per port.
+	a := mustAttach(x, 100, 1)
+	b := mustAttach(x, 200, 2)
+	mustAttach(x, 200, 3)
+	c := mustAttach(x, 300, 4)
+
+	// B and C announce the example prefixes; paths are set up so the
+	// route server prefers C for p1/p2 and B for p3 (Figure 1b).
+	p1, p2, p3 := sdx.MustParsePrefix("11.0.0.0/8"), sdx.MustParsePrefix("12.0.0.0/8"), sdx.MustParsePrefix("13.0.0.0/8")
+	b.Announce(p1, 200, 900, 901)
+	b.Announce(p2, 200, 900, 901)
+	b.Announce(p3, 200)
+	c.Announce(p1, 300)
+	c.Announce(p2, 300)
+	c.Announce(p3, 300, 900)
+
+	// AS A's §3.1 policy: web via B, https via C, rest follows BGP.
+	rep, err := x.SetPolicyAndCompile(100, nil, []sdx.Term{
+		sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
+		sdx.Fwd(sdx.MatchAll.DstPort(443), 300),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d prefix groups, %d rules (%d policy + %d default) in %v\n\n",
+		rep.Groups, rep.Rules, rep.Band1, rep.Band2, rep.Elapsed)
+
+	fmt.Println("forwarding equivalence classes:")
+	comp := x.Compiled()
+	for i, g := range comp.Groups {
+		fmt.Printf("  group %d  vmac=%v vnh=%v default=AS%d prefixes=%v\n",
+			i, comp.VMACs[i], comp.VNHs[i], g.DefaultAS, g.Prefixes)
+	}
+	fmt.Println()
+
+	// Watch deliveries.
+	for name, r := range map[string]*router.BorderRouter{"B1": b, "C1": c} {
+		name := name
+		r.OnDeliver = func(p pkt.Packet) {
+			fmt.Printf("  -> delivered at %s: %v\n", name, p)
+		}
+	}
+
+	send := func(desc string, dst string, port uint16) {
+		fmt.Printf("%s (dst %s port %d):\n", desc, dst, port)
+		ok := a.SendIPv4(sdx.MustParseAddr("50.0.0.1"), sdx.MustParseAddr(dst), 40000, port, nil)
+		if !ok {
+			fmt.Println("  -> no route")
+		}
+	}
+	send("web to p1, policy diverts via B", "11.1.1.1", 80)
+	send("https to p1, policy sends via C", "11.1.1.1", 443)
+	send("ssh to p1, BGP default via C", "11.1.1.1", 22)
+	send("ssh to p3, BGP default via B", "13.1.1.1", 22)
+
+	fmt.Println("\nA's FIB next hop for 11.0.0.0/8:")
+	nh, _ := a.Lookup(sdx.MustParseAddr("11.1.1.1"))
+	mac, _ := x.ARP().Resolve(nh)
+	fmt.Printf("  vnh=%v -> vmac=%v (virtual: %v)\n", nh, mac, sdx.IsVMAC(mac))
+}
+
+func mustAdd(x *sdx.Controller, cfg sdx.ParticipantConfig) {
+	if _, err := x.AddParticipant(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustAttach(x *sdx.Controller, as uint32, port sdx.PortID) *router.BorderRouter {
+	r, err := router.Attach(x, as, core.PhysicalPort{ID: port})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

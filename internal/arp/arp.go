@@ -1,0 +1,171 @@
+// Package arp implements the ARP substrate of the SDX's virtual-next-hop
+// machinery (§4.2): an IPv4-over-Ethernet ARP packet codec and a responder
+// that answers queries for virtual next-hop (VNH) IP addresses with the
+// corresponding virtual MAC (VMAC). Border routers resolve the BGP next
+// hop through this responder, which makes them tag their packets with the
+// forwarding-equivalence-class VMAC — the data-plane half of the paper's
+// multi-stage FIB.
+package arp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// Op is the ARP operation code.
+type Op uint16
+
+// ARP operations.
+const (
+	OpRequest Op = 1
+	OpReply   Op = 2
+)
+
+// Packet is an Ethernet/IPv4 ARP packet.
+type Packet struct {
+	Op        Op
+	SenderMAC pkt.MAC
+	SenderIP  iputil.Addr
+	TargetMAC pkt.MAC
+	TargetIP  iputil.Addr
+}
+
+// wire constants for Ethernet/IPv4 ARP.
+const (
+	hwEthernet   = 1
+	protoIPv4    = 0x0800
+	packetLength = 28
+)
+
+// Marshal encodes the ARP packet in its 28-byte wire form.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, packetLength)
+	binary.BigEndian.PutUint16(buf[0:], hwEthernet)
+	binary.BigEndian.PutUint16(buf[2:], protoIPv4)
+	buf[4] = 6 // hardware address length
+	buf[5] = 4 // protocol address length
+	binary.BigEndian.PutUint16(buf[6:], uint16(p.Op))
+	sm := p.SenderMAC.Octets()
+	copy(buf[8:], sm[:])
+	si := p.SenderIP.Octets()
+	copy(buf[14:], si[:])
+	tm := p.TargetMAC.Octets()
+	copy(buf[18:], tm[:])
+	ti := p.TargetIP.Octets()
+	copy(buf[24:], ti[:])
+	return buf
+}
+
+// Unmarshal decodes a 28-byte Ethernet/IPv4 ARP packet.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < packetLength {
+		return nil, errors.New("arp: short packet")
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != hwEthernet ||
+		binary.BigEndian.Uint16(buf[2:]) != protoIPv4 ||
+		buf[4] != 6 || buf[5] != 4 {
+		return nil, errors.New("arp: not Ethernet/IPv4 ARP")
+	}
+	op := Op(binary.BigEndian.Uint16(buf[6:]))
+	if op != OpRequest && op != OpReply {
+		return nil, fmt.Errorf("arp: unknown op %d", op)
+	}
+	var sm, tm [6]byte
+	var si, ti [4]byte
+	copy(sm[:], buf[8:14])
+	copy(si[:], buf[14:18])
+	copy(tm[:], buf[18:24])
+	copy(ti[:], buf[24:28])
+	return &Packet{
+		Op:        op,
+		SenderMAC: pkt.MACFromOctets(sm),
+		SenderIP:  iputil.AddrFromOctets(si),
+		TargetMAC: pkt.MACFromOctets(tm),
+		TargetIP:  iputil.AddrFromOctets(ti),
+	}, nil
+}
+
+// String renders the packet.
+func (p *Packet) String() string {
+	if p.Op == OpRequest {
+		return fmt.Sprintf("arp who-has %s tell %s(%s)", p.TargetIP, p.SenderIP, p.SenderMAC)
+	}
+	return fmt.Sprintf("arp %s is-at %s", p.SenderIP, p.SenderMAC)
+}
+
+// Responder answers ARP requests for registered IP→MAC bindings. The SDX
+// controller registers one binding per (VNH, VMAC) pair; border-router
+// simulators query it to build their neighbor tables. Responder is safe
+// for concurrent use. The zero value is not usable; call NewResponder.
+type Responder struct {
+	mu       sync.RWMutex
+	bindings map[iputil.Addr]pkt.MAC
+	queries  int
+}
+
+// NewResponder returns an empty responder.
+func NewResponder() *Responder {
+	return &Responder{bindings: make(map[iputil.Addr]pkt.MAC)}
+}
+
+// Register installs or replaces the binding for ip.
+func (r *Responder) Register(ip iputil.Addr, mac pkt.MAC) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bindings[ip] = mac
+}
+
+// Unregister removes the binding for ip.
+func (r *Responder) Unregister(ip iputil.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.bindings, ip)
+}
+
+// Resolve looks up the MAC for ip (a gratuitous-ARP-free direct query used
+// by in-process router simulators).
+func (r *Responder) Resolve(ip iputil.Addr) (pkt.MAC, bool) {
+	r.mu.Lock()
+	r.queries++
+	mac, ok := r.bindings[ip]
+	r.mu.Unlock()
+	return mac, ok
+}
+
+// Queries returns the number of Resolve/Respond lookups served.
+func (r *Responder) Queries() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.queries
+}
+
+// Len returns the number of registered bindings.
+func (r *Responder) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.bindings)
+}
+
+// Respond processes one ARP packet. For a request whose target IP is
+// registered it returns the reply packet; all other packets return nil.
+func (r *Responder) Respond(req *Packet) *Packet {
+	if req.Op != OpRequest {
+		return nil
+	}
+	mac, ok := r.Resolve(req.TargetIP)
+	if !ok {
+		return nil
+	}
+	return &Packet{
+		Op:        OpReply,
+		SenderMAC: mac,
+		SenderIP:  req.TargetIP,
+		TargetMAC: req.SenderMAC,
+		TargetIP:  req.SenderIP,
+	}
+}

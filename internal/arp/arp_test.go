@@ -1,0 +1,125 @@
+package arp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := &Packet{
+		Op:        OpRequest,
+		SenderMAC: pkt.MustParseMAC("02:00:00:00:00:01"),
+		SenderIP:  iputil.MustParseAddr("172.0.0.1"),
+		TargetIP:  iputil.MustParseAddr("172.0.1.1"),
+	}
+	got, err := Unmarshal(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *in {
+		t.Fatalf("round trip: got %+v, want %+v", got, in)
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	f := func(op bool, sm, tm uint64, si, ti uint32) bool {
+		in := &Packet{
+			Op:        OpRequest,
+			SenderMAC: pkt.MAC(sm & 0xffffffffffff),
+			SenderIP:  iputil.Addr(si),
+			TargetMAC: pkt.MAC(tm & 0xffffffffffff),
+			TargetIP:  iputil.Addr(ti),
+		}
+		if op {
+			in.Op = OpReply
+		}
+		got, err := Unmarshal(in.Marshal())
+		return err == nil && *got == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("short packet must fail")
+	}
+	buf := (&Packet{Op: OpRequest}).Marshal()
+	buf[0] = 9 // wrong hardware type
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("wrong hardware type must fail")
+	}
+	buf = (&Packet{Op: OpRequest}).Marshal()
+	buf[7] = 9 // unknown op
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestResponder(t *testing.T) {
+	r := NewResponder()
+	vnh := iputil.MustParseAddr("172.0.1.1")
+	vmac := pkt.MustParseMAC("a2:00:00:00:00:07")
+	r.Register(vnh, vmac)
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+
+	req := &Packet{
+		Op:        OpRequest,
+		SenderMAC: pkt.MustParseMAC("02:00:00:00:00:01"),
+		SenderIP:  iputil.MustParseAddr("172.0.0.1"),
+		TargetIP:  vnh,
+	}
+	rep := r.Respond(req)
+	if rep == nil || rep.Op != OpReply {
+		t.Fatalf("Respond = %v", rep)
+	}
+	if rep.SenderMAC != vmac || rep.SenderIP != vnh {
+		t.Fatalf("reply binding: %v", rep)
+	}
+	if rep.TargetMAC != req.SenderMAC || rep.TargetIP != req.SenderIP {
+		t.Fatalf("reply addressing: %v", rep)
+	}
+
+	// Unknown target: silence.
+	if rep := r.Respond(&Packet{Op: OpRequest, TargetIP: iputil.MustParseAddr("9.9.9.9")}); rep != nil {
+		t.Fatalf("unknown target should not be answered: %v", rep)
+	}
+	// Replies are never answered.
+	if rep := r.Respond(&Packet{Op: OpReply, TargetIP: vnh}); rep != nil {
+		t.Fatal("replies must not be answered")
+	}
+}
+
+func TestResponderRebindAndUnregister(t *testing.T) {
+	r := NewResponder()
+	ip := iputil.MustParseAddr("172.0.1.1")
+	r.Register(ip, 1)
+	r.Register(ip, 2) // rebinding a VNH to a new VMAC (fast-path updates do this)
+	if mac, ok := r.Resolve(ip); !ok || mac != 2 {
+		t.Fatalf("Resolve = %v %v", mac, ok)
+	}
+	r.Unregister(ip)
+	if _, ok := r.Resolve(ip); ok {
+		t.Fatal("unregistered binding should miss")
+	}
+	if r.Queries() != 2 {
+		t.Fatalf("Queries = %d", r.Queries())
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	req := &Packet{Op: OpRequest, SenderIP: 1, TargetIP: 2}
+	if req.String() == "" {
+		t.Fatal("empty String")
+	}
+	rep := &Packet{Op: OpReply, SenderIP: 1}
+	if rep.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,26 @@
+package arp
+
+import "testing"
+
+// FuzzUnmarshal: the ARP codec must never panic and must round-trip
+// every packet it accepts.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add((&Packet{Op: OpRequest, SenderMAC: 1, SenderIP: 2, TargetIP: 3}).Marshal())
+	f.Add((&Packet{Op: OpReply, SenderMAC: 4, SenderIP: 5, TargetMAC: 6, TargetIP: 7}).Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 28))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		q, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if *q != *p {
+			t.Fatalf("round trip changed packet: %+v vs %+v", q, p)
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package bgp implements the BGP-4 substrate the SDX builds on: an RFC 4271
+// message codec (OPEN, UPDATE, KEEPALIVE, NOTIFICATION), path attributes,
+// routing information bases (per-peer Adj-RIB-In and per-participant
+// Loc-RIB), the standard best-path decision process, and a session speaker
+// that runs the protocol over a net.Conn.
+//
+// The paper's prototype used ExaBGP for this layer; this package is a
+// from-scratch replacement with the same externally visible behaviour. The
+// codec uses two-octet AS numbers on the wire (all AS numbers in the SDX
+// experiments fit), while the in-memory representation is uint32.
+package bgp
+
+import (
+	"fmt"
+	"strings"
+
+	"sdx/internal/iputil"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	TypeOpen         uint8 = 1
+	TypeUpdate       uint8 = 2
+	TypeNotification uint8 = 3
+	TypeKeepalive    uint8 = 4
+)
+
+// Protocol constants.
+const (
+	Version       = 4
+	HeaderLen     = 19
+	MaxMessageLen = 4096
+)
+
+// Origin is the ORIGIN path attribute value (RFC 4271 §5.1.1).
+type Origin uint8
+
+// Origin values.
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "igp"
+	case OriginEGP:
+		return "egp"
+	case OriginIncomplete:
+		return "incomplete"
+	default:
+		return fmt.Sprintf("origin(%d)", uint8(o))
+	}
+}
+
+// Path attribute type codes (RFC 4271 §5.1).
+const (
+	attrOrigin      uint8 = 1
+	attrASPath      uint8 = 2
+	attrNextHop     uint8 = 3
+	attrMED         uint8 = 4
+	attrLocalPref   uint8 = 5
+	attrCommunities uint8 = 8 // RFC 1997
+)
+
+// AS_PATH segment types.
+const (
+	segSet      uint8 = 1
+	segSequence uint8 = 2
+)
+
+// PathAttrs carries the path attributes of a route. The zero value has
+// origin IGP, an empty AS path, next hop 0.0.0.0 and no optional
+// attributes.
+type PathAttrs struct {
+	Origin       Origin
+	ASPath       []uint32 // AS_SEQUENCE, nearest AS first
+	NextHop      iputil.Addr
+	MED          uint32
+	HasMED       bool
+	LocalPref    uint32
+	HasLocalPref bool
+	Communities  []uint32
+}
+
+// Clone returns a deep copy.
+func (a *PathAttrs) Clone() *PathAttrs {
+	if a == nil {
+		return nil
+	}
+	b := *a
+	b.ASPath = append([]uint32(nil), a.ASPath...)
+	b.Communities = append([]uint32(nil), a.Communities...)
+	return &b
+}
+
+// PathLen returns the AS-path length used by the decision process.
+func (a *PathAttrs) PathLen() int { return len(a.ASPath) }
+
+// OriginAS returns the last AS on the path (the route's originator), or 0
+// for an empty path (a locally originated route).
+func (a *PathAttrs) OriginAS() uint32 {
+	if len(a.ASPath) == 0 {
+		return 0
+	}
+	return a.ASPath[len(a.ASPath)-1]
+}
+
+// FirstAS returns the first AS on the path (the advertising neighbor), or
+// 0 for an empty path.
+func (a *PathAttrs) FirstAS() uint32 {
+	if len(a.ASPath) == 0 {
+		return 0
+	}
+	return a.ASPath[0]
+}
+
+// Prepend returns a copy of the attributes with asn prepended to the AS
+// path, as done when a route is propagated over an eBGP session.
+func (a *PathAttrs) Prepend(asn uint32) *PathAttrs {
+	b := a.Clone()
+	b.ASPath = append([]uint32{asn}, b.ASPath...)
+	return b
+}
+
+// String renders a compact attribute summary.
+func (a *PathAttrs) String() string {
+	var parts []string
+	path := make([]string, len(a.ASPath))
+	for i, as := range a.ASPath {
+		path[i] = fmt.Sprint(as)
+	}
+	parts = append(parts, "path="+strings.Join(path, " "), "nh="+a.NextHop.String(), a.Origin.String())
+	if a.HasMED {
+		parts = append(parts, fmt.Sprintf("med=%d", a.MED))
+	}
+	if a.HasLocalPref {
+		parts = append(parts, fmt.Sprintf("lp=%d", a.LocalPref))
+	}
+	if len(a.Communities) > 0 {
+		cs := make([]string, len(a.Communities))
+		for i, c := range a.Communities {
+			cs[i] = fmt.Sprintf("%d:%d", c>>16, c&0xffff)
+		}
+		parts = append(parts, "comm="+strings.Join(cs, ","))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Message is a decoded BGP message: exactly one of the typed messages
+// below.
+type Message interface {
+	// Type returns the RFC 4271 message type code.
+	Type() uint8
+}
+
+// Open is the OPEN message (RFC 4271 §4.2). Optional parameters beyond
+// hold-time negotiation are not modeled.
+type Open struct {
+	Version  uint8
+	AS       uint32 // must fit in 16 bits on the wire
+	HoldTime uint16 // seconds; 0 disables keepalives
+	RouterID iputil.Addr
+}
+
+// Type implements Message.
+func (*Open) Type() uint8 { return TypeOpen }
+
+// Update is the UPDATE message (RFC 4271 §4.3): withdrawn prefixes plus a
+// set of announced prefixes sharing one attribute vector. Attrs must be
+// non-nil when NLRI is non-empty.
+type Update struct {
+	Withdrawn []iputil.Prefix
+	Attrs     *PathAttrs
+	NLRI      []iputil.Prefix
+}
+
+// Type implements Message.
+func (*Update) Type() uint8 { return TypeUpdate }
+
+// String renders a compact update summary.
+func (u *Update) String() string {
+	var parts []string
+	if len(u.Withdrawn) > 0 {
+		ws := make([]string, len(u.Withdrawn))
+		for i, p := range u.Withdrawn {
+			ws[i] = p.String()
+		}
+		parts = append(parts, "withdraw "+strings.Join(ws, ","))
+	}
+	if len(u.NLRI) > 0 {
+		ns := make([]string, len(u.NLRI))
+		for i, p := range u.NLRI {
+			ns[i] = p.String()
+		}
+		parts = append(parts, "announce "+strings.Join(ns, ",")+" "+u.Attrs.String())
+	}
+	if len(parts) == 0 {
+		return "update[eor]"
+	}
+	return "update[" + strings.Join(parts, "; ") + "]"
+}
+
+// Notification is the NOTIFICATION message (RFC 4271 §4.5); sending one
+// closes the session.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeaderError uint8 = 1
+	NotifOpenMessageError   uint8 = 2
+	NotifUpdateMessageError uint8 = 3
+	NotifHoldTimerExpired   uint8 = 4
+	NotifFSMError           uint8 = 5
+	NotifCease              uint8 = 6
+)
+
+// Type implements Message.
+func (*Notification) Type() uint8 { return TypeNotification }
+
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code=%d subcode=%d", n.Code, n.Subcode)
+}
+
+// Keepalive is the KEEPALIVE message (RFC 4271 §4.4).
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return TypeKeepalive }

@@ -1,0 +1,168 @@
+package bgp
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdx/internal/iputil"
+)
+
+// Route is one path to a prefix as learned from a peer.
+type Route struct {
+	Prefix iputil.Prefix
+	Attrs  *PathAttrs
+	PeerAS uint32      // the session the route was learned on
+	PeerID iputil.Addr // advertising router's ID, for tie-breaking
+}
+
+// String renders a compact route summary.
+func (r *Route) String() string {
+	return fmt.Sprintf("%s via AS%d %s", r.Prefix, r.PeerAS, r.Attrs)
+}
+
+// RIB is a set of routes keyed by prefix with at most one route per
+// (prefix, peer AS) pair — the shape of both a per-peer Adj-RIB-In (where
+// all routes share one peer) and a route server's merged table. RIB is
+// safe for concurrent use.
+type RIB struct {
+	mu     sync.RWMutex
+	routes map[iputil.Prefix]map[uint32]*Route // prefix -> peerAS -> route
+}
+
+// NewRIB returns an empty RIB.
+func NewRIB() *RIB {
+	return &RIB{routes: make(map[iputil.Prefix]map[uint32]*Route)}
+}
+
+// Add inserts or replaces the route for (route.Prefix, route.PeerAS).
+func (t *RIB) Add(r *Route) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.routes[r.Prefix]
+	if m == nil {
+		m = make(map[uint32]*Route)
+		t.routes[r.Prefix] = m
+	}
+	m[r.PeerAS] = r
+}
+
+// Remove deletes the route for (prefix, peerAS). It reports whether a
+// route was present.
+func (t *RIB) Remove(prefix iputil.Prefix, peerAS uint32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.routes[prefix]
+	if _, ok := m[peerAS]; !ok {
+		return false
+	}
+	delete(m, peerAS)
+	if len(m) == 0 {
+		delete(t.routes, prefix)
+	}
+	return true
+}
+
+// RemovePeer deletes every route learned from peerAS (session teardown)
+// and returns the affected prefixes.
+func (t *RIB) RemovePeer(peerAS uint32) []iputil.Prefix {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var affected []iputil.Prefix
+	for p, m := range t.routes {
+		if _, ok := m[peerAS]; ok {
+			delete(m, peerAS)
+			affected = append(affected, p)
+			if len(m) == 0 {
+				delete(t.routes, p)
+			}
+		}
+	}
+	return affected
+}
+
+// Get returns the route for (prefix, peerAS).
+func (t *RIB) Get(prefix iputil.Prefix, peerAS uint32) (*Route, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.routes[prefix][peerAS]
+	return r, ok
+}
+
+// Routes returns every route for a prefix, ordered by peer AS for
+// determinism.
+func (t *RIB) Routes(prefix iputil.Prefix) []*Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	m := t.routes[prefix]
+	out := make([]*Route, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PeerAS < out[j].PeerAS })
+	return out
+}
+
+// Prefixes returns every prefix with at least one route, sorted.
+func (t *RIB) Prefixes() []iputil.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]iputil.Prefix, 0, len(t.routes))
+	for p := range t.routes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Len returns the number of prefixes with at least one route.
+func (t *RIB) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.routes)
+}
+
+// Walk visits every route grouped by prefix in sorted prefix order.
+func (t *RIB) Walk(fn func(prefix iputil.Prefix, routes []*Route) bool) {
+	for _, p := range t.Prefixes() {
+		if !fn(p, t.Routes(p)) {
+			return
+		}
+	}
+}
+
+// FilterASPath returns the prefixes whose best... whose any route's AS path
+// matches the regular expression over the space-separated AS path string
+// (e.g. `.* 43515$` for "originated by AS 43515"). This implements the
+// paper's §3.2 "grouping traffic based on BGP attributes":
+//
+//	YouTubePrefixes = RIB.filter('as_path', .*43515$)
+func (t *RIB) FilterASPath(expr string) ([]iputil.Prefix, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []iputil.Prefix
+	for p, m := range t.routes {
+		for _, r := range m {
+			if re.MatchString(pathString(r.Attrs.ASPath)) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+func pathString(path []uint32) string {
+	parts := make([]string, len(path))
+	for i, as := range path {
+		parts[i] = fmt.Sprint(as)
+	}
+	return strings.Join(parts, " ")
+}

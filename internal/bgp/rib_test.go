@@ -1,0 +1,118 @@
+package bgp
+
+import (
+	"testing"
+
+	"sdx/internal/iputil"
+)
+
+func TestRIBAddGetRemove(t *testing.T) {
+	rib := NewRIB()
+	r1 := &Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 100}
+	r2 := &Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 200}
+	rib.Add(r1)
+	rib.Add(r2)
+	if rib.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 prefix", rib.Len())
+	}
+	if got, ok := rib.Get(pfx("10.0.0.0/8"), 100); !ok || got != r1 {
+		t.Fatal("Get(peer 100) failed")
+	}
+	if routes := rib.Routes(pfx("10.0.0.0/8")); len(routes) != 2 {
+		t.Fatalf("Routes = %d entries", len(routes))
+	}
+	// Replace is idempotent on count.
+	r1b := &Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 100}
+	rib.Add(r1b)
+	if got, _ := rib.Get(pfx("10.0.0.0/8"), 100); got != r1b {
+		t.Fatal("Add should replace same-peer route")
+	}
+	if !rib.Remove(pfx("10.0.0.0/8"), 100) {
+		t.Fatal("Remove should report presence")
+	}
+	if rib.Remove(pfx("10.0.0.0/8"), 100) {
+		t.Fatal("double Remove should report absence")
+	}
+	if !rib.Remove(pfx("10.0.0.0/8"), 200) || rib.Len() != 0 {
+		t.Fatal("removing last route should empty the RIB")
+	}
+}
+
+func TestRIBRoutesSortedByPeer(t *testing.T) {
+	rib := NewRIB()
+	for _, as := range []uint32{300, 100, 200} {
+		rib.Add(&Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: as})
+	}
+	routes := rib.Routes(pfx("10.0.0.0/8"))
+	for i := 1; i < len(routes); i++ {
+		if routes[i-1].PeerAS >= routes[i].PeerAS {
+			t.Fatalf("routes not sorted: %v", routes)
+		}
+	}
+}
+
+func TestRIBRemovePeer(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(&Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 100})
+	rib.Add(&Route{Prefix: pfx("20.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 100})
+	rib.Add(&Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 200})
+	affected := rib.RemovePeer(100)
+	if len(affected) != 2 {
+		t.Fatalf("RemovePeer affected %v", affected)
+	}
+	if rib.Len() != 1 {
+		t.Fatalf("Len = %d after RemovePeer", rib.Len())
+	}
+	if _, ok := rib.Get(pfx("10.0.0.0/8"), 200); !ok {
+		t.Fatal("other peer's route must survive")
+	}
+}
+
+func TestRIBPrefixesSorted(t *testing.T) {
+	rib := NewRIB()
+	for _, p := range []string{"20.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"} {
+		rib.Add(&Route{Prefix: pfx(p), Attrs: &PathAttrs{}, PeerAS: 1})
+	}
+	ps := rib.Prefixes()
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "20.0.0.0/8"}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Fatalf("Prefixes = %v, want %v", ps, want)
+		}
+	}
+}
+
+func TestRIBWalk(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(&Route{Prefix: pfx("10.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 1})
+	rib.Add(&Route{Prefix: pfx("20.0.0.0/8"), Attrs: &PathAttrs{}, PeerAS: 1})
+	n := 0
+	rib.Walk(func(p iputil.Prefix, routes []*Route) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("Walk visited %d", n)
+	}
+	n = 0
+	rib.Walk(func(p iputil.Prefix, routes []*Route) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Walk early stop visited %d", n)
+	}
+}
+
+func TestRIBFilterASPath(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(&Route{Prefix: pfx("74.125.0.0/16"), Attrs: &PathAttrs{ASPath: []uint32{100, 43515}}, PeerAS: 100})
+	rib.Add(&Route{Prefix: pfx("74.125.64.0/18"), Attrs: &PathAttrs{ASPath: []uint32{43515}}, PeerAS: 100})
+	rib.Add(&Route{Prefix: pfx("8.8.8.0/24"), Attrs: &PathAttrs{ASPath: []uint32{100, 15169}}, PeerAS: 100})
+
+	// The paper's §3.2 example: all routes originated by AS 43515.
+	got, err := rib.FilterASPath(`(^|.* )43515$`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("FilterASPath = %v", got)
+	}
+	if _, err := rib.FilterASPath(`([`); err == nil {
+		t.Fatal("bad regexp must error")
+	}
+}

@@ -1,0 +1,247 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sdx/internal/iputil"
+)
+
+// SessionConfig configures one side of a BGP session.
+type SessionConfig struct {
+	LocalAS  uint32
+	RouterID iputil.Addr
+	// HoldTime is the proposed hold time; the session uses the minimum of
+	// both sides. Zero proposes 90s; Negative disables keepalives.
+	HoldTime time.Duration
+	// ExpectedPeerAS, when non-zero, rejects OPENs from any other AS.
+	ExpectedPeerAS uint32
+
+	// OnUpdate is called from the session's reader goroutine for every
+	// received UPDATE. It must not block indefinitely.
+	OnUpdate func(s *Session, u *Update)
+	// OnDown is called once when the session leaves Established (nil err
+	// for a local Close).
+	OnDown func(s *Session, err error)
+	// Logf, when non-nil, receives session life-cycle logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *SessionConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+const defaultHoldTime = 90 * time.Second
+
+// Session is an established BGP session over a reliable stream. Create one
+// with Establish, then call Start to begin dispatching updates.
+type Session struct {
+	cfg      SessionConfig
+	conn     net.Conn
+	peerOpen *Open
+	holdTime time.Duration
+
+	sendMu sync.Mutex // serializes writes to conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	downErr   error
+}
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn and returns the
+// established session. The handshake writes concurrently with reading so
+// that two symmetric endpoints (e.g. over net.Pipe) cannot deadlock. On
+// error the connection is closed.
+func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
+	s := &Session{cfg: cfg, conn: conn, closed: make(chan struct{})}
+
+	proposed := cfg.HoldTime
+	switch {
+	case proposed == 0:
+		proposed = defaultHoldTime
+	case proposed < 0:
+		proposed = 0
+	}
+	open := &Open{
+		Version:  Version,
+		AS:       cfg.LocalAS,
+		HoldTime: uint16(proposed / time.Second),
+		RouterID: cfg.RouterID,
+	}
+
+	writeErr := make(chan error, 1)
+	go func() {
+		if err := s.send(open); err != nil {
+			writeErr <- err
+			return
+		}
+		writeErr <- s.send(&Keepalive{})
+	}()
+
+	fail := func(err error) (*Session, error) {
+		conn.Close()
+		return nil, err
+	}
+
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		return fail(fmt.Errorf("bgp: reading peer open: %w", err))
+	}
+	peerOpen, ok := msg.(*Open)
+	if !ok {
+		return fail(fmt.Errorf("bgp: expected OPEN, got type %d", msg.Type()))
+	}
+	if peerOpen.Version != Version {
+		s.sendBestEffort(&Notification{Code: NotifOpenMessageError, Subcode: 1})
+		return fail(fmt.Errorf("bgp: unsupported version %d", peerOpen.Version))
+	}
+	if cfg.ExpectedPeerAS != 0 && peerOpen.AS != cfg.ExpectedPeerAS {
+		s.sendBestEffort(&Notification{Code: NotifOpenMessageError, Subcode: 2})
+		return fail(fmt.Errorf("bgp: peer AS %d, expected %d", peerOpen.AS, cfg.ExpectedPeerAS))
+	}
+	msg, err = ReadMessage(conn)
+	if err != nil {
+		return fail(fmt.Errorf("bgp: waiting for keepalive: %w", err))
+	}
+	if n, ok := msg.(*Notification); ok {
+		return fail(n)
+	}
+	if _, ok := msg.(*Keepalive); !ok {
+		return fail(fmt.Errorf("bgp: expected KEEPALIVE, got type %d", msg.Type()))
+	}
+	if err := <-writeErr; err != nil {
+		return fail(fmt.Errorf("bgp: sending open: %w", err))
+	}
+
+	s.peerOpen = peerOpen
+	s.holdTime = min(proposed, time.Duration(peerOpen.HoldTime)*time.Second)
+	cfg.logf("bgp: session established AS%d <-> AS%d hold=%s", cfg.LocalAS, peerOpen.AS, s.holdTime)
+	return s, nil
+}
+
+// PeerAS returns the peer's AS number from its OPEN.
+func (s *Session) PeerAS() uint32 { return s.peerOpen.AS }
+
+// PeerRouterID returns the peer's router ID from its OPEN.
+func (s *Session) PeerRouterID() iputil.Addr { return s.peerOpen.RouterID }
+
+// HoldTime returns the negotiated hold time (0 = keepalives disabled).
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// Done is closed when the session terminates.
+func (s *Session) Done() <-chan struct{} { return s.closed }
+
+// Err returns the terminating error after Done is closed (nil for local
+// close).
+func (s *Session) Err() error {
+	<-s.closed
+	return s.downErr
+}
+
+// Start launches the reader and keepalive goroutines. Received updates are
+// dispatched to cfg.OnUpdate in order.
+func (s *Session) Start() {
+	go s.readLoop()
+	if s.holdTime > 0 {
+		go s.keepaliveLoop()
+	}
+}
+
+func (s *Session) readLoop() {
+	for {
+		if s.holdTime > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.holdTime))
+		}
+		msg, err := ReadMessage(s.conn)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.sendBestEffort(&Notification{Code: NotifHoldTimerExpired})
+				err = fmt.Errorf("bgp: hold timer expired: %w", err)
+			}
+			s.shutdown(err)
+			return
+		}
+		switch m := msg.(type) {
+		case *Update:
+			if s.cfg.OnUpdate != nil {
+				s.cfg.OnUpdate(s, m)
+			}
+		case *Keepalive:
+			// Receipt already refreshed the read deadline.
+		case *Notification:
+			s.shutdown(m)
+			return
+		case *Open:
+			s.sendBestEffort(&Notification{Code: NotifFSMError})
+			s.shutdown(errors.New("bgp: unexpected OPEN in established state"))
+			return
+		}
+	}
+}
+
+func (s *Session) keepaliveLoop() {
+	interval := s.holdTime / 3
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.send(&Keepalive{}); err != nil {
+				s.shutdown(err)
+				return
+			}
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// SendUpdate transmits an UPDATE to the peer.
+func (s *Session) SendUpdate(u *Update) error { return s.send(u) }
+
+func (s *Session) send(m Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	_, err = s.conn.Write(buf)
+	return err
+}
+
+// Close terminates the session with a CEASE notification.
+func (s *Session) Close() error {
+	s.sendBestEffort(&Notification{Code: NotifCease})
+	s.shutdown(nil)
+	return nil
+}
+
+// sendBestEffort transmits a teardown message with a short write deadline
+// so that a peer that has stopped reading (or an unbuffered test pipe)
+// cannot block the teardown path indefinitely.
+func (s *Session) sendBestEffort(m Message) {
+	s.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	s.send(m)
+	s.conn.SetWriteDeadline(time.Time{})
+}
+
+func (s *Session) shutdown(err error) {
+	s.closeOnce.Do(func() {
+		s.downErr = err
+		close(s.closed)
+		s.conn.Close()
+		if s.cfg.OnDown != nil {
+			s.cfg.OnDown(s, err)
+		}
+		if err != nil {
+			s.cfg.logf("bgp: session AS%d <-> AS%d down: %v", s.cfg.LocalAS, s.peerOpen.AS, err)
+		}
+	})
+}

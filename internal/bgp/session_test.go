@@ -1,0 +1,203 @@
+package bgp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sdx/internal/iputil"
+)
+
+// establishPair runs the handshake concurrently on both ends of a pipe.
+func establishPair(t *testing.T, a, b SessionConfig) (*Session, *Session) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	var sa, sb *Session
+	var ea, eb error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); sa, ea = Establish(ca, a) }()
+	go func() { defer wg.Done(); sb, eb = Establish(cb, b) }()
+	wg.Wait()
+	if ea != nil || eb != nil {
+		t.Fatalf("establish: %v / %v", ea, eb)
+	}
+	return sa, sb
+}
+
+func TestSessionEstablish(t *testing.T) {
+	sa, sb := establishPair(t,
+		SessionConfig{LocalAS: 65001, RouterID: iputil.MustParseAddr("1.1.1.1"), HoldTime: 30 * time.Second},
+		SessionConfig{LocalAS: 65002, RouterID: iputil.MustParseAddr("2.2.2.2"), HoldTime: 60 * time.Second},
+	)
+	defer sa.Close()
+	defer sb.Close()
+	if sa.PeerAS() != 65002 || sb.PeerAS() != 65001 {
+		t.Fatalf("peer AS: %d / %d", sa.PeerAS(), sb.PeerAS())
+	}
+	if sa.PeerRouterID() != iputil.MustParseAddr("2.2.2.2") {
+		t.Fatalf("peer router ID: %v", sa.PeerRouterID())
+	}
+	// Negotiated hold time is the minimum of both proposals.
+	if sa.HoldTime() != 30*time.Second || sb.HoldTime() != 30*time.Second {
+		t.Fatalf("hold time: %v / %v", sa.HoldTime(), sb.HoldTime())
+	}
+}
+
+func TestSessionRejectsWrongPeerAS(t *testing.T) {
+	ca, cb := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var errA error
+	go func() {
+		defer wg.Done()
+		_, errA = Establish(ca, SessionConfig{LocalAS: 1, ExpectedPeerAS: 99})
+	}()
+	_, errB := Establish(cb, SessionConfig{LocalAS: 2})
+	wg.Wait()
+	if errA == nil {
+		t.Fatal("wrong peer AS must fail the expecting side")
+	}
+	_ = errB // the other side may or may not fail depending on timing
+}
+
+func TestSessionUpdateExchange(t *testing.T) {
+	got := make(chan *Update, 8)
+	sa, sb := establishPair(t,
+		SessionConfig{LocalAS: 65001, RouterID: 1},
+		SessionConfig{LocalAS: 65002, RouterID: 2,
+			OnUpdate: func(_ *Session, u *Update) { got <- u }},
+	)
+	defer sa.Close()
+	defer sb.Close()
+	sa.Start()
+	sb.Start()
+
+	want := &Update{
+		Attrs: &PathAttrs{ASPath: []uint32{65001}, NextHop: iputil.MustParseAddr("10.0.0.1")},
+		NLRI:  []iputil.Prefix{pfx("74.125.0.0/16")},
+	}
+	if err := sa.SendUpdate(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-got:
+		if len(u.NLRI) != 1 || u.NLRI[0] != pfx("74.125.0.0/16") || u.Attrs.FirstAS() != 65001 {
+			t.Fatalf("received %v", u)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for update")
+	}
+}
+
+func TestSessionCloseNotifiesPeer(t *testing.T) {
+	downB := make(chan error, 1)
+	sa, sb := establishPair(t,
+		SessionConfig{LocalAS: 65001, RouterID: 1},
+		SessionConfig{LocalAS: 65002, RouterID: 2,
+			OnDown: func(_ *Session, err error) { downB <- err }},
+	)
+	sa.Start()
+	sb.Start()
+	sa.Close()
+	select {
+	case err := <-downB:
+		n, ok := err.(*Notification)
+		if !ok || n.Code != NotifCease {
+			t.Fatalf("peer down error = %v, want CEASE notification", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for peer down")
+	}
+	<-sb.Done()
+}
+
+func TestSessionOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer ln.Close()
+
+	got := make(chan *Update, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s, err := Establish(conn, SessionConfig{LocalAS: 65100, RouterID: 1,
+			OnUpdate: func(_ *Session, u *Update) { got <- u }})
+		if err != nil {
+			return
+		}
+		s.Start()
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Establish(conn, SessionConfig{LocalAS: 65200, RouterID: 2, ExpectedPeerAS: 65100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	if s.PeerAS() != 65100 {
+		t.Fatalf("peer AS = %d", s.PeerAS())
+	}
+	u := &Update{Attrs: &PathAttrs{NextHop: 1}, NLRI: []iputil.Prefix{pfx("10.0.0.0/8")}}
+	if err := s.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if len(r.NLRI) != 1 || r.NLRI[0] != pfx("10.0.0.0/8") {
+			t.Fatalf("received %v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout over TCP")
+	}
+}
+
+func TestSessionKeepalivesSustainShortHoldTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	sa, sb := establishPair(t,
+		SessionConfig{LocalAS: 1, RouterID: 1, HoldTime: 600 * time.Millisecond},
+		SessionConfig{LocalAS: 2, RouterID: 2, HoldTime: 600 * time.Millisecond},
+	)
+	sa.Start()
+	sb.Start()
+	select {
+	case <-sa.Done():
+		t.Fatalf("session died despite keepalives: %v", sa.Err())
+	case <-time.After(2 * time.Second):
+		// Survived several hold-time windows.
+	}
+	sa.Close()
+	<-sb.Done()
+}
+
+func TestSessionUnexpectedOpenTearsDown(t *testing.T) {
+	sa, sb := establishPair(t,
+		SessionConfig{LocalAS: 1, RouterID: 1},
+		SessionConfig{LocalAS: 2, RouterID: 2},
+	)
+	sa.Start()
+	sb.Start()
+	// Inject a second OPEN from a's side.
+	if err := sa.send(&Open{Version: 4, AS: 1, RouterID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sb.Done():
+		if sb.Err() == nil {
+			t.Fatal("expected an error for FSM violation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer should tear down on unexpected OPEN")
+	}
+}

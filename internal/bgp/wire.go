@@ -1,0 +1,399 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sdx/internal/iputil"
+)
+
+// Wire codec for BGP-4 messages (RFC 4271 §4). All messages carry the
+// 16-octet all-ones marker. Encoding errors indicate values that cannot be
+// represented (e.g. a 4-octet AS number in an OPEN); decoding errors
+// indicate malformed input.
+
+var marker = [16]byte{
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+	0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+}
+
+// ErrTooLong is returned when an encoded message would exceed the 4096-byte
+// protocol limit.
+var ErrTooLong = errors.New("bgp: message exceeds 4096 bytes")
+
+// Marshal encodes a message including the common header.
+func Marshal(m Message) ([]byte, error) {
+	var body []byte
+	var err error
+	switch t := m.(type) {
+	case *Open:
+		body, err = marshalOpen(t)
+	case *Update:
+		body, err = marshalUpdate(t)
+	case *Notification:
+		body = append([]byte{t.Code, t.Subcode}, t.Data...)
+	case *Keepalive:
+		body = nil
+	default:
+		return nil, fmt.Errorf("bgp: cannot marshal %T", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, ErrTooLong
+	}
+	buf := make([]byte, total)
+	copy(buf, marker[:])
+	binary.BigEndian.PutUint16(buf[16:], uint16(total))
+	buf[18] = m.Type()
+	copy(buf[HeaderLen:], body)
+	return buf, nil
+}
+
+func marshalOpen(o *Open) ([]byte, error) {
+	if o.AS > 0xffff {
+		return nil, fmt.Errorf("bgp: AS %d does not fit in two octets", o.AS)
+	}
+	buf := make([]byte, 10)
+	buf[0] = o.Version
+	binary.BigEndian.PutUint16(buf[1:], uint16(o.AS))
+	binary.BigEndian.PutUint16(buf[3:], o.HoldTime)
+	oct := o.RouterID.Octets()
+	copy(buf[5:], oct[:])
+	buf[9] = 0 // no optional parameters
+	return buf, nil
+}
+
+func marshalUpdate(u *Update) ([]byte, error) {
+	if len(u.NLRI) > 0 && u.Attrs == nil {
+		return nil, errors.New("bgp: update announces NLRI without attributes")
+	}
+	withdrawn, err := marshalNLRI(u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		attrs, err = marshalAttrs(u.Attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nlri, err := marshalNLRI(u.NLRI)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+len(withdrawn)+len(attrs)+len(nlri))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(withdrawn)))
+	buf = append(buf, withdrawn...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(attrs)))
+	buf = append(buf, attrs...)
+	buf = append(buf, nlri...)
+	return buf, nil
+}
+
+// marshalNLRI encodes prefixes in the RFC 4271 (length, truncated-address)
+// form.
+func marshalNLRI(ps []iputil.Prefix) ([]byte, error) {
+	var buf []byte
+	for _, p := range ps {
+		buf = append(buf, p.Bits())
+		oct := p.Addr().Octets()
+		buf = append(buf, oct[:(p.Bits()+7)/8]...)
+	}
+	return buf, nil
+}
+
+// attribute flag bits
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+	flagExtLen     uint8 = 0x10
+)
+
+func appendAttr(buf []byte, flags, typ uint8, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+		buf = append(buf, flags, typ)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(val)))
+	} else {
+		buf = append(buf, flags, typ, uint8(len(val)))
+	}
+	return append(buf, val...)
+}
+
+func marshalAttrs(a *PathAttrs) ([]byte, error) {
+	var buf []byte
+	// ORIGIN (well-known mandatory)
+	buf = appendAttr(buf, flagTransitive, attrOrigin, []byte{uint8(a.Origin)})
+	// AS_PATH (well-known mandatory); a single AS_SEQUENCE segment, or
+	// empty for locally originated routes.
+	var path []byte
+	if len(a.ASPath) > 0 {
+		if len(a.ASPath) > 255 {
+			return nil, fmt.Errorf("bgp: AS path longer than 255")
+		}
+		path = append(path, segSequence, uint8(len(a.ASPath)))
+		for _, as := range a.ASPath {
+			if as > 0xffff {
+				return nil, fmt.Errorf("bgp: AS %d does not fit in two octets", as)
+			}
+			path = binary.BigEndian.AppendUint16(path, uint16(as))
+		}
+	}
+	buf = appendAttr(buf, flagTransitive, attrASPath, path)
+	// NEXT_HOP (well-known mandatory)
+	nh := a.NextHop.Octets()
+	buf = appendAttr(buf, flagTransitive, attrNextHop, nh[:])
+	if a.HasMED {
+		buf = appendAttr(buf, flagOptional, attrMED, binary.BigEndian.AppendUint32(nil, a.MED))
+	}
+	if a.HasLocalPref {
+		buf = appendAttr(buf, flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref))
+	}
+	if len(a.Communities) > 0 {
+		var val []byte
+		for _, c := range a.Communities {
+			val = binary.BigEndian.AppendUint32(val, c)
+		}
+		buf = appendAttr(buf, flagOptional|flagTransitive, attrCommunities, val)
+	}
+	return buf, nil
+}
+
+// ReadMessage reads and decodes one message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	for i, b := range hdr[:16] {
+		if b != 0xff {
+			return nil, fmt.Errorf("bgp: bad marker byte %d at offset %d", b, i)
+		}
+	}
+	length := binary.BigEndian.Uint16(hdr[16:])
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: bad message length %d", length)
+	}
+	body := make([]byte, length-HeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return unmarshalBody(hdr[18], body)
+}
+
+// Unmarshal decodes one complete message from buf, returning the number of
+// bytes consumed.
+func Unmarshal(buf []byte) (Message, int, error) {
+	if len(buf) < HeaderLen {
+		return nil, 0, io.ErrShortBuffer
+	}
+	for i, b := range buf[:16] {
+		if b != 0xff {
+			return nil, 0, fmt.Errorf("bgp: bad marker byte %d at offset %d", b, i)
+		}
+	}
+	length := int(binary.BigEndian.Uint16(buf[16:]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, 0, fmt.Errorf("bgp: bad message length %d", length)
+	}
+	if len(buf) < length {
+		return nil, 0, io.ErrShortBuffer
+	}
+	m, err := unmarshalBody(buf[18], buf[HeaderLen:length])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, length, nil
+}
+
+func unmarshalBody(typ uint8, body []byte) (Message, error) {
+	switch typ {
+	case TypeOpen:
+		return unmarshalOpen(body)
+	case TypeUpdate:
+		return unmarshalUpdate(body)
+	case TypeNotification:
+		if len(body) < 2 {
+			return nil, errors.New("bgp: short notification")
+		}
+		return &Notification{Code: body[0], Subcode: body[1], Data: append([]byte(nil), body[2:]...)}, nil
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, errors.New("bgp: keepalive with body")
+		}
+		return &Keepalive{}, nil
+	default:
+		return nil, fmt.Errorf("bgp: unknown message type %d", typ)
+	}
+}
+
+func unmarshalOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, errors.New("bgp: short open")
+	}
+	optLen := int(body[9])
+	if len(body) != 10+optLen {
+		return nil, errors.New("bgp: open length mismatch")
+	}
+	var rid [4]byte
+	copy(rid[:], body[5:9])
+	return &Open{
+		Version:  body[0],
+		AS:       uint32(binary.BigEndian.Uint16(body[1:])),
+		HoldTime: binary.BigEndian.Uint16(body[3:]),
+		RouterID: iputil.AddrFromOctets(rid),
+	}, nil
+}
+
+func unmarshalUpdate(body []byte) (*Update, error) {
+	if len(body) < 4 {
+		return nil, errors.New("bgp: short update")
+	}
+	wlen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+wlen+2 {
+		return nil, errors.New("bgp: truncated withdrawn routes")
+	}
+	withdrawn, err := unmarshalNLRI(body[2 : 2+wlen])
+	if err != nil {
+		return nil, err
+	}
+	rest := body[2+wlen:]
+	alen := int(binary.BigEndian.Uint16(rest))
+	if len(rest) < 2+alen {
+		return nil, errors.New("bgp: truncated path attributes")
+	}
+	var attrs *PathAttrs
+	if alen > 0 {
+		attrs, err = unmarshalAttrs(rest[2 : 2+alen])
+		if err != nil {
+			return nil, err
+		}
+	}
+	nlri, err := unmarshalNLRI(rest[2+alen:])
+	if err != nil {
+		return nil, err
+	}
+	if len(nlri) > 0 && attrs == nil {
+		return nil, errors.New("bgp: NLRI without path attributes")
+	}
+	return &Update{Withdrawn: withdrawn, Attrs: attrs, NLRI: nlri}, nil
+}
+
+func unmarshalNLRI(buf []byte) ([]iputil.Prefix, error) {
+	var out []iputil.Prefix
+	for len(buf) > 0 {
+		bits := buf[0]
+		if bits > 32 {
+			return nil, fmt.Errorf("bgp: bad prefix length %d", bits)
+		}
+		n := int(bits+7) / 8
+		if len(buf) < 1+n {
+			return nil, errors.New("bgp: truncated NLRI")
+		}
+		var oct [4]byte
+		copy(oct[:], buf[1:1+n])
+		out = append(out, iputil.NewPrefix(iputil.AddrFromOctets(oct), bits))
+		buf = buf[1+n:]
+	}
+	return out, nil
+}
+
+func unmarshalAttrs(buf []byte) (*PathAttrs, error) {
+	a := &PathAttrs{}
+	seen := map[uint8]bool{}
+	for len(buf) > 0 {
+		if len(buf) < 3 {
+			return nil, errors.New("bgp: truncated attribute header")
+		}
+		flags, typ := buf[0], buf[1]
+		var alen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(buf) < 4 {
+				return nil, errors.New("bgp: truncated extended attribute header")
+			}
+			alen, hdr = int(binary.BigEndian.Uint16(buf[2:])), 4
+		} else {
+			alen, hdr = int(buf[2]), 3
+		}
+		if len(buf) < hdr+alen {
+			return nil, errors.New("bgp: truncated attribute value")
+		}
+		val := buf[hdr : hdr+alen]
+		if seen[typ] {
+			return nil, fmt.Errorf("bgp: duplicate attribute %d", typ)
+		}
+		seen[typ] = true
+		switch typ {
+		case attrOrigin:
+			if alen != 1 || val[0] > 2 {
+				return nil, errors.New("bgp: bad origin attribute")
+			}
+			a.Origin = Origin(val[0])
+		case attrASPath:
+			path, err := unmarshalASPath(val)
+			if err != nil {
+				return nil, err
+			}
+			a.ASPath = path
+		case attrNextHop:
+			if alen != 4 {
+				return nil, errors.New("bgp: bad next-hop attribute")
+			}
+			var oct [4]byte
+			copy(oct[:], val)
+			a.NextHop = iputil.AddrFromOctets(oct)
+		case attrMED:
+			if alen != 4 {
+				return nil, errors.New("bgp: bad MED attribute")
+			}
+			a.MED, a.HasMED = binary.BigEndian.Uint32(val), true
+		case attrLocalPref:
+			if alen != 4 {
+				return nil, errors.New("bgp: bad local-pref attribute")
+			}
+			a.LocalPref, a.HasLocalPref = binary.BigEndian.Uint32(val), true
+		case attrCommunities:
+			if alen%4 != 0 {
+				return nil, errors.New("bgp: bad communities attribute")
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, binary.BigEndian.Uint32(val[i:]))
+			}
+		default:
+			// Unrecognized optional attributes are ignored; unrecognized
+			// well-known attributes are an error.
+			if flags&flagOptional == 0 {
+				return nil, fmt.Errorf("bgp: unrecognized well-known attribute %d", typ)
+			}
+		}
+		buf = buf[hdr+alen:]
+	}
+	return a, nil
+}
+
+func unmarshalASPath(buf []byte) ([]uint32, error) {
+	var path []uint32
+	for len(buf) > 0 {
+		if len(buf) < 2 {
+			return nil, errors.New("bgp: truncated AS path segment")
+		}
+		segType, count := buf[0], int(buf[1])
+		if segType != segSequence && segType != segSet {
+			return nil, fmt.Errorf("bgp: bad AS path segment type %d", segType)
+		}
+		if len(buf) < 2+2*count {
+			return nil, errors.New("bgp: truncated AS path segment")
+		}
+		for i := 0; i < count; i++ {
+			path = append(path, uint32(binary.BigEndian.Uint16(buf[2+2*i:])))
+		}
+		buf = buf[2+2*count:]
+	}
+	return path, nil
+}

@@ -1,0 +1,261 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdx/internal/iputil"
+)
+
+func pfx(s string) iputil.Prefix { return iputil.MustParsePrefix(s) }
+func addr(s string) iputil.Addr  { return iputil.MustParseAddr(s) }
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", m, err)
+	}
+	got, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("Unmarshal consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := &Open{Version: 4, AS: 65001, HoldTime: 90, RouterID: addr("10.0.0.1")}
+	got := roundTrip(t, in).(*Open)
+	if *got != *in {
+		t.Fatalf("round trip: got %+v, want %+v", got, in)
+	}
+}
+
+func TestOpenRejectsFourOctetAS(t *testing.T) {
+	if _, err := Marshal(&Open{Version: 4, AS: 70000}); err == nil {
+		t.Fatal("AS > 65535 must fail to marshal")
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Keepalive{})
+	if _, ok := got.(*Keepalive); !ok {
+		t.Fatalf("round trip: got %T", got)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := &Notification{Code: NotifCease, Subcode: 2, Data: []byte{1, 2, 3}}
+	got := roundTrip(t, in).(*Notification)
+	if got.Code != in.Code || got.Subcode != in.Subcode || !bytes.Equal(got.Data, in.Data) {
+		t.Fatalf("round trip: got %+v, want %+v", got, in)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := &Update{
+		Withdrawn: []iputil.Prefix{pfx("10.0.0.0/8"), pfx("192.168.1.0/24")},
+		Attrs: &PathAttrs{
+			Origin:       OriginEGP,
+			ASPath:       []uint32{65001, 65002, 43515},
+			NextHop:      addr("172.16.0.9"),
+			MED:          50,
+			HasMED:       true,
+			LocalPref:    200,
+			HasLocalPref: true,
+			Communities:  []uint32{65001<<16 | 666},
+		},
+		NLRI: []iputil.Prefix{pfx("74.125.0.0/16"), pfx("74.125.1.0/24"), pfx("0.0.0.0/0")},
+	}
+	got := roundTrip(t, in).(*Update)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip:\ngot  %+v %+v\nwant %+v %+v", got, got.Attrs, in, in.Attrs)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	in := &Update{Withdrawn: []iputil.Prefix{pfx("10.0.0.0/8")}}
+	got := roundTrip(t, in).(*Update)
+	if len(got.NLRI) != 0 || got.Attrs != nil || len(got.Withdrawn) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestUpdateEndOfRIB(t *testing.T) {
+	got := roundTrip(t, &Update{}).(*Update)
+	if len(got.NLRI) != 0 || len(got.Withdrawn) != 0 || got.Attrs != nil {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestUpdateNLRIWithoutAttrsFails(t *testing.T) {
+	if _, err := Marshal(&Update{NLRI: []iputil.Prefix{pfx("10.0.0.0/8")}}); err == nil {
+		t.Fatal("NLRI without attrs must fail")
+	}
+}
+
+func TestUpdateRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	randPrefixes := func(n int) []iputil.Prefix {
+		if n == 0 {
+			return nil // the codec decodes an absent list as nil
+		}
+		out := make([]iputil.Prefix, n)
+		for i := range out {
+			out[i] = iputil.NewPrefix(iputil.Addr(r.Uint32()), uint8(r.Intn(33)))
+		}
+		return out
+	}
+	for i := 0; i < 2000; i++ {
+		in := &Update{Withdrawn: randPrefixes(r.Intn(4))}
+		if n := r.Intn(5); n > 0 {
+			in.NLRI = randPrefixes(n)
+			attrs := &PathAttrs{
+				Origin:  Origin(r.Intn(3)),
+				NextHop: iputil.Addr(r.Uint32()),
+			}
+			for j := 0; j < r.Intn(5); j++ {
+				attrs.ASPath = append(attrs.ASPath, uint32(r.Intn(65536)))
+			}
+			if r.Intn(2) == 0 {
+				attrs.MED, attrs.HasMED = r.Uint32(), true
+			}
+			if r.Intn(2) == 0 {
+				attrs.LocalPref, attrs.HasLocalPref = r.Uint32(), true
+			}
+			for j := 0; j < r.Intn(3); j++ {
+				attrs.Communities = append(attrs.Communities, r.Uint32())
+			}
+			in.Attrs = attrs
+		}
+		got := roundTrip(t, in).(*Update)
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("iteration %d:\ngot  %v\nwant %v", i, got, in)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptHeader(t *testing.T) {
+	buf, _ := Marshal(&Keepalive{})
+	bad := append([]byte(nil), buf...)
+	bad[0] = 0 // corrupt marker
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Fatal("corrupt marker must fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[16], bad[17] = 0, 5 // length below header size
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Fatal("short length must fail")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[18] = 99 // unknown type
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	buf, _ := Marshal(&Open{Version: 4, AS: 1, RouterID: 1})
+	if _, _, err := Unmarshal(buf[:10]); err == nil {
+		t.Fatal("short header must fail")
+	}
+	if _, _, err := Unmarshal(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+}
+
+// FuzzUnmarshal-style robustness: random bytes with a valid header frame
+// must never panic.
+func TestUnmarshalRandomBodies(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 5000; i++ {
+		bodyLen := r.Intn(64)
+		buf := make([]byte, HeaderLen+bodyLen)
+		copy(buf, marker[:])
+		buf[16] = byte((HeaderLen + bodyLen) >> 8)
+		buf[17] = byte(HeaderLen + bodyLen)
+		buf[18] = byte(1 + r.Intn(4))
+		r.Read(buf[HeaderLen:])
+		Unmarshal(buf) // must not panic
+	}
+}
+
+func TestReadMessage(t *testing.T) {
+	var stream bytes.Buffer
+	msgs := []Message{
+		&Open{Version: 4, AS: 65001, HoldTime: 30, RouterID: addr("1.1.1.1")},
+		&Keepalive{},
+		&Update{NLRI: []iputil.Prefix{pfx("10.0.0.0/8")}, Attrs: &PathAttrs{NextHop: addr("2.2.2.2")}},
+	}
+	for _, m := range msgs {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(buf)
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&stream)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("message %d: type %d, want %d", i, got.Type(), want.Type())
+		}
+	}
+}
+
+func TestPathAttrsHelpers(t *testing.T) {
+	a := &PathAttrs{ASPath: []uint32{100, 200, 300}}
+	if a.FirstAS() != 100 || a.OriginAS() != 300 || a.PathLen() != 3 {
+		t.Fatalf("helpers: %d %d %d", a.FirstAS(), a.OriginAS(), a.PathLen())
+	}
+	b := a.Prepend(50)
+	if b.FirstAS() != 50 || a.FirstAS() != 100 {
+		t.Fatal("Prepend must not mutate the original")
+	}
+	empty := &PathAttrs{}
+	if empty.FirstAS() != 0 || empty.OriginAS() != 0 {
+		t.Fatal("empty path helpers should return 0")
+	}
+	c := a.Clone()
+	c.ASPath[0] = 9
+	if a.ASPath[0] != 100 {
+		t.Fatal("Clone must deep-copy the AS path")
+	}
+	if (*PathAttrs)(nil).Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+}
+
+func BenchmarkMarshalUpdate(b *testing.B) {
+	u := &Update{
+		Attrs: &PathAttrs{ASPath: []uint32{65001, 65002}, NextHop: addr("10.0.0.1")},
+		NLRI:  []iputil.Prefix{pfx("74.125.0.0/16"), pfx("8.8.8.0/24")},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalUpdate(b *testing.B) {
+	u := &Update{
+		Attrs: &PathAttrs{ASPath: []uint32{65001, 65002}, NextHop: addr("10.0.0.1")},
+		NLRI:  []iputil.Prefix{pfx("74.125.0.0/16"), pfx("8.8.8.0/24")},
+	}
+	buf, _ := Marshal(u)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

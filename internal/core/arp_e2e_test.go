@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdx/internal/arp"
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+)
+
+// TestARPOverFabric resolves a virtual next hop the way a real border
+// router would: an ARP request frame into the fabric, answered by the
+// controller through the PACKET_IN path with the VMAC.
+func TestARPOverFabric(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+
+	// A's advertised next hop for p1 is a VNH.
+	nh, ok := f.a.Lookup(ip("11.1.1.1"))
+	if !ok || !core.VNHSubnet.Contains(nh) {
+		t.Fatalf("next hop %v should be a VNH", nh)
+	}
+
+	var replies []pkt.Packet
+	if err := f.ctrl.Switch().SetDeliver(1, func(p pkt.Packet) {
+		if p.EthType == pkt.EthTypeARP {
+			replies = append(replies, p)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := &arp.Packet{
+		Op:        arp.OpRequest,
+		SenderMAC: core.PortMAC(1),
+		SenderIP:  core.PortIP(1),
+		TargetIP:  nh,
+	}
+	f.ctrl.Switch().Inject(1, pkt.Packet{
+		SrcMAC:  core.PortMAC(1),
+		DstMAC:  pkt.MustParseMAC("ff:ff:ff:ff:ff:ff"),
+		EthType: pkt.EthTypeARP,
+		Payload: req.Marshal(),
+	})
+
+	if len(replies) != 1 {
+		t.Fatalf("got %d ARP replies", len(replies))
+	}
+	rep, err := arp.Unmarshal(replies[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != arp.OpReply || rep.SenderIP != nh {
+		t.Fatalf("reply %v", rep)
+	}
+	if !core.IsVMAC(rep.SenderMAC) {
+		t.Fatalf("reply MAC %v should be a VMAC", rep.SenderMAC)
+	}
+	if rep.TargetMAC != core.PortMAC(1) || rep.TargetIP != core.PortIP(1) {
+		t.Fatalf("reply addressed to %v/%v", rep.TargetMAC, rep.TargetIP)
+	}
+
+	// Requests for unknown addresses and non-ARP frames are silent.
+	replies = nil
+	bogus := &arp.Packet{Op: arp.OpRequest, SenderMAC: core.PortMAC(1), TargetIP: ip("9.9.9.9")}
+	f.ctrl.Switch().Inject(1, pkt.Packet{EthType: pkt.EthTypeARP, Payload: bogus.Marshal()})
+	f.ctrl.Switch().Inject(1, pkt.Packet{EthType: pkt.EthTypeARP, Payload: []byte("junk")})
+	if len(replies) != 0 {
+		t.Fatalf("unexpected replies: %v", replies)
+	}
+
+	// Real port IPs resolve too (the conventional ARP an IXP fabric
+	// would flood; here the controller proxies it).
+	req.TargetIP = core.PortIP(4)
+	f.ctrl.Switch().Inject(1, pkt.Packet{EthType: pkt.EthTypeARP, Payload: req.Marshal()})
+	if len(replies) != 1 {
+		t.Fatalf("got %d replies for a real port IP", len(replies))
+	}
+	rep, _ = arp.Unmarshal(replies[0].Payload)
+	if rep.SenderMAC != core.PortMAC(4) {
+		t.Fatalf("real port resolves to %v", rep.SenderMAC)
+	}
+}

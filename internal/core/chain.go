@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"sdx/internal/pkt"
+)
+
+// InstallChain implements the paper's §8 service-chaining extension:
+// traffic from participant `from` matching m traverses the given sequence
+// of middlebox participants before continuing along its BGP path.
+//
+// The chain is realized with the existing policy machinery: the source
+// gets a middlebox-redirection term toward the first hop, and every hop
+// gets a term steering the (still-matching) traffic toward its successor.
+// Each middlebox host is expected to re-inject processed packets on its
+// fabric port, as a physical middlebox would; the last hop's traffic then
+// follows that host's policies and defaults toward the real destination.
+//
+// Matches that a middlebox rewrites (e.g. a NAT changing the source
+// address) break the chain's classification at the next hop, so m should
+// match on fields the chain preserves. The chain terms replace each hop
+// participant's outbound policy; hops therefore must be dedicated
+// middlebox participants (validated: a hop must announce no prefixes and
+// carry no other outbound policy).
+func (c *Controller) InstallChain(from uint32, m pkt.Match, chain ...uint32) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("core: empty service chain")
+	}
+	c.mu.Lock()
+	src, ok := c.parts[from]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("core: unknown participant AS%d", from)
+	}
+	_ = src
+	seen := map[uint32]bool{from: true}
+	for _, hop := range chain {
+		p, ok := c.parts[hop]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("core: unknown chain hop AS%d", hop)
+		}
+		if seen[hop] {
+			c.mu.Unlock()
+			return fmt.Errorf("core: AS%d appears twice in the chain", hop)
+		}
+		seen[hop] = true
+		if len(p.cfg.Ports) == 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("core: chain hop AS%d has no fabric port", hop)
+		}
+		if len(c.rs.AnnouncedPrefixes(hop)) > 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("core: chain hop AS%d announces prefixes; use a dedicated middlebox participant", hop)
+		}
+		if len(p.outbound) > 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("core: chain hop AS%d already has outbound policies", hop)
+		}
+	}
+	c.mu.Unlock()
+
+	// Source: redirect matching traffic to the first hop, keeping any
+	// existing policy terms ahead of it.
+	c.mu.Lock()
+	srcTerms := append(append([]Term(nil), c.parts[from].outbound...), FwdMiddlebox(m, chain[0]))
+	srcIn := append([]Term(nil), c.parts[from].inbound...)
+	c.mu.Unlock()
+	if err := c.SetPolicy(from, srcIn, srcTerms); err != nil {
+		return err
+	}
+	// Hops: steer re-injected matching traffic toward the successor; the
+	// last hop has no steering term and lets the traffic follow its own
+	// FIB-driven defaults.
+	for i := 0; i < len(chain)-1; i++ {
+		if err := c.SetPolicy(chain[i], nil, []Term{FwdMiddlebox(m, chain[i+1])}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+	"sdx/internal/router"
+)
+
+// chainFixture adds two dedicated middlebox participants (E on port 5,
+// F on port 7) to the Figure 1 exchange.
+func chainFixture(t *testing.T) (*fig1, *router.BorderRouter, *router.BorderRouter) {
+	t.Helper()
+	f := newFig1(t)
+	for _, cfg := range []core.ParticipantConfig{
+		{AS: 500, Name: "E", Ports: []core.PhysicalPort{{ID: 5}}},
+		{AS: 501, Name: "F", Ports: []core.PhysicalPort{{ID: 7}}},
+	} {
+		if _, err := f.ctrl.AddParticipant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := router.Attach(f.ctrl, 500, core.PhysicalPort{ID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := router.Attach(f.ctrl, 501, core.PhysicalPort{ID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, e, fr
+}
+
+// TestServiceChainTwoMiddleboxes steers matching traffic A -> E -> F ->
+// destination, with each middlebox re-injecting like a physical box.
+func TestServiceChainTwoMiddleboxes(t *testing.T) {
+	f, e, fr := chainFixture(t)
+	match := pkt.MatchAll.SrcIP(pfx("66.0.0.0/8"))
+	if err := f.ctrl.InstallChain(asA, match, 500, 501); err != nil {
+		t.Fatal(err)
+	}
+	f.ctrl.Recompile()
+
+	// Middleboxes "process" and re-inject on their own port.
+	var path []string
+	e.OnDeliver = func(p pkt.Packet) {
+		path = append(path, "E")
+		f.ctrl.InjectFromPort(5, p)
+	}
+	fr.OnDeliver = func(p pkt.Packet) {
+		path = append(path, "F")
+		// The last hop forwards by its FIB, like a router would: resolve
+		// the destination and re-tag.
+		if !fr.Send(pkt.Packet{EthType: p.EthType, SrcIP: p.SrcIP, DstIP: p.DstIP,
+			Proto: p.Proto, SrcPort: p.SrcPort, DstPort: p.DstPort}) {
+			t.Error("last hop has no route onward")
+		}
+	}
+
+	f.clearReceived()
+	if !f.a.Send(tcp(ip("66.1.1.1"), ip("11.1.1.1"), 80)) {
+		t.Fatal("send failed")
+	}
+	if len(path) != 2 || path[0] != "E" || path[1] != "F" {
+		t.Fatalf("chain path = %v, want [E F]", path)
+	}
+	// The packet ultimately reaches p1's best next hop (C).
+	if got := f.c.Received(); len(got) != 1 {
+		t.Fatalf("destination received %v", got)
+	}
+	// Non-matching traffic bypasses the chain entirely.
+	path = nil
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.c)
+	if len(path) != 0 {
+		t.Fatalf("clean traffic entered the chain: %v", path)
+	}
+}
+
+func TestInstallChainValidation(t *testing.T) {
+	f, _, _ := chainFixture(t)
+	m := pkt.MatchAll.DstPort(80)
+	if err := f.ctrl.InstallChain(asA, m); err == nil {
+		t.Fatal("empty chain must fail")
+	}
+	if err := f.ctrl.InstallChain(999, m, 500); err == nil {
+		t.Fatal("unknown source must fail")
+	}
+	if err := f.ctrl.InstallChain(asA, m, 999); err == nil {
+		t.Fatal("unknown hop must fail")
+	}
+	if err := f.ctrl.InstallChain(asA, m, 500, 500); err == nil {
+		t.Fatal("duplicate hop must fail")
+	}
+	// A hop that announces prefixes is a live network, not a middlebox.
+	if err := f.ctrl.InstallChain(asA, m, asB); err == nil {
+		t.Fatal("announcing hop must fail")
+	}
+	// Remote participants cannot host middleboxes.
+	if _, err := f.ctrl.AddParticipant(core.ParticipantConfig{AS: 502, Name: "remote"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ctrl.InstallChain(asA, m, 502); err == nil {
+		t.Fatal("port-less hop must fail")
+	}
+	// A hop with existing outbound policy is rejected.
+	if err := f.ctrl.SetPolicy(500, nil, []core.Term{core.Fwd(pkt.MatchAll.DstPort(443), asB)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ctrl.InstallChain(asA, m, 500); err == nil {
+		t.Fatal("hop with outbound policy must fail")
+	}
+}
+
+// TestServiceChainPreservesExistingPolicy: installing a chain keeps the
+// source's previous policy terms working.
+func TestServiceChainPreservesExistingPolicy(t *testing.T) {
+	f, e, _ := chainFixture(t)
+	f.setFig1Policies(t)
+	if err := f.ctrl.InstallChain(asA, pkt.MatchAll.SrcIP(pfx("66.0.0.0/8")), 500); err != nil {
+		t.Fatal(err)
+	}
+	f.ctrl.Recompile()
+
+	// The old app-specific peering still applies to clean traffic.
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
+	// Suspicious traffic goes to the middlebox instead.
+	e.ClearReceived()
+	f.clearReceived()
+	f.a.Send(tcp(ip("66.1.1.1"), ip("11.1.1.1"), 80))
+	if len(e.Received()) != 1 {
+		t.Fatalf("middlebox received %d", len(e.Received()))
+	}
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/policy"
+)
+
+// RouteView is the route-server state the compiler reads. *rs.Server
+// implements it.
+type RouteView interface {
+	// ReachablePrefixes returns the prefixes `via` exports to `viewer`.
+	ReachablePrefixes(viewer, via uint32) []iputil.Prefix
+	// Exports reports whether `via` exports prefix to `viewer`.
+	Exports(viewer, via uint32, prefix iputil.Prefix) bool
+	// GlobalBest returns the route server's overall best route for prefix.
+	GlobalBest(prefix iputil.Prefix) *bgp.Route
+	// AnnouncedPrefixes returns the prefixes a participant announces.
+	AnnouncedPrefixes(as uint32) []iputil.Prefix
+}
+
+// Compiled is the output of one full compilation pass.
+type Compiled struct {
+	// Band1 holds the composed custom-policy rules (highest priority
+	// band); Band2 holds the per-group default forwarding rules. Traffic
+	// matching neither falls through to the fabric's MAC-learning
+	// fallback (real destination MACs only).
+	Band1, Band2 policy.Classifier
+
+	// Groups are the forwarding equivalence classes, with VMACs[i] and
+	// VNHs[i] the tag pair assigned to Groups[i]. GroupIdx maps each
+	// grouped prefix to its group index.
+	Groups   []PrefixGroup
+	VMACs    []pkt.MAC
+	VNHs     []iputil.Addr
+	GroupIdx map[iputil.Prefix]int
+
+	// Stats carries the policy compiler's work counters.
+	Stats policy.CompileStats
+}
+
+// NumRules returns the total installed rule count (the Figure 7 metric).
+func (c *Compiled) NumRules() int { return len(c.Band1) + len(c.Band2) }
+
+// setOwner identifies the origin of one MDS input set: an outbound
+// forwarding term (as, term, target), or — with as == 0 and term == -1 —
+// the synthetic set covering a remote participant's announced prefixes,
+// which must be grouped so the fabric can carry their traffic to the
+// participant's virtual switch.
+type setOwner struct {
+	as     uint32
+	term   int
+	target uint32
+}
+
+// isSynthetic reports whether the set is a remote participant's synthetic
+// announcement set rather than a policy term.
+func (o setOwner) isSynthetic() bool { return o.term < 0 }
+
+// groupKey is the stable identity of a group used to keep (VNH, VMAC)
+// assignments consistent across recompilations: the owning terms plus the
+// default next hop.
+func groupKey(owners []setOwner, g *PrefixGroup) string {
+	var b strings.Builder
+	for _, si := range g.Sets {
+		o := owners[si]
+		fmt.Fprintf(&b, "%d/%d/%d;", o.as, o.term, o.target)
+	}
+	fmt.Fprintf(&b, "@%d", g.DefaultAS)
+	return b.String()
+}
+
+// vnhTable persists (group key) -> allocation index across compilations.
+type vnhTable struct {
+	alloc *vnhAllocator
+	byKey map[string]uint32
+}
+
+func newVNHTable() *vnhTable {
+	return &vnhTable{alloc: newVNHAllocator(), byKey: make(map[string]uint32)}
+}
+
+// indexFor returns the stable allocation index for a group key.
+func (t *vnhTable) indexFor(key string) uint32 {
+	if i, ok := t.byKey[key]; ok {
+		return i
+	}
+	vnh, _ := t.alloc.Alloc()
+	i := uint32(vnh - VNHSubnet.Addr())
+	t.byKey[key] = i
+	return i
+}
+
+// fresh returns a brand-new allocation index (fast-path per-prefix VNHs).
+func (t *vnhTable) fresh() uint32 {
+	vnh, _ := t.alloc.Alloc()
+	return uint32(vnh - VNHSubnet.Addr())
+}
+
+// CompileOptions tunes the pipeline for ablation studies (every option
+// off reproduces the paper's full design).
+type CompileOptions struct {
+	// NaiveDstIP disables the §4.2 VNH/VMAC grouping: outbound policies
+	// and default forwarding are lowered to one rule per destination
+	// prefix, the naive compilation whose rule explosion motivates the
+	// paper's multi-stage FIB.
+	NaiveDstIP bool
+	// DisableCache turns off sub-policy memoization (§4.3.1).
+	DisableCache bool
+	// DisableConcat forces cross-product parallel composition (§4.3.1).
+	DisableConcat bool
+}
+
+// compiler performs the §4 pipeline over a participant snapshot.
+type compiler struct {
+	parts map[uint32]*Participant
+	view  RouteView
+	vnhs  *vnhTable
+	opts  CompileOptions
+}
+
+// setOwners enumerates the MDS input sets in deterministic order: one per
+// outbound forwarding term subject to BGP consistency (pass 1 of §4.2),
+// plus one synthetic set per remote (port-less) participant.
+func (c *compiler) setOwners() []setOwner {
+	var owners []setOwner
+	for _, as := range sortedASNs(c.parts) {
+		p := c.parts[as]
+		for i, t := range p.outbound {
+			if t.Action.ToParticipant == 0 || t.Action.NoBGPCheck {
+				continue // drop and middlebox terms need no BGP restriction
+			}
+			owners = append(owners, setOwner{as: as, term: i, target: t.Action.ToParticipant})
+		}
+	}
+	for _, as := range sortedASNs(c.parts) {
+		p := c.parts[as]
+		// Remote participants need their announced prefixes grouped so
+		// the fabric can reach their virtual switch at all; participants
+		// with inbound policies need them grouped so inbound traffic
+		// traverses their virtual switch instead of the layer-2 fallback.
+		if len(p.cfg.Ports) == 0 || len(p.inbound) > 0 {
+			owners = append(owners, setOwner{as: 0, term: -1, target: as})
+		}
+	}
+	return owners
+}
+
+// setPrefixes materializes one input set.
+func (c *compiler) setPrefixes(o setOwner) []iputil.Prefix {
+	if o.isSynthetic() {
+		return c.view.AnnouncedPrefixes(o.target)
+	}
+	t := c.parts[o.as].outbound[o.term]
+	reach := c.view.ReachablePrefixes(o.as, o.target)
+	if dp, ok := t.Match.GetDstIP(); ok {
+		filtered := reach[:0]
+		for _, q := range reach {
+			if q.Overlaps(dp) {
+				filtered = append(filtered, q)
+			}
+		}
+		reach = filtered
+	}
+	return reach
+}
+
+// setContains probes one prefix's membership in one input set without
+// materializing it (the fast path's membership query).
+func (c *compiler) setContains(o setOwner, prefix iputil.Prefix) bool {
+	if o.isSynthetic() {
+		return c.view.Exports(0, o.target, prefix)
+	}
+	t := c.parts[o.as].outbound[o.term]
+	if !c.view.Exports(o.as, o.target, prefix) {
+		return false
+	}
+	if dp, ok := t.Match.GetDstIP(); ok && !prefix.Overlaps(dp) {
+		return false
+	}
+	return true
+}
+
+// defaultAS returns the route server's global default next-hop AS for a
+// prefix (0 = no route).
+func (c *compiler) defaultAS(p iputil.Prefix) uint32 {
+	if r := c.view.GlobalBest(p); r != nil {
+		return r.PeerAS
+	}
+	return 0
+}
+
+// Compile runs the full pipeline: policy sets, FEC grouping, VNH
+// assignment, the four policy transformations, and classifier generation.
+func (c *compiler) Compile() *Compiled {
+	owners := c.setOwners()
+	sets := make([][]iputil.Prefix, len(owners))
+	for i, o := range owners {
+		sets[i] = c.setPrefixes(o)
+	}
+	groups := MinDisjointSubsets(sets, c.defaultAS)
+	out := &Compiled{Groups: groups, GroupIdx: make(map[iputil.Prefix]int)}
+	if !c.opts.NaiveDstIP {
+		out.VMACs = make([]pkt.MAC, len(groups))
+		out.VNHs = make([]iputil.Addr, len(groups))
+		for gi := range groups {
+			idx := c.vnhs.indexFor(groupKey(owners, &groups[gi]))
+			out.VMACs[gi] = VMAC(idx)
+			out.VNHs[gi] = VNHAddr(idx)
+			for _, p := range groups[gi].Prefixes {
+				out.GroupIdx[p] = gi
+			}
+		}
+	}
+	// setGroups[si] lists the groups making up input set si.
+	setGroups := make([][]int, len(sets))
+	for gi := range groups {
+		for _, si := range groups[gi].Sets {
+			setGroups[si] = append(setGroups[si], gi)
+		}
+	}
+
+	comp := policy.NewCompiler()
+	comp.DisableCache = c.opts.DisableCache
+	comp.DisableConcat = c.opts.DisableConcat
+	stage2 := c.stage2Policy()
+	if stage1, ok := c.stage1Policy(ownerIndex(owners), setGroups, out.VMACs, sets); ok {
+		out.Band1 = finalizeBand(comp.Compile(policy.Seq(stage1, stage2)))
+	}
+	if defaults, ok := c.defaultPolicy(groups, out.VMACs); ok {
+		out.Band2 = finalizeBand(comp.Compile(policy.Seq(defaults, stage2)))
+	}
+	out.Stats = comp.Stats
+	return out
+}
+
+// ownerIndex maps each set owner back to its set index.
+func ownerIndex(owners []setOwner) map[setOwner]int {
+	idx := make(map[setOwner]int, len(owners))
+	for i, o := range owners {
+		idx[o] = i
+	}
+	return idx
+}
+
+// stage1Policy builds the union of every participant's isolated,
+// BGP-augmented outbound policy (§4.1 transformations 1–2). The boolean is
+// false when no participant has outbound terms.
+func (c *compiler) stage1Policy(ownerIdx map[setOwner]int, setGroups [][]int, vmacs []pkt.MAC, sets [][]iputil.Prefix) (policy.Policy, bool) {
+	var perParticipant []policy.Policy
+	for _, as := range sortedASNs(c.parts) {
+		p := c.parts[as]
+		var terms []policy.Policy
+		for i, t := range p.outbound {
+			if t.Action.Drop {
+				var ms []pkt.Match
+				for _, pp := range p.cfg.Ports {
+					ms = append(ms, t.Match.InPort(pp.ID))
+				}
+				terms = append(terms, policy.Seq(policy.Match(ms...), policy.FwdTo(PortDrop)))
+				continue
+			}
+			target := c.parts[t.Action.ToParticipant]
+			if target == nil {
+				continue
+			}
+			if t.Action.NoBGPCheck {
+				// Middlebox redirection (§2): no BGP restriction, no
+				// VMAC constraint — just isolation by in-port.
+				var ms []pkt.Match
+				for _, pp := range p.cfg.Ports {
+					ms = append(ms, t.Match.InPort(pp.ID))
+				}
+				seq := []policy.Policy{policy.Match(ms...)}
+				if !t.Action.Mods.IsEmpty() {
+					seq = append(seq, policy.Modify(t.Action.Mods))
+				}
+				seq = append(seq, policy.FwdTo(target.vport))
+				terms = append(terms, policy.Seq(seq...))
+				continue
+			}
+			si, ok := ownerIdx[setOwner{as: as, term: i, target: t.Action.ToParticipant}]
+			if !ok {
+				continue
+			}
+			// Isolation: guard by the participant's physical in-ports.
+			// BGP consistency: restrict to the eligible groups' VMACs
+			// (or, in the naive ablation, to per-prefix dstip matches).
+			var ms []pkt.Match
+			if c.opts.NaiveDstIP {
+				for _, pp := range p.cfg.Ports {
+					for _, q := range sets[si] {
+						ms = append(ms, t.Match.InPort(pp.ID).DstIP(q))
+					}
+				}
+			} else {
+				gis := setGroups[si]
+				for _, pp := range p.cfg.Ports {
+					for _, gi := range gis {
+						ms = append(ms, t.Match.InPort(pp.ID).DstMAC(vmacs[gi]))
+					}
+				}
+			}
+			if len(ms) == 0 {
+				continue // no eligible prefixes: the term never applies
+			}
+			seq := []policy.Policy{policy.Match(ms...)}
+			if !t.Action.Mods.IsEmpty() {
+				seq = append(seq, policy.Modify(t.Action.Mods))
+			}
+			seq = append(seq, policy.FwdTo(target.vport))
+			terms = append(terms, policy.Seq(seq...))
+		}
+		if len(terms) > 0 {
+			perParticipant = append(perParticipant, policy.Union(terms...))
+		}
+	}
+	if len(perParticipant) == 0 {
+		return nil, false
+	}
+	return policy.Union(perParticipant...), true
+}
+
+// stage2Policy builds the union of every participant's virtual-switch
+// ingress handling: custom inbound terms with fall-through to default
+// delivery on the primary port (§4.1 transformation 3, receiver side).
+func (c *compiler) stage2Policy() policy.Policy {
+	var perParticipant []policy.Policy
+	for _, as := range sortedASNs(c.parts) {
+		perParticipant = append(perParticipant, c.inboundPolicy(c.parts[as]))
+	}
+	// The drop sink preserves explicit stage-1 drops (fwd(PortDrop))
+	// through the composition, so finalizeBand can tell policy drops
+	// apart from unhandled flow space.
+	perParticipant = append(perParticipant, policy.Seq(
+		policy.Match(pkt.MatchAll.InPort(PortDrop)),
+		policy.FwdTo(PortDrop),
+	))
+	return policy.Union(perParticipant...)
+}
+
+func (c *compiler) inboundPolicy(p *Participant) policy.Policy {
+	guard := pkt.MatchAll.InPort(p.vport)
+
+	var def policy.Policy
+	if primary, ok := p.PrimaryPort(); ok {
+		def = policy.Seq(
+			policy.Match(guard),
+			policy.Modify(pkt.NoMods.SetDstMAC(primary.MAC())),
+			policy.FwdTo(primary.ID),
+		)
+	} else {
+		// Remote participants have no delivery port; unmatched traffic
+		// addressed to them is explicitly dropped.
+		def = policy.Seq(policy.Match(guard), policy.FwdTo(PortDrop))
+	}
+	if len(p.inbound) == 0 {
+		return def
+	}
+
+	var terms []policy.Policy
+	var pred []pkt.Match
+	for _, t := range p.inbound {
+		m := t.Match.InPort(p.vport)
+		pred = append(pred, m)
+		switch {
+		case t.Action.Drop:
+			terms = append(terms, policy.Seq(policy.Match(m), policy.FwdTo(PortDrop)))
+		case t.Action.ToPort != 0:
+			mods := t.Action.Mods.SetDstMAC(PortMAC(t.Action.ToPort))
+			terms = append(terms, policy.Seq(policy.Match(m), policy.Modify(mods), policy.FwdTo(t.Action.ToPort)))
+		case t.Action.Deliver:
+			terms = append(terms, c.deliverTerm(m, t.Action.Mods))
+		}
+	}
+	return policy.IfThenElse(policy.Match(pred...), policy.Union(terms...), def)
+}
+
+// deliverTerm resolves a rewrite-and-deliver term (wide-area load
+// balancing, §5.2): the rewritten destination IP is resolved against the
+// route server's best routes at compile time and the traffic is delivered
+// to the owning participant's primary port.
+func (c *compiler) deliverTerm(m pkt.Match, mods pkt.Mods) policy.Policy {
+	dst, ok := mods.GetDstIP()
+	if !ok {
+		return policy.Seq(policy.Match(m), policy.FwdTo(PortDrop))
+	}
+	target := c.resolveOwner(dst)
+	if target == nil {
+		return policy.Seq(policy.Match(m), policy.FwdTo(PortDrop))
+	}
+	primary, ok := target.PrimaryPort()
+	if !ok {
+		return policy.Seq(policy.Match(m), policy.FwdTo(PortDrop))
+	}
+	return policy.Seq(
+		policy.Match(m),
+		policy.Modify(mods.SetDstMAC(primary.MAC())),
+		policy.FwdTo(primary.ID),
+	)
+}
+
+// resolveOwner finds the participant that the route server would deliver
+// traffic for addr to (longest announced prefix containing addr).
+func (c *compiler) resolveOwner(addr iputil.Addr) *Participant {
+	var best *bgp.Route
+	var bestBits int = -1
+	for _, as := range sortedASNs(c.parts) {
+		for _, q := range c.view.ReachablePrefixes(0, as) {
+			if q.Contains(addr) && int(q.Bits()) > bestBits {
+				if r := c.view.GlobalBest(q); r != nil {
+					best, bestBits = r, int(q.Bits())
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return c.parts[best.PeerAS]
+}
+
+// defaultPolicy builds the per-group default forwarding band (§4.1
+// transformation 3, sender side): traffic tagged with a group's VMAC is
+// forwarded to the group's default next-hop participant. The boolean is
+// false when there are no groups with a usable next hop.
+func (c *compiler) defaultPolicy(groups []PrefixGroup, vmacs []pkt.MAC) (policy.Policy, bool) {
+	var gpols []policy.Policy
+	for gi := range groups {
+		owner := c.parts[groups[gi].DefaultAS]
+		if owner == nil {
+			continue
+		}
+		if c.opts.NaiveDstIP {
+			// One rule per prefix instead of one per group — the §4.2
+			// motivation: this is what fills hardware tables.
+			for _, q := range groups[gi].Prefixes {
+				gpols = append(gpols, policy.Seq(
+					policy.Match(pkt.MatchAll.DstIP(q)),
+					policy.FwdTo(owner.vport),
+				))
+			}
+			continue
+		}
+		gpols = append(gpols, policy.Seq(
+			policy.Match(pkt.MatchAll.DstMAC(vmacs[gi])),
+			policy.FwdTo(owner.vport),
+		))
+	}
+	if len(gpols) == 0 {
+		return nil, false
+	}
+	return policy.Union(gpols...), true
+}
+
+// finalizeBand post-processes a composed classifier for installation:
+// implicit drop rules (unhandled flow space) are stripped so that lower
+// bands apply, while explicit drops (PortDrop outputs from drop policies)
+// become real drop rules.
+func finalizeBand(c policy.Classifier) policy.Classifier {
+	out := make(policy.Classifier, 0, len(c))
+	for _, r := range c {
+		if r.IsDrop() {
+			continue
+		}
+		var acts []pkt.Action
+		explicitDrop := false
+		for _, a := range r.Actions {
+			if a.Out == PortDrop {
+				explicitDrop = true
+				continue
+			}
+			acts = append(acts, a)
+		}
+		switch {
+		case len(acts) > 0:
+			out = append(out, policy.Rule{Match: r.Match, Actions: acts})
+		case explicitDrop:
+			out = append(out, policy.Rule{Match: r.Match})
+		}
+	}
+	return out
+}
+
+// fastGroup builds the single-prefix group used by the two-stage update
+// path (§4.3.2): membership is probed per policy set without recomputing
+// the full MDS.
+func (c *compiler) fastGroup(prefix iputil.Prefix) (PrefixGroup, []setOwner) {
+	g := PrefixGroup{Prefixes: []iputil.Prefix{prefix}, DefaultAS: c.defaultAS(prefix)}
+	owners := c.setOwners()
+	for si, o := range owners {
+		if c.setContains(o, prefix) {
+			g.Sets = append(g.Sets, si)
+		}
+	}
+	return g, owners
+}
+
+// CompileFast runs the fast incremental path for one prefix: it assigns a
+// fresh VNH and compiles only the rules related to the prefix, composed
+// against the full stage-2 policy. The caller installs the result in the
+// high-priority fast band.
+func (c *compiler) CompileFast(prefix iputil.Prefix) *Compiled {
+	g, owners := c.fastGroup(prefix)
+	idx := c.vnhs.fresh()
+	out := &Compiled{
+		Groups:   []PrefixGroup{g},
+		VMACs:    []pkt.MAC{VMAC(idx)},
+		VNHs:     []iputil.Addr{VNHAddr(idx)},
+		GroupIdx: map[iputil.Prefix]int{prefix: 0},
+	}
+	// setGroups: set si contains the (single) group iff si ∈ g.Sets.
+	setGroups := make([][]int, len(owners))
+	for _, si := range g.Sets {
+		setGroups[si] = []int{0}
+	}
+	comp := policy.NewCompiler()
+	stage2 := c.stage2Policy()
+	fastSets := make([][]iputil.Prefix, len(owners))
+	for _, si := range g.Sets {
+		fastSets[si] = []iputil.Prefix{prefix}
+	}
+	if stage1, ok := c.stage1Policy(ownerIndex(owners), setGroups, out.VMACs, fastSets); ok {
+		out.Band1 = finalizeBand(comp.Compile(policy.Seq(stage1, stage2)))
+	}
+	if defaults, ok := c.defaultPolicy(out.Groups, out.VMACs); ok {
+		out.Band2 = finalizeBand(comp.Compile(policy.Seq(defaults, stage2)))
+	}
+	out.Stats = comp.Stats
+	return out
+}

@@ -1,0 +1,619 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdx/internal/arp"
+	"sdx/internal/bgp"
+	"sdx/internal/dataplane"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/rs"
+)
+
+// Flow-table priority bands, highest first. Fast-path rules from
+// incremental updates sit above the fully optimized bands so that they
+// take effect immediately and are garbage-collected by the next full
+// recompilation (§4.3.2).
+const (
+	fastBandBase  = 3_000_000
+	band1Base     = 2_000_000
+	band2Base     = 1_000_000
+	cookieFast    = 3
+	cookieBand1   = 1
+	cookieBand2   = 2
+	maxBandHeight = 1_000_000
+)
+
+// RouteAd is one advertisement from the SDX route server to a
+// participant's border router, with the next hop already rewritten to the
+// virtual next hop when the prefix belongs to a forwarding equivalence
+// class.
+type RouteAd struct {
+	Prefix   iputil.Prefix
+	NextHop  iputil.Addr // meaningless when Withdraw
+	Attrs    *bgp.PathAttrs
+	Withdraw bool
+}
+
+// UpdateResult reports what one BGP update did to the SDX (the §6.3
+// incremental metrics).
+type UpdateResult struct {
+	Events          []rs.Event    // best-route changes across participants
+	AffectedGroups  int           // prefixes that needed fast-path rules
+	AdditionalRules int           // rules pushed into the fast band (Fig 9)
+	Elapsed         time.Duration // fast-path processing time (Fig 10)
+}
+
+// CompileReport summarizes a full compilation pass (Fig 8).
+type CompileReport struct {
+	Groups    int
+	Rules     int // band1+band2 (Fig 7)
+	Band1     int
+	Band2     int
+	Elapsed   time.Duration
+	VNHCount  int
+	CacheHits int
+}
+
+// Controller is the SDX controller: it owns the route server, the fabric
+// switch, the ARP responder for virtual next hops, participant policies,
+// and the compilation state. All methods are safe for concurrent use.
+type Controller struct {
+	mu sync.Mutex
+
+	rs    *rs.Server
+	sw    *dataplane.Switch
+	arpd  *arp.Responder
+	parts map[uint32]*Participant
+	vnhs  *vnhTable
+
+	cur        *Compiled
+	fastPrefix map[iputil.Prefix]uint32 // fast-band VNH index per prefix
+	fastRules  int
+	advNH      map[iputil.Prefix]iputil.Addr // next hop currently advertised
+	macToPort  map[pkt.MAC]pkt.PortID        // NORMAL fallback table
+	sinks      map[uint32][]func(RouteAd)
+	mirrors    []RuleSink
+	nextVPort  int
+	dirty      bool
+
+	logf func(format string, args ...any)
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithLogger directs controller logging to logf.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(c *Controller) { c.logf = logf }
+}
+
+// RuleSink receives a copy of every flow-table programming operation —
+// the hook that drives an external fabric switch (e.g. over the OpenFlow-
+// style control channel) in lockstep with the controller's local table.
+type RuleSink interface {
+	AddBatch(entries []*dataplane.FlowEntry)
+	Replace(cookie uint64, entries []*dataplane.FlowEntry)
+	DeleteCookie(cookie uint64)
+}
+
+// WithRuleMirror registers a rule sink. Several sinks may be registered.
+func WithRuleMirror(sink RuleSink) Option {
+	return func(c *Controller) { c.mirrors = append(c.mirrors, sink) }
+}
+
+// AddRuleMirror registers a rule sink after construction and replays the
+// currently installed bands into it so the external table converges.
+func (c *Controller) AddRuleMirror(sink RuleSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mirrors = append(c.mirrors, sink)
+	sink.Replace(cookieBand1, dataplane.EntriesFromClassifier(c.cur.Band1, band1Base, cookieBand1))
+	sink.Replace(cookieBand2, dataplane.EntriesFromClassifier(c.cur.Band2, band2Base, cookieBand2))
+}
+
+// NewController returns an SDX controller with an empty fabric.
+func NewController(opts ...Option) *Controller {
+	c := &Controller{
+		rs:         rs.New(),
+		sw:         dataplane.NewSwitch("sdx-fabric"),
+		arpd:       arp.NewResponder(),
+		parts:      make(map[uint32]*Participant),
+		vnhs:       newVNHTable(),
+		fastPrefix: make(map[iputil.Prefix]uint32),
+		advNH:      make(map[iputil.Prefix]iputil.Addr),
+		macToPort:  make(map[pkt.MAC]pkt.PortID),
+		sinks:      make(map[uint32][]func(RouteAd)),
+		cur:        &Compiled{GroupIdx: map[iputil.Prefix]int{}},
+		logf:       func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.sw.PacketIn = c.normalForward
+	return c
+}
+
+// Switch exposes the fabric switch (for attaching border routers and
+// injecting traffic).
+func (c *Controller) Switch() *dataplane.Switch { return c.sw }
+
+// ARP exposes the VNH ARP responder.
+func (c *Controller) ARP() *arp.Responder { return c.arpd }
+
+// RouteServer exposes the underlying route server (read-side queries).
+func (c *Controller) RouteServer() *rs.Server { return c.rs }
+
+// AddParticipant registers a participant AS with the exchange, creating
+// its virtual switch and fabric ports.
+func (c *Controller) AddParticipant(cfg ParticipantConfig) (*Participant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cfg.AS == 0 {
+		return nil, fmt.Errorf("core: participant AS must be non-zero")
+	}
+	if _, dup := c.parts[cfg.AS]; dup {
+		return nil, fmt.Errorf("core: duplicate participant AS%d", cfg.AS)
+	}
+	for _, pp := range cfg.Ports {
+		if err := checkPhysicalPort(pp.ID); err != nil {
+			return nil, err
+		}
+		if _, dup := c.macToPort[pp.MAC()]; dup {
+			return nil, fmt.Errorf("core: port %d already in use", pp.ID)
+		}
+	}
+	p := &Participant{cfg: cfg, vport: vportOf(c.nextVPort)}
+	c.nextVPort++
+	if err := c.rs.AddParticipant(rs.ParticipantConfig{
+		AS:       cfg.AS,
+		RouterID: p.routerID(),
+		Export:   cfg.Export,
+	}); err != nil {
+		return nil, err
+	}
+	for _, pp := range cfg.Ports {
+		if err := c.sw.AddPort(pp.ID, fmt.Sprintf("%s-%d", cfg.Name, pp.ID), nil); err != nil {
+			return nil, err
+		}
+		c.macToPort[pp.MAC()] = pp.ID
+		c.arpd.Register(pp.IP(), pp.MAC())
+	}
+	c.parts[cfg.AS] = p
+	c.dirty = true
+	return p, nil
+}
+
+// Participant returns a registered participant.
+func (c *Controller) Participant(as uint32) (*Participant, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.parts[as]
+	return p, ok
+}
+
+// OnRoute registers an advertisement sink for a participant's border
+// router; a participant with several routers registers one sink each. The
+// sink is called with the SDX's (VNH-rewritten) route advertisements; it
+// must not call back into the controller.
+func (c *Controller) OnRoute(as uint32, sink func(RouteAd)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.parts[as]; !ok {
+		return fmt.Errorf("core: unknown participant AS%d", as)
+	}
+	c.sinks[as] = append(c.sinks[as], sink)
+	return nil
+}
+
+// SetPolicy installs a participant's inbound and outbound policy terms,
+// replacing any previous policy. The change takes effect at the next
+// Recompile (SetPolicyAndCompile combines both).
+func (c *Controller) SetPolicy(as uint32, inbound, outbound []Term) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.parts[as]
+	if !ok {
+		return fmt.Errorf("core: unknown participant AS%d", as)
+	}
+	for _, t := range inbound {
+		if err := p.validateTerm(t, true); err != nil {
+			return err
+		}
+		if _, set := t.Match.GetInPort(); set {
+			return fmt.Errorf("core: policy matches must not constrain inport")
+		}
+	}
+	for _, t := range outbound {
+		if err := p.validateTerm(t, false); err != nil {
+			return err
+		}
+		if _, set := t.Match.GetInPort(); set {
+			return fmt.Errorf("core: policy matches must not constrain inport")
+		}
+		if t.Action.ToParticipant != 0 {
+			if _, ok := c.parts[t.Action.ToParticipant]; !ok {
+				return fmt.Errorf("core: outbound term targets unknown AS%d", t.Action.ToParticipant)
+			}
+		}
+	}
+	p.inbound = append([]Term(nil), inbound...)
+	p.outbound = append([]Term(nil), outbound...)
+	c.dirty = true
+	return nil
+}
+
+// SetPolicyAndCompile installs a policy and immediately recompiles.
+func (c *Controller) SetPolicyAndCompile(as uint32, inbound, outbound []Term) (CompileReport, error) {
+	if err := c.SetPolicy(as, inbound, outbound); err != nil {
+		return CompileReport{}, err
+	}
+	return c.Recompile(), nil
+}
+
+// AnnouncePrefix originates a BGP route for prefix on behalf of a
+// participant (§3.2 "originating BGP routes from the SDX"; the wide-area
+// load balancer announces its anycast prefix this way). In a real
+// deployment the SDX would verify ownership via the RPKI first.
+func (c *Controller) AnnouncePrefix(as uint32, prefix iputil.Prefix) (UpdateResult, error) {
+	c.mu.Lock()
+	p, ok := c.parts[as]
+	c.mu.Unlock()
+	if !ok {
+		return UpdateResult{}, fmt.Errorf("core: unknown participant AS%d", as)
+	}
+	nh := iputil.Addr(as)
+	if primary, ok := p.PrimaryPort(); ok {
+		nh = primary.IP()
+	}
+	u := &bgp.Update{
+		Attrs: &bgp.PathAttrs{ASPath: []uint32{as}, NextHop: nh},
+		NLRI:  []iputil.Prefix{prefix},
+	}
+	return c.ProcessUpdate(as, u), nil
+}
+
+// WithdrawPrefix withdraws a previously announced prefix.
+func (c *Controller) WithdrawPrefix(as uint32, prefix iputil.Prefix) (UpdateResult, error) {
+	c.mu.Lock()
+	_, ok := c.parts[as]
+	c.mu.Unlock()
+	if !ok {
+		return UpdateResult{}, fmt.Errorf("core: unknown participant AS%d", as)
+	}
+	return c.ProcessUpdate(as, &bgp.Update{Withdrawn: []iputil.Prefix{prefix}}), nil
+}
+
+// ProcessUpdate runs one BGP update through the route server and the fast
+// incremental compilation path (§4.3.2): affected prefixes that interact
+// with any policy get a fresh per-prefix VNH and higher-priority rules
+// immediately; the full (optimal) recompilation is left to the next
+// Recompile call, which the background optimizer invokes between bursts.
+func (c *Controller) ProcessUpdate(from uint32, u *bgp.Update) UpdateResult {
+	start := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	events := c.rs.HandleUpdate(from, u)
+	res := c.handleEventsLocked(events)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// handleEventsLocked runs the fast incremental path over a batch of
+// best-route changes and re-advertises the affected prefixes.
+func (c *Controller) handleEventsLocked(events []rs.Event) UpdateResult {
+	res := UpdateResult{Events: events}
+	comp := &compiler{parts: c.parts, view: c.rs, vnhs: c.vnhs}
+
+	seen := make(map[iputil.Prefix]bool)
+	for _, e := range events {
+		if seen[e.Prefix] {
+			continue
+		}
+		seen[e.Prefix] = true
+
+		g, _ := comp.fastGroup(e.Prefix)
+		_, wasGrouped := c.cur.GroupIdx[e.Prefix]
+		_, wasFast := c.fastPrefix[e.Prefix]
+		if len(g.Sets) == 0 && !wasGrouped && !wasFast {
+			// The prefix interacts with no policy: plain route-server
+			// behaviour, no fabric rules needed.
+			continue
+		}
+
+		fc := comp.CompileFast(e.Prefix)
+		idx := uint32(fc.VNHs[0] - VNHSubnet.Addr())
+		c.fastPrefix[e.Prefix] = idx
+		c.arpd.Register(fc.VNHs[0], fc.VMACs[0])
+
+		entries := dataplane.EntriesFromClassifier(fc.Band1, fastBandBase+2048, cookieFast)
+		entries = append(entries, dataplane.EntriesFromClassifier(fc.Band2, fastBandBase, cookieFast)...)
+		c.sw.Table().AddBatch(entries)
+		for _, m := range c.mirrors {
+			m.AddBatch(entries)
+		}
+		c.fastRules += len(entries)
+		res.AffectedGroups++
+		res.AdditionalRules += len(entries)
+	}
+	c.dirty = c.dirty || len(events) > 0
+
+	// Re-advertise affected prefixes to every participant.
+	for p := range seen {
+		c.advertisePrefixLocked(p)
+	}
+	return res
+}
+
+// RemoveParticipant withdraws every route the participant announced,
+// removes its policies, ports and virtual switch, and runs the fast path
+// over the resulting best-route changes. Any policy of another
+// participant that targeted it stops matching at the next Recompile.
+func (c *Controller) RemoveParticipant(as uint32) (UpdateResult, error) {
+	start := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.parts[as]
+	if !ok {
+		return UpdateResult{}, fmt.Errorf("core: unknown participant AS%d", as)
+	}
+	// Deregister before recomputation so fastGroup stops seeing its
+	// policies and synthetic sets.
+	delete(c.parts, as)
+	delete(c.sinks, as)
+	for _, pp := range p.cfg.Ports {
+		c.sw.RemovePort(pp.ID)
+		delete(c.macToPort, pp.MAC())
+		c.arpd.Unregister(pp.IP())
+	}
+	events := c.rs.RemoveParticipant(as)
+	res := c.handleEventsLocked(events)
+	c.dirty = true
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// EnableCommunities turns on conventional route-server community handling
+// ((0, peer) = don't announce to peer, (0, rsAS) = announce to nobody,
+// (rsAS, peer) = announce only to peer) with the given route-server AS.
+func (c *Controller) EnableCommunities(localAS uint32) {
+	c.rs.EnableCommunities(localAS)
+	c.mu.Lock()
+	c.dirty = true
+	c.mu.Unlock()
+}
+
+// StartOptimizer launches the §4.3.2 background optimization loop: every
+// interval, if routes or policies changed since the last full pass, the
+// controller recompiles (folding fast-band rules into the minimal
+// tables). The returned stop function halts the loop and waits for it.
+func (c *Controller) StartOptimizer(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if c.Dirty() {
+					rep := c.Recompile()
+					c.logf("core: background optimization: %d groups, %d rules in %v",
+						rep.Groups, rep.Rules, rep.Elapsed)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}
+
+// Recompile runs the full optimization pass: FEC grouping, policy
+// compilation, atomic band swap, fast-band garbage collection, and
+// re-advertisement of prefixes whose virtual next hop moved.
+func (c *Controller) Recompile() CompileReport {
+	return c.RecompileWithOptions(CompileOptions{})
+}
+
+// RecompileWithOptions is Recompile with ablation knobs (the design-
+// choice benchmarks run the pipeline with individual optimizations
+// disabled).
+func (c *Controller) RecompileWithOptions(opts CompileOptions) CompileReport {
+	start := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	comp := &compiler{parts: c.parts, view: c.rs, vnhs: c.vnhs, opts: opts}
+	compiled := comp.Compile()
+
+	band1 := dataplane.EntriesFromClassifier(compiled.Band1, band1Base, cookieBand1)
+	band2 := dataplane.EntriesFromClassifier(compiled.Band2, band2Base, cookieBand2)
+	c.sw.Table().Replace(cookieBand1, band1)
+	c.sw.Table().Replace(cookieBand2, band2)
+	c.sw.Table().DeleteCookie(cookieFast)
+	for _, m := range c.mirrors {
+		m.Replace(cookieBand1, band1)
+		m.Replace(cookieBand2, band2)
+		m.DeleteCookie(cookieFast)
+	}
+	c.fastRules = 0
+	c.fastPrefix = make(map[iputil.Prefix]uint32)
+
+	for gi := range compiled.VNHs {
+		c.arpd.Register(compiled.VNHs[gi], compiled.VMACs[gi])
+	}
+	prev := c.cur
+	c.cur = compiled
+	c.dirty = false
+
+	// Advertise prefixes whose effective next hop changed: newly grouped,
+	// regrouped, or no longer grouped.
+	changed := make(map[iputil.Prefix]bool)
+	for p := range compiled.GroupIdx {
+		changed[p] = true
+	}
+	for p := range prev.GroupIdx {
+		changed[p] = true
+	}
+	for p := range changed {
+		c.advertisePrefixLocked(p)
+	}
+
+	return CompileReport{
+		Groups:    len(compiled.Groups),
+		Rules:     compiled.NumRules(),
+		Band1:     len(compiled.Band1),
+		Band2:     len(compiled.Band2),
+		Elapsed:   time.Since(start),
+		VNHCount:  c.vnhs.alloc.Allocated(),
+		CacheHits: compiled.Stats.CacheHits,
+	}
+}
+
+// Dirty reports whether policies or routes changed since the last full
+// recompilation (the background optimizer's trigger).
+func (c *Controller) Dirty() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dirty
+}
+
+// Compiled returns the last full compilation result.
+func (c *Controller) Compiled() *Compiled {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// FastRules returns the number of fast-band rules currently installed
+// (reset by Recompile).
+func (c *Controller) FastRules() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fastRules
+}
+
+// RoutesFor returns the participant's current route advertisements with
+// next hops rewritten to virtual next hops where applicable — the initial
+// table transfer for a newly connected border router.
+func (c *Controller) RoutesFor(as uint32) []RouteAd {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := c.rs.BestRoutes(as)
+	out := make([]RouteAd, 0, len(best))
+	for prefix, r := range best {
+		nh := c.vnhForPrefix(prefix, r.Attrs.NextHop)
+		attrs := r.Attrs.Clone()
+		attrs.NextHop = nh
+		out = append(out, RouteAd{Prefix: prefix, NextHop: nh, Attrs: attrs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// vnhForPrefix returns the next hop to advertise for a prefix: the fast
+// VNH if one is pending, the group VNH if the prefix is grouped, or the
+// route's real next hop otherwise.
+func (c *Controller) vnhForPrefix(prefix iputil.Prefix, real iputil.Addr) iputil.Addr {
+	if idx, ok := c.fastPrefix[prefix]; ok {
+		return VNHAddr(idx)
+	}
+	if gi, ok := c.cur.GroupIdx[prefix]; ok {
+		return c.cur.VNHs[gi]
+	}
+	return real
+}
+
+// advertisePrefixLocked sends the current route for prefix (with the next
+// hop rewritten) to every participant's border router.
+func (c *Controller) advertisePrefixLocked(prefix iputil.Prefix) {
+	for as, sinks := range c.sinks {
+		best, ok := c.rs.BestRoute(as, prefix)
+		if !ok || best == nil {
+			for _, sink := range sinks {
+				sink(RouteAd{Prefix: prefix, Withdraw: true})
+			}
+			continue
+		}
+		nh := c.vnhForPrefix(prefix, best.Attrs.NextHop)
+		c.advNH[prefix] = nh
+		attrs := best.Attrs.Clone()
+		attrs.NextHop = nh
+		for _, sink := range sinks {
+			sink(RouteAd{Prefix: prefix, NextHop: nh, Attrs: attrs})
+		}
+	}
+}
+
+// NormalEgress returns the classic layer-2 egress port for a packet (by
+// real destination MAC), the fallback for traffic no installed rule
+// covers — including table-miss PACKET_INs arriving from an external
+// fabric switch.
+func (c *Controller) NormalEgress(p pkt.Packet) (pkt.PortID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	port, ok := c.macToPort[p.DstMAC]
+	return port, ok
+}
+
+// HandleARP processes an in-fabric ARP request (EtherType 0x0806 with the
+// ARP packet in the payload): requests for registered addresses — real
+// port IPs and virtual next hops — produce the reply frame to emit on the
+// requesting port, the mechanism that makes unmodified border routers tag
+// packets with VMACs (§5.1 "the controller also implements an ARP
+// responder"). The boolean is false when the frame is not an answerable
+// request.
+func (c *Controller) HandleARP(p pkt.Packet) (pkt.Packet, bool) {
+	if p.EthType != pkt.EthTypeARP {
+		return pkt.Packet{}, false
+	}
+	req, err := arp.Unmarshal(p.Payload)
+	if err != nil {
+		return pkt.Packet{}, false
+	}
+	rep := c.arpd.Respond(req)
+	if rep == nil {
+		return pkt.Packet{}, false
+	}
+	return pkt.Packet{
+		SrcMAC:  rep.SenderMAC,
+		DstMAC:  rep.TargetMAC,
+		EthType: pkt.EthTypeARP,
+		Payload: rep.Marshal(),
+	}, true
+}
+
+// normalForward is the local fabric's fallback for traffic matching no
+// installed rule: ARP requests are answered by the controller's
+// responder, and everything else gets classic layer-2 delivery by real
+// destination MAC — the behaviour of a conventional IXP fabric (§3.2
+// "participants who do not want to implement SDX policies see the same
+// layer-2 abstractions").
+func (c *Controller) normalForward(p pkt.Packet) {
+	if reply, ok := c.HandleARP(p); ok {
+		c.sw.Output(p.InPort, reply)
+		return
+	}
+	port, ok := c.NormalEgress(p)
+	if !ok {
+		return // unknown destination: drop, like an unlearned unicast
+	}
+	c.sw.Output(port, p)
+}
+
+// InjectFromPort offers a packet to the fabric as if the participant's
+// border router emitted it on the given physical port.
+func (c *Controller) InjectFromPort(port pkt.PortID, p pkt.Packet) int {
+	return c.sw.Inject(port, p)
+}

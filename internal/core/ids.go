@@ -1,0 +1,95 @@
+// Package core implements the SDX runtime (SIGCOMM'14 §3–§4): the virtual
+// switch abstraction presented to each participant, the four-step policy
+// compilation pipeline (isolation, BGP-consistency augmentation, default
+// forwarding, composition), the virtual next-hop / forwarding equivalence
+// class machinery that keeps data-plane state small, and the two-stage
+// incremental recompilation that reacts to BGP updates in sub-second time.
+package core
+
+import (
+	"fmt"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// Port-ID space layout. Physical fabric ports use small IDs assigned at
+// registration; each participant's virtual switch ingress is one virtual
+// port in a reserved high range. PortDrop is a sentinel output meaning
+// "drop" that survives policy composition (explicit drop policies compile
+// to fwd(PortDrop) and are converted to real drops after composition).
+const (
+	vportBase pkt.PortID = 0x8000_0000
+	// PortDrop is the sentinel drop output port.
+	PortDrop pkt.PortID = 0xffff_fffe
+)
+
+// IsVirtualPort reports whether id addresses a participant's virtual
+// switch rather than a physical fabric port.
+func IsVirtualPort(id pkt.PortID) bool { return id >= vportBase && id != PortDrop }
+
+// The SDX addressing plan, mirroring the prototype's conventions:
+//
+//   - Physical router ports get MACs 02:00:00:00:pp:pp and IXP-subnet IPs
+//     172.0.pp.pp derived from the port ID.
+//   - Virtual next hops (VNHs) are allocated sequentially from
+//     172.16.0.0/12 and each maps to one virtual MAC (VMAC)
+//     a2:00:00:00:nn:nn identifying a forwarding equivalence class.
+var (
+	// IXPSubnet is the shared layer-2 subnet of the exchange.
+	IXPSubnet = iputil.MustParsePrefix("172.0.0.0/16")
+	// VNHSubnet is the pool virtual next hops are drawn from.
+	VNHSubnet = iputil.MustParsePrefix("172.16.0.0/12")
+)
+
+// PortMAC returns the real MAC address of a physical fabric port.
+func PortMAC(id pkt.PortID) pkt.MAC {
+	return pkt.MAC(0x02_00_00_00_00_00 | uint64(id)&0xffff)
+}
+
+// PortIP returns the IXP-subnet IP address of a physical fabric port.
+func PortIP(id pkt.PortID) iputil.Addr {
+	return IXPSubnet.Addr() | iputil.Addr(id)&0xffff
+}
+
+// vnhAllocator hands out (VNH, VMAC) pairs. Index 0 is never used so that
+// a zero VMAC is always invalid.
+type vnhAllocator struct {
+	next uint32
+}
+
+func newVNHAllocator() *vnhAllocator { return &vnhAllocator{next: 1} }
+
+// Alloc returns a fresh (VNH, VMAC) pair.
+func (a *vnhAllocator) Alloc() (iputil.Addr, pkt.MAC) {
+	i := a.next
+	a.next++
+	return VNHAddr(i), VMAC(i)
+}
+
+// Allocated returns the number of pairs handed out.
+func (a *vnhAllocator) Allocated() int { return int(a.next - 1) }
+
+// VNHAddr returns the virtual next-hop IP for allocation index i.
+func VNHAddr(i uint32) iputil.Addr {
+	return VNHSubnet.Addr() | iputil.Addr(i&0x000f_ffff)
+}
+
+// VMAC returns the virtual MAC for allocation index i.
+func VMAC(i uint32) pkt.MAC {
+	return pkt.MAC(0xa2_00_00_00_00_00 | uint64(i)&0xffff_ffff)
+}
+
+// IsVMAC reports whether a MAC is from the virtual (FEC tag) range.
+func IsVMAC(m pkt.MAC) bool { return uint64(m)>>40 == 0xa2 }
+
+func vportOf(idx int) pkt.PortID {
+	return vportBase + pkt.PortID(idx)
+}
+
+func checkPhysicalPort(id pkt.PortID) error {
+	if id == 0 || id >= vportBase {
+		return fmt.Errorf("core: invalid physical port id %d", id)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+)
+
+// TestTwoOutboundPoliciesCoexist: A and C both install outbound policies;
+// isolation (§4.1) must keep them from interfering, and the compiled
+// table must serve both simultaneously.
+func TestTwoOutboundPoliciesCoexist(t *testing.T) {
+	f := newFig1(t)
+	// A: web via B. C: ssh via B (C may reach p1..p4 via B: B exports
+	// everything to C).
+	if err := f.ctrl.SetPolicy(asA, nil, []core.Term{
+		core.Fwd(pkt.MatchAll.DstPort(80), asB),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ctrl.SetPolicy(asC, nil, []core.Term{
+		core.Fwd(pkt.MatchAll.DstPort(22), asB),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.ctrl.Recompile()
+
+	// A's web diverts to B; A's ssh keeps its default (C) — A is NOT
+	// affected by C's ssh policy.
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 22), f.c)
+
+	// C's ssh to p3 diverts to B (default for p3 from C's view is B
+	// anyway; probe p1 where C's default would be... C announced p1
+	// itself, so C's best for p1 is via B regardless; use p3 to check
+	// the policy path and p1 to check isolation).
+	f.sendAndExpect(t, f.c, tcp(ip("60.0.0.1"), ip("13.1.1.1"), 22), f.b1)
+	// C's web traffic is not diverted by A's policy: C's best for p3 is
+	// B; its web traffic still follows C's own default.
+	f.sendAndExpect(t, f.c, tcp(ip("60.0.0.1"), ip("13.1.1.1"), 80), f.b1)
+}
+
+// TestOutboundPolicyWithMods: an outbound term can rewrite headers on the
+// way (e.g. remarking a port before handing to a peer).
+func TestOutboundPolicyWithMods(t *testing.T) {
+	f := newFig1(t)
+	term := core.Term{
+		Match: pkt.MatchAll.DstPort(8080),
+		Action: core.TermAction{
+			ToParticipant: asB,
+			Mods:          pkt.NoMods.SetDstPort(80),
+		},
+	}
+	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{term}); err != nil {
+		t.Fatal(err)
+	}
+	got := f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 8080), f.b1)
+	if got.DstPort != 80 {
+		t.Fatalf("dstport not rewritten: %v", got)
+	}
+}
+
+// TestMultiPortSenderPolicy: a dual-homed participant's outbound policy
+// applies to traffic from both of its ports.
+func TestMultiPortSenderPolicy(t *testing.T) {
+	f := newFig1(t)
+	// B (ports 2 and 3) sends web traffic via C.
+	if _, err := f.ctrl.SetPolicyAndCompile(asB, nil, []core.Term{
+		core.Fwd(pkt.MatchAll.DstPort(80), asC),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// C exports p1..p5? C announces p1,p2,p4 and p3; B's eligible set is
+	// what C exports to B (everything C announces). p1 web from both of
+	// B's routers must reach C.
+	f.sendAndExpect(t, f.b1, tcp(ip("70.0.0.1"), ip("11.1.1.1"), 80), f.c)
+	f.sendAndExpect(t, f.b2, tcp(ip("70.0.0.2"), ip("11.1.1.1"), 80), f.c)
+}
+
+// TestPolicyReplacementTakesEffect: installing a new policy for a
+// participant fully replaces the previous one.
+func TestPolicyReplacementTakesEffect(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
+
+	// Replace: now only HTTPS is special, via B.
+	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
+		core.Fwd(pkt.MatchAll.DstPort(443), asB),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.c) // back to default
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 443), f.b1)
+
+	// Clear entirely: everything defaults.
+	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 443), f.c)
+}
+
+// TestIsolationAcrossSenders: A's policy must never divert another
+// participant's traffic even when headers match exactly.
+func TestIsolationAcrossSenders(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+	// Z sends web traffic to p1: A's web-via-B policy must not apply;
+	// Z's default for p1 is C.
+	f.sendAndExpect(t, f.z, tcp(ip("80.0.0.1"), ip("11.1.1.1"), 80), f.c)
+}

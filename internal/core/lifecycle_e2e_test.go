@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/core"
+	"sdx/internal/iputil"
+)
+
+func TestRemoveParticipant(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+
+	// Web to p3 goes via B (policy). Remove B entirely.
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("13.1.1.1"), 80), f.b1)
+	res, err := f.ctrl.RemoveParticipant(asB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("removal should change best routes")
+	}
+	if _, ok := f.ctrl.Participant(asB); ok {
+		t.Fatal("participant should be gone")
+	}
+
+	// B's routes are withdrawn: p3 now reaches C; p1 still via C.
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("13.1.1.1"), 80), f.c)
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 22), f.c)
+
+	// A full recompile with the dangling policy (A still targets B) must
+	// not fail and must keep forwarding consistent.
+	rep := f.ctrl.Recompile()
+	if rep.Rules == 0 {
+		t.Fatal("recompile produced nothing")
+	}
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("13.1.1.1"), 80), f.c)
+
+	if _, err := f.ctrl.RemoveParticipant(asB); err == nil {
+		t.Fatal("double removal must error")
+	}
+}
+
+func TestEnableCommunitiesEndToEnd(t *testing.T) {
+	f := newFig1(t)
+	f.ctrl.EnableCommunities(64512)
+	f.setFig1Policies(t)
+
+	// Z re-announces p5 with a "do not announce to AS A" community.
+	p5 := pfx("15.0.0.0/8")
+	f.z.Withdraw(p5)
+	f.ctrl.ProcessUpdate(asZ, &bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			ASPath:      []uint32{asZ},
+			NextHop:     core.PortIP(6),
+			Communities: []uint32{0<<16 | asA},
+		},
+		NLRI: []iputil.Prefix{p5},
+	})
+	f.ctrl.Recompile()
+
+	// A has no route: the send fails at the FIB.
+	f.clearReceived()
+	if f.a.Send(tcp(ip("50.0.0.1"), ip("15.1.1.1"), 80)) {
+		t.Fatal("A should have no route to p5")
+	}
+	// B still sees it.
+	if _, ok := f.ctrl.RouteServer().BestRoute(asB, p5); !ok {
+		t.Fatal("B should still have p5")
+	}
+}
+
+func TestStartOptimizer(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+	stop := f.ctrl.StartOptimizer(10 * time.Millisecond)
+	defer stop()
+
+	// A withdrawal populates the fast band; the optimizer must clear it
+	// without an explicit Recompile call.
+	f.b1.Withdraw(f.p3)
+	if f.ctrl.FastRules() == 0 {
+		t.Fatal("fast band should be populated")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for f.ctrl.FastRules() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("optimizer did not run")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.ctrl.Dirty() {
+		t.Fatal("controller should be clean after the optimizer pass")
+	}
+	// Forwarding stays correct afterwards.
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("13.1.1.1"), 80), f.c)
+	stop()
+}

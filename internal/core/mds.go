@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"sdx/internal/iputil"
+)
+
+// PrefixGroup is one forwarding equivalence class (§4.2): a maximal set of
+// prefixes that (a) appear in exactly the same outbound-policy prefix sets
+// and (b) share the same route-server default next hop. Each group is
+// assigned one (VNH, VMAC) pair by the controller.
+type PrefixGroup struct {
+	Prefixes []iputil.Prefix // sorted
+	Sets     []int           // indices of the input sets containing the group, sorted
+	// DefaultAS is the participant owning the route server's best route
+	// for the group's prefixes (§4.2 pass 2); 0 means no route.
+	DefaultAS uint32
+}
+
+// InSet reports whether the group belongs to input set i.
+func (g *PrefixGroup) InSet(i int) bool {
+	j := sort.SearchInts(g.Sets, i)
+	return j < len(g.Sets) && g.Sets[j] == i
+}
+
+// MinDisjointSubsets implements the paper's §4.2 three-pass FEC
+// computation. sets holds, per outbound policy term, the set of prefixes
+// the term may apply to (pass 1); defaultNH maps each prefix to the AS of
+// the route server's best next hop (pass 2); the result groups prefixes
+// by identical membership signatures (pass 3) — the unique minimal
+// disjoint decomposition such that every input set is a union of groups.
+//
+// Prefixes that appear in no set retain their default BGP behaviour and
+// are deliberately excluded: they need no VNH and no fabric rules.
+func MinDisjointSubsets(sets [][]iputil.Prefix, defaultNH func(iputil.Prefix) uint32) []PrefixGroup {
+	nWords := (len(sets) + 63) / 64
+	type sig struct {
+		bits []uint64
+		nh   uint32
+	}
+	sigs := make(map[iputil.Prefix]*sig)
+	for i, set := range sets {
+		for _, p := range set {
+			s := sigs[p]
+			if s == nil {
+				s = &sig{bits: make([]uint64, nWords), nh: defaultNH(p)}
+				sigs[p] = s
+			}
+			s.bits[i/64] |= 1 << (i % 64)
+		}
+	}
+
+	// Group prefixes by signature. The key folds the bit vector and the
+	// next hop into a comparable string.
+	keyOf := func(s *sig) string {
+		buf := make([]byte, 0, nWords*8+4)
+		for _, w := range s.bits {
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(w>>(8*b)))
+			}
+		}
+		buf = append(buf, byte(s.nh), byte(s.nh>>8), byte(s.nh>>16), byte(s.nh>>24))
+		return string(buf)
+	}
+	groups := make(map[string]*PrefixGroup)
+	for p, s := range sigs {
+		k := keyOf(s)
+		g := groups[k]
+		if g == nil {
+			g = &PrefixGroup{DefaultAS: s.nh}
+			for i := range sets {
+				if s.bits[i/64]&(1<<(i%64)) != 0 {
+					g.Sets = append(g.Sets, i)
+				}
+			}
+			groups[k] = g
+		}
+		g.Prefixes = append(g.Prefixes, p)
+	}
+
+	out := make([]PrefixGroup, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g.Prefixes, func(i, j int) bool { return g.Prefixes[i].Compare(g.Prefixes[j]) < 0 })
+		out = append(out, *g)
+	}
+	// Deterministic group order: by first prefix.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Prefixes[0].Compare(out[j].Prefixes[0]) < 0
+	})
+	return out
+}

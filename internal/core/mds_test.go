@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdx/internal/iputil"
+)
+
+func pfx(s string) iputil.Prefix { return iputil.MustParsePrefix(s) }
+
+// TestMDSPaperExample reproduces the §4.2 worked example: sets
+// {p1,p2,p3} and {p1,p2,p3,p4}, defaults p1,p2,p4 -> C and p3 -> B,
+// yielding C' = {{p1,p2},{p3},{p4}}.
+func TestMDSPaperExample(t *testing.T) {
+	p1, p2, p3, p4 := pfx("11.0.0.0/8"), pfx("12.0.0.0/8"), pfx("13.0.0.0/8"), pfx("14.0.0.0/8")
+	sets := [][]iputil.Prefix{
+		{p1, p2, p3},     // A's web policy via B
+		{p1, p2, p3, p4}, // A's https policy via C
+	}
+	const asB, asC = 200, 300
+	defaults := map[iputil.Prefix]uint32{p1: asC, p2: asC, p3: asB, p4: asC}
+	groups := MinDisjointSubsets(sets, func(p iputil.Prefix) uint32 { return defaults[p] })
+
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups: %+v", len(groups), groups)
+	}
+	find := func(p iputil.Prefix) *PrefixGroup {
+		for i := range groups {
+			for _, q := range groups[i].Prefixes {
+				if q == p {
+					return &groups[i]
+				}
+			}
+		}
+		t.Fatalf("prefix %v not grouped", p)
+		return nil
+	}
+	g12 := find(p1)
+	if len(g12.Prefixes) != 2 || find(p2) != g12 {
+		t.Fatalf("p1,p2 should share a group: %+v", groups)
+	}
+	if g12.DefaultAS != asC || !g12.InSet(0) || !g12.InSet(1) {
+		t.Fatalf("p1p2 group wrong: %+v", g12)
+	}
+	g3 := find(p3)
+	if len(g3.Prefixes) != 1 || g3.DefaultAS != asB {
+		t.Fatalf("p3 group wrong: %+v", g3)
+	}
+	g4 := find(p4)
+	if len(g4.Prefixes) != 1 || g4.InSet(0) || !g4.InSet(1) {
+		t.Fatalf("p4 group wrong: %+v", g4)
+	}
+}
+
+func TestMDSExcludesUncoveredPrefixes(t *testing.T) {
+	groups := MinDisjointSubsets([][]iputil.Prefix{{pfx("10.0.0.0/8")}},
+		func(iputil.Prefix) uint32 { return 1 })
+	total := 0
+	for _, g := range groups {
+		total += len(g.Prefixes)
+	}
+	if total != 1 {
+		t.Fatalf("only covered prefixes should be grouped, got %+v", groups)
+	}
+	if len(MinDisjointSubsets(nil, func(iputil.Prefix) uint32 { return 1 })) != 0 {
+		t.Fatal("no sets -> no groups")
+	}
+}
+
+func TestMDSDefaultSplitsGroups(t *testing.T) {
+	p1, p2 := pfx("10.0.0.0/8"), pfx("20.0.0.0/8")
+	// Same set membership, different defaults: two groups.
+	groups := MinDisjointSubsets([][]iputil.Prefix{{p1, p2}},
+		func(p iputil.Prefix) uint32 {
+			if p == p1 {
+				return 7
+			}
+			return 8
+		})
+	if len(groups) != 2 {
+		t.Fatalf("different defaults must split: %+v", groups)
+	}
+}
+
+// TestMDSProperties checks the defining invariants on random instances:
+// groups partition the covered universe; every input set is an exact
+// union of groups; grouping is maximal (two groups never share both
+// signature components).
+func TestMDSProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		universe := make([]iputil.Prefix, 30)
+		for i := range universe {
+			universe[i] = iputil.NewPrefix(iputil.Addr(uint32(i)<<24), 8)
+		}
+		nSets := 1 + r.Intn(8)
+		sets := make([][]iputil.Prefix, nSets)
+		for i := range sets {
+			for _, p := range universe {
+				if r.Intn(3) == 0 {
+					sets[i] = append(sets[i], p)
+				}
+			}
+		}
+		defaults := make(map[iputil.Prefix]uint32)
+		for _, p := range universe {
+			defaults[p] = uint32(1 + r.Intn(3))
+		}
+		nh := func(p iputil.Prefix) uint32 { return defaults[p] }
+		groups := MinDisjointSubsets(sets, nh)
+
+		// Partition of the covered universe.
+		covered := map[iputil.Prefix]bool{}
+		for _, s := range sets {
+			for _, p := range s {
+				covered[p] = true
+			}
+		}
+		seen := map[iputil.Prefix]int{}
+		for gi, g := range groups {
+			for _, p := range g.Prefixes {
+				if !covered[p] {
+					t.Fatalf("uncovered prefix %v grouped", p)
+				}
+				if prev, dup := seen[p]; dup {
+					t.Fatalf("prefix %v in groups %d and %d", p, prev, gi)
+				}
+				seen[p] = gi
+			}
+		}
+		if len(seen) != len(covered) {
+			t.Fatalf("grouped %d prefixes, covered %d", len(seen), len(covered))
+		}
+
+		// Each set is an exact union of its groups.
+		for si, s := range sets {
+			inSet := map[iputil.Prefix]bool{}
+			for _, p := range s {
+				inSet[p] = true
+			}
+			for _, g := range groups {
+				if g.InSet(si) {
+					for _, p := range g.Prefixes {
+						if !inSet[p] {
+							t.Fatalf("group claims set %d but %v not in it", si, p)
+						}
+						delete(inSet, p)
+					}
+				} else {
+					for _, p := range g.Prefixes {
+						if inSet[p] {
+							t.Fatalf("group omits set %d but contains %v from it", si, p)
+						}
+					}
+				}
+			}
+			if len(inSet) != 0 {
+				t.Fatalf("set %d not fully covered by groups: %v", si, inSet)
+			}
+		}
+
+		// Maximality: signatures are unique across groups.
+		sigs := map[string]bool{}
+		for _, g := range groups {
+			key := groupKey(make([]setOwner, nSets), &g)
+			_ = key
+			sig := ""
+			for _, s := range g.Sets {
+				sig += string(rune(s)) + ","
+			}
+			sig += string(rune(g.DefaultAS))
+			if sigs[sig] {
+				t.Fatalf("duplicate signature across groups: %+v", groups)
+			}
+			sigs[sig] = true
+		}
+	}
+}
+
+func TestVNHAllocatorAndVMAC(t *testing.T) {
+	a := newVNHAllocator()
+	vnh1, vmac1 := a.Alloc()
+	vnh2, vmac2 := a.Alloc()
+	if vnh1 == vnh2 || vmac1 == vmac2 {
+		t.Fatal("allocations must be distinct")
+	}
+	if !VNHSubnet.Contains(vnh1) || !VNHSubnet.Contains(vnh2) {
+		t.Fatal("VNHs must come from the VNH subnet")
+	}
+	if !IsVMAC(vmac1) || IsVMAC(PortMAC(1)) {
+		t.Fatal("IsVMAC misclassifies")
+	}
+	if a.Allocated() != 2 {
+		t.Fatalf("Allocated = %d", a.Allocated())
+	}
+}
+
+func TestVNHTableStability(t *testing.T) {
+	tbl := newVNHTable()
+	i1 := tbl.indexFor("key-a")
+	i2 := tbl.indexFor("key-b")
+	if i1 == i2 {
+		t.Fatal("distinct keys get distinct indices")
+	}
+	if tbl.indexFor("key-a") != i1 {
+		t.Fatal("same key must keep its index across compilations")
+	}
+	f1 := tbl.fresh()
+	f2 := tbl.fresh()
+	if f1 == f2 || f1 == i1 || f1 == i2 {
+		t.Fatal("fresh indices must be unique")
+	}
+}
+
+func TestPortIdentities(t *testing.T) {
+	p := PhysicalPort{ID: 7}
+	if p.MAC() != PortMAC(7) || p.IP() != PortIP(7) {
+		t.Fatal("derived identities mismatch")
+	}
+	if !IXPSubnet.Contains(p.IP()) {
+		t.Fatal("port IP must be in the IXP subnet")
+	}
+	if IsVirtualPort(7) || !IsVirtualPort(vportOf(0)) || IsVirtualPort(PortDrop) {
+		t.Fatal("IsVirtualPort misclassifies")
+	}
+	if err := checkPhysicalPort(7); err != nil {
+		t.Fatal(err)
+	}
+	if checkPhysicalPort(0) == nil || checkPhysicalPort(vportOf(1)) == nil {
+		t.Fatal("invalid ports must be rejected")
+	}
+}

@@ -1,0 +1,182 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sdx/internal/pkt"
+)
+
+// PortStats counts traffic through one switch port.
+type PortStats struct {
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+}
+
+type port struct {
+	id      pkt.PortID
+	name    string
+	deliver func(pkt.Packet)
+	rxPkts  atomic.Uint64
+	txPkts  atomic.Uint64
+	rxBytes atomic.Uint64
+	txBytes atomic.Uint64
+}
+
+// Switch is a software SDN switch: packets injected on a port traverse the
+// flow table and are delivered to the destination ports' handlers. A
+// table miss invokes the PacketIn callback (the controller channel).
+// Switch is safe for concurrent injection.
+type Switch struct {
+	name  string
+	table *FlowTable
+
+	mu    sync.RWMutex
+	ports map[pkt.PortID]*port
+
+	// PacketIn, when non-nil, receives table-miss packets.
+	PacketIn func(pkt.Packet)
+
+	drops atomic.Uint64
+}
+
+// NewSwitch returns a switch with an empty flow table.
+func NewSwitch(name string) *Switch {
+	return &Switch{name: name, table: NewFlowTable(), ports: make(map[pkt.PortID]*port)}
+}
+
+// Name returns the switch's name.
+func (s *Switch) Name() string { return s.name }
+
+// Table returns the switch's flow table.
+func (s *Switch) Table() *FlowTable { return s.table }
+
+// AddPort registers a port; deliver is called (synchronously, from the
+// injecting goroutine) for every packet the switch outputs on the port.
+// A nil deliver makes the port a sink that only counts.
+func (s *Switch) AddPort(id pkt.PortID, name string, deliver func(pkt.Packet)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ports[id]; dup {
+		return fmt.Errorf("dataplane: duplicate port %d on %s", id, s.name)
+	}
+	s.ports[id] = &port{id: id, name: name, deliver: deliver}
+	return nil
+}
+
+// SetDeliver replaces a port's delivery handler (e.g. when a border
+// router attaches to an already-registered port).
+func (s *Switch) SetDeliver(id pkt.PortID, deliver func(pkt.Packet)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pt, ok := s.ports[id]
+	if !ok {
+		return fmt.Errorf("dataplane: no port %d on %s", id, s.name)
+	}
+	pt.deliver = deliver
+	return nil
+}
+
+// RemovePort deregisters a port.
+func (s *Switch) RemovePort(id pkt.PortID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ports, id)
+}
+
+// PortIDs returns the registered port IDs in ascending order.
+func (s *Switch) PortIDs() []pkt.PortID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]pkt.PortID, 0, len(s.ports))
+	for id := range s.ports {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Inject offers a packet to the switch as if it arrived on ingress. The
+// packet's InPort is overwritten with ingress. Outputs are delivered
+// synchronously; the return value is the number of packets emitted.
+func (s *Switch) Inject(ingress pkt.PortID, p pkt.Packet) int {
+	s.mu.RLock()
+	in := s.ports[ingress]
+	s.mu.RUnlock()
+	if in == nil {
+		s.drops.Add(1)
+		return 0
+	}
+	in.rxPkts.Add(1)
+	in.rxBytes.Add(uint64(len(p.Payload)))
+	p.InPort = ingress
+
+	outs := s.table.Process(p)
+	if outs == nil {
+		// Table miss (Process returns a non-nil empty slice when a drop
+		// rule matched): hand the packet to the controller.
+		if s.PacketIn != nil {
+			s.PacketIn(p)
+		}
+		return 0
+	}
+	emitted := 0
+	for _, q := range outs {
+		// Action application stored the egress port in InPort.
+		egress := q.InPort
+		s.mu.RLock()
+		out := s.ports[egress]
+		s.mu.RUnlock()
+		if out == nil {
+			s.drops.Add(1)
+			continue
+		}
+		out.txPkts.Add(1)
+		out.txBytes.Add(uint64(len(q.Payload)))
+		if out.deliver != nil {
+			out.deliver(q)
+		}
+		emitted++
+	}
+	return emitted
+}
+
+// Output emits a packet directly on a port, bypassing the flow table (the
+// data-plane half of an OpenFlow PACKET_OUT).
+func (s *Switch) Output(egress pkt.PortID, p pkt.Packet) bool {
+	s.mu.RLock()
+	out := s.ports[egress]
+	s.mu.RUnlock()
+	if out == nil {
+		s.drops.Add(1)
+		return false
+	}
+	p.InPort = egress
+	out.txPkts.Add(1)
+	out.txBytes.Add(uint64(len(p.Payload)))
+	if out.deliver != nil {
+		out.deliver(p)
+	}
+	return true
+}
+
+// Stats returns counters for one port.
+func (s *Switch) Stats(id pkt.PortID) (PortStats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pt, ok := s.ports[id]
+	if !ok {
+		return PortStats{}, false
+	}
+	return PortStats{
+		RxPackets: pt.rxPkts.Load(),
+		TxPackets: pt.txPkts.Load(),
+		RxBytes:   pt.rxBytes.Load(),
+		TxBytes:   pt.txBytes.Load(),
+	}, true
+}
+
+// Drops returns the count of packets lost to unknown ports.
+func (s *Switch) Drops() uint64 { return s.drops.Load() }

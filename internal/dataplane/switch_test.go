@@ -1,0 +1,179 @@
+package dataplane
+
+import (
+	"sync"
+	"testing"
+
+	"sdx/internal/pkt"
+)
+
+func newTestSwitch(t *testing.T) (*Switch, map[pkt.PortID]*[]pkt.Packet) {
+	t.Helper()
+	sw := NewSwitch("test")
+	sinks := make(map[pkt.PortID]*[]pkt.Packet)
+	var mu sync.Mutex
+	for _, id := range []pkt.PortID{1, 2, 3} {
+		buf := &[]pkt.Packet{}
+		sinks[id] = buf
+		id := id
+		if err := sw.AddPort(id, "p", func(p pkt.Packet) {
+			mu.Lock()
+			*sinks[id] = append(*sinks[id], p)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sw, sinks
+}
+
+func TestSwitchForwards(t *testing.T) {
+	sw, sinks := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{
+		Priority: 1,
+		Match:    pkt.MatchAll.InPort(1).DstPort(80),
+		Actions:  []pkt.Action{pkt.Output(2)},
+	})
+	n := sw.Inject(1, pkt.Packet{DstPort: 80, Payload: []byte("x")})
+	if n != 1 {
+		t.Fatalf("Inject emitted %d", n)
+	}
+	if got := *sinks[2]; len(got) != 1 || got[0].DstPort != 80 {
+		t.Fatalf("sink 2: %v", got)
+	}
+	rx, _ := sw.Stats(1)
+	tx, _ := sw.Stats(2)
+	if rx.RxPackets != 1 || rx.RxBytes != 1 || tx.TxPackets != 1 {
+		t.Fatalf("stats: %+v / %+v", rx, tx)
+	}
+}
+
+func TestSwitchOverridesInPort(t *testing.T) {
+	sw, sinks := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll.InPort(1), Actions: []pkt.Action{pkt.Output(3)}})
+	// Caller lies about InPort; switch must use the ingress argument.
+	sw.Inject(1, pkt.Packet{InPort: 99})
+	if len(*sinks[3]) != 1 {
+		t.Fatal("packet should match on real ingress port")
+	}
+}
+
+func TestSwitchMulticast(t *testing.T) {
+	sw, sinks := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{
+		Priority: 1, Match: pkt.MatchAll,
+		Actions: []pkt.Action{pkt.Output(2), pkt.Output(3)},
+	})
+	if n := sw.Inject(1, pkt.Packet{}); n != 2 {
+		t.Fatalf("emitted %d", n)
+	}
+	if len(*sinks[2]) != 1 || len(*sinks[3]) != 1 {
+		t.Fatal("both sinks should receive the packet")
+	}
+}
+
+func TestSwitchTableMissPacketIn(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	var missed []pkt.Packet
+	sw.PacketIn = func(p pkt.Packet) { missed = append(missed, p) }
+	if n := sw.Inject(1, pkt.Packet{DstPort: 80}); n != 0 {
+		t.Fatalf("emitted %d on empty table", n)
+	}
+	if len(missed) != 1 || missed[0].InPort != 1 {
+		t.Fatalf("PacketIn: %v", missed)
+	}
+}
+
+func TestSwitchDropRuleNoPacketIn(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll})
+	called := false
+	sw.PacketIn = func(pkt.Packet) { called = true }
+	sw.Inject(1, pkt.Packet{})
+	if called {
+		t.Fatal("matched drop rule must not trigger PacketIn")
+	}
+}
+
+func TestSwitchUnknownPorts(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(99)}})
+	if n := sw.Inject(1, pkt.Packet{}); n != 0 {
+		t.Fatalf("emitted %d to unknown port", n)
+	}
+	if sw.Drops() != 1 {
+		t.Fatalf("Drops = %d", sw.Drops())
+	}
+	// Injecting on an unknown port also counts as a drop.
+	sw.Inject(77, pkt.Packet{})
+	if sw.Drops() != 2 {
+		t.Fatalf("Drops = %d", sw.Drops())
+	}
+}
+
+func TestSwitchOutput(t *testing.T) {
+	sw, sinks := newTestSwitch(t)
+	if !sw.Output(2, pkt.Packet{DstPort: 53}) {
+		t.Fatal("Output to known port should succeed")
+	}
+	if len(*sinks[2]) != 1 {
+		t.Fatal("sink should receive PACKET_OUT")
+	}
+	if sw.Output(99, pkt.Packet{}) {
+		t.Fatal("Output to unknown port should fail")
+	}
+}
+
+func TestSwitchDuplicatePort(t *testing.T) {
+	sw := NewSwitch("s")
+	if err := sw.AddPort(1, "a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddPort(1, "b", nil); err == nil {
+		t.Fatal("duplicate port must error")
+	}
+	sw.RemovePort(1)
+	if err := sw.AddPort(1, "c", nil); err != nil {
+		t.Fatal("re-add after remove should succeed")
+	}
+	ids := sw.PortIDs()
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("PortIDs = %v", ids)
+	}
+}
+
+func TestSwitchConcurrentInjection(t *testing.T) {
+	sw := NewSwitch("s")
+	var count atomicCounter
+	sw.AddPort(1, "in", nil)
+	sw.AddPort(2, "out", func(pkt.Packet) { count.Add(1) })
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}})
+
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sw.Inject(1, pkt.Packet{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := count.Load(); got != workers*per {
+		t.Fatalf("delivered %d, want %d", got, workers*per)
+	}
+	st, _ := sw.Stats(2)
+	if st.TxPackets != workers*per {
+		t.Fatalf("TxPackets = %d", st.TxPackets)
+	}
+}
+
+type atomicCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *atomicCounter) Add(d uint64) { c.mu.Lock(); c.n += d; c.mu.Unlock() }
+func (c *atomicCounter) Load() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.n }

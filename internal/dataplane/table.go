@@ -1,0 +1,203 @@
+// Package dataplane implements the SDX's software switching fabric: a
+// prioritized flow table with OpenFlow-style match/action semantics and a
+// software switch that moves packets between ports. The paper's prototype
+// used Open vSwitch programmed through Pyretic; this package provides the
+// same behaviour for in-process experiments, with per-rule and per-port
+// counters for the evaluation harness.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sdx/internal/pkt"
+	"sdx/internal/policy"
+)
+
+// FlowEntry is one prioritized flow-table rule. Higher priority wins; ties
+// are broken by insertion order (earlier wins), matching how the policy
+// compiler emits ordered classifiers.
+type FlowEntry struct {
+	Priority int
+	Match    pkt.Match
+	Actions  []pkt.Action // empty = drop
+	Cookie   uint64       // opaque owner tag, used for grouped deletion
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Packets returns the number of packets that hit this entry.
+func (e *FlowEntry) Packets() uint64 { return e.packets.Load() }
+
+// Bytes returns the number of payload bytes that hit this entry.
+func (e *FlowEntry) Bytes() uint64 { return e.bytes.Load() }
+
+// String renders "prio match -> actions".
+func (e *FlowEntry) String() string {
+	acts := "drop"
+	if len(e.Actions) > 0 {
+		parts := make([]string, len(e.Actions))
+		for i, a := range e.Actions {
+			parts[i] = a.String()
+		}
+		acts = strings.Join(parts, ", ")
+	}
+	return fmt.Sprintf("prio=%d %s -> %s", e.Priority, e.Match, acts)
+}
+
+// FlowTable is a concurrency-safe prioritized flow table.
+type FlowTable struct {
+	mu      sync.RWMutex
+	entries []*FlowEntry // sorted by priority descending, stable
+	misses  atomic.Uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable { return &FlowTable{} }
+
+// Len returns the number of installed entries.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Misses returns the number of lookups that matched no entry.
+func (t *FlowTable) Misses() uint64 { return t.misses.Load() }
+
+// Add installs one entry.
+func (t *FlowTable) Add(e *FlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertLocked(e)
+}
+
+// AddBatch installs entries atomically, preserving their relative order.
+func (t *FlowTable) AddBatch(es []*FlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range es {
+		t.insertLocked(e)
+	}
+}
+
+// insertLocked keeps entries sorted by priority descending; among equal
+// priorities the earlier insertion stays first.
+func (t *FlowTable) insertLocked(e *FlowEntry) {
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < e.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+}
+
+// DeleteCookie removes every entry with the given cookie and returns the
+// number removed.
+func (t *FlowTable) DeleteCookie(cookie uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Cookie == cookie {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// Replace atomically swaps the whole table contents for entries with the
+// given cookie: existing entries with that cookie are removed and the new
+// ones installed in a single critical section. Entries with other cookies
+// (e.g. a higher-priority fast-path band) are untouched.
+func (t *FlowTable) Replace(cookie uint64, es []*FlowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.Cookie != cookie {
+			kept = append(kept, e)
+		}
+	}
+	t.entries = kept
+	for _, e := range es {
+		e.Cookie = cookie
+		t.insertLocked(e)
+	}
+}
+
+// Lookup returns the matching entry for p (nil for table miss) without
+// updating counters.
+func (t *FlowTable) Lookup(p pkt.Packet) *FlowEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, e := range t.entries {
+		if e.Match.Matches(p) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Process applies the table to a packet: the highest-priority matching
+// entry's actions produce the output packets, and hit counters update.
+// A table miss returns nil and increments the miss counter.
+func (t *FlowTable) Process(p pkt.Packet) []pkt.Packet {
+	e := t.Lookup(p)
+	if e == nil {
+		t.misses.Add(1)
+		return nil
+	}
+	e.packets.Add(1)
+	e.bytes.Add(uint64(len(p.Payload)))
+	out := make([]pkt.Packet, 0, len(e.Actions))
+	for _, a := range e.Actions {
+		q, emitted := a.Apply(p)
+		if !emitted {
+			// An action chain without an output drops the packet.
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Entries returns a snapshot of the table, highest priority first.
+func (t *FlowTable) Entries() []*FlowEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*FlowEntry(nil), t.entries...)
+}
+
+// String renders the table, one entry per line.
+func (t *FlowTable) String() string {
+	var b strings.Builder
+	for _, e := range t.Entries() {
+		fmt.Fprintln(&b, e)
+	}
+	return b.String()
+}
+
+// EntriesFromClassifier converts a compiled classifier into flow entries:
+// rule i of n gets priority base+n-1-i so the classifier's first-match
+// order is preserved. All entries carry the given cookie.
+func EntriesFromClassifier(c policy.Classifier, base int, cookie uint64) []*FlowEntry {
+	es := make([]*FlowEntry, len(c))
+	for i, r := range c {
+		es[i] = &FlowEntry{
+			Priority: base + len(c) - 1 - i,
+			Match:    r.Match,
+			Actions:  r.Actions,
+			Cookie:   cookie,
+		}
+	}
+	return es
+}

@@ -1,0 +1,191 @@
+package dataplane
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/policy"
+)
+
+func pfx(s string) iputil.Prefix { return iputil.MustParsePrefix(s) }
+
+func TestFlowTablePriority(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}})
+	tbl.Add(&FlowEntry{Priority: 10, Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(2)}})
+
+	if e := tbl.Lookup(pkt.Packet{DstPort: 80}); e == nil || e.Priority != 10 {
+		t.Fatalf("Lookup(web) = %v", e)
+	}
+	if e := tbl.Lookup(pkt.Packet{DstPort: 22}); e == nil || e.Priority != 1 {
+		t.Fatalf("Lookup(ssh) = %v", e)
+	}
+}
+
+func TestFlowTableTieBreakInsertionOrder(t *testing.T) {
+	tbl := NewFlowTable()
+	first := &FlowEntry{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}}
+	second := &FlowEntry{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}}
+	tbl.Add(first)
+	tbl.Add(second)
+	if e := tbl.Lookup(pkt.Packet{}); e != first {
+		t.Fatal("equal priority must prefer earlier insertion")
+	}
+}
+
+func TestFlowTableProcessCounters(t *testing.T) {
+	tbl := NewFlowTable()
+	e := &FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(3)}}
+	tbl.Add(e)
+	out := tbl.Process(pkt.Packet{Payload: make([]byte, 100)})
+	if len(out) != 1 || out[0].InPort != 3 {
+		t.Fatalf("Process = %v", out)
+	}
+	if e.Packets() != 1 || e.Bytes() != 100 {
+		t.Fatalf("counters: %d pkts %d bytes", e.Packets(), e.Bytes())
+	}
+}
+
+func TestFlowTableMiss(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(1)}})
+	if out := tbl.Process(pkt.Packet{DstPort: 22}); out != nil {
+		t.Fatalf("miss should return nil, got %v", out)
+	}
+	if tbl.Misses() != 1 {
+		t.Fatalf("Misses = %d", tbl.Misses())
+	}
+}
+
+func TestFlowTableDropEntry(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll})
+	out := tbl.Process(pkt.Packet{})
+	if out == nil || len(out) != 0 {
+		t.Fatalf("drop entry should return empty non-nil, got %v (nil=%v)", out, out == nil)
+	}
+	if tbl.Misses() != 0 {
+		t.Fatal("drop is not a miss")
+	}
+}
+
+func TestFlowTableDeleteCookie(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Cookie: 7})
+	tbl.Add(&FlowEntry{Priority: 2, Match: pkt.MatchAll, Cookie: 8})
+	tbl.Add(&FlowEntry{Priority: 3, Match: pkt.MatchAll, Cookie: 7})
+	if n := tbl.DeleteCookie(7); n != 2 {
+		t.Fatalf("DeleteCookie removed %d", n)
+	}
+	if tbl.Len() != 1 || tbl.Entries()[0].Cookie != 8 {
+		t.Fatalf("remaining: %v", tbl.Entries())
+	}
+}
+
+func TestFlowTableReplace(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.Add(&FlowEntry{Priority: 100, Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(9)}, Cookie: 1}) // fast path band
+	tbl.Replace(2, []*FlowEntry{
+		{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}},
+	})
+	tbl.Replace(2, []*FlowEntry{
+		{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}},
+		{Priority: 2, Match: pkt.MatchAll.DstPort(443), Actions: []pkt.Action{pkt.Output(3)}},
+	})
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	// The fast-path band survives Replace of the base band.
+	if e := tbl.Lookup(pkt.Packet{DstPort: 80}); e == nil || e.Cookie != 1 {
+		t.Fatalf("fast path gone: %v", e)
+	}
+	if e := tbl.Lookup(pkt.Packet{DstPort: 443}); e == nil || e.Priority != 2 {
+		t.Fatalf("replaced band: %v", e)
+	}
+}
+
+func TestFlowTableAddBatchOrder(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.AddBatch([]*FlowEntry{
+		{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}},
+		{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}},
+	})
+	if e := tbl.Lookup(pkt.Packet{}); e.Actions[0].Out != 1 {
+		t.Fatal("batch must preserve relative order at equal priority")
+	}
+}
+
+// TestEntriesFromClassifierSemantics: a classifier installed as a flow
+// table behaves identically to evaluating the classifier directly.
+func TestEntriesFromClassifierSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 100; trial++ {
+		var c policy.Classifier
+		for i := 0; i < 1+r.Intn(8); i++ {
+			m := pkt.MatchAll
+			if r.Intn(2) == 0 {
+				m = m.DstPort([]uint16{80, 443}[r.Intn(2)])
+			}
+			if r.Intn(2) == 0 {
+				m = m.InPort(pkt.PortID(r.Intn(3)))
+			}
+			var acts []pkt.Action
+			if r.Intn(4) > 0 {
+				acts = []pkt.Action{pkt.Output(pkt.PortID(10 + r.Intn(3)))}
+			}
+			c = append(c, policy.Rule{Match: m, Actions: acts})
+		}
+		c = append(c, policy.Rule{Match: pkt.MatchAll})
+
+		tbl := NewFlowTable()
+		tbl.AddBatch(EntriesFromClassifier(c, 0, 42))
+
+		for probe := 0; probe < 200; probe++ {
+			p := pkt.Packet{
+				InPort:  pkt.PortID(r.Intn(3)),
+				DstPort: []uint16{80, 443, 22}[r.Intn(3)],
+			}
+			want := c.Eval(p)
+			got := tbl.Process(p)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: table %v != classifier %v for %v\n%s", trial, got, want, p, tbl)
+			}
+			for i := range got {
+				if !got[i].SameHeader(want[i]) {
+					t.Fatalf("trial %d: packet %d differs: %v != %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFlowEntryString(t *testing.T) {
+	e := &FlowEntry{Priority: 3, Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(1)}}
+	if s := e.String(); !strings.Contains(s, "prio=3") || !strings.Contains(s, "fwd(1)") {
+		t.Errorf("String = %s", s)
+	}
+	d := &FlowEntry{Priority: 0, Match: pkt.MatchAll}
+	if s := d.String(); !strings.Contains(s, "drop") {
+		t.Errorf("drop String = %s", s)
+	}
+}
+
+func BenchmarkFlowTableLookup(b *testing.B) {
+	tbl := NewFlowTable()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tbl.Add(&FlowEntry{
+			Priority: i,
+			Match:    pkt.MatchAll.DstIP(iputil.NewPrefix(iputil.Addr(r.Uint32()), 24)).InPort(pkt.PortID(r.Intn(16))),
+			Actions:  []pkt.Action{pkt.Output(pkt.PortID(r.Intn(16)))},
+		})
+	}
+	p := pkt.Packet{DstIP: iputil.Addr(r.Uint32())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(p)
+	}
+}

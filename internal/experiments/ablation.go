@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"time"
+
+	"sdx/internal/core"
+)
+
+// AblationRow reports one pipeline variant's cost on the same exchange.
+type AblationRow struct {
+	Mode        string
+	Rules       int
+	Groups      int
+	CompileTime time.Duration
+	CacheHits   int
+}
+
+// Ablation quantifies the paper's three scalability mechanisms by
+// disabling them one at a time on the same exchange (§4.2's VNH/VMAC
+// grouping, §4.3.1's memoization and disjoint-policy concatenation):
+//
+//   - full:       the complete pipeline
+//   - no-vnh:     per-prefix destination-IP rules (data-plane blowup)
+//   - no-cache:   no sub-policy memoization (recompiles shared idioms)
+//   - no-concat:  cross-product parallel composition (control-plane cost)
+func Ablation(participants, groups int, seed int64) ([]AblationRow, error) {
+	ctrl, _, err := buildGroupedExchange(participants, groups, seed)
+	if err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		name string
+		opts core.CompileOptions
+	}{
+		{"full", core.CompileOptions{}},
+		{"no-vnh", core.CompileOptions{NaiveDstIP: true}},
+		{"no-cache", core.CompileOptions{DisableCache: true}},
+		{"no-concat", core.CompileOptions{DisableConcat: true}},
+	}
+	var rows []AblationRow
+	for _, m := range modes {
+		// Two passes per mode; keep the faster one (allocator warm-up).
+		rep := ctrl.RecompileWithOptions(m.opts)
+		rep2 := ctrl.RecompileWithOptions(m.opts)
+		if rep2.Elapsed < rep.Elapsed {
+			rep = rep2
+		}
+		rows = append(rows, AblationRow{
+			Mode:        m.name,
+			Rules:       rep.Rules,
+			Groups:      rep.Groups,
+			CompileTime: rep.Elapsed,
+			CacheHits:   rep.CacheHits,
+		})
+	}
+	// Leave the controller in the full configuration.
+	ctrl.Recompile()
+	return rows, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(500, 1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Updates == 0 || r.Prefixes == 0 || r.Peers == 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+		// Measured updated fraction within 3 points of the published one.
+		if diff := r.UpdatedFraction - r.PaperFraction; diff > 0.03 || diff < -0.03 {
+			t.Fatalf("%s: fraction %.3f vs paper %.3f", r.Name, r.UpdatedFraction, r.PaperFraction)
+		}
+		if r.BurstP75 > 3 {
+			t.Fatalf("%s: burst P75 = %d", r.Name, r.BurstP75)
+		}
+	}
+}
+
+func TestFig6Sublinear(t *testing.T) {
+	pts := Fig6([]int{50}, []int{500, 1000, 2000, 4000}, 4000, 1)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Groups < pts[i-1].Groups {
+			t.Fatalf("groups should not shrink: %+v", pts)
+		}
+	}
+	// Sub-linear: doubling prefixes should less-than-double groups by the
+	// last step, and groups are far fewer than prefixes.
+	last := pts[len(pts)-1]
+	if last.Groups >= last.Prefixes {
+		t.Fatalf("groups (%d) should be far below prefixes (%d)", last.Groups, last.Prefixes)
+	}
+	g2, g4 := float64(pts[2].Groups), float64(pts[3].Groups)
+	if g4/g2 >= 2.0 {
+		t.Fatalf("growth not sub-linear: %d -> %d when prefixes doubled", pts[2].Groups, pts[3].Groups)
+	}
+}
+
+func TestFig78LinearRules(t *testing.T) {
+	pts, err := Fig78([]int{40}, []int{50, 100, 200}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Rules == 0 || p.CompileTime == 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+		// The constructed exchange should hit the requested group count
+		// to within the incidental grouping noise.
+		if p.GroupsActual < p.Groups || p.GroupsActual > p.Groups+p.Groups/2+10 {
+			t.Fatalf("groups actual %d for requested %d", p.GroupsActual, p.Groups)
+		}
+	}
+	// Rules grow with groups (roughly linearly; allow generous slack).
+	if pts[2].Rules <= pts[0].Rules {
+		t.Fatalf("rules should grow with groups: %+v", pts)
+	}
+	ratio := float64(pts[2].Rules) / float64(pts[0].Rules)
+	if ratio < 1.5 || ratio > 12 {
+		t.Fatalf("4x groups changed rules by %.1fx; want roughly linear growth", ratio)
+	}
+}
+
+func TestFig9LinearBurstOverhead(t *testing.T) {
+	pts, err := Fig9([]int{30}, []int{0, 10, 20}, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].AdditionalRules != 0 {
+		t.Fatalf("empty burst added rules: %+v", pts[0])
+	}
+	if pts[1].AdditionalRules == 0 || pts[2].AdditionalRules <= pts[1].AdditionalRules {
+		t.Fatalf("burst overhead should grow with size: %+v", pts)
+	}
+}
+
+func TestFig10SubSecond(t *testing.T) {
+	res, err := Fig10([]int{30}, 50, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Times) != 50 {
+		t.Fatalf("res = %+v", res)
+	}
+	// The paper's bar is sub-second; our Go fast path should be far
+	// below 100ms even on slow machines.
+	if p99 := res[0].Percentile(0.99); p99 > time.Second {
+		t.Fatalf("P99 update time %v; want sub-second", p99)
+	}
+	if res[0].Percentile(0.5) <= 0 {
+		t.Fatal("median must be positive")
+	}
+}

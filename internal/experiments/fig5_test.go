@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestFig5aShape(t *testing.T) {
+	s, err := Fig5a(120, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckFig5a(40, 80); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	s, err := Fig5b(80, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckFig5b(30); err != nil {
+		t.Fatal(err)
+	}
+}

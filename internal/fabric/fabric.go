@@ -1,0 +1,338 @@
+// Package fabric realizes the SDX data plane across multiple physical
+// switches (§4.1: "the SDX may consist of multiple physical switches,
+// each connected to a subset of the participants"). The paper leaned on
+// Pyretic's topology abstraction for this; here the distribution is
+// derived from an invariant of the SDX compilation pipeline itself:
+//
+//	every delivering rule's action rewrites the destination MAC to the
+//	real MAC of the final egress port before forwarding,
+//
+// so once the *ingress* switch has applied a packet's full policy action,
+// the packet's destination MAC uniquely names its egress port and any
+// other switch can forward it with plain L2 unicast rules. Distribution
+// is therefore:
+//
+//   - rules guarded by an in-port are installed on the switch owning that
+//     port, with the output remapped to a trunk toward the egress switch
+//     when the egress port is remote;
+//   - unguarded rules (the per-group VMAC default band) are installed on
+//     every switch with participant-facing ports, remapped the same way;
+//   - a static low-priority trunk band forwards by real destination MAC
+//     (one rule per participant port per switch), which also replaces the
+//     single-switch NORMAL fallback.
+//
+// In-transit packets can never re-match policy bands: policy rules match
+// either a participant in-port (transit packets arrive on trunk ports) or
+// a virtual MAC (transit packets carry rewritten real MACs).
+//
+// Fabric implements core.RuleSink, so a controller drives it with
+// core.WithRuleMirror / AddRuleMirror exactly like a remote single switch.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"sdx/internal/core"
+	"sdx/internal/dataplane"
+	"sdx/internal/pkt"
+)
+
+// Link is a bidirectional trunk between two switches. The port IDs must
+// be unused by participants and unique fabric-wide.
+type Link struct {
+	A, B         string     // switch names
+	PortA, PortB pkt.PortID // trunk ports on each side
+}
+
+// Topology describes the physical fabric.
+type Topology struct {
+	// Switches lists the switch names.
+	Switches []string
+	// Ports assigns each participant-facing port to a switch.
+	Ports map[pkt.PortID]string
+	// Links are the inter-switch trunks. The link graph must connect
+	// every switch (shortest paths are precomputed over hop count).
+	Links []Link
+}
+
+// trunkCookie tags the static L2 band.
+const trunkCookie = ^uint64(0)
+
+// trunkPriority sits below every policy band but above nothing else.
+const trunkPriority = 1000
+
+// Fabric is a multi-switch SDX data plane.
+type Fabric struct {
+	switches map[string]*dataplane.Switch
+	portSw   map[pkt.PortID]string            // participant port -> switch
+	nextHop  map[string]map[string]pkt.PortID // from switch -> to switch -> local trunk port
+	order    []string
+}
+
+// New builds the switches, ports and trunk forwarding state for a
+// topology.
+func New(topo Topology) (*Fabric, error) {
+	if len(topo.Switches) == 0 {
+		return nil, fmt.Errorf("fabric: no switches")
+	}
+	f := &Fabric{
+		switches: make(map[string]*dataplane.Switch, len(topo.Switches)),
+		portSw:   make(map[pkt.PortID]string, len(topo.Ports)),
+		nextHop:  make(map[string]map[string]pkt.PortID, len(topo.Switches)),
+		order:    append([]string(nil), topo.Switches...),
+	}
+	sort.Strings(f.order)
+	for _, name := range f.order {
+		if _, dup := f.switches[name]; dup {
+			return nil, fmt.Errorf("fabric: duplicate switch %q", name)
+		}
+		f.switches[name] = dataplane.NewSwitch(name)
+		f.nextHop[name] = make(map[string]pkt.PortID)
+	}
+	for port, sw := range topo.Ports {
+		if f.switches[sw] == nil {
+			return nil, fmt.Errorf("fabric: port %d on unknown switch %q", port, sw)
+		}
+		if err := f.switches[sw].AddPort(port, fmt.Sprintf("p%d", port), nil); err != nil {
+			return nil, err
+		}
+		f.portSw[port] = sw
+	}
+
+	// Trunk ports and adjacency.
+	adj := make(map[string][]struct {
+		peer string
+		port pkt.PortID
+	})
+	for _, l := range topo.Links {
+		if f.switches[l.A] == nil || f.switches[l.B] == nil {
+			return nil, fmt.Errorf("fabric: link between unknown switches %q-%q", l.A, l.B)
+		}
+		peerB := f.switches[l.B]
+		peerA := f.switches[l.A]
+		// Each trunk port delivers into the peer switch's pipeline.
+		if err := peerA.AddPort(l.PortA, "trunk", nil); err != nil {
+			return nil, err
+		}
+		if err := peerB.AddPort(l.PortB, "trunk", nil); err != nil {
+			return nil, err
+		}
+		la, lb := l, l
+		if err := peerA.SetDeliver(l.PortA, func(p pkt.Packet) {
+			f.switches[la.B].Inject(la.PortB, p)
+		}); err != nil {
+			return nil, err
+		}
+		if err := peerB.SetDeliver(l.PortB, func(p pkt.Packet) {
+			f.switches[lb.A].Inject(lb.PortA, p)
+		}); err != nil {
+			return nil, err
+		}
+		adj[l.A] = append(adj[l.A], struct {
+			peer string
+			port pkt.PortID
+		}{l.B, l.PortA})
+		adj[l.B] = append(adj[l.B], struct {
+			peer string
+			port pkt.PortID
+		}{l.A, l.PortB})
+	}
+
+	// All-pairs next hops by BFS over hop count (deterministic order).
+	for _, src := range f.order {
+		visited := map[string]bool{src: true}
+		queue := []string{src}
+		via := map[string]pkt.PortID{}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			neighbors := adj[cur]
+			sort.Slice(neighbors, func(i, j int) bool { return neighbors[i].peer < neighbors[j].peer })
+			for _, n := range neighbors {
+				if visited[n.peer] {
+					continue
+				}
+				visited[n.peer] = true
+				if cur == src {
+					via[n.peer] = n.port
+				} else {
+					via[n.peer] = via[cur]
+				}
+				f.nextHop[src][n.peer] = via[n.peer]
+				queue = append(queue, n.peer)
+			}
+		}
+		for _, dst := range f.order {
+			if dst != src && !visited[dst] {
+				return nil, fmt.Errorf("fabric: switch %q unreachable from %q", dst, src)
+			}
+		}
+	}
+
+	f.installTrunkBand()
+	return f, nil
+}
+
+// installTrunkBand programs the static per-port L2 unicast rules.
+func (f *Fabric) installTrunkBand() {
+	ports := make([]pkt.PortID, 0, len(f.portSw))
+	for p := range f.portSw {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, name := range f.order {
+		var entries []*dataplane.FlowEntry
+		for _, q := range ports {
+			out, ok := f.localOutput(name, q)
+			if !ok {
+				continue
+			}
+			entries = append(entries, &dataplane.FlowEntry{
+				Priority: trunkPriority,
+				Match:    pkt.MatchAll.DstMAC(core.PortMAC(q)),
+				Actions:  []pkt.Action{pkt.Output(out)},
+				Cookie:   trunkCookie,
+			})
+		}
+		f.switches[name].Table().Replace(trunkCookie, entries)
+	}
+}
+
+// localOutput maps a fabric-wide egress port to the output a given switch
+// should use: the port itself when local, else the trunk toward its
+// switch.
+func (f *Fabric) localOutput(on string, egress pkt.PortID) (pkt.PortID, bool) {
+	owner, ok := f.portSw[egress]
+	if !ok {
+		return 0, false
+	}
+	if owner == on {
+		return egress, true
+	}
+	trunk, ok := f.nextHop[on][owner]
+	return trunk, ok
+}
+
+// Switch returns one member switch (for injection and inspection).
+func (f *Fabric) Switch(name string) *dataplane.Switch { return f.switches[name] }
+
+// SwitchOf returns the switch owning a participant port.
+func (f *Fabric) SwitchOf(port pkt.PortID) (*dataplane.Switch, bool) {
+	name, ok := f.portSw[port]
+	if !ok {
+		return nil, false
+	}
+	return f.switches[name], true
+}
+
+// Inject offers a packet to the fabric on a participant port.
+func (f *Fabric) Inject(port pkt.PortID, p pkt.Packet) bool {
+	sw, ok := f.SwitchOf(port)
+	if !ok {
+		return false
+	}
+	sw.Inject(port, p)
+	return true
+}
+
+// SetDeliver installs the delivery handler for a participant port.
+func (f *Fabric) SetDeliver(port pkt.PortID, deliver func(pkt.Packet)) error {
+	sw, ok := f.SwitchOf(port)
+	if !ok {
+		return fmt.Errorf("fabric: unknown port %d", port)
+	}
+	return sw.SetDeliver(port, deliver)
+}
+
+// TotalRules returns the installed rule count across all switches,
+// excluding the static trunk band.
+func (f *Fabric) TotalRules() int {
+	n := 0
+	for _, name := range f.order {
+		for _, e := range f.switches[name].Table().Entries() {
+			if e.Cookie != trunkCookie {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// --- core.RuleSink ------------------------------------------------------------
+
+// distribute maps one big-switch entry onto per-switch entries.
+func (f *Fabric) distribute(e *dataplane.FlowEntry) map[string]*dataplane.FlowEntry {
+	out := make(map[string]*dataplane.FlowEntry)
+	targets := f.order
+	if in, ok := e.Match.GetInPort(); ok {
+		owner, ok := f.portSw[in]
+		if !ok {
+			return nil // rule for a port this fabric doesn't host
+		}
+		targets = []string{owner}
+	}
+	for _, name := range targets {
+		acts := make([]pkt.Action, 0, len(e.Actions))
+		usable := true
+		for _, a := range e.Actions {
+			local, ok := f.localOutput(name, a.Out)
+			if !ok {
+				usable = false
+				break
+			}
+			a.Out = local
+			acts = append(acts, a)
+		}
+		if !usable {
+			continue
+		}
+		entry := &dataplane.FlowEntry{
+			Priority: e.Priority,
+			Match:    e.Match,
+			Cookie:   e.Cookie,
+		}
+		if len(e.Actions) > 0 {
+			entry.Actions = acts
+		}
+		out[name] = entry
+	}
+	return out
+}
+
+// AddBatch implements core.RuleSink.
+func (f *Fabric) AddBatch(entries []*dataplane.FlowEntry) {
+	perSwitch := make(map[string][]*dataplane.FlowEntry)
+	for _, e := range entries {
+		for name, d := range f.distribute(e) {
+			perSwitch[name] = append(perSwitch[name], d)
+		}
+	}
+	for name, es := range perSwitch {
+		f.switches[name].Table().AddBatch(es)
+	}
+}
+
+// Replace implements core.RuleSink.
+func (f *Fabric) Replace(cookie uint64, entries []*dataplane.FlowEntry) {
+	perSwitch := make(map[string][]*dataplane.FlowEntry, len(f.order))
+	for _, name := range f.order {
+		perSwitch[name] = nil // force a replace (possibly to empty) everywhere
+	}
+	for _, e := range entries {
+		for name, d := range f.distribute(e) {
+			d.Cookie = cookie
+			perSwitch[name] = append(perSwitch[name], d)
+		}
+	}
+	for name, es := range perSwitch {
+		f.switches[name].Table().Replace(cookie, es)
+	}
+}
+
+// DeleteCookie implements core.RuleSink.
+func (f *Fabric) DeleteCookie(cookie uint64) {
+	for _, name := range f.order {
+		f.switches[name].Table().DeleteCookie(cookie)
+	}
+}

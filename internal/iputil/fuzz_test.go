@@ -1,0 +1,30 @@
+package iputil
+
+import "testing"
+
+// FuzzParsePrefix: the parser must never panic, and accepted inputs must
+// round-trip through String (after masking canonicalization).
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{
+		"0.0.0.0/0", "255.255.255.255/32", "10.0.0.0/8", "192.168.1.1",
+		"1.2.3.4/33", "a.b.c.d/8", "", "/", "1.2.3.4/", "256.1.1.1/8",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q failed to parse: %v", p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed prefix: %v -> %v", p, back)
+		}
+		if p.Addr()&^(p.Mask()) != 0 {
+			t.Fatalf("prefix %v not masked to its network address", p)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package iputil provides compact IPv4 address and prefix types used
+// throughout the SDX: parsing, containment and intersection tests, and a
+// longest-prefix-match trie. Addresses are represented as host-order uint32
+// so that prefix algebra reduces to shifts and masks.
+package iputil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation ("192.0.2.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("iputil: invalid IPv4 address %q", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return 0, fmt.Errorf("iputil: invalid IPv4 address %q", s)
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("iputil: invalid IPv4 address %q", s)
+		}
+		a = a<<8 | uint32(n)
+	}
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for literals in tests
+// and examples.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String returns dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the address as four network-order bytes.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// AddrFromOctets builds an Addr from four network-order bytes.
+func AddrFromOctets(b [4]byte) Addr {
+	return Addr(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+
+// Prefix is an IPv4 CIDR prefix. The zero value is 0.0.0.0/0, which matches
+// every address.
+type Prefix struct {
+	addr Addr  // masked network address
+	bits uint8 // prefix length, 0..32
+}
+
+// NewPrefix returns the prefix of the given length containing addr. The
+// address is masked down to the network address. Lengths above 32 are
+// clamped to 32.
+func NewPrefix(addr Addr, bits uint8) Prefix {
+	if bits > 32 {
+		bits = 32
+	}
+	return Prefix{addr & maskOf(bits), bits}
+}
+
+// ParsePrefix parses CIDR notation ("10.0.0.0/8"). A bare address parses as
+// a /32.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return Prefix{}, err
+		}
+		return NewPrefix(a, 32), nil
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	n, err := strconv.Atoi(s[slash+1:])
+	if err != nil || n < 0 || n > 32 {
+		return Prefix{}, fmt.Errorf("iputil: invalid prefix length in %q", s)
+	}
+	return NewPrefix(a, uint8(n)), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskOf(bits uint8) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - bits))
+}
+
+// Addr returns the (masked) network address.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() uint8 { return p.bits }
+
+// Mask returns the netmask as an Addr.
+func (p Prefix) Mask() Addr { return maskOf(p.bits) }
+
+// String returns CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.addr, p.bits)
+}
+
+// Contains reports whether addr is inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&maskOf(p.bits) == p.addr
+}
+
+// ContainsPrefix reports whether q is entirely inside p (p is the same
+// prefix or a supernet of q).
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.bits >= p.bits && q.addr&maskOf(p.bits) == p.addr
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// Intersect returns the intersection of two prefixes. For IPv4 prefixes the
+// intersection, when non-empty, is always the longer of the two.
+func (p Prefix) Intersect(q Prefix) (Prefix, bool) {
+	switch {
+	case p.ContainsPrefix(q):
+		return q, true
+	case q.ContainsPrefix(p):
+		return p, true
+	default:
+		return Prefix{}, false
+	}
+}
+
+// IsFull reports whether the prefix is 0.0.0.0/0 (matches everything).
+func (p Prefix) IsFull() bool { return p.bits == 0 }
+
+// IsSingle reports whether the prefix is a /32 host route.
+func (p Prefix) IsSingle() bool { return p.bits == 32 }
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.bits) }
+
+// First returns the lowest address in the prefix (the network address).
+func (p Prefix) First() Addr { return p.addr }
+
+// Last returns the highest address in the prefix (the broadcast address).
+func (p Prefix) Last() Addr { return p.addr | ^maskOf(p.bits) }
+
+// Compare orders prefixes first by network address, then by length
+// (shorter first). It returns -1, 0 or +1.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.addr < q.addr:
+		return -1
+	case p.addr > q.addr:
+		return 1
+	case p.bits < q.bits:
+		return -1
+	case p.bits > q.bits:
+		return 1
+	default:
+		return 0
+	}
+}

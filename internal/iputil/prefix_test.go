@@ -1,0 +1,203 @@
+package iputil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", 0xc0000201, true},
+		{"10.1.2.3", 0x0a010203, true},
+		{"256.0.0.1", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+		{"01.2.3.4", 0x01020304, true}, // leading zeros tolerated
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrString_RoundTrip(t *testing.T) {
+	if err := quick.Check(func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrOctets_RoundTrip(t *testing.T) {
+	if err := quick.Check(func(a uint32) bool {
+		addr := Addr(a)
+		return AddrFromOctets(addr.Octets()) == addr
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", true},
+		{"10.1.2.3/8", "10.0.0.0/8", true}, // masked down
+		{"0.0.0.0/0", "0.0.0.0/0", true},
+		{"192.0.2.1", "192.0.2.1/32", true}, // bare address is /32
+		{"192.0.2.1/33", "", false},
+		{"192.0.2.1/-1", "", false},
+		{"192.0.2.1/x", "", false},
+		{"bogus/8", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParsePrefix(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParsePrefix(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got.String() != c.want {
+			t.Errorf("ParsePrefix(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if !p.Contains(MustParseAddr("10.255.0.1")) {
+		t.Error("10.0.0.0/8 should contain 10.255.0.1")
+	}
+	if p.Contains(MustParseAddr("11.0.0.1")) {
+		t.Error("10.0.0.0/8 should not contain 11.0.0.1")
+	}
+	full := Prefix{}
+	if !full.Contains(0) || !full.Contains(0xffffffff) {
+		t.Error("zero-value prefix should contain everything")
+	}
+}
+
+func TestPrefixContainsPrefix(t *testing.T) {
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	other := MustParsePrefix("11.0.0.0/16")
+	if !p8.ContainsPrefix(p16) {
+		t.Error("/8 should contain its /16")
+	}
+	if p16.ContainsPrefix(p8) {
+		t.Error("/16 should not contain the /8")
+	}
+	if !p8.ContainsPrefix(p8) {
+		t.Error("prefix should contain itself")
+	}
+	if p8.ContainsPrefix(other) {
+		t.Error("10/8 should not contain 11.0.0.0/16")
+	}
+}
+
+func TestPrefixIntersect(t *testing.T) {
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	got, ok := p8.Intersect(p16)
+	if !ok || got != p16 {
+		t.Errorf("intersect(/8, /16) = %v,%v; want %v", got, ok, p16)
+	}
+	got, ok = p16.Intersect(p8)
+	if !ok || got != p16 {
+		t.Errorf("intersect(/16, /8) = %v,%v; want %v", got, ok, p16)
+	}
+	if _, ok := p16.Intersect(MustParsePrefix("11.0.0.0/8")); ok {
+		t.Error("disjoint prefixes should not intersect")
+	}
+}
+
+func TestPrefixIntersectProperties(t *testing.T) {
+	// Intersection is symmetric, and overlap agrees with intersection.
+	gen := func(r *rand.Rand) Prefix {
+		return NewPrefix(Addr(r.Uint32()), uint8(r.Intn(33)))
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p, q := gen(r), gen(r)
+		ip, okp := p.Intersect(q)
+		iq, okq := q.Intersect(p)
+		if okp != okq || ip != iq {
+			t.Fatalf("intersection not symmetric: %v %v", p, q)
+		}
+		if okp != p.Overlaps(q) {
+			t.Fatalf("Overlaps disagrees with Intersect: %v %v", p, q)
+		}
+		if okp {
+			// The intersection is contained in both.
+			if !p.ContainsPrefix(ip) || !q.ContainsPrefix(ip) {
+				t.Fatalf("intersection %v not contained in both %v, %v", ip, p, q)
+			}
+		}
+	}
+}
+
+func TestPrefixFirstLast(t *testing.T) {
+	p := MustParsePrefix("192.168.4.0/22")
+	if got := p.First().String(); got != "192.168.4.0" {
+		t.Errorf("First = %s", got)
+	}
+	if got := p.Last().String(); got != "192.168.7.255" {
+		t.Errorf("Last = %s", got)
+	}
+	if p.NumAddrs() != 1024 {
+		t.Errorf("NumAddrs = %d, want 1024", p.NumAddrs())
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("shorter prefix should sort first at equal address")
+	}
+	if a.Compare(c) != -1 || c.Compare(a) != 1 {
+		t.Error("lower address should sort first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("equal prefixes should compare 0")
+	}
+}
+
+func TestNewPrefixClampsLength(t *testing.T) {
+	p := NewPrefix(0x01020304, 99)
+	if p.Bits() != 32 {
+		t.Errorf("Bits = %d, want clamped 32", p.Bits())
+	}
+}
+
+func TestPrefixIsFullIsSingle(t *testing.T) {
+	if !MustParsePrefix("0.0.0.0/0").IsFull() {
+		t.Error("0/0 should be full")
+	}
+	if !MustParsePrefix("1.2.3.4/32").IsSingle() {
+		t.Error("/32 should be single")
+	}
+	if MustParsePrefix("10.0.0.0/8").IsFull() || MustParsePrefix("10.0.0.0/8").IsSingle() {
+		t.Error("/8 is neither full nor single")
+	}
+}

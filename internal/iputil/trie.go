@@ -1,0 +1,131 @@
+package iputil
+
+// Trie is a binary prefix trie mapping prefixes to values, supporting exact
+// lookup and longest-prefix match. The zero value is an empty trie. Values
+// are stored as any; callers wrap Trie with typed accessors where needed.
+//
+// Trie is not safe for concurrent mutation; readers and the single writer
+// must be synchronized by the caller (the FIB and RIB layers hold their own
+// locks).
+type Trie struct {
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	val   any
+	set   bool
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie) Len() int { return t.size }
+
+// Insert stores val under prefix p, replacing any previous value. It
+// reports whether the prefix was newly inserted (false means replaced).
+func (t *Trie) Insert(p Prefix, val any) bool {
+	if t.root == nil {
+		t.root = &trieNode{}
+	}
+	n := t.root
+	for i := uint8(0); i < p.bits; i++ {
+		b := bit(p.addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = val, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Get returns the value stored under exactly prefix p.
+func (t *Trie) Get(p Prefix) (any, bool) {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.bits; i++ {
+		n = n.child[bit(p.addr, i)]
+	}
+	if n == nil || !n.set {
+		return nil, false
+	}
+	return n.val, true
+}
+
+// Delete removes prefix p. It reports whether the prefix was present.
+// Interior nodes are left in place; the trie is rebuilt only by callers
+// that care about memory (none of the SDX workloads shrink significantly).
+func (t *Trie) Delete(p Prefix) bool {
+	n := t.root
+	for i := uint8(0); n != nil && i < p.bits; i++ {
+		n = n.child[bit(p.addr, i)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	n.set, n.val = false, nil
+	t.size--
+	return true
+}
+
+// Lookup performs longest-prefix match for addr and returns the value of
+// the most specific covering prefix.
+func (t *Trie) Lookup(addr Addr) (val any, ok bool) {
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set {
+			val, ok = n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bit(addr, i)]
+	}
+	return val, ok
+}
+
+// LookupPrefix returns the value and prefix of the longest stored prefix
+// covering addr.
+func (t *Trie) LookupPrefix(addr Addr) (p Prefix, val any, ok bool) {
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set {
+			p, val, ok = NewPrefix(addr, i), n.val, true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bit(addr, i)]
+	}
+	return p, val, ok
+}
+
+// Walk visits every stored prefix in lexicographic (address, length) order.
+// Returning false from fn stops the walk.
+func (t *Trie) Walk(fn func(p Prefix, val any) bool) {
+	var rec func(n *trieNode, addr Addr, depth uint8) bool
+	rec = func(n *trieNode, addr Addr, depth uint8) bool {
+		if n == nil {
+			return true
+		}
+		if n.set && !fn(NewPrefix(addr, depth), n.val) {
+			return false
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(n.child[0], addr, depth+1) {
+			return false
+		}
+		return rec(n.child[1], addr|Addr(1)<<(31-depth), depth+1)
+	}
+	rec(t.root, 0, 0)
+}
+
+// bit returns bit i (0 = most significant) of a.
+func bit(a Addr, i uint8) int {
+	return int(a>>(31-i)) & 1
+}

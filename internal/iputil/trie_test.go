@@ -1,0 +1,218 @@
+package iputil
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTrieInsertGet(t *testing.T) {
+	var tr Trie
+	p := MustParsePrefix("10.0.0.0/8")
+	if !tr.Insert(p, "a") {
+		t.Fatal("first insert should report added")
+	}
+	if tr.Insert(p, "b") {
+		t.Fatal("second insert should report replaced")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	v, ok := tr.Get(p)
+	if !ok || v != "b" {
+		t.Fatalf("Get = %v,%v; want b,true", v, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Fatal("Get of absent more-specific prefix should miss")
+	}
+}
+
+func TestTrieLookupLongestMatch(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "eight")
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), "sixteen")
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), "twentyfour")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "twentyfour"},
+		{"10.1.9.9", "sixteen"},
+		{"10.9.9.9", "eight"},
+		{"11.0.0.1", "default"},
+	}
+	for _, c := range cases {
+		v, ok := tr.Lookup(MustParseAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %v,%v; want %s", c.addr, v, ok, c.want)
+		}
+	}
+}
+
+func TestTrieLookupMissesWithoutDefault(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	if _, ok := tr.Lookup(MustParseAddr("11.0.0.1")); ok {
+		t.Fatal("lookup outside any stored prefix should miss")
+	}
+}
+
+func TestTrieLookupPrefix(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 2)
+	p, v, ok := tr.LookupPrefix(MustParseAddr("10.1.2.3"))
+	if !ok || v != 2 || p.String() != "10.1.0.0/16" {
+		t.Fatalf("LookupPrefix = %v,%v,%v", p, v, ok)
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	var tr Trie
+	p16 := MustParsePrefix("10.1.0.0/16")
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "eight")
+	tr.Insert(p16, "sixteen")
+	if !tr.Delete(p16) {
+		t.Fatal("delete of present prefix should succeed")
+	}
+	if tr.Delete(p16) {
+		t.Fatal("double delete should fail")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after delete, want 1", tr.Len())
+	}
+	v, ok := tr.Lookup(MustParseAddr("10.1.2.3"))
+	if !ok || v != "eight" {
+		t.Fatalf("after delete, lookup should fall back to /8; got %v,%v", v, ok)
+	}
+}
+
+func TestTrieHostRoutes(t *testing.T) {
+	var tr Trie
+	a := MustParsePrefix("10.0.0.1/32")
+	tr.Insert(a, "host")
+	v, ok := tr.Lookup(MustParseAddr("10.0.0.1"))
+	if !ok || v != "host" {
+		t.Fatalf("host route lookup = %v,%v", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParseAddr("10.0.0.2")); ok {
+		t.Fatal("adjacent address should miss")
+	}
+}
+
+func TestTrieWalkOrdered(t *testing.T) {
+	var tr Trie
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.0.0.0/16", "10.64.0.0/10", "192.168.0.0/16"}
+	perm := rand.New(rand.NewSource(7)).Perm(len(want))
+	for _, i := range perm {
+		tr.Insert(MustParsePrefix(want[i]), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ any) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d prefixes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	var tr Trie
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(MustParsePrefix("20.0.0.0/8"), 2)
+	n := 0
+	tr.Walk(func(Prefix, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("walk visited %d, want 1 after early stop", n)
+	}
+}
+
+// TestTrieAgainstLinearScan cross-checks trie LPM against a brute-force
+// longest-match over a random rule set.
+func TestTrieAgainstLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var tr Trie
+	var prefixes []Prefix
+	for i := 0; i < 500; i++ {
+		p := NewPrefix(Addr(r.Uint32()), uint8(8+r.Intn(25)))
+		if tr.Insert(p, p.String()) {
+			prefixes = append(prefixes, p)
+		}
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+
+	linear := func(a Addr) (Prefix, bool) {
+		best, ok := Prefix{}, false
+		for _, p := range prefixes {
+			if p.Contains(a) && (!ok || p.Bits() > best.Bits()) {
+				best, ok = p, true
+			}
+		}
+		return best, ok
+	}
+
+	for i := 0; i < 20000; i++ {
+		var a Addr
+		if i%2 == 0 && len(prefixes) > 0 {
+			// Bias half the probes into stored prefixes.
+			p := prefixes[r.Intn(len(prefixes))]
+			a = p.First() + Addr(r.Uint64()%p.NumAddrs())
+		} else {
+			a = Addr(r.Uint32())
+		}
+		wantP, wantOK := linear(a)
+		gotV, gotOK := tr.Lookup(a)
+		if gotOK != wantOK {
+			t.Fatalf("Lookup(%v) ok=%v, want %v", a, gotOK, wantOK)
+		}
+		if gotOK && gotV != wantP.String() {
+			t.Fatalf("Lookup(%v) = %v, want %v", a, gotV, wantP)
+		}
+	}
+}
+
+func TestTrieLenTracksInsertDelete(t *testing.T) {
+	var tr Trie
+	r := rand.New(rand.NewSource(3))
+	set := map[Prefix]bool{}
+	for i := 0; i < 2000; i++ {
+		p := NewPrefix(Addr(r.Uint32()), uint8(r.Intn(33)))
+		if r.Intn(2) == 0 {
+			tr.Insert(p, i)
+			set[p] = true
+		} else {
+			got := tr.Delete(p)
+			if got != set[p] {
+				t.Fatalf("Delete(%v) = %v, want %v", p, got, set[p])
+			}
+			delete(set, p)
+		}
+		if tr.Len() != len(set) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(set))
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var tr Trie
+	for i := 0; i < 500000; i++ {
+		tr.Insert(NewPrefix(Addr(r.Uint32()), uint8(8+r.Intn(17))), i)
+	}
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(r.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

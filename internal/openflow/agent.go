@@ -1,0 +1,155 @@
+package openflow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/pkt"
+)
+
+// Agent is the switch side of the control channel: it applies FlowMods to
+// a dataplane switch, forwards table-miss packets to the controller as
+// PacketIn, and emits controller PacketOuts on switch ports. One agent
+// serves one controller connection at a time.
+type Agent struct {
+	sw *dataplane.Switch
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewAgent wraps a switch. The switch's PacketIn hook is taken over by
+// the agent (table misses go to the controller once one is connected).
+func NewAgent(sw *dataplane.Switch) *Agent {
+	a := &Agent{sw: sw}
+	sw.PacketIn = a.packetIn
+	return a
+}
+
+// Switch returns the wrapped switch.
+func (a *Agent) Switch() *dataplane.Switch { return a.sw }
+
+func (a *Agent) packetIn(p pkt.Packet) {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
+		return // no controller: drop, like an OpenFlow switch in fail-secure mode
+	}
+	a.send(conn, &PacketIn{Packet: p})
+}
+
+func (a *Agent) send(conn net.Conn, m Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn != conn {
+		return net.ErrClosed
+	}
+	return WriteMessage(conn, m)
+}
+
+// ServeConn runs the protocol on one controller connection until it
+// closes, handling the hello exchange and every subsequent message. It
+// returns the terminating error (nil on clean remote close).
+func (a *Agent) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	if err := WriteMessage(conn, &Hello{Version: ProtocolVersion}); err != nil {
+		return err
+	}
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	hello, ok := msg.(*Hello)
+	if !ok || hello.Version != ProtocolVersion {
+		WriteMessage(conn, &Error{Code: 1, Text: "version mismatch"})
+		return fmt.Errorf("openflow: bad hello")
+	}
+
+	a.mu.Lock()
+	a.conn = conn
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		if a.conn == conn {
+			a.conn = nil
+		}
+		a.mu.Unlock()
+	}()
+
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *FlowMod:
+			a.applyFlowMod(m)
+		case *Barrier:
+			// FlowMods apply synchronously, so the barrier is immediate.
+			if err := a.send(conn, &BarrierReply{Xid: m.Xid}); err != nil {
+				return err
+			}
+		case *PacketOut:
+			a.sw.Output(m.Port, m.Packet)
+		case *EchoRequest:
+			if err := a.send(conn, &EchoReply{Xid: m.Xid}); err != nil {
+				return err
+			}
+		case *StatsRequest:
+			reply := &StatsReply{
+				Xid:    m.Xid,
+				Rules:  uint32(a.sw.Table().Len()),
+				Misses: a.sw.Table().Misses(),
+				Drops:  a.sw.Drops(),
+			}
+			if err := a.send(conn, reply); err != nil {
+				return err
+			}
+		case *Error:
+			return m
+		case *Hello:
+			// Redundant hello: ignore.
+		default:
+			a.send(conn, &Error{Code: 2, Text: fmt.Sprintf("unexpected type %d", msg.Type())})
+		}
+	}
+}
+
+func (a *Agent) applyFlowMod(m *FlowMod) {
+	switch m.Op {
+	case OpAdd:
+		a.sw.Table().AddBatch(entriesFromRules(m.Rules, m.Cookie))
+	case OpReplace:
+		a.sw.Table().Replace(m.Cookie, entriesFromRules(m.Rules, m.Cookie))
+	case OpDelete:
+		a.sw.Table().DeleteCookie(m.Cookie)
+	}
+}
+
+func entriesFromRules(rules []FlowRule, cookie uint64) []*dataplane.FlowEntry {
+	out := make([]*dataplane.FlowEntry, len(rules))
+	for i, r := range rules {
+		out[i] = &dataplane.FlowEntry{
+			Priority: int(r.Priority),
+			Match:    r.Match,
+			Actions:  r.Actions,
+			Cookie:   cookie,
+		}
+	}
+	return out
+}
+
+// ListenAndServe accepts controller connections on ln, serving them one
+// after another (a new controller displaces a dead one).
+func (a *Agent) ListenAndServe(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		a.ServeConn(conn)
+	}
+}

@@ -1,0 +1,247 @@
+package openflow
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/pkt"
+	"sdx/internal/policy"
+)
+
+// Client is the controller side of the control channel: it programs a
+// remote switch's flow table and receives its table-miss packets. Client
+// is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	// OnPacketIn, when non-nil, receives the remote switch's table-miss
+	// packets (called from the client's reader goroutine). Set it before
+	// Start.
+	OnPacketIn func(pkt.Packet)
+
+	sendMu sync.Mutex
+	mu     sync.Mutex
+	xid    uint32
+	waits  map[uint32]chan Message
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	err       error
+}
+
+// NewClient performs the hello exchange on conn and returns a client
+// ready for Start. The switch agent speaks first (it sends its hello on
+// accept), so the client reads before writing — this also keeps the
+// handshake deadlock-free over unbuffered in-memory pipes.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, waits: make(map[uint32]chan Message), closed: make(chan struct{})}
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	hello, ok := msg.(*Hello)
+	if !ok || hello.Version != ProtocolVersion {
+		conn.Close()
+		return nil, fmt.Errorf("openflow: bad hello from switch")
+	}
+	if err := WriteMessage(conn, &Hello{Version: ProtocolVersion}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dial connects to a switch agent at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// Start launches the reader goroutine dispatching PacketIns and replies.
+func (c *Client) Start() { go c.readLoop() }
+
+// Done is closed when the connection terminates.
+func (c *Client) Done() <-chan struct{} { return c.closed }
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.shutdown(nil)
+	return nil
+}
+
+func (c *Client) shutdown(err error) {
+	c.closeOnce.Do(func() {
+		c.err = err
+		close(c.closed)
+		c.conn.Close()
+		c.mu.Lock()
+		for _, ch := range c.waits {
+			close(ch)
+		}
+		c.waits = nil
+		c.mu.Unlock()
+	})
+}
+
+func (c *Client) readLoop() {
+	for {
+		msg, err := ReadMessage(c.conn)
+		if err != nil {
+			c.shutdown(err)
+			return
+		}
+		switch m := msg.(type) {
+		case *PacketIn:
+			if c.OnPacketIn != nil {
+				c.OnPacketIn(m.Packet)
+			}
+		case *BarrierReply:
+			c.deliver(m.Xid, m)
+		case *StatsReply:
+			c.deliver(m.Xid, m)
+		case *EchoReply:
+			c.deliver(m.Xid, m)
+		case *EchoRequest:
+			c.send(&EchoReply{Xid: m.Xid})
+		case *Error:
+			c.shutdown(m)
+			return
+		}
+	}
+}
+
+func (c *Client) deliver(xid uint32, m Message) {
+	c.mu.Lock()
+	ch := c.waits[xid]
+	delete(c.waits, xid)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- m
+		close(ch)
+	}
+}
+
+func (c *Client) send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return WriteMessage(c.conn, m)
+}
+
+// roundTrip sends a request carrying xid and waits for its reply.
+func (c *Client) roundTrip(xid uint32, m Message) (Message, error) {
+	ch := make(chan Message, 1)
+	c.mu.Lock()
+	if c.waits == nil {
+		c.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	c.waits[xid] = ch
+	c.mu.Unlock()
+	if err := c.send(m); err != nil {
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("openflow: connection closed waiting for xid %d", xid)
+	}
+	return reply, nil
+}
+
+func (c *Client) nextXid() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xid++
+	return c.xid
+}
+
+// Add installs rules alongside existing ones.
+func (c *Client) Add(cookie uint64, rules []FlowRule) error {
+	return c.send(&FlowMod{Op: OpAdd, Cookie: cookie, Rules: rules})
+}
+
+// Replace atomically swaps all rules carrying the cookie.
+func (c *Client) Replace(cookie uint64, rules []FlowRule) error {
+	return c.send(&FlowMod{Op: OpReplace, Cookie: cookie, Rules: rules})
+}
+
+// Delete removes all rules carrying the cookie.
+func (c *Client) Delete(cookie uint64) error {
+	return c.send(&FlowMod{Op: OpDelete, Cookie: cookie})
+}
+
+// InstallClassifier replaces the cookie's band with a compiled classifier
+// at the given priority base.
+func (c *Client) InstallClassifier(cookie uint64, base int, cl policy.Classifier) error {
+	return c.Replace(cookie, RulesFromClassifier(cl, base))
+}
+
+// PacketOut emits a packet on a remote switch port.
+func (c *Client) PacketOut(port pkt.PortID, p pkt.Packet) error {
+	return c.send(&PacketOut{Port: port, Packet: p})
+}
+
+// Barrier blocks until every preceding FlowMod has been applied.
+func (c *Client) Barrier() error {
+	xid := c.nextXid()
+	_, err := c.roundTrip(xid, &Barrier{Xid: xid})
+	return err
+}
+
+// Stats fetches remote table statistics.
+func (c *Client) Stats() (*StatsReply, error) {
+	xid := c.nextXid()
+	reply, err := c.roundTrip(xid, &StatsRequest{Xid: xid})
+	if err != nil {
+		return nil, err
+	}
+	stats, ok := reply.(*StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("openflow: unexpected reply %T", reply)
+	}
+	return stats, nil
+}
+
+// Echo round-trips a liveness probe.
+func (c *Client) Echo() error {
+	xid := c.nextXid()
+	_, err := c.roundTrip(xid, &EchoRequest{Xid: xid})
+	return err
+}
+
+// Mirror adapts the client to the dataplane rule-installation interface
+// so a controller can program local and remote tables identically.
+type Mirror struct{ C *Client }
+
+// AddBatch implements rule mirroring for fast-band installs.
+func (m Mirror) AddBatch(entries []*dataplane.FlowEntry) {
+	m.C.Add(cookieOf(entries), rulesFromEntries(entries))
+}
+
+// Replace implements band replacement.
+func (m Mirror) Replace(cookie uint64, entries []*dataplane.FlowEntry) {
+	m.C.Replace(cookie, rulesFromEntries(entries))
+}
+
+// DeleteCookie implements band deletion.
+func (m Mirror) DeleteCookie(cookie uint64) { m.C.Delete(cookie) }
+
+func cookieOf(entries []*dataplane.FlowEntry) uint64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	return entries[0].Cookie
+}
+
+func rulesFromEntries(entries []*dataplane.FlowEntry) []FlowRule {
+	out := make([]FlowRule, len(entries))
+	for i, e := range entries {
+		out[i] = FlowRule{Priority: int32(e.Priority), Match: e.Match, Actions: e.Actions}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package openflow
+
+import (
+	"bytes"
+	"testing"
+
+	"sdx/internal/pkt"
+)
+
+// FuzzReadMessage exercises the control-channel codec with arbitrary
+// frames: no panics, and decodable messages re-encode/re-decode stably.
+func FuzzReadMessage(f *testing.F) {
+	seed := []Message{
+		&Hello{Version: ProtocolVersion},
+		&EchoRequest{Xid: 1},
+		&Barrier{Xid: 2},
+		&StatsReply{Xid: 3, Rules: 4, Misses: 5, Drops: 6},
+		&FlowMod{Op: OpReplace, Cookie: 9, Rules: []FlowRule{{
+			Priority: 100,
+			Match:    pkt.MatchAll.InPort(1).DstPort(80),
+			Actions:  []pkt.Action{pkt.Output(2)},
+		}}},
+		&PacketIn{Packet: pkt.Packet{InPort: 1, DstPort: 53, Payload: []byte("x")}},
+		&PacketOut{Port: 2, Packet: pkt.Packet{DstMAC: 7}},
+	}
+	for _, m := range seed {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0, 0, 0, 1, 99})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m1); err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		m2, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if m1.Type() != m2.Type() {
+			t.Fatalf("type changed: %d -> %d", m1.Type(), m2.Type())
+		}
+	})
+}

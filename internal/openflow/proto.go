@@ -1,0 +1,583 @@
+// Package openflow implements the SDX's switch control channel: an
+// OpenFlow-style protocol that lets the controller program a software
+// switch running in another process, receive table-miss packets
+// (PACKET_IN), and emit packets (PACKET_OUT) — the controller/fabric
+// split of the paper's deployment (Figure 3, where Pyretic programmed an
+// Open vSwitch instance).
+//
+// The wire format is a compact length-prefixed binary framing built for
+// this system's match/action model; it is intentionally not
+// bit-compatible with OpenFlow 1.0 (whose 12-tuple it mirrors), since the
+// repository is stdlib-only and the match model carries prefix lengths
+// inline.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/policy"
+)
+
+// ProtocolVersion identifies the framing; peers must agree exactly.
+const ProtocolVersion = 1
+
+// Message type codes.
+const (
+	TypeHello        uint8 = 1
+	TypeEchoRequest  uint8 = 2
+	TypeEchoReply    uint8 = 3
+	TypeFlowMod      uint8 = 4
+	TypePacketIn     uint8 = 5
+	TypePacketOut    uint8 = 6
+	TypeBarrier      uint8 = 7
+	TypeBarrierReply uint8 = 8
+	TypeStatsRequest uint8 = 9
+	TypeStatsReply   uint8 = 10
+	TypeError        uint8 = 11
+)
+
+// FlowMod operations.
+const (
+	// OpAdd installs the entries alongside existing ones.
+	OpAdd uint8 = 1
+	// OpReplace atomically swaps every entry carrying the cookie.
+	OpReplace uint8 = 2
+	// OpDelete removes every entry carrying the cookie.
+	OpDelete uint8 = 3
+)
+
+// maxFrame bounds a frame's payload (a FlowMod batch can carry thousands
+// of rules).
+const maxFrame = 16 << 20
+
+// Message is a decoded control-channel message.
+type Message interface {
+	// Type returns the message type code.
+	Type() uint8
+}
+
+// Hello opens the channel; both sides send it first.
+type Hello struct {
+	Version uint8
+}
+
+// Type implements Message.
+func (*Hello) Type() uint8 { return TypeHello }
+
+// EchoRequest is a liveness probe.
+type EchoRequest struct{ Xid uint32 }
+
+// Type implements Message.
+func (*EchoRequest) Type() uint8 { return TypeEchoRequest }
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{ Xid uint32 }
+
+// Type implements Message.
+func (*EchoReply) Type() uint8 { return TypeEchoReply }
+
+// FlowRule is one rule within a FlowMod batch.
+type FlowRule struct {
+	Priority int32
+	Match    pkt.Match
+	Actions  []pkt.Action
+}
+
+// FlowMod programs the switch's flow table.
+type FlowMod struct {
+	Op     uint8
+	Cookie uint64
+	Rules  []FlowRule // empty for OpDelete
+}
+
+// Type implements Message.
+func (*FlowMod) Type() uint8 { return TypeFlowMod }
+
+// PacketIn carries a table-miss packet to the controller.
+type PacketIn struct {
+	Packet pkt.Packet
+}
+
+// Type implements Message.
+func (*PacketIn) Type() uint8 { return TypePacketIn }
+
+// PacketOut emits a packet on a switch port.
+type PacketOut struct {
+	Port   pkt.PortID
+	Packet pkt.Packet
+}
+
+// Type implements Message.
+func (*PacketOut) Type() uint8 { return TypePacketOut }
+
+// Barrier requests a synchronization point: the switch replies once every
+// preceding FlowMod has been applied.
+type Barrier struct{ Xid uint32 }
+
+// Type implements Message.
+func (*Barrier) Type() uint8 { return TypeBarrier }
+
+// BarrierReply answers a Barrier.
+type BarrierReply struct{ Xid uint32 }
+
+// Type implements Message.
+func (*BarrierReply) Type() uint8 { return TypeBarrierReply }
+
+// StatsRequest asks for table statistics.
+type StatsRequest struct{ Xid uint32 }
+
+// Type implements Message.
+func (*StatsRequest) Type() uint8 { return TypeStatsRequest }
+
+// StatsReply carries table statistics.
+type StatsReply struct {
+	Xid    uint32
+	Rules  uint32
+	Misses uint64
+	Drops  uint64
+}
+
+// Type implements Message.
+func (*StatsReply) Type() uint8 { return TypeStatsReply }
+
+// Error reports a protocol or application failure.
+type Error struct {
+	Code uint16
+	Text string
+}
+
+// Type implements Message.
+func (*Error) Type() uint8 { return TypeError }
+
+func (e *Error) Error() string { return fmt.Sprintf("openflow: remote error %d: %s", e.Code, e.Text) }
+
+// --- encoding ----------------------------------------------------------------
+
+// WriteMessage encodes and writes one framed message.
+func WriteMessage(w io.Writer, m Message) error {
+	body, err := marshalBody(m)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(body)+1))
+	hdr[4] = m.Type()
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length < 1 || length > maxFrame {
+		return nil, fmt.Errorf("openflow: bad frame length %d", length)
+	}
+	body := make([]byte, length-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return unmarshalBody(hdr[4], body)
+}
+
+func marshalBody(m Message) ([]byte, error) {
+	var b []byte
+	switch t := m.(type) {
+	case *Hello:
+		b = []byte{t.Version}
+	case *EchoRequest:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+	case *EchoReply:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+	case *Barrier:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+	case *BarrierReply:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+	case *StatsRequest:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+	case *StatsReply:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+		b = binary.BigEndian.AppendUint32(b, t.Rules)
+		b = binary.BigEndian.AppendUint64(b, t.Misses)
+		b = binary.BigEndian.AppendUint64(b, t.Drops)
+	case *Error:
+		b = binary.BigEndian.AppendUint16(nil, t.Code)
+		b = append(b, t.Text...)
+	case *FlowMod:
+		b = append(b, t.Op)
+		b = binary.BigEndian.AppendUint64(b, t.Cookie)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(t.Rules)))
+		for _, r := range t.Rules {
+			b = binary.BigEndian.AppendUint32(b, uint32(r.Priority))
+			b = appendMatch(b, r.Match)
+			b = append(b, uint8(len(r.Actions)))
+			for _, a := range r.Actions {
+				b = appendAction(b, a)
+			}
+		}
+	case *PacketIn:
+		b = appendPacket(nil, t.Packet)
+	case *PacketOut:
+		b = binary.BigEndian.AppendUint32(nil, uint32(t.Port))
+		b = appendPacket(b, t.Packet)
+	default:
+		return nil, fmt.Errorf("openflow: cannot marshal %T", m)
+	}
+	return b, nil
+}
+
+func unmarshalBody(typ uint8, b []byte) (Message, error) {
+	d := &decoder{buf: b}
+	var m Message
+	switch typ {
+	case TypeHello:
+		m = &Hello{Version: d.u8()}
+	case TypeEchoRequest:
+		m = &EchoRequest{Xid: d.u32()}
+	case TypeEchoReply:
+		m = &EchoReply{Xid: d.u32()}
+	case TypeBarrier:
+		m = &Barrier{Xid: d.u32()}
+	case TypeBarrierReply:
+		m = &BarrierReply{Xid: d.u32()}
+	case TypeStatsRequest:
+		m = &StatsRequest{Xid: d.u32()}
+	case TypeStatsReply:
+		m = &StatsReply{Xid: d.u32(), Rules: d.u32(), Misses: d.u64(), Drops: d.u64()}
+	case TypeError:
+		code := d.u16()
+		m = &Error{Code: code, Text: string(d.rest())}
+	case TypeFlowMod:
+		fm := &FlowMod{Op: d.u8(), Cookie: d.u64()}
+		n := d.u32()
+		if n > 1<<20 {
+			return nil, errors.New("openflow: absurd rule count")
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			r := FlowRule{Priority: int32(d.u32())}
+			r.Match = d.match()
+			na := d.u8()
+			for j := uint8(0); j < na && d.err == nil; j++ {
+				r.Actions = append(r.Actions, d.action())
+			}
+			fm.Rules = append(fm.Rules, r)
+		}
+		m = fm
+	case TypePacketIn:
+		m = &PacketIn{Packet: d.packet()}
+	case TypePacketOut:
+		port := pkt.PortID(d.u32())
+		m = &PacketOut{Port: port, Packet: d.packet()}
+	default:
+		return nil, fmt.Errorf("openflow: unknown message type %d", typ)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if typ != TypeError && len(d.buf) != 0 {
+		return nil, fmt.Errorf("openflow: %d trailing bytes in type %d", len(d.buf), typ)
+	}
+	return m, nil
+}
+
+// --- match / action / packet encodings ---------------------------------------
+
+// Field presence bits for the match and mods encodings, mirroring
+// pkt.Field order.
+func appendMatch(b []byte, m pkt.Match) []byte {
+	var mask uint16
+	var fields []byte
+	if v, ok := m.GetInPort(); ok {
+		mask |= 1 << pkt.FInPort
+		fields = binary.BigEndian.AppendUint32(fields, uint32(v))
+	}
+	if v, ok := m.GetSrcMAC(); ok {
+		mask |= 1 << pkt.FSrcMAC
+		oct := v.Octets()
+		fields = append(fields, oct[:]...)
+	}
+	if v, ok := m.GetDstMAC(); ok {
+		mask |= 1 << pkt.FDstMAC
+		oct := v.Octets()
+		fields = append(fields, oct[:]...)
+	}
+	if v, ok := m.GetEthType(); ok {
+		mask |= 1 << pkt.FEthType
+		fields = binary.BigEndian.AppendUint16(fields, v)
+	}
+	if v, ok := m.GetSrcIP(); ok {
+		mask |= 1 << pkt.FSrcIP
+		oct := v.Addr().Octets()
+		fields = append(fields, oct[:]...)
+		fields = append(fields, v.Bits())
+	}
+	if v, ok := m.GetDstIP(); ok {
+		mask |= 1 << pkt.FDstIP
+		oct := v.Addr().Octets()
+		fields = append(fields, oct[:]...)
+		fields = append(fields, v.Bits())
+	}
+	if v, ok := m.GetProto(); ok {
+		mask |= 1 << pkt.FProto
+		fields = append(fields, v)
+	}
+	if v, ok := m.GetSrcPort(); ok {
+		mask |= 1 << pkt.FSrcPort
+		fields = binary.BigEndian.AppendUint16(fields, v)
+	}
+	if v, ok := m.GetDstPort(); ok {
+		mask |= 1 << pkt.FDstPort
+		fields = binary.BigEndian.AppendUint16(fields, v)
+	}
+	b = binary.BigEndian.AppendUint16(b, mask)
+	return append(b, fields...)
+}
+
+func appendAction(b []byte, a pkt.Action) []byte {
+	var mask uint16
+	var fields []byte
+	d := a.Mods
+	if v, ok := d.GetSrcMAC(); ok {
+		mask |= 1 << pkt.FSrcMAC
+		oct := v.Octets()
+		fields = append(fields, oct[:]...)
+	}
+	if v, ok := d.GetDstMAC(); ok {
+		mask |= 1 << pkt.FDstMAC
+		oct := v.Octets()
+		fields = append(fields, oct[:]...)
+	}
+	if v, ok := d.GetEthType(); ok {
+		mask |= 1 << pkt.FEthType
+		fields = binary.BigEndian.AppendUint16(fields, v)
+	}
+	if v, ok := d.GetSrcIP(); ok {
+		mask |= 1 << pkt.FSrcIP
+		oct := v.Octets()
+		fields = append(fields, oct[:]...)
+	}
+	if v, ok := d.GetDstIP(); ok {
+		mask |= 1 << pkt.FDstIP
+		oct := v.Octets()
+		fields = append(fields, oct[:]...)
+	}
+	if v, ok := d.GetProto(); ok {
+		mask |= 1 << pkt.FProto
+		fields = append(fields, v)
+	}
+	if v, ok := d.GetSrcPort(); ok {
+		mask |= 1 << pkt.FSrcPort
+		fields = binary.BigEndian.AppendUint16(fields, v)
+	}
+	if v, ok := d.GetDstPort(); ok {
+		mask |= 1 << pkt.FDstPort
+		fields = binary.BigEndian.AppendUint16(fields, v)
+	}
+	b = binary.BigEndian.AppendUint16(b, mask)
+	b = append(b, fields...)
+	return binary.BigEndian.AppendUint32(b, uint32(a.Out))
+}
+
+func appendPacket(b []byte, p pkt.Packet) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(p.InPort))
+	sm := p.SrcMAC.Octets()
+	dm := p.DstMAC.Octets()
+	b = append(b, sm[:]...)
+	b = append(b, dm[:]...)
+	b = binary.BigEndian.AppendUint16(b, p.EthType)
+	si := p.SrcIP.Octets()
+	di := p.DstIP.Octets()
+	b = append(b, si[:]...)
+	b = append(b, di[:]...)
+	b = append(b, p.Proto)
+	b = binary.BigEndian.AppendUint16(b, p.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, p.DstPort)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.Payload)))
+	return append(b, p.Payload...)
+}
+
+// decoder is a cursor with sticky errors.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) rest() []byte { out := d.buf; d.buf = nil; return out }
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) mac() pkt.MAC {
+	b := d.take(6)
+	if b == nil {
+		return 0
+	}
+	var oct [6]byte
+	copy(oct[:], b)
+	return pkt.MACFromOctets(oct)
+}
+
+func (d *decoder) ip() iputil.Addr {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	var oct [4]byte
+	copy(oct[:], b)
+	return iputil.AddrFromOctets(oct)
+}
+
+func (d *decoder) match() pkt.Match {
+	mask := d.u16()
+	m := pkt.MatchAll
+	if mask&(1<<pkt.FInPort) != 0 {
+		m = m.InPort(pkt.PortID(d.u32()))
+	}
+	if mask&(1<<pkt.FSrcMAC) != 0 {
+		m = m.SrcMAC(d.mac())
+	}
+	if mask&(1<<pkt.FDstMAC) != 0 {
+		m = m.DstMAC(d.mac())
+	}
+	if mask&(1<<pkt.FEthType) != 0 {
+		m = m.EthType(d.u16())
+	}
+	if mask&(1<<pkt.FSrcIP) != 0 {
+		addr := d.ip()
+		m = m.SrcIP(iputil.NewPrefix(addr, d.u8()))
+	}
+	if mask&(1<<pkt.FDstIP) != 0 {
+		addr := d.ip()
+		m = m.DstIP(iputil.NewPrefix(addr, d.u8()))
+	}
+	if mask&(1<<pkt.FProto) != 0 {
+		m = m.Proto(d.u8())
+	}
+	if mask&(1<<pkt.FSrcPort) != 0 {
+		m = m.SrcPort(d.u16())
+	}
+	if mask&(1<<pkt.FDstPort) != 0 {
+		m = m.DstPort(d.u16())
+	}
+	return m
+}
+
+func (d *decoder) action() pkt.Action {
+	mask := d.u16()
+	mods := pkt.NoMods
+	if mask&(1<<pkt.FSrcMAC) != 0 {
+		mods = mods.SetSrcMAC(d.mac())
+	}
+	if mask&(1<<pkt.FDstMAC) != 0 {
+		mods = mods.SetDstMAC(d.mac())
+	}
+	if mask&(1<<pkt.FEthType) != 0 {
+		mods = mods.SetEthType(d.u16())
+	}
+	if mask&(1<<pkt.FSrcIP) != 0 {
+		mods = mods.SetSrcIP(d.ip())
+	}
+	if mask&(1<<pkt.FDstIP) != 0 {
+		mods = mods.SetDstIP(d.ip())
+	}
+	if mask&(1<<pkt.FProto) != 0 {
+		mods = mods.SetProto(d.u8())
+	}
+	if mask&(1<<pkt.FSrcPort) != 0 {
+		mods = mods.SetSrcPort(d.u16())
+	}
+	if mask&(1<<pkt.FDstPort) != 0 {
+		mods = mods.SetDstPort(d.u16())
+	}
+	return pkt.Action{Mods: mods, Out: pkt.PortID(d.u32())}
+}
+
+func (d *decoder) packet() pkt.Packet {
+	p := pkt.Packet{
+		InPort:  pkt.PortID(d.u32()),
+		SrcMAC:  d.mac(),
+		DstMAC:  d.mac(),
+		EthType: d.u16(),
+		SrcIP:   d.ip(),
+		DstIP:   d.ip(),
+		Proto:   d.u8(),
+		SrcPort: d.u16(),
+		DstPort: d.u16(),
+	}
+	n := d.u32()
+	if n > maxFrame {
+		d.err = errors.New("openflow: absurd payload length")
+		return p
+	}
+	if n > 0 {
+		p.Payload = append([]byte(nil), d.take(int(n))...)
+	}
+	return p
+}
+
+// RulesFromClassifier converts a compiled classifier to FlowRules with
+// priorities matching dataplane.EntriesFromClassifier.
+func RulesFromClassifier(c policy.Classifier, base int) []FlowRule {
+	rules := make([]FlowRule, len(c))
+	for i, r := range c {
+		rules[i] = FlowRule{
+			Priority: int32(base + len(c) - 1 - i),
+			Match:    r.Match,
+			Actions:  r.Actions,
+		}
+	}
+	return rules
+}

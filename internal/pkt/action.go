@@ -1,0 +1,288 @@
+package pkt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdx/internal/iputil"
+)
+
+// Mods is a set of header-field assignments (write actions). Unset fields
+// are left untouched. Mods is a comparable value type. InPort is not
+// modifiable; location changes go through Action.Out.
+type Mods struct {
+	present uint16
+
+	srcMAC  MAC
+	dstMAC  MAC
+	ethType uint16
+	srcIP   iputil.Addr
+	dstIP   iputil.Addr
+	proto   uint8
+	srcPort uint16
+	dstPort uint16
+}
+
+// NoMods is the empty modification set.
+var NoMods = Mods{}
+
+// Has reports whether field f is assigned.
+func (d Mods) Has(f Field) bool { return d.present&(1<<f) != 0 }
+
+// IsEmpty reports whether no field is assigned.
+func (d Mods) IsEmpty() bool { return d.present == 0 }
+
+// SetSrcMAC assigns the Ethernet source address.
+func (d Mods) SetSrcMAC(a MAC) Mods { d.srcMAC = a; d.present |= 1 << FSrcMAC; return d }
+
+// SetDstMAC assigns the Ethernet destination address.
+func (d Mods) SetDstMAC(a MAC) Mods { d.dstMAC = a; d.present |= 1 << FDstMAC; return d }
+
+// SetEthType assigns the EtherType.
+func (d Mods) SetEthType(t uint16) Mods { d.ethType = t; d.present |= 1 << FEthType; return d }
+
+// SetSrcIP assigns the IPv4 source address.
+func (d Mods) SetSrcIP(a iputil.Addr) Mods { d.srcIP = a; d.present |= 1 << FSrcIP; return d }
+
+// SetDstIP assigns the IPv4 destination address.
+func (d Mods) SetDstIP(a iputil.Addr) Mods { d.dstIP = a; d.present |= 1 << FDstIP; return d }
+
+// SetProto assigns the IP protocol.
+func (d Mods) SetProto(p uint8) Mods { d.proto = p; d.present |= 1 << FProto; return d }
+
+// SetSrcPort assigns the transport source port.
+func (d Mods) SetSrcPort(p uint16) Mods { d.srcPort = p; d.present |= 1 << FSrcPort; return d }
+
+// SetDstPort assigns the transport destination port.
+func (d Mods) SetDstPort(p uint16) Mods { d.dstPort = p; d.present |= 1 << FDstPort; return d }
+
+// GetDstMAC returns the destination-MAC assignment, if present.
+func (d Mods) GetDstMAC() (MAC, bool) { return d.dstMAC, d.Has(FDstMAC) }
+
+// GetSrcMAC returns the source-MAC assignment, if present.
+func (d Mods) GetSrcMAC() (MAC, bool) { return d.srcMAC, d.Has(FSrcMAC) }
+
+// GetEthType returns the EtherType assignment, if present.
+func (d Mods) GetEthType() (uint16, bool) { return d.ethType, d.Has(FEthType) }
+
+// GetSrcIP returns the source-IP assignment, if present.
+func (d Mods) GetSrcIP() (iputil.Addr, bool) { return d.srcIP, d.Has(FSrcIP) }
+
+// GetProto returns the IP-protocol assignment, if present.
+func (d Mods) GetProto() (uint8, bool) { return d.proto, d.Has(FProto) }
+
+// GetSrcPort returns the source-port assignment, if present.
+func (d Mods) GetSrcPort() (uint16, bool) { return d.srcPort, d.Has(FSrcPort) }
+
+// GetDstPort returns the destination-port assignment, if present.
+func (d Mods) GetDstPort() (uint16, bool) { return d.dstPort, d.Has(FDstPort) }
+
+// GetDstIP returns the destination-IP assignment, if present.
+func (d Mods) GetDstIP() (iputil.Addr, bool) { return d.dstIP, d.Has(FDstIP) }
+
+// Apply returns a copy of p with the assignments applied.
+func (d Mods) Apply(p Packet) Packet {
+	if d.Has(FSrcMAC) {
+		p.SrcMAC = d.srcMAC
+	}
+	if d.Has(FDstMAC) {
+		p.DstMAC = d.dstMAC
+	}
+	if d.Has(FEthType) {
+		p.EthType = d.ethType
+	}
+	if d.Has(FSrcIP) {
+		p.SrcIP = d.srcIP
+	}
+	if d.Has(FDstIP) {
+		p.DstIP = d.dstIP
+	}
+	if d.Has(FProto) {
+		p.Proto = d.proto
+	}
+	if d.Has(FSrcPort) {
+		p.SrcPort = d.srcPort
+	}
+	if d.Has(FDstPort) {
+		p.DstPort = d.dstPort
+	}
+	return p
+}
+
+// Then returns the composition "d then e": e's assignments override d's.
+func (d Mods) Then(e Mods) Mods {
+	out := d
+	if e.Has(FSrcMAC) {
+		out = out.SetSrcMAC(e.srcMAC)
+	}
+	if e.Has(FDstMAC) {
+		out = out.SetDstMAC(e.dstMAC)
+	}
+	if e.Has(FEthType) {
+		out = out.SetEthType(e.ethType)
+	}
+	if e.Has(FSrcIP) {
+		out = out.SetSrcIP(e.srcIP)
+	}
+	if e.Has(FDstIP) {
+		out = out.SetDstIP(e.dstIP)
+	}
+	if e.Has(FProto) {
+		out = out.SetProto(e.proto)
+	}
+	if e.Has(FSrcPort) {
+		out = out.SetSrcPort(e.srcPort)
+	}
+	if e.Has(FDstPort) {
+		out = out.SetDstPort(e.dstPort)
+	}
+	return out
+}
+
+// String renders the mods as "mod(f:=v, ...)"; empty mods render as "".
+func (d Mods) String() string {
+	if d.IsEmpty() {
+		return ""
+	}
+	var parts []string
+	add := func(f Field, v string) {
+		if d.Has(f) {
+			parts = append(parts, f.String()+":="+v)
+		}
+	}
+	add(FSrcMAC, d.srcMAC.String())
+	add(FDstMAC, d.dstMAC.String())
+	add(FEthType, fmt.Sprintf("0x%04x", d.ethType))
+	add(FSrcIP, d.srcIP.String())
+	add(FDstIP, d.dstIP.String())
+	add(FProto, fmt.Sprint(d.proto))
+	add(FSrcPort, fmt.Sprint(d.srcPort))
+	add(FDstPort, fmt.Sprint(d.dstPort))
+	sort.Strings(parts)
+	return "mod(" + strings.Join(parts, ", ") + ")"
+}
+
+// Action is one located-packet transformation in a rule's action set: apply
+// Mods, then (if Out != OutNone) emit the packet on Out. An Action with no
+// mods and Out == OutNone is the identity ("pass"); identity actions exist
+// only mid-compilation — the data plane drops packets with no assigned
+// output.
+type Action struct {
+	Mods Mods
+	Out  PortID
+}
+
+// Pass is the identity action.
+var Pass = Action{Out: OutNone}
+
+// Output returns a pure forwarding action.
+func Output(p PortID) Action { return Action{Out: p} }
+
+// IsPass reports whether the action is the identity.
+func (a Action) IsPass() bool { return a.Mods.IsEmpty() && a.Out == OutNone }
+
+// Apply transforms a located packet: header mods first, then the output
+// port becomes the packet's new location (recorded in InPort for chained
+// virtual hops). The boolean reports whether the action emits the packet
+// (false for identity-without-output, which leaves location unchanged).
+func (a Action) Apply(p Packet) (Packet, bool) {
+	p = a.Mods.Apply(p)
+	if a.Out == OutNone {
+		return p, false
+	}
+	p.InPort = a.Out
+	return p, true
+}
+
+// Then returns the sequential composition "a then b".
+func (a Action) Then(b Action) Action {
+	out := Action{Mods: a.Mods.Then(b.Mods), Out: b.Out}
+	if b.Out == OutNone {
+		out.Out = a.Out
+	}
+	return out
+}
+
+// BackProject computes the weakest pre-condition of match m under the
+// action: the match over input packets that, after applying a.Mods and
+// moving to a.Out, satisfy m. The second result is false when no input can
+// satisfy m (a modified field or the new location is pinned to a value
+// outside m's constraint).
+func (a Action) BackProject(m Match) (Match, bool) {
+	out := m
+	if a.Out != OutNone && m.Has(FInPort) {
+		// After the action the packet's location is a.Out; an in-port
+		// constraint in the downstream match must agree with it.
+		if a.Out != m.inPort {
+			return Match{}, false
+		}
+		out = out.ClearField(FInPort)
+	}
+	if a.Mods.Has(FSrcMAC) && m.Has(FSrcMAC) {
+		if a.Mods.srcMAC != m.srcMAC {
+			return Match{}, false
+		}
+		out = out.ClearField(FSrcMAC)
+	}
+	if a.Mods.Has(FDstMAC) && m.Has(FDstMAC) {
+		if a.Mods.dstMAC != m.dstMAC {
+			return Match{}, false
+		}
+		out = out.ClearField(FDstMAC)
+	}
+	if a.Mods.Has(FEthType) && m.Has(FEthType) {
+		if a.Mods.ethType != m.ethType {
+			return Match{}, false
+		}
+		out = out.ClearField(FEthType)
+	}
+	if a.Mods.Has(FSrcIP) && m.Has(FSrcIP) {
+		if !m.srcIP.Contains(a.Mods.srcIP) {
+			return Match{}, false
+		}
+		out = out.ClearField(FSrcIP)
+	}
+	if a.Mods.Has(FDstIP) && m.Has(FDstIP) {
+		if !m.dstIP.Contains(a.Mods.dstIP) {
+			return Match{}, false
+		}
+		out = out.ClearField(FDstIP)
+	}
+	if a.Mods.Has(FProto) && m.Has(FProto) {
+		if a.Mods.proto != m.proto {
+			return Match{}, false
+		}
+		out = out.ClearField(FProto)
+	}
+	if a.Mods.Has(FSrcPort) && m.Has(FSrcPort) {
+		if a.Mods.srcPort != m.srcPort {
+			return Match{}, false
+		}
+		out = out.ClearField(FSrcPort)
+	}
+	if a.Mods.Has(FDstPort) && m.Has(FDstPort) {
+		if a.Mods.dstPort != m.dstPort {
+			return Match{}, false
+		}
+		out = out.ClearField(FDstPort)
+	}
+	return out, true
+}
+
+// String renders the action.
+func (a Action) String() string {
+	var parts []string
+	if s := a.Mods.String(); s != "" {
+		parts = append(parts, s)
+	}
+	switch a.Out {
+	case OutNone:
+		if len(parts) == 0 {
+			return "pass"
+		}
+	default:
+		parts = append(parts, fmt.Sprintf("fwd(%d)", a.Out))
+	}
+	return strings.Join(parts, " >> ")
+}

@@ -1,0 +1,205 @@
+package pkt
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdx/internal/iputil"
+)
+
+func TestModsApply(t *testing.T) {
+	p := Packet{DstIP: addr("74.125.1.1"), DstPort: 80, DstMAC: 5}
+	d := NoMods.SetDstIP(addr("74.125.224.161")).SetDstMAC(7)
+	q := d.Apply(p)
+	if q.DstIP != addr("74.125.224.161") || q.DstMAC != 7 {
+		t.Fatalf("Apply = %v", q)
+	}
+	if q.DstPort != 80 {
+		t.Fatal("untouched field changed")
+	}
+	if p.DstIP != addr("74.125.1.1") {
+		t.Fatal("Apply must not mutate its input")
+	}
+}
+
+func TestModsThenOverrides(t *testing.T) {
+	d := NoMods.SetDstIP(addr("1.1.1.1")).SetSrcPort(9)
+	e := NoMods.SetDstIP(addr("2.2.2.2"))
+	c := d.Then(e)
+	p := c.Apply(Packet{})
+	if p.DstIP != addr("2.2.2.2") || p.SrcPort != 9 {
+		t.Fatalf("Then composition wrong: %v", p)
+	}
+}
+
+func randMods(r *rand.Rand) Mods {
+	d := NoMods
+	if r.Intn(3) == 0 {
+		d = d.SetDstIP(iputil.Addr(r.Uint32()))
+	}
+	if r.Intn(3) == 0 {
+		d = d.SetSrcIP(iputil.Addr(r.Uint32()))
+	}
+	if r.Intn(3) == 0 {
+		d = d.SetDstMAC(MAC(r.Intn(4)))
+	}
+	if r.Intn(3) == 0 {
+		d = d.SetDstPort([]uint16{80, 443}[r.Intn(2)])
+	}
+	if r.Intn(4) == 0 {
+		d = d.SetSrcMAC(MAC(r.Intn(4)))
+	}
+	if r.Intn(4) == 0 {
+		d = d.SetProto([]uint8{ProtoTCP, ProtoUDP}[r.Intn(2)])
+	}
+	if r.Intn(4) == 0 {
+		d = d.SetSrcPort(uint16(r.Intn(3)))
+	}
+	if r.Intn(5) == 0 {
+		d = d.SetEthType(EthTypeIPv4)
+	}
+	return d
+}
+
+// TestModsThenLaw: (d.Then(e)).Apply(p) == e.Apply(d.Apply(p)).
+func TestModsThenLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		d, e := randMods(r), randMods(r)
+		p := randPacket(r)
+		got := d.Then(e).Apply(p)
+		want := e.Apply(d.Apply(p))
+		if !got.SameHeader(want) {
+			t.Fatalf("Then law violated: d=%v e=%v p=%v got=%v want=%v", d, e, p, got, want)
+		}
+	}
+}
+
+func TestActionApply(t *testing.T) {
+	a := Action{Mods: NoMods.SetDstMAC(9), Out: 4}
+	p, emitted := a.Apply(Packet{InPort: 1, DstMAC: 5})
+	if !emitted || p.DstMAC != 9 || p.InPort != 4 {
+		t.Fatalf("Apply = %v emitted=%v", p, emitted)
+	}
+	q, emitted := Pass.Apply(Packet{InPort: 1})
+	if emitted || q.InPort != 1 {
+		t.Fatal("Pass should not emit or relocate")
+	}
+}
+
+func TestActionThen(t *testing.T) {
+	a := Action{Mods: NoMods.SetDstIP(addr("1.1.1.1")), Out: 2}
+	b := Action{Mods: NoMods.SetDstMAC(3), Out: OutNone}
+	c := a.Then(b)
+	if c.Out != 2 {
+		t.Fatalf("Then should keep a's out when b has none; got %d", c.Out)
+	}
+	d := a.Then(Output(7))
+	if d.Out != 7 {
+		t.Fatalf("Then should take b's out; got %d", d.Out)
+	}
+}
+
+// TestActionThenLaw: applying a.Then(b) equals applying a then b, for the
+// emitted-packet contents, whenever the composite emits.
+func TestActionThenLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	outs := []PortID{OutNone, 1, 2, 3}
+	for i := 0; i < 20000; i++ {
+		a := Action{Mods: randMods(r), Out: outs[r.Intn(len(outs))]}
+		b := Action{Mods: randMods(r), Out: outs[r.Intn(len(outs))]}
+		p := randPacket(r)
+		pa, _ := a.Apply(p)
+		want, wantEmit := b.Apply(pa)
+		got, gotEmit := a.Then(b).Apply(p)
+		// The composite emits iff either stage assigns an output.
+		if gotEmit != (a.Out != OutNone || b.Out != OutNone) {
+			t.Fatalf("emission mismatch: a=%v b=%v", a, b)
+		}
+		if wantEmit && (!got.SameHeader(want) || !gotEmit) {
+			t.Fatalf("Then law violated: a=%v b=%v p=%v got=%v want=%v", a, b, p, got, want)
+		}
+		if !wantEmit && b.Out == OutNone && a.Out != OutNone {
+			// Composite keeps a's location; header fields must agree.
+			want.InPort = a.Out
+			if !got.SameHeader(want) {
+				t.Fatalf("Then law (a emits) violated: a=%v b=%v got=%v want=%v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestBackProjectLaw: for random action a, match m and packet p,
+// a.BackProject(m) matches p exactly when m matches a.Apply(p) —
+// restricted to the cases where the action emits (location defined).
+func TestBackProjectLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	outs := []PortID{OutNone, 0, 1, 2, 3}
+	for i := 0; i < 40000; i++ {
+		a := Action{Mods: randMods(r), Out: outs[r.Intn(len(outs))]}
+		m := randMatch(r)
+		p := randPacket(r)
+		q, _ := a.Apply(p)
+		want := m.Matches(q)
+		bp, ok := a.BackProject(m)
+		got := ok && bp.Matches(p)
+		if a.Out == OutNone && m.Has(FInPort) {
+			// Location is not rewritten; back-projection keeps the
+			// in-port constraint, and Apply leaves InPort alone, so the
+			// law still holds. Fall through to the check.
+			_ = q
+		}
+		if got != want {
+			t.Fatalf("BackProject law violated:\n a=%v\n m=%v\n p=%v\n q=%v bp=%v ok=%v got=%v want=%v",
+				a, m, p, q, bp, ok, got, want)
+		}
+	}
+}
+
+func TestBackProjectPinsInPort(t *testing.T) {
+	a := Output(5)
+	m := MatchAll.InPort(5).DstPort(80)
+	bp, ok := a.BackProject(m)
+	if !ok {
+		t.Fatal("should back-project")
+	}
+	if bp.Has(FInPort) {
+		t.Fatal("in-port constraint should be consumed by the output")
+	}
+	if _, ok := a.BackProject(MatchAll.InPort(6)); ok {
+		t.Fatal("mismatched in-port should be empty")
+	}
+}
+
+func TestBackProjectModConflicts(t *testing.T) {
+	a := Action{Mods: NoMods.SetDstPort(443), Out: OutNone}
+	if _, ok := a.BackProject(MatchAll.DstPort(80)); ok {
+		t.Fatal("mod pinning dstport=443 cannot satisfy dstport=80")
+	}
+	bp, ok := a.BackProject(MatchAll.DstPort(443))
+	if !ok || bp.Has(FDstPort) {
+		t.Fatalf("satisfied constraint should be cleared; got %v ok=%v", bp, ok)
+	}
+	// A mod writing inside the prefix clears the constraint.
+	b := Action{Mods: NoMods.SetDstIP(addr("10.1.1.1")), Out: OutNone}
+	bp, ok = b.BackProject(MatchAll.DstIP(pfx("10.0.0.0/8")))
+	if !ok || bp.Has(FDstIP) {
+		t.Fatalf("in-prefix mod: %v ok=%v", bp, ok)
+	}
+	if _, ok := b.BackProject(MatchAll.DstIP(pfx("11.0.0.0/8"))); ok {
+		t.Fatal("out-of-prefix mod should be empty")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Pass.String() != "pass" {
+		t.Errorf("Pass String = %s", Pass.String())
+	}
+	if got := Output(3).String(); got != "fwd(3)" {
+		t.Errorf("Output String = %s", got)
+	}
+	a := Action{Mods: NoMods.SetDstPort(80), Out: 2}
+	if got := a.String(); got != "mod(dstport:=80) >> fwd(2)" {
+		t.Errorf("Action String = %s", got)
+	}
+}

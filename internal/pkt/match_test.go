@@ -1,0 +1,188 @@
+package pkt
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdx/internal/iputil"
+)
+
+func pfx(s string) iputil.Prefix { return iputil.MustParsePrefix(s) }
+func addr(s string) iputil.Addr  { return iputil.MustParseAddr(s) }
+
+func TestMACParseString(t *testing.T) {
+	m, err := ParseMAC("02:a1:00:00:00:01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0x02a100000001 {
+		t.Fatalf("ParseMAC = %x", uint64(m))
+	}
+	if m.String() != "02:a1:00:00:00:01" {
+		t.Fatalf("String = %s", m.String())
+	}
+	if MACFromOctets(m.Octets()) != m {
+		t.Fatal("octet round trip failed")
+	}
+	for _, bad := range []string{"", "02:00", "02:00:00:00:00:zz", "02:00:00:00:00:00:00"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Errorf("ParseMAC(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMatchMatches(t *testing.T) {
+	p := Packet{
+		InPort: 3, SrcMAC: 1, DstMAC: 2, EthType: EthTypeIPv4,
+		SrcIP: addr("10.1.2.3"), DstIP: addr("74.125.1.1"),
+		Proto: ProtoTCP, SrcPort: 12345, DstPort: 80,
+	}
+	cases := []struct {
+		m    Match
+		want bool
+	}{
+		{MatchAll, true},
+		{MatchAll.DstPort(80), true},
+		{MatchAll.DstPort(443), false},
+		{MatchAll.SrcIP(pfx("10.0.0.0/8")), true},
+		{MatchAll.SrcIP(pfx("11.0.0.0/8")), false},
+		{MatchAll.DstIP(pfx("74.125.1.1/32")), true},
+		{MatchAll.InPort(3).Proto(ProtoTCP).DstPort(80), true},
+		{MatchAll.InPort(4).Proto(ProtoTCP).DstPort(80), false},
+		{MatchAll.SrcMAC(1).DstMAC(2).EthType(EthTypeIPv4), true},
+		{MatchAll.DstMAC(9), false},
+		{MatchAll.SrcPort(12345), true},
+		{MatchAll.SrcPort(1), false},
+	}
+	for _, c := range cases {
+		if got := c.m.Matches(p); got != c.want {
+			t.Errorf("%v.Matches = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMatchIntersect(t *testing.T) {
+	a := MatchAll.DstPort(80).SrcIP(pfx("0.0.0.0/1"))
+	b := MatchAll.SrcIP(pfx("10.0.0.0/8")).InPort(1)
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("intersection should be non-empty")
+	}
+	want := MatchAll.DstPort(80).SrcIP(pfx("10.0.0.0/8")).InPort(1)
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+
+	if _, ok := MatchAll.DstPort(80).Intersect(MatchAll.DstPort(443)); ok {
+		t.Fatal("conflicting exact fields must not intersect")
+	}
+	if _, ok := MatchAll.SrcIP(pfx("10.0.0.0/8")).Intersect(MatchAll.SrcIP(pfx("11.0.0.0/8"))); ok {
+		t.Fatal("disjoint prefixes must not intersect")
+	}
+}
+
+func TestMatchCovers(t *testing.T) {
+	wide := MatchAll.SrcIP(pfx("10.0.0.0/8"))
+	narrow := MatchAll.SrcIP(pfx("10.1.0.0/16")).DstPort(80)
+	if !MatchAll.Covers(narrow) {
+		t.Error("wildcard covers everything")
+	}
+	if !wide.Covers(narrow) {
+		t.Error("/8 srcip should cover /16+port match")
+	}
+	if narrow.Covers(wide) {
+		t.Error("narrow must not cover wide")
+	}
+	if !wide.Covers(wide) {
+		t.Error("match covers itself")
+	}
+}
+
+func randMatch(r *rand.Rand) Match {
+	m := MatchAll
+	if r.Intn(3) == 0 {
+		m = m.InPort(PortID(r.Intn(4)))
+	}
+	if r.Intn(3) == 0 {
+		m = m.SrcIP(iputil.NewPrefix(iputil.Addr(r.Uint32()), uint8(r.Intn(9))))
+	}
+	if r.Intn(3) == 0 {
+		m = m.DstIP(iputil.NewPrefix(iputil.Addr(r.Uint32()), uint8(r.Intn(9))))
+	}
+	if r.Intn(3) == 0 {
+		m = m.Proto([]uint8{ProtoTCP, ProtoUDP}[r.Intn(2)])
+	}
+	if r.Intn(3) == 0 {
+		m = m.DstPort([]uint16{80, 443}[r.Intn(2)])
+	}
+	if r.Intn(4) == 0 {
+		m = m.DstMAC(MAC(r.Intn(4)))
+	}
+	return m
+}
+
+func randPacket(r *rand.Rand) Packet {
+	return Packet{
+		InPort:  PortID(r.Intn(4)),
+		SrcMAC:  MAC(r.Intn(4)),
+		DstMAC:  MAC(r.Intn(4)),
+		EthType: EthTypeIPv4,
+		SrcIP:   iputil.Addr(r.Uint32()),
+		DstIP:   iputil.Addr(r.Uint32()),
+		Proto:   []uint8{ProtoTCP, ProtoUDP}[r.Intn(2)],
+		SrcPort: uint16(r.Intn(4)),
+		DstPort: []uint16{80, 443, 8080}[r.Intn(3)],
+	}
+}
+
+// TestMatchSemanticsProperties checks the semantic laws connecting
+// Intersect, Covers and Matches on random matches and packets.
+func TestMatchSemanticsProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		a, b := randMatch(r), randMatch(r)
+		p := randPacket(r)
+		inter, ok := a.Intersect(b)
+		both := a.Matches(p) && b.Matches(p)
+		if ok {
+			if inter.Matches(p) != both {
+				t.Fatalf("intersection semantics violated: a=%v b=%v p=%v", a, b, p)
+			}
+		} else if both {
+			t.Fatalf("empty intersection but packet matches both: a=%v b=%v p=%v", a, b, p)
+		}
+		if a.Covers(b) && b.Matches(p) && !a.Matches(p) {
+			t.Fatalf("covers violated: a=%v b=%v p=%v", a, b, p)
+		}
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if MatchAll.String() != "match(*)" {
+		t.Errorf("wildcard String = %s", MatchAll.String())
+	}
+	m := MatchAll.DstPort(80).SrcIP(pfx("10.0.0.0/8"))
+	if got := m.String(); got != "match(dstport=80, srcip=10.0.0.0/8)" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestMatchClearField(t *testing.T) {
+	m := MatchAll.DstPort(80).InPort(1)
+	c := m.ClearField(FDstPort)
+	if c.Has(FDstPort) || !c.Has(FInPort) {
+		t.Fatalf("ClearField result %v", c)
+	}
+	if c != MatchAll.InPort(1) {
+		t.Fatalf("cleared match should equal fresh match; got %v", c)
+	}
+}
+
+func TestMatchNumFieldsSet(t *testing.T) {
+	if MatchAll.NumFieldsSet() != 0 {
+		t.Error("wildcard has 0 fields")
+	}
+	if got := MatchAll.DstPort(80).SrcIP(pfx("1.0.0.0/8")).NumFieldsSet(); got != 2 {
+		t.Errorf("NumFieldsSet = %d, want 2", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package pkt defines the packet-header model shared by the SDX policy
+// compiler and the software data plane: header fields, located packets,
+// header matches (conjunctive predicates), header modifications, and rule
+// actions. The field set mirrors the OpenFlow 1.0 12-tuple subset that the
+// SDX paper's policies use: in-port, Ethernet src/dst/type, IPv4 src/dst,
+// IP protocol, and transport src/dst ports.
+package pkt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sdx/internal/iputil"
+)
+
+// MAC is a 48-bit Ethernet address stored in the low bits of a uint64.
+type MAC uint64
+
+// ParseMAC parses colon-separated hex notation ("02:00:00:00:00:01").
+func ParseMAC(s string) (MAC, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return 0, fmt.Errorf("pkt: invalid MAC %q", s)
+	}
+	var m uint64
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return 0, fmt.Errorf("pkt: invalid MAC %q", s)
+		}
+		m = m<<8 | b
+	}
+	return MAC(m), nil
+}
+
+// MustParseMAC is ParseMAC that panics on error.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String returns colon-separated hex notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}
+
+// Octets returns the MAC as six network-order bytes.
+func (m MAC) Octets() [6]byte {
+	return [6]byte{byte(m >> 40), byte(m >> 32), byte(m >> 24), byte(m >> 16), byte(m >> 8), byte(m)}
+}
+
+// MACFromOctets builds a MAC from six network-order bytes.
+func MACFromOctets(b [6]byte) MAC {
+	return MAC(uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5]))
+}
+
+// PortID identifies a switch port (physical or virtual).
+type PortID uint32
+
+// OutNone is the sentinel "no output assigned" port used by identity
+// actions during compilation; a packet whose action chain never assigns an
+// output is dropped by the data plane.
+const OutNone PortID = 0xffffffff
+
+// Well-known EtherTypes and IP protocols.
+const (
+	EthTypeIPv4 uint16 = 0x0800
+	EthTypeARP  uint16 = 0x0806
+
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// Field identifies one matchable/modifiable header field.
+type Field uint8
+
+// The matchable header fields, in wire order.
+const (
+	FInPort Field = iota
+	FSrcMAC
+	FDstMAC
+	FEthType
+	FSrcIP
+	FDstIP
+	FProto
+	FSrcPort
+	FDstPort
+	NumFields
+)
+
+var fieldNames = [NumFields]string{
+	"inport", "srcmac", "dstmac", "ethtype", "srcip", "dstip", "proto", "srcport", "dstport",
+}
+
+// String returns the lower-case field name used in policy pretty-printing.
+func (f Field) String() string {
+	if f < NumFields {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// Packet is a located packet: the header fields the SDX fabric matches on,
+// plus the port the packet currently occupies and an opaque payload. Packet
+// is a value type; actions produce transformed copies.
+type Packet struct {
+	InPort  PortID
+	SrcMAC  MAC
+	DstMAC  MAC
+	EthType uint16
+	SrcIP   iputil.Addr
+	DstIP   iputil.Addr
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// SameHeader reports whether two packets agree on every header field and
+// location, ignoring payloads. Packet itself is not comparable because of
+// the payload slice.
+func (p Packet) SameHeader(q Packet) bool {
+	return p.InPort == q.InPort && p.SrcMAC == q.SrcMAC && p.DstMAC == q.DstMAC &&
+		p.EthType == q.EthType && p.SrcIP == q.SrcIP && p.DstIP == q.DstIP &&
+		p.Proto == q.Proto && p.SrcPort == q.SrcPort && p.DstPort == q.DstPort
+}
+
+// String renders a compact single-line summary for logs and tests.
+func (p Packet) String() string {
+	return fmt.Sprintf("pkt[in=%d %s>%s ip %s>%s proto=%d port %d>%d len=%d]",
+		p.InPort, p.SrcMAC, p.DstMAC, p.SrcIP, p.DstIP, p.Proto, p.SrcPort, p.DstPort, len(p.Payload))
+}

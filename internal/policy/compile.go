@@ -1,0 +1,155 @@
+package policy
+
+import (
+	"fmt"
+
+	"sdx/internal/pkt"
+)
+
+// CompileStats counts the work a compilation performed; the SDX evaluation
+// (§6.3) reports these alongside wall-clock time.
+type CompileStats struct {
+	SeqOps    int // sequential composition operations
+	ParOps    int // parallel composition operations
+	CacheHits int // memoized sub-policies reused (§4.3.1)
+	Rules     int // rules in the most recent result
+}
+
+// Compiler translates policies to classifiers. It memoizes compiled
+// sub-policies by node identity, so a policy node reused across several
+// compositions — the common case at an SDX, where a big participant's
+// policy is composed with everyone else's — compiles once (§4.3.1).
+//
+// The zero value is not usable; call NewCompiler. A Compiler is not safe
+// for concurrent use; the SDX runtime serializes compilations.
+type Compiler struct {
+	cache map[Policy]Classifier
+	Stats CompileStats
+
+	// DisableCache turns off sub-policy memoization (§4.3.1 ablation).
+	DisableCache bool
+	// DisableConcat forces full cross-product parallel composition even
+	// for disjoint guarded policies (§4.3.1 ablation).
+	DisableConcat bool
+}
+
+// NewCompiler returns an empty compiler.
+func NewCompiler() *Compiler {
+	return &Compiler{cache: make(map[Policy]Classifier)}
+}
+
+// Invalidate drops the memoization entry for a policy node (used when a
+// participant's policy object is rewritten in place between compilations).
+func (c *Compiler) Invalidate(p Policy) { delete(c.cache, p) }
+
+// Reset clears the entire memoization cache and statistics.
+func (c *Compiler) Reset() {
+	c.cache = make(map[Policy]Classifier)
+	c.Stats = CompileStats{}
+}
+
+// CacheLen returns the number of memoized sub-policies.
+func (c *Compiler) CacheLen() int { return len(c.cache) }
+
+// Compile translates a policy into an equivalent total classifier.
+func (c *Compiler) Compile(p Policy) Classifier {
+	out := c.compile(p)
+	c.Stats.Rules = len(out)
+	return out
+}
+
+func (c *Compiler) compile(p Policy) Classifier {
+	if cl, ok := c.cache[p]; ok && !c.DisableCache {
+		c.Stats.CacheHits++
+		return cl
+	}
+	var cl Classifier
+	switch n := p.(type) {
+	case *Filter:
+		cl = make(Classifier, 0, len(n.Union)+1)
+		for _, m := range n.Union {
+			cl = append(cl, Rule{Match: m, Actions: []pkt.Action{pkt.Pass}})
+		}
+		cl = append(cl, Rule{Match: pkt.MatchAll})
+		cl = cl.Optimize()
+	case *Fwd:
+		cl = Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(n.Port)}}}
+	case *Mod:
+		cl = Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{{Mods: n.Mods, Out: pkt.OutNone}}}}
+	case *Drop:
+		cl = Classifier{{Match: pkt.MatchAll}}
+	case *Pass:
+		cl = Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Pass}}}
+	case *Parallel:
+		cl = c.compileParallel(n.Ps)
+	case *Sequential:
+		cl = c.compileSequential(n.Ps)
+	case *If:
+		cl = c.compileIf(n)
+	default:
+		panic(fmt.Sprintf("policy: unknown node type %T", p))
+	}
+	c.cache[p] = cl
+	return cl
+}
+
+func (c *Compiler) compileParallel(ps []Policy) Classifier {
+	if len(ps) == 0 {
+		return Classifier{{Match: pkt.MatchAll}}
+	}
+	// Try the disjointness fast path first: if every branch compiles to a
+	// guarded classifier with pairwise-disjoint in-port guards, parallel
+	// composition is concatenation (§4.3.1).
+	sub := make([]Classifier, len(ps))
+	for i, p := range ps {
+		sub[i] = c.compile(p)
+	}
+	if len(sub) > 1 && !c.DisableConcat {
+		if cat, ok := ConcatDisjoint(sub...); ok {
+			return cat
+		}
+	}
+	acc := sub[0]
+	for _, s := range sub[1:] {
+		c.Stats.ParOps++
+		acc = parallelCompose(acc, s)
+	}
+	return acc
+}
+
+func (c *Compiler) compileSequential(ps []Policy) Classifier {
+	if len(ps) == 0 {
+		return Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Pass}}}
+	}
+	acc := c.compile(ps[0])
+	for _, p := range ps[1:] {
+		c.Stats.SeqOps++
+		acc = seqCompose(acc, c.compile(p))
+	}
+	return acc
+}
+
+// compileIf compiles if(pred, then, else) without materializing predicate
+// negation: the predicate's classifier partitions flow space into
+// pass-regions and drop-regions in priority order; pass-regions are crossed
+// with the then-classifier and drop-regions with the else-classifier.
+func (c *Compiler) compileIf(n *If) Classifier {
+	pred := c.compile(n.Pred)
+	thenC := c.compile(n.Then)
+	elseC := c.compile(n.Else)
+	var out Classifier
+	for _, pr := range pred {
+		branch := elseC
+		if !pr.IsDrop() {
+			branch = thenC
+		}
+		for _, r := range branch {
+			m, ok := pr.Match.Intersect(r.Match)
+			if !ok {
+				continue
+			}
+			out = append(out, Rule{Match: m, Actions: r.Actions})
+		}
+	}
+	return out.Optimize()
+}

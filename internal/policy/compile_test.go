@@ -1,0 +1,373 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// --- Paper §3.1 examples ---------------------------------------------------
+
+// The virtual port numbering used in the Figure 1 tests: A1=1 is AS A's
+// physical port, B1=2 and B2=3 are AS B's physical ports, C1=4 is AS C's;
+// 100+ are virtual inter-participant links.
+const (
+	portA1 = 1
+	portB1 = 2
+	portB2 = 3
+	portC1 = 4
+
+	linkAB = 101
+	linkAC = 102
+)
+
+// TestAppSpecificPeeringExample compiles AS A's outbound policy from §3.1:
+//
+//	(match(dstport=80) >> fwd(B)) + (match(dstport=443) >> fwd(C))
+func TestAppSpecificPeeringExample(t *testing.T) {
+	polA := Union(
+		Seq(Match(pkt.MatchAll.DstPort(80)), FwdTo(linkAB)),
+		Seq(Match(pkt.MatchAll.DstPort(443)), FwdTo(linkAC)),
+	)
+	c := NewCompiler().Compile(polA)
+
+	web := pkt.Packet{DstPort: 80}
+	if out := c.Eval(web); len(out) != 1 || out[0].InPort != linkAB {
+		t.Fatalf("web -> %v, want link A->B", out)
+	}
+	tls := pkt.Packet{DstPort: 443}
+	if out := c.Eval(tls); len(out) != 1 || out[0].InPort != linkAC {
+		t.Fatalf("https -> %v, want link A->C", out)
+	}
+	// "If neither of the two policies matches, the packet is dropped."
+	ssh := pkt.Packet{DstPort: 22}
+	if out := c.Eval(ssh); len(out) != 0 {
+		t.Fatalf("ssh -> %v, want drop", out)
+	}
+}
+
+// TestCrossProductExample reproduces §4.1's composed policy: AS A's
+// outbound app-specific peering sequenced with AS B's inbound traffic
+// engineering yields rules matching on both dstport and srcip.
+func TestCrossProductExample(t *testing.T) {
+	pa := Seq(Match(pkt.MatchAll.InPort(portA1).DstPort(80)), FwdTo(linkAB))
+	pb := Union(
+		Seq(Match(pkt.MatchAll.InPort(linkAB).SrcIP(pfx("0.0.0.0/1"))), FwdTo(portB1)),
+		Seq(Match(pkt.MatchAll.InPort(linkAB).SrcIP(pfx("128.0.0.0/1"))), FwdTo(portB2)),
+	)
+	c := NewCompiler().Compile(Seq(pa, pb))
+
+	low := pkt.Packet{InPort: portA1, DstPort: 80, SrcIP: iputil.MustParseAddr("1.2.3.4")}
+	if out := c.Eval(low); len(out) != 1 || out[0].InPort != portB1 {
+		t.Fatalf("low srcip -> %v, want B1", out)
+	}
+	high := pkt.Packet{InPort: portA1, DstPort: 80, SrcIP: iputil.MustParseAddr("200.2.3.4")}
+	if out := c.Eval(high); len(out) != 1 || out[0].InPort != portB2 {
+		t.Fatalf("high srcip -> %v, want B2", out)
+	}
+	// Non-web traffic is not covered by PA and drops here (default
+	// forwarding is added by the SDX runtime, not this policy).
+	other := pkt.Packet{InPort: portA1, DstPort: 22, SrcIP: iputil.MustParseAddr("1.2.3.4")}
+	if out := c.Eval(other); len(out) != 0 {
+		t.Fatalf("non-web -> %v, want drop", out)
+	}
+}
+
+// TestLoadBalanceExample reproduces §3.1's wide-area server load balancing
+// policy: rewrite anycast destination per client prefix.
+func TestLoadBalanceExample(t *testing.T) {
+	anycast := pfx("74.125.1.1/32")
+	lb := Seq(
+		Match(pkt.MatchAll.DstIP(anycast)),
+		Union(
+			Seq(Match(pkt.MatchAll.SrcIP(pfx("96.25.160.0/24"))),
+				Modify(pkt.NoMods.SetDstIP(iputil.MustParseAddr("74.125.224.161")))),
+			Seq(Match(pkt.MatchAll.SrcIP(pfx("128.125.163.0/24"))),
+				Modify(pkt.NoMods.SetDstIP(iputil.MustParseAddr("74.125.137.139")))),
+		),
+	)
+	c := NewCompiler().Compile(lb)
+
+	req := pkt.Packet{
+		SrcIP: iputil.MustParseAddr("96.25.160.55"),
+		DstIP: iputil.MustParseAddr("74.125.1.1"),
+	}
+	out := c.Eval(req)
+	if len(out) != 1 || out[0].DstIP != iputil.MustParseAddr("74.125.224.161") {
+		t.Fatalf("client 1 -> %v, want rewrite to replica 1", out)
+	}
+	req.SrcIP = iputil.MustParseAddr("128.125.163.9")
+	out = c.Eval(req)
+	if len(out) != 1 || out[0].DstIP != iputil.MustParseAddr("74.125.137.139") {
+		t.Fatalf("client 2 -> %v, want rewrite to replica 2", out)
+	}
+	// Unknown client: matches the outer filter but no inner policy.
+	req.SrcIP = iputil.MustParseAddr("9.9.9.9")
+	if out := c.Eval(req); len(out) != 0 {
+		t.Fatalf("unknown client -> %v, want drop", out)
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	p := IfThenElse(
+		Match(pkt.MatchAll.DstPort(80)),
+		FwdTo(1),
+		FwdTo(2),
+	)
+	c := NewCompiler().Compile(p)
+	if out := c.Eval(pkt.Packet{DstPort: 80}); len(out) != 1 || out[0].InPort != 1 {
+		t.Fatalf("then branch: %v", out)
+	}
+	if out := c.Eval(pkt.Packet{DstPort: 22}); len(out) != 1 || out[0].InPort != 2 {
+		t.Fatalf("else branch: %v", out)
+	}
+}
+
+func TestIfWithUnionPredicate(t *testing.T) {
+	pred := Match(pkt.MatchAll.DstIP(pfx("10.0.0.0/8")), pkt.MatchAll.DstIP(pfx("20.0.0.0/8")))
+	p := IfThenElse(pred, FwdTo(1), FwdTo(2))
+	c := NewCompiler().Compile(p)
+	for _, tc := range []struct {
+		dst  string
+		want pkt.PortID
+	}{
+		{"10.1.1.1", 1}, {"20.1.1.1", 1}, {"30.1.1.1", 2},
+	} {
+		out := c.Eval(pkt.Packet{DstIP: iputil.MustParseAddr(tc.dst)})
+		if len(out) != 1 || out[0].InPort != tc.want {
+			t.Fatalf("dst %s -> %v, want port %d", tc.dst, out, tc.want)
+		}
+	}
+}
+
+func TestEmptyFilterDropsAll(t *testing.T) {
+	c := NewCompiler().Compile(Match())
+	if out := c.Eval(pkt.Packet{}); len(out) != 0 {
+		t.Fatalf("empty filter -> %v", out)
+	}
+}
+
+func TestMulticastCompiles(t *testing.T) {
+	p := Union(FwdTo(1), FwdTo(2))
+	c := NewCompiler().Compile(p)
+	out := c.Eval(pkt.Packet{})
+	if len(out) != 2 {
+		t.Fatalf("multicast -> %v", out)
+	}
+	seen := map[pkt.PortID]bool{out[0].InPort: true, out[1].InPort: true}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("multicast ports %v", seen)
+	}
+}
+
+func TestMulticastThenFilter(t *testing.T) {
+	// Multicast to two ports, then a filter that keeps only port 1.
+	p := Seq(Union(FwdTo(1), FwdTo(2)), Match(pkt.MatchAll.InPort(1)))
+	c := NewCompiler().Compile(p)
+	out := c.Eval(pkt.Packet{})
+	if len(out) != 1 || out[0].InPort != 1 {
+		t.Fatalf("multicast+filter -> %v", out)
+	}
+}
+
+func TestSeqModThenMatch(t *testing.T) {
+	// mod(dstport:=80) >> match(dstport=80) >> fwd(9) passes everything.
+	p := Seq(Modify(pkt.NoMods.SetDstPort(80)), Match(pkt.MatchAll.DstPort(80)), FwdTo(9))
+	c := NewCompiler().Compile(p)
+	if out := c.Eval(pkt.Packet{DstPort: 22}); len(out) != 1 || out[0].InPort != 9 || out[0].DstPort != 80 {
+		t.Fatalf("mod-then-match -> %v", out)
+	}
+	// mod(dstport:=81) >> match(dstport=80) drops everything.
+	p = Seq(Modify(pkt.NoMods.SetDstPort(81)), Match(pkt.MatchAll.DstPort(80)), FwdTo(9))
+	c = NewCompiler().Compile(p)
+	if out := c.Eval(pkt.Packet{DstPort: 80}); len(out) != 0 {
+		t.Fatalf("conflicting mod should drop: %v", out)
+	}
+}
+
+func TestCompilerMemoization(t *testing.T) {
+	shared := Seq(Match(pkt.MatchAll.DstPort(80)), FwdTo(1))
+	comp := NewCompiler()
+	comp.Compile(Union(Seq(Match(pkt.MatchAll.InPort(1)), shared), Seq(Match(pkt.MatchAll.InPort(2)), shared)))
+	if comp.Stats.CacheHits == 0 {
+		t.Fatal("shared sub-policy should produce cache hits")
+	}
+	if comp.CacheLen() == 0 {
+		t.Fatal("cache should be populated")
+	}
+	comp.Reset()
+	if comp.CacheLen() != 0 || comp.Stats.CacheHits != 0 {
+		t.Fatal("Reset should clear cache and stats")
+	}
+}
+
+func TestCompilerInvalidate(t *testing.T) {
+	comp := NewCompiler()
+	f := FwdTo(1)
+	c1 := comp.Compile(f)
+	f.Port = 2 // mutate in place (the runtime never does this without invalidating)
+	comp.Invalidate(f)
+	c2 := comp.Compile(f)
+	if c1[0].Actions[0].Out == c2[0].Actions[0].Out {
+		t.Fatal("Invalidate should force recompilation")
+	}
+}
+
+// --- Random differential testing: AST interpreter vs compiled classifier ---
+
+type polGen struct {
+	r *rand.Rand
+}
+
+func (g *polGen) match() pkt.Match {
+	m := pkt.MatchAll
+	if g.r.Intn(3) == 0 {
+		m = m.InPort(pkt.PortID(g.r.Intn(4)))
+	}
+	if g.r.Intn(3) == 0 {
+		m = m.DstIP(iputil.NewPrefix(iputil.Addr(g.r.Uint32()), uint8(g.r.Intn(4))))
+	}
+	if g.r.Intn(3) == 0 {
+		m = m.SrcIP(iputil.NewPrefix(iputil.Addr(g.r.Uint32()), uint8(g.r.Intn(4))))
+	}
+	if g.r.Intn(3) == 0 {
+		m = m.DstPort([]uint16{80, 443}[g.r.Intn(2)])
+	}
+	if g.r.Intn(4) == 0 {
+		m = m.DstMAC(pkt.MAC(g.r.Intn(3)))
+	}
+	return m
+}
+
+func (g *polGen) mods() pkt.Mods {
+	d := pkt.NoMods
+	if g.r.Intn(2) == 0 {
+		d = d.SetDstMAC(pkt.MAC(g.r.Intn(3)))
+	}
+	if g.r.Intn(3) == 0 {
+		d = d.SetDstIP(iputil.Addr(g.r.Uint32()))
+	}
+	if g.r.Intn(3) == 0 {
+		d = d.SetDstPort([]uint16{80, 443}[g.r.Intn(2)])
+	}
+	return d
+}
+
+func (g *polGen) policy(depth int) Policy {
+	if depth <= 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return Match(g.match())
+		case 1:
+			return FwdTo(pkt.PortID(g.r.Intn(4)))
+		case 2:
+			return Modify(g.mods())
+		case 3:
+			return DropAll()
+		default:
+			ms := []pkt.Match{g.match()}
+			if g.r.Intn(2) == 0 {
+				ms = append(ms, g.match())
+			}
+			return Match(ms...)
+		}
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		n := 2 + g.r.Intn(2)
+		ps := make([]Policy, n)
+		for i := range ps {
+			ps[i] = g.policy(depth - 1)
+		}
+		return Union(ps...)
+	case 1:
+		n := 2 + g.r.Intn(2)
+		ps := make([]Policy, n)
+		for i := range ps {
+			ps[i] = g.policy(depth - 1)
+		}
+		return Seq(ps...)
+	case 2:
+		return IfThenElse(Match(g.match(), g.match()), g.policy(depth-1), g.policy(depth-1))
+	default:
+		return g.policy(depth - 1)
+	}
+}
+
+func (g *polGen) packet() pkt.Packet {
+	return pkt.Packet{
+		InPort:  pkt.PortID(g.r.Intn(4)),
+		DstMAC:  pkt.MAC(g.r.Intn(3)),
+		EthType: pkt.EthTypeIPv4,
+		SrcIP:   iputil.Addr(g.r.Uint32()),
+		DstIP:   iputil.Addr(g.r.Uint32()),
+		Proto:   pkt.ProtoTCP,
+		SrcPort: uint16(g.r.Intn(3)),
+		DstPort: []uint16{80, 443, 22}[g.r.Intn(3)],
+	}
+}
+
+// TestCompileAgainstInterpreter generates random policies and checks that
+// the compiled classifier produces the same packet set as direct AST
+// evaluation. This is the core correctness property of the whole compiler.
+func TestCompileAgainstInterpreter(t *testing.T) {
+	g := &polGen{r: rand.New(rand.NewSource(99))}
+	for trial := 0; trial < 400; trial++ {
+		p := g.policy(2 + g.r.Intn(2))
+		c := NewCompiler().Compile(p)
+		for probe := 0; probe < 100; probe++ {
+			in := g.packet()
+			want := p.Eval(in)
+			got := c.Eval(in)
+			if !samePacketSet(got, want) {
+				t.Fatalf("trial %d: mismatch for %v\npolicy: %s\ngot:  %v\nwant: %v\nclassifier:\n%s",
+					trial, in, p, got, want, c)
+			}
+		}
+	}
+}
+
+// TestCompileTotality: compiled classifiers always have a matching rule.
+func TestCompileTotality(t *testing.T) {
+	g := &polGen{r: rand.New(rand.NewSource(123))}
+	for trial := 0; trial < 200; trial++ {
+		p := g.policy(2)
+		c := NewCompiler().Compile(p)
+		for probe := 0; probe < 50; probe++ {
+			in := g.packet()
+			found := false
+			for _, r := range c {
+				if r.Match.Matches(in) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no rule matches %v in classifier for %s:\n%s", in, p, c)
+			}
+		}
+	}
+}
+
+func BenchmarkCompileAppSpecificPeering(b *testing.B) {
+	polA := Union(
+		Seq(Match(pkt.MatchAll.InPort(portA1).DstPort(80)), FwdTo(linkAB)),
+		Seq(Match(pkt.MatchAll.InPort(portA1).DstPort(443)), FwdTo(linkAC)),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewCompiler().Compile(polA)
+	}
+}
+
+func BenchmarkClassifierEval(b *testing.B) {
+	g := &polGen{r: rand.New(rand.NewSource(1))}
+	c := NewCompiler().Compile(g.policy(3))
+	in := g.packet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Eval(in)
+	}
+}

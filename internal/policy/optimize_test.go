@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// TestOptimizeSemanticEquivalence: Optimize must never change what a
+// classifier does, only drop unreachable rules.
+func TestOptimizeSemanticEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	mkMatch := func() pkt.Match {
+		m := pkt.MatchAll
+		if r.Intn(2) == 0 {
+			m = m.InPort(pkt.PortID(r.Intn(3)))
+		}
+		if r.Intn(2) == 0 {
+			m = m.DstIP(iputil.NewPrefix(iputil.Addr(r.Uint32()), uint8(r.Intn(3)*8)))
+		}
+		if r.Intn(2) == 0 {
+			m = m.DstPort([]uint16{80, 443}[r.Intn(2)])
+		}
+		return m
+	}
+	for trial := 0; trial < 300; trial++ {
+		var c Classifier
+		for i := 0; i < 1+r.Intn(12); i++ {
+			var acts []pkt.Action
+			if r.Intn(4) > 0 {
+				acts = []pkt.Action{pkt.Output(pkt.PortID(10 + r.Intn(4)))}
+			}
+			c = append(c, Rule{Match: mkMatch(), Actions: acts})
+		}
+		opt := c.Optimize()
+		if len(opt) > len(c) {
+			t.Fatalf("Optimize grew the classifier: %d -> %d", len(c), len(opt))
+		}
+		for probe := 0; probe < 300; probe++ {
+			p := pkt.Packet{
+				InPort:  pkt.PortID(r.Intn(3)),
+				DstIP:   iputil.Addr(r.Uint32()),
+				DstPort: []uint16{80, 443, 22}[r.Intn(3)],
+			}
+			if !samePacketSet(c.Eval(p), opt.Eval(p)) {
+				t.Fatalf("trial %d: Optimize changed semantics for %v\nbefore:\n%s\nafter:\n%s",
+					trial, p, c, opt)
+			}
+		}
+	}
+}
+
+// TestOptimizeIdempotent: optimizing twice changes nothing further.
+func TestOptimizeIdempotent(t *testing.T) {
+	c := Classifier{
+		{Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(1)}},
+		{Match: pkt.MatchAll.DstPort(80).InPort(1), Actions: []pkt.Action{pkt.Output(2)}},
+		{Match: pkt.MatchAll},
+		{Match: pkt.MatchAll.DstPort(443), Actions: []pkt.Action{pkt.Output(3)}},
+	}
+	once := c.Optimize()
+	twice := once.Optimize()
+	if len(once) != len(twice) {
+		t.Fatalf("not idempotent: %d vs %d", len(once), len(twice))
+	}
+	for i := range once {
+		if once[i].Match != twice[i].Match {
+			t.Fatalf("rule %d changed", i)
+		}
+	}
+}
+
+// TestConcatDstIPGuarded: the prefix-guard concat path used by the naive
+// compilation mode must agree with full parallel composition.
+func TestConcatDstIPGuarded(t *testing.T) {
+	mk := func(prefix string, out pkt.PortID) Classifier {
+		return Classifier{
+			{Match: pkt.MatchAll.DstIP(pfx(prefix)), Actions: []pkt.Action{pkt.Output(out)}},
+			{Match: pkt.MatchAll},
+		}
+	}
+	c1 := mk("10.0.0.0/8", 1)
+	c2 := mk("20.0.0.0/8", 2)
+	c3 := mk("30.0.0.0/8", 3)
+	cat, ok := ConcatDisjoint(c1, c2, c3)
+	if !ok {
+		t.Fatal("disjoint dstip classifiers should concat")
+	}
+	full := parallelCompose(parallelCompose(c1, c2), c3)
+	for _, dst := range []string{"10.1.1.1", "20.1.1.1", "30.1.1.1", "40.1.1.1"} {
+		p := pkt.Packet{DstIP: iputil.MustParseAddr(dst)}
+		if !samePacketSet(cat.Eval(p), full.Eval(p)) {
+			t.Fatalf("dst %s: concat %v != full %v", dst, cat.Eval(p), full.Eval(p))
+		}
+	}
+	// Overlapping prefixes across classifiers must reject the fast path.
+	c4 := mk("10.0.0.0/16", 4)
+	if _, ok := ConcatDisjoint(c1, c4); ok {
+		t.Fatal("overlapping dstip guards must reject")
+	}
+	// Same-classifier overlaps are fine.
+	c5 := Classifier{
+		{Match: pkt.MatchAll.DstIP(pfx("10.0.0.0/8")), Actions: []pkt.Action{pkt.Output(1)}},
+		{Match: pkt.MatchAll.DstIP(pfx("10.0.0.0/16")), Actions: []pkt.Action{pkt.Output(2)}},
+		{Match: pkt.MatchAll},
+	}
+	if _, ok := ConcatDisjoint(c5, c2); !ok {
+		t.Fatal("same-classifier overlap should be accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package router_test
+
+import (
+	"testing"
+
+	"sdx/internal/core"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/router"
+)
+
+func newExchange(t *testing.T) (*core.Controller, *router.BorderRouter, *router.BorderRouter) {
+	t.Helper()
+	ctrl := core.NewController()
+	for _, cfg := range []core.ParticipantConfig{
+		{AS: 100, Name: "A", Ports: []core.PhysicalPort{{ID: 1}}},
+		{AS: 200, Name: "B", Ports: []core.PhysicalPort{{ID: 2}}},
+	} {
+		if _, err := ctrl.AddParticipant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := router.Attach(ctrl, 100, core.PhysicalPort{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := router.Attach(ctrl, 200, core.PhysicalPort{ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, a, b
+}
+
+func TestAttachValidation(t *testing.T) {
+	ctrl := core.NewController()
+	ctrl.AddParticipant(core.ParticipantConfig{AS: 100, Name: "A", Ports: []core.PhysicalPort{{ID: 1}}})
+	if _, err := router.Attach(ctrl, 999, core.PhysicalPort{ID: 1}); err == nil {
+		t.Fatal("unknown AS must fail")
+	}
+	if _, err := router.Attach(ctrl, 100, core.PhysicalPort{ID: 9}); err == nil {
+		t.Fatal("foreign port must fail")
+	}
+	r, err := router.Attach(ctrl, 100, core.PhysicalPort{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AS() != 100 || r.Port().ID != 1 {
+		t.Fatalf("identity: %d %d", r.AS(), r.Port().ID)
+	}
+}
+
+func TestFIBFollowsAnnounceWithdraw(t *testing.T) {
+	_, a, b := newExchange(t)
+	p := iputil.MustParsePrefix("20.0.0.0/8")
+	b.Announce(p)
+	if a.FIBLen() != 1 {
+		t.Fatalf("FIBLen = %d", a.FIBLen())
+	}
+	nh, ok := a.Lookup(iputil.MustParseAddr("20.1.2.3"))
+	if !ok || nh != core.PortIP(2) {
+		t.Fatalf("Lookup = %v %v", nh, ok)
+	}
+	b.Withdraw(p)
+	if a.FIBLen() != 0 {
+		t.Fatalf("FIBLen after withdraw = %d", a.FIBLen())
+	}
+	if _, ok := a.Lookup(iputil.MustParseAddr("20.1.2.3")); ok {
+		t.Fatal("route should be gone")
+	}
+}
+
+func TestSendResolvesThroughARP(t *testing.T) {
+	_, a, b := newExchange(t)
+	b.Announce(iputil.MustParsePrefix("20.0.0.0/8"))
+	if !a.SendIPv4(iputil.MustParseAddr("10.0.0.1"), iputil.MustParseAddr("20.0.0.9"), 1, 80, []byte("x")) {
+		t.Fatal("send should succeed")
+	}
+	got := b.Received()
+	if len(got) != 1 {
+		t.Fatalf("B received %d packets", len(got))
+	}
+	if got[0].SrcMAC != core.PortMAC(1) || got[0].DstMAC != core.PortMAC(2) {
+		t.Fatalf("MACs: %v -> %v", got[0].SrcMAC, got[0].DstMAC)
+	}
+	if got[0].EthType != pkt.EthTypeIPv4 || string(got[0].Payload) != "x" {
+		t.Fatalf("packet: %v", got[0])
+	}
+	b.ClearReceived()
+	if len(b.Received()) != 0 {
+		t.Fatal("ClearReceived failed")
+	}
+}
+
+func TestSendWithoutRouteFails(t *testing.T) {
+	_, a, _ := newExchange(t)
+	if a.SendIPv4(1, iputil.MustParseAddr("99.0.0.1"), 1, 80, nil) {
+		t.Fatal("send without a route must fail")
+	}
+}
+
+func TestOnDeliverCallback(t *testing.T) {
+	_, a, b := newExchange(t)
+	b.Announce(iputil.MustParsePrefix("20.0.0.0/8"))
+	var seen []pkt.Packet
+	b.OnDeliver = func(p pkt.Packet) { seen = append(seen, p) }
+	a.SendIPv4(1, iputil.MustParseAddr("20.0.0.1"), 1, 443, nil)
+	if len(seen) != 1 || seen[0].DstPort != 443 {
+		t.Fatalf("OnDeliver saw %v", seen)
+	}
+}
+
+func TestAnnounceCustomPath(t *testing.T) {
+	ctrl, a, b := newExchange(t)
+	b.Announce(iputil.MustParsePrefix("20.0.0.0/8"), 200, 701, 16509)
+	best, ok := ctrl.RouteServer().BestRoute(100, iputil.MustParsePrefix("20.0.0.0/8"))
+	if !ok || best.Attrs.PathLen() != 3 || best.Attrs.OriginAS() != 16509 {
+		t.Fatalf("best = %v", best)
+	}
+	_ = a
+}

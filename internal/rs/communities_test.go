@@ -1,0 +1,103 @@
+package rs
+
+import (
+	"testing"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+)
+
+const rsAS = 64512
+
+func announceWithCommunities(prefix string, peer uint32, comms ...uint32) *bgp.Update {
+	return &bgp.Update{
+		Attrs: &bgp.PathAttrs{
+			ASPath:      []uint32{peer},
+			NextHop:     iputil.Addr(peer),
+			Communities: comms,
+		},
+		NLRI: []iputil.Prefix{pfx(prefix)},
+	}
+}
+
+func newCommunityServer(t *testing.T) *Server {
+	t.Helper()
+	s := newServer(t, 100, 200, 300)
+	s.EnableCommunities(rsAS)
+	return s
+}
+
+func TestCommunityDenyToPeer(t *testing.T) {
+	s := newCommunityServer(t)
+	// (0, 100): do not announce to AS 100.
+	s.HandleUpdate(200, announceWithCommunities("10.0.0.0/8", 200, 0<<16|100))
+	if _, ok := s.BestRoute(100, pfx("10.0.0.0/8")); ok {
+		t.Fatal("AS100 must not see the route")
+	}
+	if _, ok := s.BestRoute(300, pfx("10.0.0.0/8")); !ok {
+		t.Fatal("AS300 should see the route")
+	}
+	if s.Exports(100, 200, pfx("10.0.0.0/8")) {
+		t.Fatal("Exports must honor the community")
+	}
+	if !s.Exports(300, 200, pfx("10.0.0.0/8")) {
+		t.Fatal("Exports should allow AS300")
+	}
+}
+
+func TestCommunityNoExportAll(t *testing.T) {
+	s := newCommunityServer(t)
+	// (0, rsAS): announce to no one.
+	s.HandleUpdate(200, announceWithCommunities("10.0.0.0/8", 200, 0<<16|rsAS&0xffff))
+	for _, as := range []uint32{100, 300} {
+		if _, ok := s.BestRoute(as, pfx("10.0.0.0/8")); ok {
+			t.Fatalf("AS%d must not see a no-export route", as)
+		}
+	}
+}
+
+func TestCommunityWhitelist(t *testing.T) {
+	s := newCommunityServer(t)
+	// (rsAS, 300): announce ONLY to AS 300.
+	s.HandleUpdate(200, announceWithCommunities("10.0.0.0/8", 200, uint32(rsAS&0xffff)<<16|300))
+	if _, ok := s.BestRoute(100, pfx("10.0.0.0/8")); ok {
+		t.Fatal("whitelist must exclude AS100")
+	}
+	if _, ok := s.BestRoute(300, pfx("10.0.0.0/8")); !ok {
+		t.Fatal("whitelist must include AS300")
+	}
+	reach := s.ReachablePrefixes(300, 200)
+	if len(reach) != 1 {
+		t.Fatalf("ReachablePrefixes(300 via 200) = %v", reach)
+	}
+	if reach := s.ReachablePrefixes(100, 200); len(reach) != 0 {
+		t.Fatalf("ReachablePrefixes(100 via 200) = %v", reach)
+	}
+}
+
+func TestCommunitiesDisabledByDefault(t *testing.T) {
+	s := newServer(t, 100, 200)
+	// Without EnableCommunities the deny community is inert.
+	s.HandleUpdate(200, announceWithCommunities("10.0.0.0/8", 200, 0<<16|100))
+	if _, ok := s.BestRoute(100, pfx("10.0.0.0/8")); !ok {
+		t.Fatal("communities should be inert when disabled")
+	}
+}
+
+func TestCommunityFallbackAcrossPeers(t *testing.T) {
+	s := newCommunityServer(t)
+	// B's route is hidden from A by community; C's plain route wins for A.
+	s.HandleUpdate(200, announceWithCommunities("10.0.0.0/8", 200, 0<<16|100))
+	s.HandleUpdate(300, announceWithCommunities("10.0.0.0/8", 300))
+	best, ok := s.BestRoute(100, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 300 {
+		t.Fatalf("A's best = %v", best)
+	}
+	// Other participants still prefer normally between both.
+	// (Both paths are length 1; B has the lower router ID = 200.)
+	// AS 300's own view excludes its route: best via 200.
+	best, ok = s.BestRoute(300, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 200 {
+		t.Fatalf("C's best = %v", best)
+	}
+}

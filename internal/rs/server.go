@@ -1,0 +1,378 @@
+// Package rs implements the SDX route server (§3.2, §5.1): it collects the
+// BGP routes advertised by every participant, applies per-participant
+// export policies, computes one best route per prefix on behalf of each
+// participant, and emits best-route-change events that drive the SDX
+// policy compiler. Re-advertisement (with virtual next hops substituted)
+// is delegated to a per-participant callback so the controller layer can
+// rewrite next hops before the update leaves the box.
+package rs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+)
+
+// ExportPolicy restricts which of a participant's routes the route server
+// re-advertises to which peers. The zero value exports everything to
+// everyone (the common IXP default).
+type ExportPolicy struct {
+	// DenyAllTo lists peers that receive none of this participant's routes.
+	DenyAllTo map[uint32]bool
+	// DenyTo lists specific prefixes withheld from specific peers; a
+	// route is withheld when its prefix equals a listed prefix.
+	DenyTo map[uint32][]iputil.Prefix
+}
+
+// Allows reports whether a route for prefix may be exported to peer `to`.
+func (e *ExportPolicy) Allows(to uint32, prefix iputil.Prefix) bool {
+	if e == nil {
+		return true
+	}
+	if e.DenyAllTo[to] {
+		return false
+	}
+	for _, p := range e.DenyTo[to] {
+		if p == prefix {
+			return false
+		}
+	}
+	return true
+}
+
+// ParticipantConfig describes one route-server client.
+type ParticipantConfig struct {
+	AS       uint32
+	RouterID iputil.Addr
+	Export   *ExportPolicy
+	// Advertise, when non-nil, is called for every best-route change the
+	// server wants to announce to this participant: route is nil for a
+	// withdrawal. Called with the server lock held; must not call back
+	// into the server.
+	Advertise func(prefix iputil.Prefix, route *bgp.Route)
+}
+
+// Event records a best-route change for one (participant, prefix) pair.
+type Event struct {
+	Participant uint32 // whose view changed
+	Prefix      iputil.Prefix
+	Old, New    *bgp.Route // nil means no route
+}
+
+// String renders the event.
+func (e Event) String() string {
+	return fmt.Sprintf("best(%d, %s): %v -> %v", e.Participant, e.Prefix, e.Old, e.New)
+}
+
+type participant struct {
+	cfg  ParticipantConfig
+	best map[iputil.Prefix]*bgp.Route // Loc-RIB: best route per prefix, from this participant's view
+}
+
+// Server is the SDX route server. It is safe for concurrent use.
+type Server struct {
+	mu           sync.Mutex
+	participants map[uint32]*participant
+	adjIn        *bgp.RIB // merged Adj-RIB-In: route per (prefix, advertising participant)
+	updates      int      // UPDATE messages processed
+
+	// Community-based export control (conventional IXP route-server
+	// semantics), enabled by EnableCommunities:
+	//
+	//	(0, peer)       do not announce this route to AS peer
+	//	(0, localAS)    do not announce this route to anyone
+	//	(localAS, peer) announce only to AS peer (whitelist mode when
+	//	                any such community is present)
+	communityAS uint32 // the route server's AS; 0 disables the semantics
+}
+
+// EnableCommunities turns on conventional route-server community
+// handling with the given route-server AS number.
+func (s *Server) EnableCommunities(localAS uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.communityAS = localAS
+}
+
+// communityAllows evaluates the community semantics for exporting route r
+// to participant `to`. Called with s.mu held.
+func (s *Server) communityAllows(r *bgp.Route, to uint32) bool {
+	if s.communityAS == 0 || r.Attrs == nil {
+		return true
+	}
+	whitelist := false
+	whitelisted := false
+	for _, c := range r.Attrs.Communities {
+		hi, lo := c>>16, c&0xffff
+		switch {
+		case hi == 0 && lo == s.communityAS&0xffff:
+			return false // announce to no one
+		case hi == 0 && lo == to&0xffff:
+			return false // do not announce to `to`
+		case hi == s.communityAS&0xffff:
+			whitelist = true
+			if lo == to&0xffff {
+				whitelisted = true
+			}
+		}
+	}
+	if whitelist {
+		return whitelisted
+	}
+	return true
+}
+
+// New returns an empty route server.
+func New() *Server {
+	return &Server{
+		participants: make(map[uint32]*participant),
+		adjIn:        bgp.NewRIB(),
+	}
+}
+
+// AddParticipant registers a participant. It fails on duplicate AS.
+func (s *Server) AddParticipant(cfg ParticipantConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.participants[cfg.AS]; dup {
+		return fmt.Errorf("rs: duplicate participant AS%d", cfg.AS)
+	}
+	s.participants[cfg.AS] = &participant{cfg: cfg, best: make(map[iputil.Prefix]*bgp.Route)}
+	// A late joiner learns current best routes for every known prefix.
+	p := s.participants[cfg.AS]
+	for _, prefix := range s.adjIn.Prefixes() {
+		if best := s.bestFor(cfg.AS, prefix); best != nil {
+			p.best[prefix] = best
+			if cfg.Advertise != nil {
+				cfg.Advertise(prefix, best)
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveParticipant withdraws every route learned from the participant and
+// deregisters it, returning the resulting events for other participants.
+func (s *Server) RemoveParticipant(as uint32) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.participants, as)
+	affected := s.adjIn.RemovePeer(as)
+	return s.recomputeLocked(affected)
+}
+
+// Participants returns the registered AS numbers, sorted.
+func (s *Server) Participants() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint32, 0, len(s.participants))
+	for as := range s.participants {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HandleUpdate applies one UPDATE received from participant `from` and
+// returns the best-route changes it caused across all participants.
+// Advertise callbacks fire before HandleUpdate returns.
+func (s *Server) HandleUpdate(from uint32, u *bgp.Update) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updates++
+	var affected []iputil.Prefix
+	for _, p := range u.Withdrawn {
+		if s.adjIn.Remove(p, from) {
+			affected = append(affected, p)
+		}
+	}
+	sender := s.participants[from]
+	for _, p := range u.NLRI {
+		routerID := iputil.Addr(from)
+		if sender != nil {
+			routerID = sender.cfg.RouterID
+		}
+		s.adjIn.Add(&bgp.Route{Prefix: p, Attrs: u.Attrs.Clone(), PeerAS: from, PeerID: routerID})
+		affected = append(affected, p)
+	}
+	return s.recomputeLocked(affected)
+}
+
+// recomputeLocked recomputes best routes for the affected prefixes for
+// every participant, firing Advertise callbacks for changes.
+func (s *Server) recomputeLocked(affected []iputil.Prefix) []Event {
+	var events []Event
+	seen := make(map[iputil.Prefix]bool, len(affected))
+	ases := make([]uint32, 0, len(s.participants))
+	for as := range s.participants {
+		ases = append(ases, as)
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+	for _, prefix := range affected {
+		if seen[prefix] {
+			continue
+		}
+		seen[prefix] = true
+		for _, as := range ases {
+			p := s.participants[as]
+			old := p.best[prefix]
+			best := s.bestFor(as, prefix)
+			if sameRoute(old, best) {
+				continue
+			}
+			if best == nil {
+				delete(p.best, prefix)
+			} else {
+				p.best[prefix] = best
+			}
+			events = append(events, Event{Participant: as, Prefix: prefix, Old: old, New: best})
+			if p.cfg.Advertise != nil {
+				p.cfg.Advertise(prefix, best)
+			}
+		}
+	}
+	return events
+}
+
+func sameRoute(a, b *bgp.Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a == b
+}
+
+// bestFor computes the best route for prefix from participant as's view:
+// the best among routes advertised by other participants whose export
+// policy allows as to see them.
+func (s *Server) bestFor(as uint32, prefix iputil.Prefix) *bgp.Route {
+	var candidates []*bgp.Route
+	for _, r := range s.adjIn.Routes(prefix) {
+		if r.PeerAS == as {
+			continue // never reflect a route back to its advertiser
+		}
+		if adv := s.participants[r.PeerAS]; adv != nil && !adv.cfg.Export.Allows(as, prefix) {
+			continue
+		}
+		if !s.communityAllows(r, as) {
+			continue
+		}
+		candidates = append(candidates, r)
+	}
+	return bgp.Best(candidates)
+}
+
+// BestRoute returns participant as's current best route for prefix.
+func (s *Server) BestRoute(as uint32, prefix iputil.Prefix) (*bgp.Route, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.participants[as]
+	if p == nil {
+		return nil, false
+	}
+	r, ok := p.best[prefix]
+	return r, ok
+}
+
+// BestRoutes returns a copy of participant as's Loc-RIB.
+func (s *Server) BestRoutes(as uint32) map[iputil.Prefix]*bgp.Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.participants[as]
+	if p == nil {
+		return nil
+	}
+	out := make(map[iputil.Prefix]*bgp.Route, len(p.best))
+	for k, v := range p.best {
+		out[k] = v
+	}
+	return out
+}
+
+// ReachablePrefixes returns the prefixes that participant `via` has
+// exported to participant `viewer` — the set the SDX compiler uses to
+// restrict viewer's outbound policies toward via ("forwarding only along
+// BGP-advertised paths", §3.2). The result is sorted.
+func (s *Server) ReachablePrefixes(viewer, via uint32) []iputil.Prefix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	adv := s.participants[via]
+	var out []iputil.Prefix
+	s.adjIn.Walk(func(prefix iputil.Prefix, routes []*bgp.Route) bool {
+		for _, r := range routes {
+			if r.PeerAS != via {
+				continue
+			}
+			if adv != nil && !adv.cfg.Export.Allows(viewer, prefix) {
+				continue
+			}
+			if !s.communityAllows(r, viewer) {
+				continue
+			}
+			out = append(out, prefix)
+		}
+		return true
+	})
+	return out
+}
+
+// Exports reports whether participant `via` currently announces prefix and
+// exports it to `viewer` — the membership query behind the SDX fast path.
+func (s *Server) Exports(viewer, via uint32, prefix iputil.Prefix) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.adjIn.Get(prefix, via)
+	if !ok {
+		return false
+	}
+	if adv := s.participants[via]; adv != nil && !adv.cfg.Export.Allows(viewer, prefix) {
+		return false
+	}
+	return s.communityAllows(r, viewer)
+}
+
+// GlobalBest returns the best route for prefix across every participant's
+// announcements, with no viewer exclusion — the route server's single
+// default next hop used by the SDX's forwarding-equivalence-class grouping
+// (§4.2 pass 2).
+func (s *Server) GlobalBest(prefix iputil.Prefix) *bgp.Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return bgp.Best(s.adjIn.Routes(prefix))
+}
+
+// AnnouncedPrefixes returns the prefixes participant as currently
+// announces, sorted.
+func (s *Server) AnnouncedPrefixes(as uint32) []iputil.Prefix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []iputil.Prefix
+	s.adjIn.Walk(func(prefix iputil.Prefix, routes []*bgp.Route) bool {
+		for _, r := range routes {
+			if r.PeerAS == as {
+				out = append(out, prefix)
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Prefixes returns every prefix known to the route server, sorted.
+func (s *Server) Prefixes() []iputil.Prefix {
+	return s.adjIn.Prefixes()
+}
+
+// RIB exposes the merged Adj-RIB-In (read-only use: attribute filters such
+// as RIB().FilterASPath for §3.2-style policies).
+func (s *Server) RIB() *bgp.RIB { return s.adjIn }
+
+// UpdatesProcessed returns the number of HandleUpdate calls.
+func (s *Server) UpdatesProcessed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updates
+}

@@ -1,0 +1,235 @@
+package rs
+
+import (
+	"testing"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+)
+
+func pfx(s string) iputil.Prefix { return iputil.MustParsePrefix(s) }
+
+func announce(prefixes []string, path ...uint32) *bgp.Update {
+	ps := make([]iputil.Prefix, len(prefixes))
+	for i, p := range prefixes {
+		ps[i] = pfx(p)
+	}
+	return &bgp.Update{
+		Attrs: &bgp.PathAttrs{ASPath: path, NextHop: iputil.Addr(path[0])},
+		NLRI:  ps,
+	}
+}
+
+func withdraw(prefixes ...string) *bgp.Update {
+	ps := make([]iputil.Prefix, len(prefixes))
+	for i, p := range prefixes {
+		ps[i] = pfx(p)
+	}
+	return &bgp.Update{Withdrawn: ps}
+}
+
+func newServer(t *testing.T, ases ...uint32) *Server {
+	t.Helper()
+	s := New()
+	for _, as := range ases {
+		if err := s.AddParticipant(ParticipantConfig{AS: as, RouterID: iputil.Addr(as)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestBestRoutePerParticipant(t *testing.T) {
+	s := newServer(t, 100, 200, 300)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200, 900))
+	events := s.HandleUpdate(300, announce([]string{"10.0.0.0/8"}, 300))
+
+	// AS 100 should prefer the shorter path via 300.
+	best, ok := s.BestRoute(100, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 300 {
+		t.Fatalf("best for 100: %v (ok=%v)", best, ok)
+	}
+	// AS 300 must not receive its own route back; its best is via 200.
+	best, ok = s.BestRoute(300, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 200 {
+		t.Fatalf("best for 300: %v", best)
+	}
+	// The second announcement changed the best for 100 and 200 but for
+	// 300 the route via 200 stays (its own route is excluded).
+	for _, e := range events {
+		if e.Participant == 300 {
+			t.Fatalf("unexpected event for announcer's own view: %v", e)
+		}
+	}
+}
+
+func TestDuplicateParticipant(t *testing.T) {
+	s := newServer(t, 100)
+	if err := s.AddParticipant(ParticipantConfig{AS: 100}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+}
+
+func TestWithdrawalFallsBack(t *testing.T) {
+	s := newServer(t, 100, 200, 300)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200))
+	s.HandleUpdate(300, announce([]string{"10.0.0.0/8"}, 300, 900))
+	// 100 prefers 200 (shorter). Withdraw it: falls back to 300.
+	events := s.HandleUpdate(200, withdraw("10.0.0.0/8"))
+	best, ok := s.BestRoute(100, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 300 {
+		t.Fatalf("after withdrawal best = %v", best)
+	}
+	found := false
+	for _, e := range events {
+		if e.Participant == 100 && e.New != nil && e.New.PeerAS == 300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing fallback event, got %v", events)
+	}
+	// Withdraw the last route: best disappears.
+	s.HandleUpdate(300, withdraw("10.0.0.0/8"))
+	if _, ok := s.BestRoute(100, pfx("10.0.0.0/8")); ok {
+		t.Fatal("best should disappear after last withdrawal")
+	}
+}
+
+func TestWithdrawUnknownPrefixNoEvents(t *testing.T) {
+	s := newServer(t, 100, 200)
+	if events := s.HandleUpdate(200, withdraw("99.0.0.0/8")); len(events) != 0 {
+		t.Fatalf("events for unknown withdrawal: %v", events)
+	}
+}
+
+func TestExportPolicyDenyTo(t *testing.T) {
+	// Figure 1b: AS B does not export p4 to AS A.
+	s := New()
+	p4 := pfx("40.0.0.0/8")
+	s.AddParticipant(ParticipantConfig{AS: 100, RouterID: 100}) // A
+	s.AddParticipant(ParticipantConfig{AS: 200, RouterID: 200,  // B
+		Export: &ExportPolicy{DenyTo: map[uint32][]iputil.Prefix{100: {p4}}}})
+	s.AddParticipant(ParticipantConfig{AS: 300, RouterID: 300}) // C
+
+	s.HandleUpdate(200, announce([]string{"40.0.0.0/8", "10.0.0.0/8"}, 200))
+
+	if _, ok := s.BestRoute(100, p4); ok {
+		t.Fatal("A must not see B's p4")
+	}
+	if _, ok := s.BestRoute(100, pfx("10.0.0.0/8")); !ok {
+		t.Fatal("A should see B's other prefix")
+	}
+	if _, ok := s.BestRoute(300, p4); !ok {
+		t.Fatal("C should see p4")
+	}
+
+	reach := s.ReachablePrefixes(100, 200)
+	if len(reach) != 1 || reach[0] != pfx("10.0.0.0/8") {
+		t.Fatalf("ReachablePrefixes(A via B) = %v", reach)
+	}
+	reach = s.ReachablePrefixes(300, 200)
+	if len(reach) != 2 {
+		t.Fatalf("ReachablePrefixes(C via B) = %v", reach)
+	}
+}
+
+func TestExportPolicyDenyAll(t *testing.T) {
+	s := New()
+	s.AddParticipant(ParticipantConfig{AS: 100})
+	s.AddParticipant(ParticipantConfig{AS: 200,
+		Export: &ExportPolicy{DenyAllTo: map[uint32]bool{100: true}}})
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200))
+	if _, ok := s.BestRoute(100, pfx("10.0.0.0/8")); ok {
+		t.Fatal("deny-all peer must see nothing")
+	}
+}
+
+func TestAdvertiseCallback(t *testing.T) {
+	s := New()
+	type adv struct {
+		prefix iputil.Prefix
+		route  *bgp.Route
+	}
+	var got []adv
+	s.AddParticipant(ParticipantConfig{AS: 100, RouterID: 100,
+		Advertise: func(p iputil.Prefix, r *bgp.Route) { got = append(got, adv{p, r}) }})
+	s.AddParticipant(ParticipantConfig{AS: 200, RouterID: 200})
+
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200))
+	if len(got) != 1 || got[0].route == nil || got[0].route.PeerAS != 200 {
+		t.Fatalf("advertise after announce: %v", got)
+	}
+	s.HandleUpdate(200, withdraw("10.0.0.0/8"))
+	if len(got) != 2 || got[1].route != nil {
+		t.Fatalf("advertise after withdraw: %v", got)
+	}
+}
+
+func TestLateJoinerLearnsExistingRoutes(t *testing.T) {
+	s := newServer(t, 200)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8", "20.0.0.0/8"}, 200))
+	var advs int
+	s.AddParticipant(ParticipantConfig{AS: 100, RouterID: 100,
+		Advertise: func(iputil.Prefix, *bgp.Route) { advs++ }})
+	if advs != 2 {
+		t.Fatalf("late joiner received %d advertisements, want 2", advs)
+	}
+	if best := s.BestRoutes(100); len(best) != 2 {
+		t.Fatalf("late joiner Loc-RIB: %v", best)
+	}
+}
+
+func TestRemoveParticipantWithdrawsRoutes(t *testing.T) {
+	s := newServer(t, 100, 200, 300)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200))
+	s.HandleUpdate(300, announce([]string{"10.0.0.0/8"}, 300, 900))
+	events := s.RemoveParticipant(200)
+	best, ok := s.BestRoute(100, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 300 {
+		t.Fatalf("after removal best = %v", best)
+	}
+	if len(events) == 0 {
+		t.Fatal("removal should emit events")
+	}
+	if ps := s.Participants(); len(ps) != 2 {
+		t.Fatalf("Participants = %v", ps)
+	}
+}
+
+func TestAnnouncedPrefixes(t *testing.T) {
+	s := newServer(t, 100, 200)
+	s.HandleUpdate(200, announce([]string{"20.0.0.0/8", "10.0.0.0/8"}, 200))
+	got := s.AnnouncedPrefixes(200)
+	if len(got) != 2 || got[0] != pfx("10.0.0.0/8") {
+		t.Fatalf("AnnouncedPrefixes = %v", got)
+	}
+	if got := s.AnnouncedPrefixes(100); len(got) != 0 {
+		t.Fatalf("silent participant announced %v", got)
+	}
+	if len(s.Prefixes()) != 2 {
+		t.Fatalf("Prefixes = %v", s.Prefixes())
+	}
+}
+
+func TestUpdatesProcessedCounter(t *testing.T) {
+	s := newServer(t, 100, 200)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200))
+	s.HandleUpdate(200, withdraw("10.0.0.0/8"))
+	if s.UpdatesProcessed() != 2 {
+		t.Fatalf("UpdatesProcessed = %d", s.UpdatesProcessed())
+	}
+}
+
+func TestReAnnouncementReplacesRoute(t *testing.T) {
+	s := newServer(t, 100, 200)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200, 900))
+	ev := s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200)) // better path
+	best, _ := s.BestRoute(100, pfx("10.0.0.0/8"))
+	if best.Attrs.PathLen() != 1 {
+		t.Fatalf("replacement not applied: %v", best)
+	}
+	if len(ev) == 0 {
+		t.Fatal("attribute change should emit an event")
+	}
+}

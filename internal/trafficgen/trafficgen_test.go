@@ -1,0 +1,116 @@
+package trafficgen_test
+
+import (
+	"testing"
+
+	"sdx/internal/core"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/router"
+	"sdx/internal/trafficgen"
+)
+
+func setup(t *testing.T) (*core.Controller, *router.BorderRouter, *router.BorderRouter) {
+	t.Helper()
+	ctrl := core.NewController()
+	for _, cfg := range []core.ParticipantConfig{
+		{AS: 100, Name: "A", Ports: []core.PhysicalPort{{ID: 1}}},
+		{AS: 200, Name: "B", Ports: []core.PhysicalPort{{ID: 2}}},
+	} {
+		if _, err := ctrl.AddParticipant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := router.Attach(ctrl, 100, core.PhysicalPort{ID: 1})
+	b, _ := router.Attach(ctrl, 200, core.PhysicalPort{ID: 2})
+	b.Announce(iputil.MustParsePrefix("20.0.0.0/8"))
+	return ctrl, a, b
+}
+
+func TestConstantRateDelivery(t *testing.T) {
+	_, a, b := setup(t)
+	exp := trafficgen.New()
+	exp.AddFlow(trafficgen.Flow{
+		From: a, Src: 1, Dst: iputil.MustParseAddr("20.0.0.1"),
+		DstPort: 80, RateMbps: 2,
+	})
+	exp.WatchRouter("b", b, nil)
+	res := exp.Run(10)
+	series := res.Series["b"]
+	if len(series) != 10 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for i, mbps := range series {
+		if mbps < 1.9 || mbps > 2.1 {
+			t.Fatalf("step %d: %.2f Mbps, want ~2", i, mbps)
+		}
+	}
+	if got := res.Names(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWatchFilterSplitsSeries(t *testing.T) {
+	_, a, b := setup(t)
+	exp := trafficgen.New()
+	exp.AddFlow(trafficgen.Flow{From: a, Src: 1, Dst: iputil.MustParseAddr("20.0.0.1"), DstPort: 80, RateMbps: 1})
+	exp.AddFlow(trafficgen.Flow{From: a, Src: 1, Dst: iputil.MustParseAddr("20.0.0.2"), DstPort: 443, RateMbps: 1})
+	exp.WatchRouter("web", b, func(p pkt.Packet) bool { return p.DstPort == 80 })
+	exp.WatchRouter("tls", b, func(p pkt.Packet) bool { return p.DstPort == 443 })
+	res := exp.Run(5)
+	for _, name := range []string{"web", "tls"} {
+		for i, mbps := range res.Series[name] {
+			if mbps < 0.9 || mbps > 1.1 {
+				t.Fatalf("%s step %d: %.2f", name, i, mbps)
+			}
+		}
+	}
+}
+
+func TestScheduledEventChangesRates(t *testing.T) {
+	ctrl, a, b := setup(t)
+	exp := trafficgen.New()
+	exp.AddFlow(trafficgen.Flow{From: a, Src: 1, Dst: iputil.MustParseAddr("20.0.0.1"), DstPort: 25, RateMbps: 1})
+	exp.WatchRouter("b", b, nil)
+	exp.At(3, func() {
+		// A blocks its own outbound SMTP mid-run.
+		if _, err := ctrl.SetPolicyAndCompile(100, nil, []core.Term{
+			core.DropTerm(pkt.MatchAll.DstPort(25)),
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	res := exp.Run(6)
+	s := res.Series["b"]
+	if s[0] < 0.9 || s[2] < 0.9 {
+		t.Fatalf("traffic should flow before the event: %v", s)
+	}
+	if s[3] > 0.1 || s[5] > 0.1 {
+		t.Fatalf("traffic should stop after the drop policy: %v", s)
+	}
+}
+
+func TestDefaultPacketSizing(t *testing.T) {
+	_, a, b := setup(t)
+	exp := trafficgen.New()
+	exp.AddFlow(trafficgen.Flow{From: a, Src: 1, Dst: iputil.MustParseAddr("20.0.0.1"), RateMbps: 1})
+	exp.WatchRouter("b", b, nil)
+	exp.Run(2)
+	got := b.Received()
+	if len(got) == 0 {
+		t.Fatal("no packets")
+	}
+	if got[0].Proto != pkt.ProtoUDP {
+		t.Fatalf("default proto = %d, want UDP", got[0].Proto)
+	}
+	if len(got[0].Payload) != 1250 {
+		t.Fatalf("default payload = %d", len(got[0].Payload))
+	}
+	// 1 Mbps at 1250B = 100 packets per second.
+	if n := len(got); n != 200 {
+		t.Fatalf("sent %d packets over 2 steps, want 200", n)
+	}
+}

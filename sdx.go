@@ -1,0 +1,170 @@
+// Package sdx is a software defined Internet exchange point, a
+// from-scratch Go implementation of "SDX: A Software Defined Internet
+// Exchange" (Gupta et al., SIGCOMM 2014).
+//
+// An SDX gives each participant AS the illusion of its own virtual SDN
+// switch on which it can write fine-grained forwarding policies —
+// application-specific peering, inbound traffic engineering, wide-area
+// server load balancing, middlebox redirection — while the runtime
+// guarantees isolation between participants and consistency with the BGP
+// routes exchanged at the IXP's route server. The compilation pipeline
+// keeps the switch rule table small by grouping prefixes into forwarding
+// equivalence classes tagged with virtual MAC addresses, and reacts to
+// BGP updates in sub-second time through a two-stage fast path.
+//
+// # Quick start
+//
+//	x := sdx.New()
+//	a, _ := x.AddParticipant(sdx.ParticipantConfig{AS: 100, Name: "A",
+//		Ports: []sdx.PhysicalPort{{ID: 1}}})
+//	_ = a
+//	// AS A: web via B, everything else follows BGP.
+//	x.SetPolicyAndCompile(100, nil, []sdx.Term{
+//		sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
+//	})
+//
+// Border routers attach with the router package
+// (sdx/internal/router.Attach) or over real BGP sessions via ListenBGP.
+// See the examples directory for complete scenarios and DESIGN.md for
+// the architecture.
+package sdx
+
+import (
+	"sdx/internal/arp"
+	"sdx/internal/bgp"
+	"sdx/internal/core"
+	"sdx/internal/dataplane"
+	"sdx/internal/fabric"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/policy"
+	"sdx/internal/rs"
+)
+
+// Core controller types.
+type (
+	// Controller is the SDX controller: route server, policy compiler,
+	// fabric switch and ARP responder in one.
+	Controller = core.Controller
+	// ParticipantConfig declares one member AS.
+	ParticipantConfig = core.ParticipantConfig
+	// Participant is a registered member AS.
+	Participant = core.Participant
+	// PhysicalPort is a border-router attachment to the fabric.
+	PhysicalPort = core.PhysicalPort
+	// Term is one policy term (match plus action).
+	Term = core.Term
+	// TermAction is a term's forwarding action.
+	TermAction = core.TermAction
+	// RouteAd is a (VNH-rewritten) route advertisement to a border router.
+	RouteAd = core.RouteAd
+	// UpdateResult reports the effect of one BGP update.
+	UpdateResult = core.UpdateResult
+	// CompileReport summarizes a full compilation pass.
+	CompileReport = core.CompileReport
+	// Compiled is the output of a compilation pass.
+	Compiled = core.Compiled
+	// PrefixGroup is one forwarding equivalence class.
+	PrefixGroup = core.PrefixGroup
+	// ExportPolicy restricts route-server exports per peer.
+	ExportPolicy = rs.ExportPolicy
+)
+
+// Packet-model types.
+type (
+	// Packet is a located packet in the fabric.
+	Packet = pkt.Packet
+	// Match is a conjunctive header predicate.
+	Match = pkt.Match
+	// Mods is a set of header rewrites.
+	Mods = pkt.Mods
+	// MAC is a 48-bit Ethernet address.
+	MAC = pkt.MAC
+	// PortID identifies a fabric port.
+	PortID = pkt.PortID
+	// Addr is an IPv4 address.
+	Addr = iputil.Addr
+	// Prefix is an IPv4 CIDR prefix.
+	Prefix = iputil.Prefix
+	// Classifier is a compiled prioritized rule list.
+	Classifier = policy.Classifier
+	// FlowEntry is one installed switch rule.
+	FlowEntry = dataplane.FlowEntry
+	// Update is a BGP UPDATE message.
+	Update = bgp.Update
+	// PathAttrs are BGP path attributes.
+	PathAttrs = bgp.PathAttrs
+	// ARPResponder answers virtual-next-hop ARP queries.
+	ARPResponder = arp.Responder
+)
+
+// MatchAll is the wildcard match; build constraints fluently, e.g.
+// sdx.MatchAll.DstPort(80).SrcIP(prefix).
+var MatchAll = pkt.MatchAll
+
+// NoMods is the empty header-rewrite set.
+var NoMods = pkt.NoMods
+
+// New returns a fresh SDX controller with an empty fabric.
+func New(opts ...core.Option) *Controller { return core.NewController(opts...) }
+
+// WithLogger directs controller logging to logf.
+var WithLogger = core.WithLogger
+
+// Policy-term constructors (§2's four application idioms).
+var (
+	// Fwd builds an application-specific-peering outbound term.
+	Fwd = core.Fwd
+	// FwdPort builds an inbound traffic-engineering term.
+	FwdPort = core.FwdPort
+	// FwdMiddlebox builds a middlebox-redirection outbound term.
+	FwdMiddlebox = core.FwdMiddlebox
+	// DropTerm builds an explicit drop term.
+	DropTerm = core.DropTerm
+	// RewriteTerm builds a wide-area load-balancing rewrite term.
+	RewriteTerm = core.RewriteTerm
+)
+
+// Address parsing helpers.
+var (
+	// ParseAddr parses a dotted-quad IPv4 address.
+	ParseAddr = iputil.ParseAddr
+	// MustParseAddr is ParseAddr panicking on error.
+	MustParseAddr = iputil.MustParseAddr
+	// ParsePrefix parses CIDR notation.
+	ParsePrefix = iputil.ParsePrefix
+	// MustParsePrefix is ParsePrefix panicking on error.
+	MustParsePrefix = iputil.MustParsePrefix
+	// ParseMAC parses colon-separated MAC notation.
+	ParseMAC = pkt.ParseMAC
+)
+
+// Fabric addressing helpers.
+var (
+	// PortMAC derives a fabric port's real MAC address.
+	PortMAC = core.PortMAC
+	// PortIP derives a fabric port's IXP-subnet IP.
+	PortIP = core.PortIP
+	// IsVMAC reports whether a MAC tags a forwarding equivalence class.
+	IsVMAC = core.IsVMAC
+)
+
+// VNHSubnet is the pool virtual next hops are drawn from.
+var VNHSubnet = core.VNHSubnet
+
+// IXPSubnet is the exchange's shared layer-2 subnet.
+var IXPSubnet = core.IXPSubnet
+
+// Multi-switch fabric (§4.1 "multiple physical switches").
+type (
+	// Fabric is an SDX data plane spread across several switches.
+	Fabric = fabric.Fabric
+	// FabricTopology describes the switches, port placement and trunks.
+	FabricTopology = fabric.Topology
+	// FabricLink is one inter-switch trunk.
+	FabricLink = fabric.Link
+)
+
+// NewFabric builds a multi-switch fabric; attach it to a controller with
+// Controller.AddRuleMirror.
+var NewFabric = fabric.New
