@@ -61,7 +61,8 @@ func (s *BGPServer) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, sess := range open {
-		sess.Close()
+		// Close sends a best-effort CEASE; the session is torn down either way.
+		_ = sess.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -95,13 +96,13 @@ func (s *BGPServer) handle(conn net.Conn) {
 	}
 	peerAS := sess.PeerAS()
 	if _, ok := s.ctrl.Participant(peerAS); !ok {
-		sess.Close()
+		_ = sess.Close()
 		return
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		sess.Close()
+		_ = sess.Close()
 		return
 	}
 	s.sessions[sess] = struct{}{}
@@ -120,16 +121,18 @@ func (s *BGPServer) handle(conn net.Conn) {
 			return
 		default:
 		}
-		sess.SendUpdate(adToUpdate(ad))
+		// A failed send means the connection died; the session's read
+		// loop observes the same failure and tears the session down.
+		_ = sess.SendUpdate(adToUpdate(ad))
 	})
 	if err != nil {
-		sess.Close()
+		_ = sess.Close()
 		return
 	}
 	// Initial table transfer: everything the participant should know.
 	for _, ad := range s.ctrl.RoutesFor(peerAS) {
 		if err := sess.SendUpdate(adToUpdate(ad)); err != nil {
-			sess.Close()
+			_ = sess.Close()
 			return
 		}
 	}

@@ -1,0 +1,124 @@
+// Command sdx-lint runs the SDX static-analysis suite (internal/lint) over
+// the module and prints findings as "file:line: [analyzer] message" lines
+// (or JSON with -json). It exits 1 when there are findings, 2 on usage or
+// load errors.
+//
+// Usage:
+//
+//	go run ./cmd/sdx-lint ./...          # whole module
+//	go run ./cmd/sdx-lint internal/bgp   # specific package directories
+//	go run ./cmd/sdx-lint -json ./...    # machine-readable output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sdx/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	listAnalyzers := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sdx-lint [-json] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listAnalyzers {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := load(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdx-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "sdx-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(relativize(d))
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "sdx-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// load resolves the argument patterns to type-checked packages. "./..."
+// (or no arguments) loads the whole module; anything else is taken as a
+// package directory.
+func load(args []string) ([]*lint.Package, error) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		dir := filepath.Clean(arg)
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.ModuleRoot(), abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside module %s", arg, loader.ModulePath())
+		}
+		path := loader.ModulePath()
+		if rel != "." {
+			path += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(abs, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// relativize shortens absolute file paths to module-relative ones for
+// readable terminal output.
+func relativize(d lint.Diagnostic) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return d.String()
+	}
+	if rel, err := filepath.Rel(wd, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+		d.File = rel
+	}
+	return d.String()
+}

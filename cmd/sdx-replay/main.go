@@ -164,7 +164,8 @@ func stream(target string, events []traceEvent) error {
 	sessions := map[uint32]*bgp.Session{}
 	defer func() {
 		for _, s := range sessions {
-			s.Close()
+			// Close sends a best-effort CEASE; the replay is already done.
+			_ = s.Close()
 		}
 	}()
 	sent := 0

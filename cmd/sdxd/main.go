@@ -63,12 +63,15 @@ func main() {
 		// Remote table misses: answer ARP (VNH resolution) and fall back
 		// to normal L2 delivery, both via PACKET_OUT.
 		client.OnPacketIn = func(p sdx.Packet) {
+			// PACKET_OUT failures mean the control channel died; the
+			// packet is dropped like any other table miss, and the
+			// channel's Done() is the reconnect signal.
 			if reply, ok := ctrl.HandleARP(p); ok {
-				client.PacketOut(p.InPort, reply)
+				_ = client.PacketOut(p.InPort, reply)
 				return
 			}
 			if egress, ok := ctrl.NormalEgress(p); ok {
-				client.PacketOut(egress, p)
+				_ = client.PacketOut(egress, p)
 			}
 		}
 		client.Start()

@@ -84,7 +84,7 @@ func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	}()
 
 	fail := func(err error) (*Session, error) {
-		conn.Close()
+		_ = conn.Close() // handshake already failed; the original error wins
 		return nil, err
 	}
 
@@ -155,7 +155,12 @@ func (s *Session) Start() {
 func (s *Session) readLoop() {
 	for {
 		if s.holdTime > 0 {
-			s.conn.SetReadDeadline(time.Now().Add(s.holdTime))
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.holdTime)); err != nil {
+				// A connection that cannot arm its hold timer cannot
+				// detect a dead peer: tear the session down.
+				s.shutdown(fmt.Errorf("bgp: arming hold timer: %w", err))
+				return
+			}
 		}
 		msg, err := ReadMessage(s.conn)
 		if err != nil {
@@ -212,6 +217,7 @@ func (s *Session) send(m Message) error {
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
+	//lint:ignore lockblock sendMu exists solely to serialize concurrent writers on the conn; holding it across the write is the serialization, and no other lock is ever taken while it is held
 	_, err = s.conn.Write(buf)
 	return err
 }
@@ -227,16 +233,19 @@ func (s *Session) Close() error {
 // so that a peer that has stopped reading (or an unbuffered test pipe)
 // cannot block the teardown path indefinitely.
 func (s *Session) sendBestEffort(m Message) {
-	s.conn.SetWriteDeadline(time.Now().Add(time.Second))
-	s.send(m)
-	s.conn.SetWriteDeadline(time.Time{})
+	// Teardown courtesy messages: failure to deliver (or to arm the
+	// deadline) must not preempt the teardown itself, so all three error
+	// returns are deliberately discarded.
+	_ = s.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_ = s.send(m)
+	_ = s.conn.SetWriteDeadline(time.Time{})
 }
 
 func (s *Session) shutdown(err error) {
 	s.closeOnce.Do(func() {
 		s.downErr = err
 		close(s.closed)
-		s.conn.Close()
+		_ = s.conn.Close() // the session is already down; nothing to do with a close error
 		if s.cfg.OnDown != nil {
 			s.cfg.OnDown(s, err)
 		}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakAnalyzer flags `go` statements whose function has no visible way to
+// be told to stop: no channel operation (a close or send elsewhere can
+// unblock it), no context.Context, no sync.WaitGroup accounting, and no
+// net.Conn / net.Listener whose Close unblocks its I/O. Such a goroutine
+// runs until process exit — in a controller that churns sessions for
+// millions of users, each one is a slow leak of memory and file
+// descriptors.
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags go statements with no cancellation channel, context, WaitGroup, or closable conn in scope",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	netPkg := importedPackage(pass.Pkg.Types, "net")
+	ctxPkg := importedPackage(pass.Pkg.Types, "context")
+	g := &leakScanner{
+		pass:    pass,
+		netConn: ifaceOf(netPkg, "Conn"),
+		netLn:   ifaceOf(netPkg, "Listener"),
+		ctxType: ctxIface(ctxPkg),
+		decls:   funcDecls(pass.Pkg),
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.GoStmt); ok {
+				g.check(st)
+			}
+			return true
+		})
+	}
+}
+
+func ctxIface(ctxPkg *types.Package) *types.Interface {
+	return ifaceOf(ctxPkg, "Context")
+}
+
+type leakScanner struct {
+	pass    *Pass
+	netConn *types.Interface
+	netLn   *types.Interface
+	ctxType *types.Interface
+	decls   map[*types.Func]*ast.FuncDecl
+}
+
+func (g *leakScanner) check(st *ast.GoStmt) {
+	body, name := g.launchBody(st.Call)
+	if body == nil {
+		return // cross-package or dynamic target: out of scope
+	}
+	// Arguments passed to the goroutine count as in scope: a channel or
+	// context handed in is a cancellation path even if the resolved body is
+	// elsewhere.
+	for _, arg := range st.Call.Args {
+		if g.exprCancels(arg) {
+			return
+		}
+	}
+	if g.bodyHasCancellation(body, make(map[*ast.FuncDecl]bool)) {
+		return
+	}
+	g.pass.Reportf(st.Go, "goroutine %s has no cancellation signal (channel, context, WaitGroup, or closable conn)", name)
+}
+
+// launchBody resolves the launched function's body: a literal directly, or
+// a same-package function/method declaration.
+func (g *leakScanner) launchBody(call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	default:
+		if obj := calleeObject(g.pass.Pkg.Info, call); obj != nil {
+			if fd, ok := g.decls[obj]; ok && fd.Body != nil {
+				return fd.Body, obj.Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+// bodyHasCancellation walks a function body (following same-package calls
+// one level deep through `seen`) looking for any shutdown mechanism.
+func (g *leakScanner) bodyHasCancellation(body *ast.BlockStmt, seen map[*ast.FuncDecl]bool) bool {
+	info := g.pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if name, recv, ok := syncMethod(info, n); ok {
+				// WaitGroup.Done/Wait or Cond use marks managed lifetime.
+				if name == "Done" || name == "Wait" || name == "Broadcast" || name == "Signal" {
+					found = true
+					return false
+				}
+				_ = recv
+			}
+			if callee := calleeObject(info, n); callee != nil {
+				if fd, ok := g.decls[callee]; ok && fd.Body != nil && !seen[fd] {
+					seen[fd] = true
+					if g.bodyHasCancellation(fd.Body, seen) {
+						found = true
+						return false
+					}
+				}
+			}
+		case ast.Expr:
+			if g.exprCancels(n) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprCancels reports whether an expression's type is itself a shutdown
+// handle: a channel, a context.Context, or a conn/listener whose Close
+// unblocks pending I/O.
+func (g *leakScanner) exprCancels(e ast.Expr) bool {
+	tv, ok := g.pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	if g.ctxType != nil && implementsIface(t, g.ctxType) {
+		return true
+	}
+	if implementsIface(t, g.netConn) || implementsIface(t, g.netLn) {
+		return true
+	}
+	return false
+}

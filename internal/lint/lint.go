@@ -1,0 +1,338 @@
+// Package lint is the SDX static-analysis suite: a set of concurrency- and
+// protocol-safety analyzers built only on the standard library's go/ast,
+// go/parser, go/token, and go/types. The analyzers encode invariants the
+// controller's hot paths depend on — no blocking I/O under a mutex, no
+// silently dropped wire errors, no goroutine without a shutdown signal, no
+// lock-bearing struct passed by value — and run over the whole module from
+// both cmd/sdx-lint and the tier-1 test suite.
+//
+// A finding at file:line is suppressed by a directive comment on the same
+// line or the line directly above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// where <analyzer> is one analyzer name (or "all") and <reason> is a
+// required free-form justification. A directive with no reason is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [analyzer]
+// message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static check. Run inspects a package and reports findings
+// through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	// WirePackages is the set of import paths whose error returns must not
+	// be silently discarded (the unchecked-wire-error analyzer's scope).
+	WirePackages map[string]bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultWirePackages lists the module's wire-protocol packages: encode /
+// decode / session I/O paths where a dropped error means silent protocol
+// corruption.
+var DefaultWirePackages = map[string]bool{
+	"sdx/internal/bgp":      true,
+	"sdx/internal/openflow": true,
+}
+
+// Analyzers returns the full SDX analyzer suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockBlockAnalyzer,
+		WireErrAnalyzer,
+		GoLeakAnalyzer,
+		MutexValAnalyzer,
+	}
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// findings (suppressions applied), sorted by position. Malformed ignore
+// directives are reported as findings of the pseudo-analyzer "lintdir".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer:     a,
+				Pkg:          pkg,
+				WirePackages: DefaultWirePackages,
+				diags:        &diags,
+			})
+		}
+		diags = append(diags, malformedDirectives(pkg)...)
+	}
+	diags = applyIgnores(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+	line     int
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseDirectives extracts the well-formed ignore directives of one file,
+// keyed by the line they appear on.
+func parseDirectives(fset *token.FileSet, f *ast.File) map[int][]ignoreDirective {
+	out := make(map[int][]ignoreDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				continue // malformed; reported separately
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], ignoreDirective{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				line:     line,
+			})
+		}
+	}
+	return out
+}
+
+// malformedDirectives reports //lint:ignore comments lacking an analyzer
+// name or a reason — an ignore without a written justification defeats the
+// audit trail the directive exists to provide.
+func malformedDirectives(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				if len(strings.Fields(rest)) < 2 {
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, Diagnostic{
+						Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "lintdir",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores drops findings covered by a directive on the same line or
+// the line directly above.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	byFile := make(map[string]map[int][]ignoreDirective)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			byFile[name] = parseDirectives(pkg.Fset, f)
+		}
+	}
+	keep := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "lintdir" && suppressed(byFile[d.File], d) {
+			continue
+		}
+		keep = append(keep, d)
+	}
+	return keep
+}
+
+func suppressed(dirs map[int][]ignoreDirective, d Diagnostic) bool {
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		for _, dir := range dirs[line] {
+			if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- shared type-inspection helpers ----
+
+// exprString renders an expression compactly (lock identities in
+// messages).
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "<expr>"
+	}
+	return sb.String()
+}
+
+// syncMethod resolves call to a method of a type in package sync (directly
+// or promoted through embedding), returning the method name and the
+// receiver expression.
+func syncMethod(info *types.Info, call *ast.CallExpr) (name string, recv ast.Expr, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", nil, false
+	}
+	selection, okSel := info.Selections[sel]
+	if !okSel || selection.Kind() != types.MethodVal {
+		return "", nil, false
+	}
+	obj := selection.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	return obj.Name(), sel.X, true
+}
+
+// lockKey is the identity under which a held lock is tracked: the printed
+// receiver expression plus the read/write flavor's shared acquire name.
+func lockKey(fset *token.FileSet, recv ast.Expr) string {
+	return exprString(fset, recv)
+}
+
+var lockAcquire = map[string]bool{"Lock": true, "RLock": true}
+var lockRelease = map[string]string{"Unlock": "Lock", "RUnlock": "RLock"}
+
+// namedPathIs reports whether t (after unaliasing and pointer-stripping) is
+// the named type pkgPath.name.
+func namedPathIs(t types.Type, pkgPath, name string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ifaceOf digs the *types.Interface out of a package-level interface type.
+func ifaceOf(pkg *types.Package, name string) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := types.Unalias(obj.Type().Underlying()).(*types.Interface)
+	return iface
+}
+
+// importedPackage finds an imported package by path anywhere in the
+// package's import graph (direct imports only — enough for net/context,
+// which every relevant package imports directly or not at all).
+func importedPackage(pkg *types.Package, path string) *types.Package {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Package
+	find = func(p *types.Package) *types.Package {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// implementsIface reports whether t (or *t) implements iface.
+func implementsIface(t types.Type, iface *types.Interface) bool {
+	if iface == nil || t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// funcDecls maps each function object of the package to its declaration,
+// letting analyzers chase `go s.loop()` into the loop body.
+func funcDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantMarker is one expectation parsed from a fixture's `// want <analyzer>
+// "substring"` comment: a diagnostic from that analyzer must appear on that
+// line with the substring in its message.
+type wantMarker struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+var markerRE = regexp.MustCompile(`(\w+) ("(?:[^"\\]|\\.)*")`)
+
+// parseWantMarkers scans every fixture file in dir for want comments.
+func parseWantMarkers(t *testing.T, dir string) []*wantMarker {
+	t.Helper()
+	var out []*wantMarker
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, m := range markerRE.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+				substr, err := strconv.Unquote(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want marker %q: %v", path, line, m[2], err)
+				}
+				out = append(out, &wantMarker{file: path, line: line, analyzer: m[1], substr: substr})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+	}
+	return out
+}
+
+// runFixture loads testdata/src/<name> under importPath and runs the given
+// analyzers over it.
+func runFixture(t *testing.T, name, importPath string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+	return Run([]*Package{pkg}, analyzers)
+}
+
+// checkAgainstMarkers verifies the exact finding set: every marker matched
+// by exactly one diagnostic, every diagnostic claimed by a marker (or by an
+// extraWant, matched on analyzer+substring anywhere in the fixture).
+func checkAgainstMarkers(t *testing.T, dir string, diags []Diagnostic, extraWant []wantMarker) {
+	t.Helper()
+	markers := parseWantMarkers(t, dir)
+	extras := make([]*wantMarker, 0, len(extraWant))
+	for i := range extraWant {
+		w := extraWant[i]
+		extras = append(extras, &w)
+	}
+outer:
+	for _, d := range diags {
+		for _, m := range markers {
+			if !m.matched && m.file == d.File && m.line == d.Line &&
+				m.analyzer == d.Analyzer && strings.Contains(d.Message, m.substr) {
+				m.matched = true
+				continue outer
+			}
+		}
+		for _, m := range extras {
+			if !m.matched && m.analyzer == d.Analyzer && strings.Contains(d.Message, m.substr) {
+				m.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected finding: %s", d)
+	}
+	for _, m := range markers {
+		if !m.matched {
+			t.Errorf("%s:%d: expected %s finding containing %q, got none", m.file, m.line, m.analyzer, m.substr)
+		}
+	}
+	for _, m := range extras {
+		if !m.matched {
+			t.Errorf("expected %s finding containing %q, got none", m.analyzer, m.substr)
+		}
+	}
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	tests := []struct {
+		fixture    string
+		importPath string
+		analyzers  []*Analyzer
+		extraWant  []wantMarker
+	}{
+		{fixture: "lockblock", importPath: "sdx/fixture/lockblock", analyzers: []*Analyzer{LockBlockAnalyzer}},
+		// The wireerr fixture masquerades as the module's BGP package so
+		// its own functions fall inside DefaultWirePackages.
+		{fixture: "wireerr", importPath: "sdx/internal/bgp", analyzers: []*Analyzer{WireErrAnalyzer}},
+		{fixture: "goleak", importPath: "sdx/fixture/goleak", analyzers: []*Analyzer{GoLeakAnalyzer}},
+		{fixture: "mutexval", importPath: "sdx/fixture/mutexval", analyzers: []*Analyzer{MutexValAnalyzer}},
+		{
+			fixture:    "suppress",
+			importPath: "sdx/fixture/suppress",
+			analyzers:  []*Analyzer{LockBlockAnalyzer},
+			extraWant:  []wantMarker{{analyzer: "lintdir", substr: "malformed //lint:ignore"}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fixture, func(t *testing.T) {
+			diags := runFixture(t, tt.fixture, tt.importPath, tt.analyzers)
+			dir, err := filepath.Abs(filepath.Join("testdata", "src", tt.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstMarkers(t, dir, diags, tt.extraWant)
+		})
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "internal/bgp/session.go", Line: 42, Analyzer: "lockblock", Message: "boom"}
+	want := "internal/bgp/session.go:42: [lockblock] boom"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestLoaderLoadAll exercises the module walker: the loader must find the
+// repository's own packages and skip testdata fixtures.
+func TestLoaderLoadAll(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = true
+	}
+	for _, want := range []string{"sdx", "sdx/internal/bgp", "sdx/internal/lint", "sdx/cmd/sdx-lint"} {
+		if !byPath[want] {
+			t.Errorf("LoadAll missing package %s (got %d packages)", want, len(pkgs))
+		}
+	}
+	for p := range byPath {
+		if strings.Contains(p, "testdata") || strings.Contains(p, "fixture") {
+			t.Errorf("LoadAll should skip fixtures, loaded %s", p)
+		}
+	}
+}
+
+// TestRunDeterministic guards the ordering contract: findings come out
+// sorted by file, line, analyzer so CI diffs are stable.
+func TestRunDeterministic(t *testing.T) {
+	diags := runFixture(t, "lockblock", "sdx/fixture/lockblock", []*Analyzer{LockBlockAnalyzer})
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("lockblock fixture produced no findings")
+	}
+	_ = fmt.Sprintf("%v", diags[0]) // Diagnostic must be printable
+}

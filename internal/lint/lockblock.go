@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockBlockAnalyzer flags blocking operations performed while a sync.Mutex
+// or sync.RWMutex is held: channel sends and receives, selects without a
+// default, net.Conn reads/writes (directly or passed into a call),
+// WaitGroup/Cond waits, time.Sleep, and further lock acquisitions. Any of
+// these under a lock turns one slow peer into head-of-line blocking for
+// every caller of the lock — or a deadlock when the blocked operation needs
+// the same lock to make progress.
+var LockBlockAnalyzer = &Analyzer{
+	Name: "lockblock",
+	Doc:  "flags blocking operations (channel ops, net.Conn I/O, nested locks) while holding a mutex",
+	Run:  runLockBlock,
+}
+
+// heldLock records one acquisition being tracked through a function body.
+type heldLock struct {
+	key  string // printed receiver expression, e.g. "c.mu"
+	line int
+}
+
+type lockScanner struct {
+	pass    *Pass
+	netConn *types.Interface
+	netLn   *types.Interface
+}
+
+func runLockBlock(pass *Pass) {
+	netPkg := importedPackage(pass.Pkg.Types, "net")
+	s := &lockScanner{
+		pass:    pass,
+		netConn: ifaceOf(netPkg, "Conn"),
+		netLn:   ifaceOf(netPkg, "Listener"),
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.stmts(fd.Body.List, make(map[string]heldLock))
+		}
+	}
+}
+
+// heldList renders the currently held locks for messages.
+func heldList(held map[string]heldLock) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// stmts scans a statement list, threading the set of held locks through
+// sequential statements and giving each branch its own copy (a release
+// inside one branch must not unlock the other).
+func (s *lockScanner) stmts(list []ast.Stmt, held map[string]heldLock) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func branchCopy(held map[string]heldLock) map[string]heldLock {
+	cp := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (s *lockScanner) stmt(st ast.Stmt, held map[string]heldLock) {
+	info := s.pass.Pkg.Info
+	fset := s.pass.Pkg.Fset
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if name, recv, ok := syncMethod(info, call); ok {
+				key := lockKey(fset, recv)
+				if lockAcquire[name] {
+					if prev, dup := held[key]; dup {
+						s.pass.Reportf(call.Pos(),
+							"%s.%s while %q is already held (since line %d): self-deadlock",
+							key, name, key, prev.line)
+					} else if len(held) > 0 {
+						s.pass.Reportf(call.Pos(),
+							"acquires %q while holding %s: lock-ordering / head-of-line risk",
+							key, heldList(held))
+					}
+					held[key] = heldLock{key: key, line: fset.Position(call.Pos()).Line}
+					return
+				}
+				if _, isRelease := lockRelease[name]; isRelease {
+					delete(held, key)
+					return
+				}
+			}
+		}
+		s.exprs(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the function,
+		// so a deferred release never removes from the held set; other
+		// defers run after the region of interest and are not scanned.
+	case *ast.GoStmt:
+		// The launch itself does not block; argument evaluation does.
+		for _, arg := range st.Call.Args {
+			s.exprs(arg, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.pass.Reportf(st.Arrow, "channel send on %q while holding %s",
+				exprString(fset, st.Chan), heldList(held))
+		}
+		s.exprs(st.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.exprs(e, held)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt, *ast.BranchStmt:
+		if len(held) > 0 {
+			ast.Inspect(st, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					s.exprs(e, held)
+					return false
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.exprs(e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.exprs(st.Cond, held)
+		s.stmts(st.Body.List, branchCopy(held))
+		if st.Else != nil {
+			s.stmt(st.Else, branchCopy(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.exprs(st.Cond, held)
+		}
+		s.stmts(st.Body.List, branchCopy(held))
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t, ok := info.Types[st.X]; ok {
+				if _, isChan := types.Unalias(t.Type).Underlying().(*types.Chan); isChan {
+					s.pass.Reportf(st.Range, "range over channel %q while holding %s",
+						exprString(fset, st.X), heldList(held))
+				}
+			}
+		}
+		s.exprs(st.X, held)
+		s.stmts(st.Body.List, branchCopy(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.exprs(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, branchCopy(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, branchCopy(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(st) {
+			s.pass.Reportf(st.Select, "blocking select while holding %s", heldList(held))
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmts(cc.Body, branchCopy(held))
+			}
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	}
+}
+
+func selectHasDefault(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprs reports blocking operations inside an expression tree. Function
+// literals are skipped: their bodies run when called, not here.
+func (s *lockScanner) exprs(root ast.Expr, held map[string]heldLock) {
+	if len(held) == 0 || root == nil {
+		return
+	}
+	fset := s.pass.Pkg.Fset
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.pass.Reportf(n.OpPos, "channel receive from %q while holding %s",
+					exprString(fset, n.X), heldList(held))
+			}
+		case *ast.CallExpr:
+			s.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call made while locks are held.
+func (s *lockScanner) checkCall(call *ast.CallExpr, held map[string]heldLock) {
+	info := s.pass.Pkg.Info
+	fset := s.pass.Pkg.Fset
+
+	if name, recv, ok := syncMethod(info, call); ok {
+		key := lockKey(fset, recv)
+		switch {
+		case lockAcquire[name]:
+			if prev, dup := held[key]; dup {
+				s.pass.Reportf(call.Pos(), "%s.%s while %q is already held (since line %d): self-deadlock",
+					key, name, key, prev.line)
+			} else {
+				s.pass.Reportf(call.Pos(), "acquires %q while holding %s: lock-ordering / head-of-line risk",
+					key, heldList(held))
+			}
+		case name == "Wait":
+			s.pass.Reportf(call.Pos(), "%s.Wait while holding %s", key, heldList(held))
+		}
+		return
+	}
+
+	// time.Sleep under a lock stalls every contender for the duration.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Sleep" {
+			s.pass.Reportf(call.Pos(), "time.Sleep while holding %s", heldList(held))
+			return
+		}
+	}
+
+	// Blocking I/O methods on a net.Conn / net.Listener receiver.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			recvType := info.Types[sel.X].Type
+			name := sel.Sel.Name
+			if implementsIface(recvType, s.netConn) && (name == "Read" || name == "Write") {
+				s.pass.Reportf(call.Pos(), "%s.%s (net.Conn I/O) while holding %s",
+					exprString(fset, sel.X), name, heldList(held))
+				return
+			}
+			if implementsIface(recvType, s.netLn) && name == "Accept" {
+				s.pass.Reportf(call.Pos(), "%s.Accept (net.Listener) while holding %s",
+					exprString(fset, sel.X), heldList(held))
+				return
+			}
+		}
+	}
+
+	// A call handed a net.Conn may perform blocking I/O on it (e.g.
+	// WriteMessage(conn, m)); holding a lock across it has the same
+	// head-of-line effect as calling conn.Write directly.
+	for _, arg := range call.Args {
+		if t, ok := info.Types[arg]; ok && implementsIface(t.Type, s.netConn) {
+			s.pass.Reportf(call.Pos(), "call passing net.Conn %q while holding %s: potential blocking I/O under lock",
+				exprString(fset, arg), heldList(held))
+			return
+		}
+	}
+}

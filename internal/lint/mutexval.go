@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexValAnalyzer flags function signatures that take a lock-bearing value
+// by value: a sync.Mutex (or a struct containing one, at any nesting depth)
+// passed or received by value is a fresh, unrelated lock — callers
+// synchronize against a copy and the original is left unguarded. This is
+// the declaration-site complement of `go vet -copylocks`, which only
+// checks call and assignment sites.
+var MutexValAnalyzer = &Analyzer{
+	Name: "mutexval",
+	Doc:  "flags receivers, parameters, and results that copy a lock-bearing type by value",
+	Run:  runMutexVal,
+}
+
+func runMutexVal(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil {
+				if why := locksByValue(recv.Type(), nil); why != "" {
+					pass.Reportf(fd.Name.Pos(), "method %s has value receiver copying %s; use a pointer receiver",
+						fd.Name.Name, why)
+				}
+			}
+			params := sig.Params()
+			for i := 0; i < params.Len(); i++ {
+				p := params.At(i)
+				if why := locksByValue(p.Type(), nil); why != "" {
+					pass.Reportf(fd.Name.Pos(), "%s: parameter %q passes %s by value; pass a pointer",
+						fd.Name.Name, paramName(p, i), why)
+				}
+			}
+			results := sig.Results()
+			for i := 0; i < results.Len(); i++ {
+				r := results.At(i)
+				if why := locksByValue(r.Type(), nil); why != "" {
+					pass.Reportf(fd.Name.Pos(), "%s: result %d returns %s by value; return a pointer",
+						fd.Name.Name, i, why)
+				}
+			}
+		}
+	}
+}
+
+func paramName(v *types.Var, i int) string {
+	if v.Name() != "" {
+		return v.Name()
+	}
+	return "_"
+}
+
+// lockTypes are the sync types whose copy is always a bug.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// locksByValue reports (as a description, "" for none) whether passing t by
+// value copies a lock: t is a sync lock type, or a struct holding one in a
+// by-value field at any depth. Pointers, interfaces, slices, and maps break
+// the chain — the lock stays shared through them.
+func locksByValue(t types.Type, seen []*types.Named) string {
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		for _, s := range seen {
+			if s == named {
+				return "" // recursive type; already being examined
+			}
+		}
+		seen = append(seen, named)
+		if why := locksByValue(named.Underlying(), seen); why != "" {
+			return obj.Name() + " (contains " + why + ")"
+		}
+		return ""
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if why := locksByValue(st.Field(i).Type(), seen); why != "" {
+				return why
+			}
+		}
+	}
+	if arr, ok := t.(*types.Array); ok {
+		return locksByValue(arr.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,113 @@
+// Fixture for the goleak analyzer.
+package goleak
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+type server struct {
+	closed chan struct{}
+	conn   net.Conn
+	ln     net.Listener
+}
+
+func spinForever() {
+	go func() { // want goleak "goroutine func literal has no cancellation signal"
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}
+
+func withDoneChannel(s *server) {
+	go func() { // ok: select on a channel is a shutdown path
+		for {
+			select {
+			case <-s.closed:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func withContextArg(ctx context.Context) {
+	go runUntil(ctx) // ok: context passed in
+}
+
+func runUntil(ctx context.Context) {
+	for {
+		work()
+	}
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+func (s *server) spin() {
+	for {
+		work()
+	}
+}
+
+func launches(s *server) {
+	go s.loop() // ok: resolved body selects on s.closed
+	go s.spin() // want goleak "goroutine spin has no cancellation signal"
+}
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // ok: WaitGroup-managed lifetime
+		defer wg.Done()
+		work()
+	}()
+}
+
+func (s *server) readLoop() {
+	buf := make([]byte, 64)
+	for {
+		if _, err := s.conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func (s *server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = c.Close()
+	}
+}
+
+func connLoops(s *server) {
+	go s.readLoop()   // ok: closing the conn unblocks the read
+	go s.acceptLoop() // ok: closing the listener unblocks Accept
+}
+
+func indirect(s *server) {
+	go s.outer() // ok: cancellation found one call deep
+}
+
+func (s *server) outer() {
+	for {
+		s.waitClosed()
+	}
+}
+
+func (s *server) waitClosed() {
+	<-s.closed
+}

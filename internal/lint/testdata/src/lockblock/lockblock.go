@@ -1,0 +1,149 @@
+// Fixture for the lockblock analyzer: each offending line carries a
+// `// want <analyzer> "substring"` marker; unmarked lines must produce no
+// finding.
+package lockblock
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	other sync.Mutex
+	wg    sync.WaitGroup
+	ch    chan int
+	done  chan struct{}
+	conn  net.Conn
+}
+
+func sendUnderLock(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 // want lockblock "channel send on \"s.ch\" while holding s.mu"
+	s.mu.Unlock()
+}
+
+func recvUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.done // want lockblock "channel receive from \"s.done\" while holding s.mu"
+}
+
+func sendAfterUnlock(s *state) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 // ok: lock released
+}
+
+func selectUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want lockblock "blocking select while holding s.mu"
+	case <-s.done:
+	case s.ch <- 1:
+	}
+}
+
+func selectWithDefault(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // ok: default makes it non-blocking
+	case <-s.done:
+	default:
+	}
+}
+
+func nestedLock(s *state) {
+	s.mu.Lock()
+	s.other.Lock() // want lockblock "acquires \"s.other\" while holding s.mu"
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+func doubleLock(s *state) {
+	s.mu.Lock()
+	s.mu.Lock() // want lockblock "self-deadlock"
+	s.mu.Unlock()
+}
+
+func connWriteUnderLock(s *state, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(buf) // want lockblock "s.conn.Write (net.Conn I/O) while holding s.mu"
+}
+
+func writeAll(c net.Conn, buf []byte) error {
+	_, err := c.Write(buf)
+	return err
+}
+
+func connPassedUnderLock(s *state, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = writeAll(s.conn, buf) // want lockblock "call passing net.Conn \"s.conn\" while holding s.mu"
+}
+
+func sleepUnderLock(s *state) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockblock "time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+func waitUnderLock(s *state) {
+	s.mu.Lock()
+	s.wg.Wait() // want lockblock "s.wg.Wait while holding s.mu"
+	s.mu.Unlock()
+}
+
+func rlockAcrossRecv(s *state) {
+	s.rw.RLock()
+	<-s.done // want lockblock "channel receive from \"s.done\" while holding s.rw"
+	s.rw.RUnlock()
+}
+
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+func embeddedLock(e *embedded) {
+	e.Lock()
+	e.ch <- 1 // want lockblock "channel send on \"e.ch\" while holding e"
+	e.Unlock()
+}
+
+func goStmtUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // ok: runs concurrently, does not block the holder
+	}()
+}
+
+func branchRelease(s *state) {
+	s.mu.Lock()
+	if cap(s.ch) == 0 {
+		s.mu.Unlock()
+		s.ch <- 1 // ok: this branch released the lock
+		return
+	}
+	s.mu.Unlock()
+}
+
+func rangeOverChannel(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want lockblock "range over channel \"s.ch\" while holding s.mu"
+		_ = v
+	}
+}
+
+func lockInLoopBody(s *state) {
+	for i := 0; i < 3; i++ {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.ch <- 1 // ok: loop-body lock does not escape the iteration
+}

@@ -1,0 +1,47 @@
+// Fixture for the mutexval analyzer.
+package mutexval
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner guarded
+}
+
+type viaPointer struct {
+	g *guarded
+}
+
+type plain struct {
+	n int
+}
+
+func byValue(m sync.Mutex) {} // want mutexval "parameter \"m\" passes sync.Mutex by value"
+
+func structByValue(g guarded) {} // want mutexval "parameter \"g\" passes guarded (contains sync.Mutex) by value"
+
+func nestedByValue(n nested) {} // want mutexval "parameter \"n\" passes nested (contains guarded (contains sync.Mutex)) by value"
+
+func byPointer(g *guarded) {} // ok: the lock stays shared
+
+func pointerField(v viaPointer) {} // ok: pointer field breaks the copy
+
+func noLock(p plain) {} // ok: nothing lock-bearing
+
+func (g guarded) valueReceiver() {} // want mutexval "method valueReceiver has value receiver copying guarded (contains sync.Mutex)"
+
+func (g *guarded) pointerReceiver() {} // ok
+
+func returnsLock() guarded { return guarded{} } // want mutexval "result 0 returns guarded (contains sync.Mutex) by value"
+
+func wgByValue(wg sync.WaitGroup) {} // want mutexval "parameter \"wg\" passes sync.WaitGroup by value"
+
+func sliceParam(gs []guarded) {} // ok: slice shares backing storage
+
+func mapParam(m map[string]guarded) {} // ok: map is a reference type
+
+func arrayParam(a [2]guarded) {} // want mutexval "parameter \"a\" passes guarded (contains sync.Mutex) by value"

@@ -1,0 +1,52 @@
+// Fixture for //lint:ignore handling: suppressed findings must vanish,
+// unsuppressed ones must survive, and malformed directives are themselves
+// findings.
+package suppress
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sameLine(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 //lint:ignore lockblock fixture: send is to a buffered channel sized to the peer count
+	s.mu.Unlock()
+}
+
+func lineAbove(s *state) {
+	s.mu.Lock()
+	//lint:ignore lockblock fixture: demonstrates the preceding-line form
+	s.ch <- 2
+	s.mu.Unlock()
+}
+
+func allDirective(s *state) {
+	s.mu.Lock()
+	//lint:ignore all fixture: blanket suppression form
+	s.ch <- 3
+	s.mu.Unlock()
+}
+
+func wrongAnalyzer(s *state) {
+	s.mu.Lock()
+	//lint:ignore wireerr fixture: names a different analyzer, so lockblock still fires
+	s.ch <- 4 // want lockblock "channel send on \"s.ch\" while holding s.mu"
+	s.mu.Unlock()
+}
+
+func unsuppressed(s *state) {
+	s.mu.Lock()
+	s.ch <- 5 // want lockblock "channel send on \"s.ch\" while holding s.mu"
+	s.mu.Unlock()
+}
+
+// malformed carries a directive with no reason; the harness asserts the
+// resulting lintdir finding by message (a line comment cannot carry its own
+// trailing want marker).
+func malformed(s *state) {
+	//lint:ignore lockblock
+	_ = s
+}

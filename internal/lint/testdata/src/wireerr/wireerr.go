@@ -1,0 +1,46 @@
+// Fixture for the wireerr analyzer. The test loads this directory under
+// the import path "sdx/internal/bgp", so the package's own error-returning
+// functions count as wire-protocol calls.
+package bgp
+
+import (
+	"net"
+	"time"
+)
+
+var zero time.Time
+
+// Marshal stands in for a wire encoder.
+func Marshal(b []byte) ([]byte, error) { return b, nil }
+
+// note returns no error; bare calls are fine.
+func note() {}
+
+type Session struct {
+	conn net.Conn
+}
+
+// Send stands in for a session-level wire write.
+func (s *Session) Send(b []byte) error {
+	_, err := s.conn.Write(b)
+	return err
+}
+
+func dropped(s *Session, conn net.Conn, b []byte) {
+	Marshal(b)                 // want wireerr "bgp.Marshal: error return discarded"
+	s.Send(b)                  // want wireerr "bgp.Send: error return discarded"
+	conn.Close()               // want wireerr "net.Conn.Close: error return discarded"
+	conn.SetReadDeadline(zero) // want wireerr "net.Conn.SetReadDeadline: error return discarded"
+	note()                     // ok: no error to drop
+}
+
+func handled(s *Session, conn net.Conn, b []byte) error {
+	if _, err := Marshal(b); err != nil {
+		return err
+	}
+	if err := s.Send(b); err != nil {
+		return err
+	}
+	_ = conn.Close() // ok: explicitly discarded — a recorded decision
+	return nil
+}

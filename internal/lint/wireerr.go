@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireErrAnalyzer flags call statements that silently discard an error
+// returned by a wire-protocol function (the BGP and OpenFlow encode /
+// decode / session paths) or by net.Conn I/O. A dropped error on these
+// paths means a half-written message or a missed disconnect — the peer's
+// protocol state machine and ours silently diverge. Explicitly assigning
+// to the blank identifier (`_ = conn.Close()`) is accepted as a recorded
+// decision; only bare call statements are flagged.
+var WireErrAnalyzer = &Analyzer{
+	Name: "wireerr",
+	Doc:  "flags discarded error returns on BGP/OpenFlow wire paths and net.Conn I/O",
+	Run:  runWireErr,
+}
+
+func runWireErr(pass *Pass) {
+	netPkg := importedPackage(pass.Pkg.Types, "net")
+	netConn := ifaceOf(netPkg, "Conn")
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if why, bad := droppedWireError(pass, netConn, call); bad {
+				pass.Reportf(call.Pos(), "%s: error return discarded", why)
+			}
+			return true
+		})
+	}
+}
+
+// droppedWireError reports whether call is an error-returning wire-path
+// call used as a bare statement, with a human-readable description of the
+// callee.
+func droppedWireError(pass *Pass, netConn *types.Interface, call *ast.CallExpr) (string, bool) {
+	info := pass.Pkg.Info
+	sig, ok := types.Unalias(info.Types[call.Fun].Type).(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+
+	// Methods on a net.Conn (or anything implementing it): Read, Write,
+	// Close, deadlines — all report connection health.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			if implementsIface(info.Types[sel.X].Type, netConn) {
+				return "net.Conn." + sel.Sel.Name, true
+			}
+		}
+	}
+
+	// Functions and methods declared in a wire-protocol package.
+	if obj := calleeObject(info, call); obj != nil && obj.Pkg() != nil && pass.WirePackages[obj.Pkg().Path()] {
+		return obj.Pkg().Name() + "." + obj.Name(), true
+	}
+	return "", false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	return res.Len() > 0 && types.Identical(res.At(res.Len()-1).Type(), errorType)
+}
+
+// calleeObject resolves the called function's object for direct calls and
+// method calls (nil for calls through function values it cannot name).
+func calleeObject(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[fun]; ok {
+			f, _ := selection.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -16,8 +16,9 @@ import (
 type Agent struct {
 	sw *dataplane.Switch
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex // guards conn identity only; never held across I/O
+	conn   net.Conn
+	sendMu sync.Mutex // serializes writes to the current conn
 }
 
 // NewAgent wraps a switch. The switch's PacketIn hook is taken over by
@@ -38,15 +39,23 @@ func (a *Agent) packetIn(p pkt.Packet) {
 	if conn == nil {
 		return // no controller: drop, like an OpenFlow switch in fail-secure mode
 	}
-	a.send(conn, &PacketIn{Packet: p})
+	// Undeliverable packet-ins are drops, exactly like the no-controller case.
+	_ = a.send(conn, &PacketIn{Packet: p})
 }
 
 func (a *Agent) send(conn net.Conn, m Message) error {
+	// Check conn identity under mu but release it before writing: holding
+	// mu across the write would let one slow controller read stall
+	// packetIn and the ServeConn conn swap (head-of-line blocking).
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.conn != conn {
+	current := a.conn == conn
+	a.mu.Unlock()
+	if !current {
 		return net.ErrClosed
 	}
+	a.sendMu.Lock()
+	defer a.sendMu.Unlock()
+	//lint:ignore lockblock sendMu exists solely to serialize concurrent writers on the conn; holding it across the write is the serialization, and no other lock is ever taken while it is held
 	return WriteMessage(conn, m)
 }
 
@@ -64,7 +73,8 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 	}
 	hello, ok := msg.(*Hello)
 	if !ok || hello.Version != ProtocolVersion {
-		WriteMessage(conn, &Error{Code: 1, Text: "version mismatch"})
+		// Best-effort courtesy error; the handshake failure is what matters.
+		_ = WriteMessage(conn, &Error{Code: 1, Text: "version mismatch"})
 		return fmt.Errorf("openflow: bad hello")
 	}
 
@@ -113,7 +123,8 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 		case *Hello:
 			// Redundant hello: ignore.
 		default:
-			a.send(conn, &Error{Code: 2, Text: fmt.Sprintf("unexpected type %d", msg.Type())})
+			// Best-effort complaint; an unknown type is not fatal to the channel.
+			_ = a.send(conn, &Error{Code: 2, Text: fmt.Sprintf("unexpected type %d", msg.Type())})
 		}
 	}
 }
@@ -150,6 +161,8 @@ func (a *Agent) ListenAndServe(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		a.ServeConn(conn)
+		// Per-connection errors end that controller's tenure; the agent
+		// keeps accepting replacements.
+		_ = a.ServeConn(conn)
 	}
 }

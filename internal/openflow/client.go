@@ -39,16 +39,16 @@ func NewClient(conn net.Conn) (*Client, error) {
 	c := &Client{conn: conn, waits: make(map[uint32]chan Message), closed: make(chan struct{})}
 	msg, err := ReadMessage(conn)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close() // handshake already failed; the original error wins
 		return nil, err
 	}
 	hello, ok := msg.(*Hello)
 	if !ok || hello.Version != ProtocolVersion {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("openflow: bad hello from switch")
 	}
 	if err := WriteMessage(conn, &Hello{Version: ProtocolVersion}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	return c, nil
@@ -79,7 +79,7 @@ func (c *Client) shutdown(err error) {
 	c.closeOnce.Do(func() {
 		c.err = err
 		close(c.closed)
-		c.conn.Close()
+		_ = c.conn.Close() // the channel is already down; nothing to do with a close error
 		c.mu.Lock()
 		for _, ch := range c.waits {
 			close(ch)
@@ -108,7 +108,11 @@ func (c *Client) readLoop() {
 		case *EchoReply:
 			c.deliver(m.Xid, m)
 		case *EchoRequest:
-			c.send(&EchoReply{Xid: m.Xid})
+			if err := c.send(&EchoReply{Xid: m.Xid}); err != nil {
+				// A reply we cannot write means the connection is gone.
+				c.shutdown(err)
+				return
+			}
 		case *Error:
 			c.shutdown(m)
 			return
@@ -130,6 +134,7 @@ func (c *Client) deliver(xid uint32, m Message) {
 func (c *Client) send(m Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	//lint:ignore lockblock sendMu exists solely to serialize concurrent writers on the conn; holding it across the write is the serialization, and no other lock is ever taken while it is held
 	return WriteMessage(c.conn, m)
 }
 
@@ -218,18 +223,21 @@ func (c *Client) Echo() error {
 // so a controller can program local and remote tables identically.
 type Mirror struct{ C *Client }
 
-// AddBatch implements rule mirroring for fast-band installs.
+// AddBatch implements rule mirroring for fast-band installs. The RuleSink
+// interface is fire-and-forget: a send failure means the connection died,
+// which the owner observes via Done() and handles by reconnecting (the
+// controller replays full bands into a fresh mirror).
 func (m Mirror) AddBatch(entries []*dataplane.FlowEntry) {
-	m.C.Add(cookieOf(entries), rulesFromEntries(entries))
+	_ = m.C.Add(cookieOf(entries), rulesFromEntries(entries))
 }
 
 // Replace implements band replacement.
 func (m Mirror) Replace(cookie uint64, entries []*dataplane.FlowEntry) {
-	m.C.Replace(cookie, rulesFromEntries(entries))
+	_ = m.C.Replace(cookie, rulesFromEntries(entries))
 }
 
 // DeleteCookie implements band deletion.
-func (m Mirror) DeleteCookie(cookie uint64) { m.C.Delete(cookie) }
+func (m Mirror) DeleteCookie(cookie uint64) { _ = m.C.Delete(cookie) }
 
 func cookieOf(entries []*dataplane.FlowEntry) uint64 {
 	if len(entries) == 0 {

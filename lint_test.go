@@ -1,0 +1,35 @@
+package sdx
+
+import (
+	"testing"
+
+	"sdx/internal/lint"
+)
+
+// TestStaticAnalysisClean runs the SDX analyzer suite (internal/lint) over
+// every package in the module and fails on any unsuppressed finding —
+// the same check as `go run ./cmd/sdx-lint ./...`, enforced by tier-1 so
+// a regression cannot land. New true positives must be fixed; accepted
+// false positives need a `//lint:ignore <analyzer> <reason>` with a real
+// reason at the site.
+func TestStaticAnalysisClean(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range lint.Run(pkgs, lint.Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}
