@@ -28,7 +28,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig5a|fig5b|fig6|fig7|fig8|fig9|fig10|ablation|all")
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
+	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark baseline instead of text tables")
+	outPath := flag.String("o", "BENCH_compile.json", "output path for -json")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := writeJSONReport(*outPath, *seed, *full); err != nil {
+			log.Fatalf("bench baseline: %v", err)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {

@@ -23,6 +23,10 @@ type SessionConfig struct {
 	// OnUpdate is called from the session's reader goroutine for every
 	// received UPDATE. It must not block indefinitely.
 	OnUpdate func(s *Session, u *Update)
+	// OnKeepalive is called from the reader goroutine for every received
+	// KEEPALIVE (after the hold timer has been refreshed). Tests use it to
+	// observe liveness without wall-clock waits; it must not block.
+	OnKeepalive func(s *Session)
 	// OnDown is called once when the session leaves Established (nil err
 	// for a local Close).
 	OnDown func(s *Session, err error)
@@ -66,6 +70,10 @@ func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		proposed = defaultHoldTime
 	case proposed < 0:
 		proposed = 0
+	case proposed < time.Second:
+		// OPEN carries whole seconds; anything smaller would encode as 0
+		// and silently disable keepalives on both ends.
+		proposed = time.Second
 	}
 	open := &Open{
 		Version:  Version,
@@ -179,6 +187,9 @@ func (s *Session) readLoop() {
 			}
 		case *Keepalive:
 			// Receipt already refreshed the read deadline.
+			if s.cfg.OnKeepalive != nil {
+				s.cfg.OnKeepalive(s)
+			}
 		case *Notification:
 			s.shutdown(m)
 			return

@@ -162,20 +162,45 @@ func TestSessionOverTCP(t *testing.T) {
 }
 
 func TestSessionKeepalivesSustainShortHoldTime(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing test")
+	// Each side must receive several keepalives — i.e. the session stays
+	// alive past multiple hold-time windows purely on keepalive traffic.
+	// Progress is observed through the OnKeepalive hook instead of a
+	// wall-clock sleep, so the test is deterministic under -race -count=N:
+	// the deadline below only bounds failure, it never gates success.
+	const want = 4
+	kaA := make(chan struct{}, 64)
+	kaB := make(chan struct{}, 64)
+	notify := func(ch chan struct{}) func(*Session) {
+		return func(*Session) {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
 	}
 	sa, sb := establishPair(t,
-		SessionConfig{LocalAS: 1, RouterID: 1, HoldTime: 600 * time.Millisecond},
-		SessionConfig{LocalAS: 2, RouterID: 2, HoldTime: 600 * time.Millisecond},
+		SessionConfig{LocalAS: 1, RouterID: 1, HoldTime: time.Second, OnKeepalive: notify(kaA)},
+		SessionConfig{LocalAS: 2, RouterID: 2, HoldTime: time.Second, OnKeepalive: notify(kaB)},
 	)
+	if sa.HoldTime() != time.Second {
+		t.Fatalf("negotiated hold time = %v, want 1s (sub-second truncation would disable keepalives)", sa.HoldTime())
+	}
 	sa.Start()
 	sb.Start()
-	select {
-	case <-sa.Done():
-		t.Fatalf("session died despite keepalives: %v", sa.Err())
-	case <-time.After(2 * time.Second):
-		// Survived several hold-time windows.
+	deadline := time.After(30 * time.Second)
+	for gotA, gotB := 0, 0; gotA < want || gotB < want; {
+		select {
+		case <-kaA:
+			gotA++
+		case <-kaB:
+			gotB++
+		case <-sa.Done():
+			t.Fatalf("session died despite keepalives: %v", sa.Err())
+		case <-sb.Done():
+			t.Fatalf("peer session died despite keepalives: %v", sb.Err())
+		case <-deadline:
+			t.Fatalf("timed out waiting for keepalives (a=%d b=%d, want %d each)", gotA, gotB, want)
+		}
 	}
 	sa.Close()
 	<-sb.Done()

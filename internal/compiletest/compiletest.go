@@ -1,0 +1,278 @@
+// Package compiletest is the differential-testing harness for the SDX
+// two-stage compiler: it builds identical synthesized IXP workloads,
+// drives one controller through the serial reference compiler and another
+// through the parallel pipeline, and checks that the two produce
+// byte-identical results — canonical classifier dumps, rule streams
+// pushed to the fabric, and forwarding outcomes — including across
+// simulated BGP update bursts and CompileFast incremental state.
+package compiletest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdx/internal/core"
+	"sdx/internal/dataplane"
+	"sdx/internal/pkt"
+	"sdx/internal/workload"
+)
+
+// Workload parameterizes one synthesized IXP instance. Two instances
+// built from equal Workload values are identical in every observable:
+// topology, announcements, and policy mix.
+type Workload struct {
+	Participants int
+	Prefixes     int
+	Seed         int64
+	// WithPolicies installs the §6.1 policy mix (seeded from Seed).
+	WithPolicies bool
+}
+
+// Instance is one built workload: a loaded controller plus the topology
+// it came from and a recorder capturing every rule pushed to the fabric.
+type Instance struct {
+	Ctrl  *core.Controller
+	IXP   *workload.IXP
+	Rules *RecordingSink
+}
+
+// Build synthesizes the topology, loads it into a fresh controller,
+// installs the policy mix, and attaches a rule recorder. It does not
+// compile; call Recompile (or Compile below) on the controller.
+//
+// workload.Load consumes the topology's seeded RNG, so building two
+// instances from the same Workload — rather than reusing one IXP —
+// is what keeps a differential pair bit-identical.
+func Build(w Workload) (*Instance, error) {
+	x := workload.NewIXP(workload.DefaultTopology(w.Participants, w.Prefixes, w.Seed))
+	ctrl, err := workload.Load(x)
+	if err != nil {
+		return nil, err
+	}
+	if w.WithPolicies {
+		pol := workload.AssignPolicies(x, workload.DefaultPolicyMix(w.Seed+1))
+		if err := workload.InstallPolicies(ctrl, pol); err != nil {
+			return nil, err
+		}
+	}
+	in := &Instance{Ctrl: ctrl, IXP: x, Rules: &RecordingSink{}}
+	ctrl.AddRuleMirror(in.Rules)
+	return in, nil
+}
+
+// Compile runs a full recompilation, serial or parallel, and returns the
+// canonical form of the result.
+func (in *Instance) Compile(serial bool) string {
+	in.Ctrl.RecompileWithOptions(core.CompileOptions{Serial: serial})
+	return in.Ctrl.Compiled().Canonical()
+}
+
+// Trace synthesizes a deterministic BGP update trace for this instance's
+// topology. Two instances with equal workloads yield identical traces.
+func (in *Instance) Trace(updates int, seed int64) *workload.Trace {
+	return workload.GenerateTrace(in.IXP, workload.DefaultTrace(updates, seed))
+}
+
+// Replay feeds trace events through the controller's incremental path
+// (route server + CompileFast) and returns the total fast-band rules
+// installed.
+func (in *Instance) Replay(tr *workload.Trace) int {
+	rules := 0
+	for _, e := range tr.Events {
+		res := in.Ctrl.ProcessUpdate(e.Peer, e.Update)
+		rules += res.AdditionalRules
+	}
+	return rules
+}
+
+// RecordingSink is a core.RuleSink that renders every table operation it
+// receives into a replayable text log, so two controllers' programming
+// streams can be compared line by line.
+type RecordingSink struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (s *RecordingSink) render(op string, cookie uint64, es []*dataplane.FlowEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, fmt.Sprintf("%s cookie=%d n=%d", op, cookie, len(es)))
+	for _, e := range es {
+		s.log = append(s.log, "  "+e.String())
+	}
+}
+
+// AddBatch implements core.RuleSink.
+func (s *RecordingSink) AddBatch(es []*dataplane.FlowEntry) {
+	cookie := uint64(0)
+	if len(es) > 0 {
+		cookie = es[0].Cookie
+	}
+	s.render("add", cookie, es)
+}
+
+// Replace implements core.RuleSink.
+func (s *RecordingSink) Replace(cookie uint64, es []*dataplane.FlowEntry) {
+	s.render("replace", cookie, es)
+}
+
+// DeleteCookie implements core.RuleSink.
+func (s *RecordingSink) DeleteCookie(cookie uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, fmt.Sprintf("delete cookie=%d", cookie))
+}
+
+// Log returns a copy of the recorded operation stream.
+func (s *RecordingSink) Log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+// DiffLines compares two line sets and reports the first divergence with
+// context, or nil when identical.
+func DiffLines(label string, a, b []string) error {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s: line %d differs:\n  a: %s\n  b: %s", label, i+1, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("%s: length differs: %d vs %d lines", label, len(a), len(b))
+	}
+	return nil
+}
+
+// DiffText is DiffLines over newline-split strings (canonical dumps).
+func DiffText(label, a, b string) error {
+	if a == b {
+		return nil
+	}
+	return DiffLines(label, strings.Split(a, "\n"), strings.Split(b, "\n"))
+}
+
+// probeHeaders are the header variants each probe destination is tried
+// with; they cover the field values the §6.1 policy mix matches on.
+var probeHeaders = []struct {
+	name     string
+	proto    uint8
+	src, dst uint16
+}{
+	{"tcp80", pkt.ProtoTCP, 40000, 80},
+	{"tcp443", pkt.ProtoTCP, 1024, 443},
+	{"tcp8080", pkt.ProtoTCP, 1025, 8080},
+	{"udp53", pkt.ProtoUDP, 1026, 53},
+	{"udp9000", pkt.ProtoUDP, 52000, 9000},
+}
+
+// Outcomes probes the forwarding behaviour the fabric presents to border
+// routers: for up to `viewers` participants and `routes` advertised
+// routes each, it builds packets addressed the way a border router would
+// after processing the SDX's re-advertisements (destination MAC resolved
+// from the advertised next hop via ARP, exactly as a router's ARP query
+// would), pushes them through the flow table, and records where each
+// packet leaves. Keys are stable across recompilations; values are the
+// sorted egress ports, or "drop" when the packet never leaves the
+// fabric. The mechanism (flow-table rule vs normal L2 fallback) is
+// deliberately not part of the value: a recompilation may legitimately
+// move an un-grouped prefix from the fast band back to L2 forwarding,
+// but the egress port must not change. Because keys carry no VNH/VMAC
+// bytes, Outcomes taken before and after a full recompilation — or from
+// a serial- vs parallel-compiled controller — must be equal.
+func Outcomes(ctrl *core.Controller, viewers, routes int) map[string]string {
+	out := make(map[string]string)
+	ases := ctrl.RouteServer().Participants()
+	if len(ases) > viewers {
+		ases = ases[:viewers]
+	}
+	for _, as := range ases {
+		part, ok := ctrl.Participant(as)
+		if !ok || len(part.Ports()) == 0 {
+			continue
+		}
+		inPort := part.Ports()[0]
+		ads := ctrl.RoutesFor(as)
+		if len(ads) > routes {
+			// Sample from both ends so heavy and light announcers appear.
+			ads = append(ads[:routes/2+1], ads[len(ads)-routes/2:]...)
+		}
+		for _, ad := range ads {
+			dstMAC, resolved := ctrl.ARP().Resolve(ad.NextHop)
+			for _, h := range probeHeaders {
+				p := pkt.Packet{
+					InPort:  inPort.ID,
+					SrcMAC:  inPort.MAC(),
+					EthType: pkt.EthTypeIPv4,
+					SrcIP:   inPort.IP(),
+					DstIP:   ad.Prefix.Addr() + 7,
+					Proto:   h.proto,
+					SrcPort: h.src,
+					DstPort: h.dst,
+				}
+				if resolved {
+					p.DstMAC = dstMAC
+				}
+				key := fmt.Sprintf("as%d/%s/%s", as, ad.Prefix, h.name)
+				out[key] = outcome(ctrl, p)
+			}
+		}
+	}
+	return out
+}
+
+// outcome classifies one packet's fate in the fabric: the sorted egress
+// ports, or "drop".
+func outcome(ctrl *core.Controller, p pkt.Packet) string {
+	table := ctrl.Switch().Table()
+	var ports []int
+	if table.Lookup(p) != nil {
+		for _, q := range table.Process(p) {
+			ports = append(ports, int(q.InPort))
+		}
+	} else if port, ok := ctrl.NormalEgress(p); ok {
+		ports = append(ports, int(port))
+	}
+	if len(ports) == 0 {
+		return "drop"
+	}
+	sort.Ints(ports)
+	parts := make([]string, len(ports))
+	for i, p := range ports {
+		parts[i] = fmt.Sprint(p)
+	}
+	return "out:" + strings.Join(parts, ",")
+}
+
+// DiffOutcomes compares two forwarding-outcome maps, reporting every
+// key present in only one side or mapped to different fates.
+func DiffOutcomes(label string, a, b map[string]string) error {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var diffs []string
+	for _, k := range keys {
+		va, oka := a[k]
+		vb, okb := b[k]
+		if !oka || !okb || va != vb {
+			diffs = append(diffs, fmt.Sprintf("%s: %q vs %q", k, va, vb))
+		}
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	if len(diffs) > 8 {
+		diffs = append(diffs[:8], fmt.Sprintf("... and %d more", len(diffs)-8))
+	}
+	return fmt.Errorf("%s: %d outcomes differ:\n  %s", label, len(diffs), strings.Join(diffs, "\n  "))
+}

@@ -113,6 +113,10 @@ type CompileOptions struct {
 	DisableCache bool
 	// DisableConcat forces cross-product parallel composition (§4.3.1).
 	DisableConcat bool
+	// Serial forces the single-threaded reference compiler instead of the
+	// worker-pool pipeline — the baseline the differential harness and
+	// the speedup benchmarks compare the parallel compiler against.
+	Serial bool
 }
 
 // compiler performs the §4 pipeline over a participant snapshot.

@@ -11,6 +11,7 @@ import (
 	"sdx/internal/dataplane"
 	"sdx/internal/iputil"
 	"sdx/internal/pkt"
+	"sdx/internal/policy"
 	"sdx/internal/rs"
 )
 
@@ -57,6 +58,7 @@ type CompileReport struct {
 	Elapsed   time.Duration
 	VNHCount  int
 	CacheHits int
+	Workers   int // compile pool size (1 for the serial baseline)
 }
 
 // Controller is the SDX controller: it owns the route server, the fabric
@@ -70,6 +72,12 @@ type Controller struct {
 	arpd  *arp.Responder
 	parts map[uint32]*Participant
 	vnhs  *vnhTable
+
+	// pcomp is the persistent parallel policy compiler; its generation-
+	// stamped cache is invalidated (Reset) at the start of every full
+	// recompilation. compileWorkers bounds its pool (0 = GOMAXPROCS).
+	pcomp          *policy.ParallelCompiler
+	compileWorkers int
 
 	cur        *Compiled
 	fastPrefix map[iputil.Prefix]uint32 // fast-band VNH index per prefix
@@ -106,6 +114,13 @@ func WithRuleMirror(sink RuleSink) Option {
 	return func(c *Controller) { c.mirrors = append(c.mirrors, sink) }
 }
 
+// WithCompileWorkers bounds the policy compiler's worker pool. Zero (the
+// default) uses GOMAXPROCS; one keeps the pool but compiles with a single
+// worker.
+func WithCompileWorkers(n int) Option {
+	return func(c *Controller) { c.compileWorkers = n }
+}
+
 // AddRuleMirror registers a rule sink after construction and replays the
 // currently installed bands into it so the external table converges.
 func (c *Controller) AddRuleMirror(sink RuleSink) {
@@ -134,6 +149,7 @@ func NewController(opts ...Option) *Controller {
 	for _, o := range opts {
 		o(c)
 	}
+	c.pcomp = policy.NewParallelCompiler(c.compileWorkers)
 	c.sw.PacketIn = c.normalForward
 	return c
 }
@@ -435,7 +451,17 @@ func (c *Controller) RecompileWithOptions(opts CompileOptions) CompileReport {
 	defer c.mu.Unlock()
 
 	comp := &compiler{parts: c.parts, view: c.rs, vnhs: c.vnhs, opts: opts}
-	compiled := comp.Compile()
+	var compiled *Compiled
+	workers := 1
+	if opts.Serial {
+		compiled = comp.Compile()
+	} else {
+		// New generation: concurrent workers never observe entries
+		// memoized by a previous recompilation.
+		c.pcomp.Reset()
+		compiled = comp.CompileParallel(c.pcomp)
+		workers = c.pcomp.Workers()
+	}
 
 	band1 := dataplane.EntriesFromClassifier(compiled.Band1, band1Base, cookieBand1)
 	band2 := dataplane.EntriesFromClassifier(compiled.Band2, band2Base, cookieBand2)
@@ -478,6 +504,7 @@ func (c *Controller) RecompileWithOptions(opts CompileOptions) CompileReport {
 		Elapsed:   time.Since(start),
 		VNHCount:  c.vnhs.alloc.Allocated(),
 		CacheHits: compiled.Stats.CacheHits,
+		Workers:   workers,
 	}
 }
 

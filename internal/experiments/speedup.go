@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"time"
+
+	"sdx/internal/core"
+	"sdx/internal/workload"
+)
+
+// NewGroupedExchange builds the controlled-group workload behind the
+// Fig 7–10 experiments: an IXP with the §6.1 policy mix plus exactly
+// `groups` single-prefix outbound terms. Exported for the benchmark
+// suite and the differential harness in cmd/sdx-bench.
+func NewGroupedExchange(participants, groups int, seed int64) (*core.Controller, *workload.IXP, error) {
+	return buildGroupedExchange(participants, groups, seed)
+}
+
+// SpeedupPoint is one serial-vs-parallel compilation measurement. Both
+// compilers run on the same exchange; Identical records whether their
+// canonical outputs were byte-for-byte equal (it must always be true —
+// the field is in the baseline so a regression is visible in the data,
+// not only in tests).
+type SpeedupPoint struct {
+	Participants int
+	Groups       int
+	Workers      int // parallel pool size (GOMAXPROCS unless overridden)
+	Serial       time.Duration
+	Parallel     time.Duration
+	Speedup      float64 // Serial / Parallel
+	Identical    bool
+}
+
+// CompileSpeedup measures initial-compilation wall time under the serial
+// reference compiler and the parallel pipeline for several participant
+// counts. Each mode compiles twice and keeps the faster run, matching
+// how Fig78 discards warm-up noise.
+func CompileSpeedup(participants []int, groups int, seed int64) ([]SpeedupPoint, error) {
+	var out []SpeedupPoint
+	for _, n := range participants {
+		ctrl, _, err := buildGroupedExchange(n, groups, seed)
+		if err != nil {
+			return nil, err
+		}
+		measure := func(serial bool) (time.Duration, int, string) {
+			var best time.Duration
+			var workers int
+			for i := 0; i < 2; i++ {
+				rep := ctrl.RecompileWithOptions(core.CompileOptions{Serial: serial})
+				if i == 0 || rep.Elapsed < best {
+					best = rep.Elapsed
+				}
+				workers = rep.Workers
+			}
+			return best, workers, ctrl.Compiled().Canonical()
+		}
+		st, _, sc := measure(true)
+		pt, workers, pc := measure(false)
+		speedup := 0.0
+		if pt > 0 {
+			speedup = float64(st) / float64(pt)
+		}
+		out = append(out, SpeedupPoint{
+			Participants: n,
+			Groups:       groups,
+			Workers:      workers,
+			Serial:       st,
+			Parallel:     pt,
+			Speedup:      speedup,
+			Identical:    sc == pc,
+		})
+	}
+	return out, nil
+}

@@ -66,16 +66,11 @@ func (c *Compiler) compile(p Policy) Classifier {
 	var cl Classifier
 	switch n := p.(type) {
 	case *Filter:
-		cl = make(Classifier, 0, len(n.Union)+1)
-		for _, m := range n.Union {
-			cl = append(cl, Rule{Match: m, Actions: []pkt.Action{pkt.Pass}})
-		}
-		cl = append(cl, Rule{Match: pkt.MatchAll})
-		cl = cl.Optimize()
+		cl = compileFilter(n)
 	case *Fwd:
-		cl = Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(n.Port)}}}
+		cl = compileFwd(n)
 	case *Mod:
-		cl = Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{{Mods: n.Mods, Out: pkt.OutNone}}}}
+		cl = compileMod(n)
 	case *Drop:
 		cl = Classifier{{Match: pkt.MatchAll}}
 	case *Pass:
@@ -91,6 +86,25 @@ func (c *Compiler) compile(p Policy) Classifier {
 	}
 	c.cache[p] = cl
 	return cl
+}
+
+// Leaf translations shared by the serial and parallel compilers.
+
+func compileFilter(n *Filter) Classifier {
+	cl := make(Classifier, 0, len(n.Union)+1)
+	for _, m := range n.Union {
+		cl = append(cl, Rule{Match: m, Actions: []pkt.Action{pkt.Pass}})
+	}
+	cl = append(cl, Rule{Match: pkt.MatchAll})
+	return cl.Optimize()
+}
+
+func compileFwd(n *Fwd) Classifier {
+	return Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(n.Port)}}}
+}
+
+func compileMod(n *Mod) Classifier {
+	return Classifier{{Match: pkt.MatchAll, Actions: []pkt.Action{{Mods: n.Mods, Out: pkt.OutNone}}}}
 }
 
 func (c *Compiler) compileParallel(ps []Policy) Classifier {
@@ -137,6 +151,13 @@ func (c *Compiler) compileIf(n *If) Classifier {
 	pred := c.compile(n.Pred)
 	thenC := c.compile(n.Then)
 	elseC := c.compile(n.Else)
+	return composeIf(pred, thenC, elseC)
+}
+
+// composeIf crosses a predicate classifier's pass-regions with the then-
+// classifier and its drop-regions with the else-classifier, in priority
+// order (shared by the serial and parallel compilers).
+func composeIf(pred, thenC, elseC Classifier) Classifier {
 	var out Classifier
 	for _, pr := range pred {
 		branch := elseC

@@ -74,7 +74,7 @@ type participant struct {
 
 // Server is the SDX route server. It is safe for concurrent use.
 type Server struct {
-	mu           sync.Mutex
+	mu           sync.RWMutex
 	participants map[uint32]*participant
 	adjIn        *bgp.RIB // merged Adj-RIB-In: route per (prefix, advertising participant)
 	updates      int      // UPDATE messages processed
@@ -166,8 +166,8 @@ func (s *Server) RemoveParticipant(as uint32) []Event {
 
 // Participants returns the registered AS numbers, sorted.
 func (s *Server) Participants() []uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]uint32, 0, len(s.participants))
 	for as := range s.participants {
 		out = append(out, as)
@@ -266,8 +266,8 @@ func (s *Server) bestFor(as uint32, prefix iputil.Prefix) *bgp.Route {
 
 // BestRoute returns participant as's current best route for prefix.
 func (s *Server) BestRoute(as uint32, prefix iputil.Prefix) (*bgp.Route, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	p := s.participants[as]
 	if p == nil {
 		return nil, false
@@ -278,8 +278,8 @@ func (s *Server) BestRoute(as uint32, prefix iputil.Prefix) (*bgp.Route, bool) {
 
 // BestRoutes returns a copy of participant as's Loc-RIB.
 func (s *Server) BestRoutes(as uint32) map[iputil.Prefix]*bgp.Route {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	p := s.participants[as]
 	if p == nil {
 		return nil
@@ -296,8 +296,8 @@ func (s *Server) BestRoutes(as uint32) map[iputil.Prefix]*bgp.Route {
 // restrict viewer's outbound policies toward via ("forwarding only along
 // BGP-advertised paths", §3.2). The result is sorted.
 func (s *Server) ReachablePrefixes(viewer, via uint32) []iputil.Prefix {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	adv := s.participants[via]
 	var out []iputil.Prefix
 	s.adjIn.Walk(func(prefix iputil.Prefix, routes []*bgp.Route) bool {
@@ -321,8 +321,8 @@ func (s *Server) ReachablePrefixes(viewer, via uint32) []iputil.Prefix {
 // Exports reports whether participant `via` currently announces prefix and
 // exports it to `viewer` — the membership query behind the SDX fast path.
 func (s *Server) Exports(viewer, via uint32, prefix iputil.Prefix) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	r, ok := s.adjIn.Get(prefix, via)
 	if !ok {
 		return false
@@ -338,16 +338,16 @@ func (s *Server) Exports(viewer, via uint32, prefix iputil.Prefix) bool {
 // default next hop used by the SDX's forwarding-equivalence-class grouping
 // (§4.2 pass 2).
 func (s *Server) GlobalBest(prefix iputil.Prefix) *bgp.Route {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return bgp.Best(s.adjIn.Routes(prefix))
 }
 
 // AnnouncedPrefixes returns the prefixes participant as currently
 // announces, sorted.
 func (s *Server) AnnouncedPrefixes(as uint32) []iputil.Prefix {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []iputil.Prefix
 	s.adjIn.Walk(func(prefix iputil.Prefix, routes []*bgp.Route) bool {
 		for _, r := range routes {
@@ -372,7 +372,7 @@ func (s *Server) RIB() *bgp.RIB { return s.adjIn }
 
 // UpdatesProcessed returns the number of HandleUpdate calls.
 func (s *Server) UpdatesProcessed() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.updates
 }

@@ -62,6 +62,9 @@ type (
 	UpdateResult = core.UpdateResult
 	// CompileReport summarizes a full compilation pass.
 	CompileReport = core.CompileReport
+
+	// CompileOptions selects compiler variants (serial baseline, ablations).
+	CompileOptions = core.CompileOptions
 	// Compiled is the output of a compilation pass.
 	Compiled = core.Compiled
 	// PrefixGroup is one forwarding equivalence class.
