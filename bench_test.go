@@ -187,7 +187,7 @@ func BenchmarkCompileSerialVsParallel(b *testing.B) {
 		} {
 			b.Run(fmt.Sprintf("participants=%d/%s", n, mode.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					rep := ctrl.RecompileWithOptions(CompileOptions{Serial: mode.serial})
+					rep := ctrl.Recompile(WithCompileOptions(CompileOptions{Serial: mode.serial}))
 					if rep.Rules == 0 {
 						b.Fatal("no rules")
 					}
@@ -264,7 +264,7 @@ func BenchmarkFabricForwarding(b *testing.B) {
 		Attrs: &bgp.PathAttrs{ASPath: []uint32{200}, NextHop: iputil.Addr(PortIP(2))},
 		NLRI:  []iputil.Prefix{MustParsePrefix("20.0.0.0/8")},
 	})
-	ctrl.SetPolicyAndCompile(100, nil, []Term{Fwd(MatchAll.DstPort(80), 200)})
+	ctrl.Recompile(CompilePolicy(100, nil, []Term{Fwd(MatchAll.DstPort(80), 200)}))
 	comp := ctrl.Compiled()
 	if len(comp.VMACs) == 0 {
 		b.Fatal("no groups")

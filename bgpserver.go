@@ -90,6 +90,8 @@ func (s *BGPServer) handle(conn net.Conn) {
 		OnUpdate: func(sess *bgp.Session, u *bgp.Update) {
 			s.ctrl.ProcessUpdate(sess.PeerAS(), u)
 		},
+		Metrics: s.ctrl.Metrics(),
+		Tracer:  s.ctrl.Tracer(),
 	})
 	if err != nil {
 		return

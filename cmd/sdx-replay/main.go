@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "topology seed (must match the trace's generator)")
 	target := flag.String("target", "", "stream to a running sdxd at host:port instead of replaying in-process")
 	recompileEvery := flag.Int("recompile-every", 500, "run the background optimization after this many updates (0 = never)")
+	metrics := flag.Bool("metrics", false, "print the controller's telemetry registry after an in-process replay")
 	flag.Parse()
 
 	events, err := readTrace(os.Stdin)
@@ -91,6 +92,10 @@ func main() {
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 	fmt.Printf("recompilations    %d background + 1 final; final table %d rules\n",
 		recompiles, ctrl.Switch().Table().Len())
+	if *metrics {
+		fmt.Printf("--- telemetry ---\n")
+		ctrl.Metrics().WriteText(os.Stdout)
+	}
 }
 
 type traceEvent struct {

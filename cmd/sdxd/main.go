@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +49,7 @@ func main() {
 	configPath := flag.String("config", "", "exchange configuration file")
 	fabric := flag.String("fabric", "", "optional sdx-switch address to program over the control channel")
 	optimize := flag.Duration("optimize-interval", 5*time.Second, "background recompilation interval")
+	metricsAddr := flag.String("metrics", "", "HTTP observability address (serves /metrics, /metrics/text, /trace); empty disables")
 	flag.Parse()
 
 	ctrl := sdx.New(sdx.WithLogger(log.Printf))
@@ -76,7 +79,31 @@ func main() {
 		}
 		client.Start()
 		ctrl.AddRuleMirror(openflow.Mirror{C: client})
+		reg := ctrl.Metrics()
+		reg.RegisterGaugeFunc("openflow.flow_mods", func() int64 {
+			return int64(client.ChannelStats().FlowMods)
+		})
+		reg.RegisterGaugeFunc("openflow.packet_outs", func() int64 {
+			return int64(client.ChannelStats().PacketOuts)
+		})
+		reg.RegisterGaugeFunc("openflow.packet_ins", func() int64 {
+			return int64(client.ChannelStats().PacketIns)
+		})
+		reg.RegisterGaugeFunc("openflow.echoes", func() int64 {
+			return int64(client.ChannelStats().Echoes)
+		})
 		log.Printf("programming external fabric at %s", *fabric)
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		go func() {
+			// Serve exits when the listener closes at process shutdown.
+			_ = http.Serve(ln, newMetricsMux(ctrl))
+		}()
+		log.Printf("metrics at http://%s/metrics", ln.Addr())
 	}
 	rep := ctrl.Recompile()
 	log.Printf("initial compilation: %d groups, %d rules in %v", rep.Groups, rep.Rules, rep.Elapsed)

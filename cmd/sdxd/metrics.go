@@ -1,0 +1,23 @@
+package main
+
+import (
+	"net/http"
+
+	"sdx"
+)
+
+// newMetricsMux serves the controller's observability surface:
+//
+//	/metrics       registry snapshot as JSON (?format=text for the dump)
+//	/metrics/text  human-readable metric dump
+//	/trace         retained trace events as JSON
+func newMetricsMux(ctrl *sdx.Controller) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", ctrl.Metrics())
+	mux.HandleFunc("/metrics/text", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ctrl.Metrics().WriteText(w)
+	})
+	mux.Handle("/trace", ctrl.Tracer())
+	return mux
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sdx"
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+)
+
+// TestMetricsMux drives an in-process controller through a BGP burst and a
+// compilation, then checks each observability endpoint the -metrics flag
+// exposes.
+func TestMetricsMux(t *testing.T) {
+	ctrl := sdx.New()
+	for _, cfg := range []sdx.ParticipantConfig{
+		{AS: 100, Name: "A", Ports: []sdx.PhysicalPort{{ID: 1}}},
+		{AS: 200, Name: "B", Ports: []sdx.PhysicalPort{{ID: 2}}},
+	} {
+		if _, err := ctrl.AddParticipant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const burst = 10
+	for i := 0; i < burst; i++ {
+		ctrl.ProcessUpdate(200, &sdx.Update{
+			Attrs: &bgp.PathAttrs{ASPath: []uint32{200}, NextHop: sdx.PortIP(2)},
+			NLRI:  []iputil.Prefix{sdx.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", i))},
+		})
+	}
+	ctrl.Recompile()
+
+	mux := newMetricsMux(ctrl)
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+		return rec
+	}
+
+	var snap sdx.Snapshot
+	if err := json.Unmarshal(get("/metrics").Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	if snap.Counters["controller.updates_in"] != burst {
+		t.Fatalf("updates_in = %d, want %d", snap.Counters["controller.updates_in"], burst)
+	}
+	h := snap.Histograms["controller.compile_ns"]
+	if h.Count < 1 || h.Sum == 0 {
+		t.Fatalf("compile_ns histogram empty after Recompile: %+v", h)
+	}
+
+	text := get("/metrics/text")
+	if ct := text.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("/metrics/text content type %q", ct)
+	}
+	if body := text.Body.String(); !strings.Contains(body, "controller.updates_in") {
+		t.Fatalf("/metrics/text missing updates_in:\n%s", body)
+	}
+
+	var events []sdx.Event
+	if err := json.Unmarshal(get("/trace").Body.Bytes(), &events); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("/trace returned no events")
+	}
+}

@@ -196,10 +196,10 @@ func TestFullSystemOverTCP(t *testing.T) {
 
 	// AS A installs application-specific peering. The controller pushes
 	// rules over the control channel and re-advertises p1 with a VNH.
-	if _, err := ctrl.SetPolicyAndCompile(100, nil, []Term{
+	if rep := ctrl.Recompile(CompilePolicy(100, nil, []Term{
 		Fwd(MatchAll.DstPort(80), 200),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sdx/internal/iputil"
+	"sdx/internal/telemetry"
 )
 
 // SessionConfig configures one side of a BGP session.
@@ -32,6 +33,15 @@ type SessionConfig struct {
 	OnDown func(s *Session, err error)
 	// Logf, when non-nil, receives session life-cycle logging.
 	Logf func(format string, args ...any)
+
+	// Metrics, when non-nil, publishes per-message counters shared by all
+	// sessions on the registry: bgp.msgs_in/out, bgp.updates_in/out,
+	// bgp.keepalives_in/out, bgp.notifications_in, bgp.hold_expired,
+	// bgp.sessions_established, bgp.sessions_closed.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives a SessionStateChange event on
+	// establishment and teardown (with the NOTIFICATION cause as detail).
+	Tracer *telemetry.Tracer
 }
 
 func (c *SessionConfig) logf(format string, args ...any) {
@@ -49,6 +59,7 @@ type Session struct {
 	conn     net.Conn
 	peerOpen *Open
 	holdTime time.Duration
+	met      sessionMetrics
 
 	sendMu sync.Mutex // serializes writes to conn
 
@@ -57,12 +68,38 @@ type Session struct {
 	downErr   error
 }
 
+// sessionMetrics holds a session's resolved counter handles; every field
+// is nil (and every update free) when SessionConfig.Metrics is nil.
+type sessionMetrics struct {
+	msgsIn, msgsOut             *telemetry.Counter
+	updatesIn, updatesOut       *telemetry.Counter
+	keepalivesIn, keepalivesOut *telemetry.Counter
+	notificationsIn             *telemetry.Counter
+	holdExpired                 *telemetry.Counter
+	established, sessionsClosed *telemetry.Counter
+}
+
+func newSessionMetrics(reg *telemetry.Registry) sessionMetrics {
+	return sessionMetrics{
+		msgsIn:          reg.Counter("bgp.msgs_in"),
+		msgsOut:         reg.Counter("bgp.msgs_out"),
+		updatesIn:       reg.Counter("bgp.updates_in"),
+		updatesOut:      reg.Counter("bgp.updates_out"),
+		keepalivesIn:    reg.Counter("bgp.keepalives_in"),
+		keepalivesOut:   reg.Counter("bgp.keepalives_out"),
+		notificationsIn: reg.Counter("bgp.notifications_in"),
+		holdExpired:     reg.Counter("bgp.hold_expired"),
+		established:     reg.Counter("bgp.sessions_established"),
+		sessionsClosed:  reg.Counter("bgp.sessions_closed"),
+	}
+}
+
 // Establish performs the OPEN/KEEPALIVE handshake on conn and returns the
 // established session. The handshake writes concurrently with reading so
 // that two symmetric endpoints (e.g. over net.Pipe) cannot deadlock. On
 // error the connection is closed.
 func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
-	s := &Session{cfg: cfg, conn: conn, closed: make(chan struct{})}
+	s := &Session{cfg: cfg, conn: conn, closed: make(chan struct{}), met: newSessionMetrics(cfg.Metrics)}
 
 	proposed := cfg.HoldTime
 	switch {
@@ -128,6 +165,8 @@ func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 
 	s.peerOpen = peerOpen
 	s.holdTime = min(proposed, time.Duration(peerOpen.HoldTime)*time.Second)
+	s.met.established.Inc()
+	cfg.Tracer.Emit(telemetry.EventSessionStateChange, peerOpen.AS, "established", 0)
 	cfg.logf("bgp: session established AS%d <-> AS%d hold=%s", cfg.LocalAS, peerOpen.AS, s.holdTime)
 	return s, nil
 }
@@ -174,23 +213,28 @@ func (s *Session) readLoop() {
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.met.holdExpired.Inc()
 				s.sendBestEffort(&Notification{Code: NotifHoldTimerExpired})
 				err = fmt.Errorf("bgp: hold timer expired: %w", err)
 			}
 			s.shutdown(err)
 			return
 		}
+		s.met.msgsIn.Inc()
 		switch m := msg.(type) {
 		case *Update:
+			s.met.updatesIn.Inc()
 			if s.cfg.OnUpdate != nil {
 				s.cfg.OnUpdate(s, m)
 			}
 		case *Keepalive:
 			// Receipt already refreshed the read deadline.
+			s.met.keepalivesIn.Inc()
 			if s.cfg.OnKeepalive != nil {
 				s.cfg.OnKeepalive(s)
 			}
 		case *Notification:
+			s.met.notificationsIn.Inc()
 			s.shutdown(m)
 			return
 		case *Open:
@@ -226,6 +270,13 @@ func (s *Session) send(m Message) error {
 	if err != nil {
 		return err
 	}
+	s.met.msgsOut.Inc()
+	switch m.(type) {
+	case *Update:
+		s.met.updatesOut.Inc()
+	case *Keepalive:
+		s.met.keepalivesOut.Inc()
+	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
 	//lint:ignore lockblock sendMu exists solely to serialize concurrent writers on the conn; holding it across the write is the serialization, and no other lock is ever taken while it is held
@@ -257,6 +308,14 @@ func (s *Session) shutdown(err error) {
 		s.downErr = err
 		close(s.closed)
 		_ = s.conn.Close() // the session is already down; nothing to do with a close error
+		s.met.sessionsClosed.Inc()
+		// The trace detail carries the teardown cause — for remote
+		// NOTIFICATIONs that is the code/subcode rendering.
+		detail := "down"
+		if err != nil {
+			detail = "down: " + err.Error()
+		}
+		s.cfg.Tracer.Emit(telemetry.EventSessionStateChange, s.peerOpen.AS, detail, 0)
 		if s.cfg.OnDown != nil {
 			s.cfg.OnDown(s, err)
 		}

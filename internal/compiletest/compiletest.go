@@ -65,7 +65,7 @@ func Build(w Workload) (*Instance, error) {
 // Compile runs a full recompilation, serial or parallel, and returns the
 // canonical form of the result.
 func (in *Instance) Compile(serial bool) string {
-	in.Ctrl.RecompileWithOptions(core.CompileOptions{Serial: serial})
+	in.Ctrl.Recompile(core.WithCompileOptions(core.CompileOptions{Serial: serial}))
 	return in.Ctrl.Compiled().Canonical()
 }
 

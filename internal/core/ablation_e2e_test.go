@@ -58,7 +58,7 @@ func TestNaiveModeForwardsIdentically(t *testing.T) {
 	full := f.ctrl.Recompile()
 	want := deliveries()
 
-	naive := f.ctrl.RecompileWithOptions(core.CompileOptions{NaiveDstIP: true})
+	naive := f.ctrl.Recompile(core.CompileNaiveDstIP())
 	got := deliveries()
 	for i := range probes {
 		if got[i] != want[i] {
@@ -90,7 +90,7 @@ func TestAblationKnobsPreserveSemantics(t *testing.T) {
 
 	check := func(opts core.CompileOptions) {
 		t.Helper()
-		f.ctrl.RecompileWithOptions(opts)
+		f.ctrl.Recompile(core.WithCompileOptions(opts))
 		got := f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
 		if got.DstMAC != core.PortMAC(2) {
 			t.Fatalf("opts %+v: dstmac %v", opts, got.DstMAC)

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+)
+
+// TestCompilePolicyOption folds a policy install into Recompile and checks
+// both the success and the validation-failure paths.
+func TestCompilePolicyOption(t *testing.T) {
+	f := newFig1(t)
+
+	rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, []core.Term{
+		core.Fwd(pkt.MatchAll.DstPort(80), asB),
+	}))
+	if rep.Err != nil {
+		t.Fatalf("valid policy: %v", rep.Err)
+	}
+	if rep.Rules == 0 {
+		t.Fatal("policy install should have compiled rules")
+	}
+	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
+
+	compiles := f.ctrl.Metrics().Counter("controller.full_compiles").Value()
+	bad := f.ctrl.Recompile(core.CompilePolicy(9999, nil, nil))
+	if bad.Err == nil || !strings.Contains(bad.Err.Error(), "unknown participant") {
+		t.Fatalf("unknown AS should fail validation, got err=%v", bad.Err)
+	}
+	if bad.Rules != 0 || bad.Elapsed != 0 {
+		t.Fatalf("failed pass must not compile: %+v", bad)
+	}
+	if got := f.ctrl.Metrics().Counter("controller.full_compiles").Value(); got != compiles {
+		t.Fatalf("failed pass ran a compile: %d -> %d", compiles, got)
+	}
+}
+
+// TestCompileSerialOptionMatchesParallel pins the serial reference path
+// behind the new option form to the parallel pipeline's output.
+func TestCompileSerialOptionMatchesParallel(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+
+	f.ctrl.Recompile(core.CompileSerial())
+	serial := f.ctrl.Compiled().Canonical()
+	f.ctrl.Recompile()
+	if parallel := f.ctrl.Compiled().Canonical(); parallel != serial {
+		t.Fatal("serial option and parallel default disagree")
+	}
+}
+
+// TestDeprecatedCompileWrappers keeps the thin wrappers delegating to the
+// variadic form: same report, and SetPolicyAndCompile's error mirrors
+// CompileReport.Err.
+func TestDeprecatedCompileWrappers(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+
+	viaWrapper := f.ctrl.RecompileWithOptions(core.CompileOptions{Serial: true})
+	viaOption := f.ctrl.Recompile(core.CompileSerial())
+	if viaWrapper.Rules != viaOption.Rules || viaWrapper.Groups != viaOption.Groups {
+		t.Fatalf("wrapper and option form disagree: %+v vs %+v", viaWrapper, viaOption)
+	}
+
+	if _, err := f.ctrl.SetPolicyAndCompile(9999, nil, nil); err == nil {
+		t.Fatal("SetPolicyAndCompile must surface the validation error")
+	}
+	rep, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
+		core.Fwd(pkt.MatchAll.DstPort(80), asB),
+	})
+	if err != nil || rep.Err != nil {
+		t.Fatalf("valid wrapper call failed: err=%v rep.Err=%v", err, rep.Err)
+	}
+}

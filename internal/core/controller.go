@@ -13,6 +13,7 @@ import (
 	"sdx/internal/pkt"
 	"sdx/internal/policy"
 	"sdx/internal/rs"
+	"sdx/internal/telemetry"
 )
 
 // Flow-table priority bands, highest first. Fast-path rules from
@@ -59,6 +60,10 @@ type CompileReport struct {
 	VNHCount  int
 	CacheHits int
 	Workers   int // compile pool size (1 for the serial baseline)
+
+	// Err is non-nil when a CompilePolicy option failed validation; the
+	// pass was aborted and no compilation ran.
+	Err error
 }
 
 // Controller is the SDX controller: it owns the route server, the fabric
@@ -88,6 +93,12 @@ type Controller struct {
 	mirrors    []RuleSink
 	nextVPort  int
 	dirty      bool
+
+	// metrics and tracer are never nil: injected via WithTelemetry /
+	// WithTracer or privately created. m caches the resolved handles.
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+	m       ctrlMetrics
 
 	logf func(format string, args ...any)
 }
@@ -134,7 +145,6 @@ func (c *Controller) AddRuleMirror(sink RuleSink) {
 // NewController returns an SDX controller with an empty fabric.
 func NewController(opts ...Option) *Controller {
 	c := &Controller{
-		rs:         rs.New(),
 		sw:         dataplane.NewSwitch("sdx-fabric"),
 		arpd:       arp.NewResponder(),
 		parts:      make(map[uint32]*Participant),
@@ -149,7 +159,17 @@ func NewController(opts ...Option) *Controller {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.metrics == nil {
+		c.metrics = telemetry.NewRegistry()
+	}
+	if c.tracer == nil {
+		c.tracer = telemetry.NewTracer(1024)
+	}
+	// The route server is created after the options run so it publishes
+	// into whichever registry was injected.
+	c.rs = rs.New(rs.WithMetrics(c.metrics))
 	c.pcomp = policy.NewParallelCompiler(c.compileWorkers)
+	c.initTelemetry()
 	c.sw.PacketIn = c.normalForward
 	return c
 }
@@ -263,14 +283,6 @@ func (c *Controller) SetPolicy(as uint32, inbound, outbound []Term) error {
 	return nil
 }
 
-// SetPolicyAndCompile installs a policy and immediately recompiles.
-func (c *Controller) SetPolicyAndCompile(as uint32, inbound, outbound []Term) (CompileReport, error) {
-	if err := c.SetPolicy(as, inbound, outbound); err != nil {
-		return CompileReport{}, err
-	}
-	return c.Recompile(), nil
-}
-
 // AnnouncePrefix originates a BGP route for prefix on behalf of a
 // participant (§3.2 "originating BGP routes from the SDX"; the wide-area
 // load balancer announces its anycast prefix this way). In a real
@@ -310,13 +322,15 @@ func (c *Controller) WithdrawPrefix(as uint32, prefix iputil.Prefix) (UpdateResu
 // immediately; the full (optimal) recompilation is left to the next
 // Recompile call, which the background optimizer invokes between bursts.
 func (c *Controller) ProcessUpdate(from uint32, u *bgp.Update) UpdateResult {
-	start := time.Now()
+	t := telemetry.StartTimer(c.m.updateNS)
+	c.m.updatesIn.Inc()
+	c.tracer.Emit(telemetry.EventBGPUpdateReceived, from, "", int64(len(u.NLRI)+len(u.Withdrawn)))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
 	events := c.rs.HandleUpdate(from, u)
 	res := c.handleEventsLocked(events)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = t.Stop()
 	return res
 }
 
@@ -325,6 +339,7 @@ func (c *Controller) ProcessUpdate(from uint32, u *bgp.Update) UpdateResult {
 func (c *Controller) handleEventsLocked(events []rs.Event) UpdateResult {
 	res := UpdateResult{Events: events}
 	comp := &compiler{parts: c.parts, view: c.rs, vnhs: c.vnhs}
+	c.m.updateEvents.Add(int64(len(events)))
 
 	seen := make(map[iputil.Prefix]bool)
 	for _, e := range events {
@@ -346,6 +361,8 @@ func (c *Controller) handleEventsLocked(events []rs.Event) UpdateResult {
 		idx := uint32(fc.VNHs[0] - VNHSubnet.Addr())
 		c.fastPrefix[e.Prefix] = idx
 		c.arpd.Register(fc.VNHs[0], fc.VMACs[0])
+		c.m.fastCompiles.Inc()
+		c.tracer.Emit(telemetry.EventFECChanged, e.Participant, e.Prefix.String(), int64(idx))
 
 		entries := dataplane.EntriesFromClassifier(fc.Band1, fastBandBase+2048, cookieFast)
 		entries = append(entries, dataplane.EntriesFromClassifier(fc.Band2, fastBandBase, cookieFast)...)
@@ -354,8 +371,13 @@ func (c *Controller) handleEventsLocked(events []rs.Event) UpdateResult {
 			m.AddBatch(entries)
 		}
 		c.fastRules += len(entries)
+		c.m.rulesInstalled.Add(int64(len(entries)))
+		c.tracer.Emit(telemetry.EventRuleInstalled, 0, "fast", int64(len(entries)))
 		res.AffectedGroups++
 		res.AdditionalRules += len(entries)
+	}
+	if len(events) > 0 {
+		c.m.dirtySet.Observe(int64(len(seen)))
 	}
 	c.dirty = c.dirty || len(events) > 0
 
@@ -371,7 +393,9 @@ func (c *Controller) handleEventsLocked(events []rs.Event) UpdateResult {
 // over the resulting best-route changes. Any policy of another
 // participant that targeted it stops matching at the next Recompile.
 func (c *Controller) RemoveParticipant(as uint32) (UpdateResult, error) {
-	start := time.Now()
+	// Deliberately unrecorded: update_ns tracks only ProcessUpdate, so its
+	// sample count stays comparable with the updates_in counter.
+	t := telemetry.StartTimer(nil)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p, ok := c.parts[as]
@@ -390,7 +414,7 @@ func (c *Controller) RemoveParticipant(as uint32) (UpdateResult, error) {
 	events := c.rs.RemoveParticipant(as)
 	res := c.handleEventsLocked(events)
 	c.dirty = true
-	res.Elapsed = time.Since(start)
+	res.Elapsed = t.Stop()
 	return res, nil
 }
 
@@ -437,18 +461,35 @@ func (c *Controller) StartOptimizer(interval time.Duration) (stop func()) {
 
 // Recompile runs the full optimization pass: FEC grouping, policy
 // compilation, atomic band swap, fast-band garbage collection, and
-// re-advertisement of prefixes whose virtual next hop moved.
-func (c *Controller) Recompile() CompileReport {
-	return c.RecompileWithOptions(CompileOptions{})
+// re-advertisement of prefixes whose virtual next hop moved. Options
+// select ablation knobs (CompileSerial, CompileNaiveDstIP, ...) or fold
+// in a policy change first (CompilePolicy); with no options it runs the
+// paper's full design.
+func (c *Controller) Recompile(options ...CompileOption) CompileReport {
+	var cfg compileConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	for _, pc := range cfg.policies {
+		if err := c.SetPolicy(pc.as, pc.inbound, pc.outbound); err != nil {
+			return CompileReport{Err: err}
+		}
+	}
+	return c.recompile(cfg.opts)
 }
 
-// RecompileWithOptions is Recompile with ablation knobs (the design-
-// choice benchmarks run the pipeline with individual optimizations
-// disabled).
-func (c *Controller) RecompileWithOptions(opts CompileOptions) CompileReport {
-	start := time.Now()
+// recompile is the full pass with resolved options.
+func (c *Controller) recompile(opts CompileOptions) CompileReport {
+	t := telemetry.StartTimer(c.m.compileNS)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+
+	mode := "parallel"
+	if opts.Serial {
+		mode = "serial"
+	}
+	c.m.fullCompiles.Inc()
+	c.tracer.Emit(telemetry.EventCompileStarted, 0, mode, 0)
 
 	comp := &compiler{parts: c.parts, view: c.rs, vnhs: c.vnhs, opts: opts}
 	var compiled *Compiled
@@ -496,16 +537,27 @@ func (c *Controller) RecompileWithOptions(opts CompileOptions) CompileReport {
 		c.advertisePrefixLocked(p)
 	}
 
-	return CompileReport{
+	rep := CompileReport{
 		Groups:    len(compiled.Groups),
 		Rules:     compiled.NumRules(),
 		Band1:     len(compiled.Band1),
 		Band2:     len(compiled.Band2),
-		Elapsed:   time.Since(start),
+		Elapsed:   t.Stop(),
 		VNHCount:  c.vnhs.alloc.Allocated(),
 		CacheHits: compiled.Stats.CacheHits,
 		Workers:   workers,
 	}
+	c.m.rulesInstalled.Add(int64(rep.Rules))
+	c.m.cacheHits.Add(int64(rep.CacheHits))
+	c.m.busyNS.Add(compiled.Stats.BusyNS)
+	c.m.groups.Set(int64(rep.Groups))
+	c.m.band1.Set(int64(rep.Band1))
+	c.m.band2.Set(int64(rep.Band2))
+	c.m.vnhsAllocated.Set(int64(rep.VNHCount))
+	c.tracer.Emit(telemetry.EventRuleInstalled, 0, "band1", int64(rep.Band1))
+	c.tracer.Emit(telemetry.EventRuleInstalled, 0, "band2", int64(rep.Band2))
+	c.tracer.Emit(telemetry.EventCompileDone, 0, mode, int64(rep.Rules))
+	return rep
 }
 
 // Dirty reports whether policies or routes changed since the last full
@@ -613,6 +665,8 @@ func (c *Controller) HandleARP(p pkt.Packet) (pkt.Packet, bool) {
 	if rep == nil {
 		return pkt.Packet{}, false
 	}
+	c.m.arpReplies.Inc()
+	c.tracer.Emit(telemetry.EventARPReply, 0, req.TargetIP.String(), 0)
 	return pkt.Packet{
 		SrcMAC:  rep.SenderMAC,
 		DstMAC:  rep.TargetMAC,

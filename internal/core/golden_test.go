@@ -175,7 +175,7 @@ func TestGoldenClassifiers(t *testing.T) {
 	for _, tc := range goldenTopologies {
 		t.Run(tc.name, func(t *testing.T) {
 			serial := tc.build(t)
-			serial.RecompileWithOptions(core.CompileOptions{Serial: true})
+			serial.Recompile(core.CompileSerial())
 			got := serial.Compiled().Canonical()
 
 			parallel := tc.build(t)

@@ -1,11 +1,13 @@
 package core_test
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sdx/internal/bgp"
 	"sdx/internal/core"
+	"sdx/internal/dataplane"
 	"sdx/internal/iputil"
 )
 
@@ -97,4 +99,75 @@ func TestStartOptimizer(t *testing.T) {
 	// Forwarding stays correct afterwards.
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("13.1.1.1"), 80), f.c)
 	stop()
+}
+
+// gateSink is a RuleSink that, once armed, blocks the first band swap
+// (Replace) until released, then disarms. Only full recompiles call
+// Replace — the fast path uses AddBatch — so arming it freezes exactly
+// the optimizer's recompile, never the test's own update calls.
+type gateSink struct {
+	armed   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGateSink() *gateSink {
+	return &gateSink{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (s *gateSink) AddBatch([]*dataplane.FlowEntry) {}
+func (s *gateSink) DeleteCookie(uint64)             {}
+
+func (s *gateSink) Replace(uint64, []*dataplane.FlowEntry) {
+	if s.armed.CompareAndSwap(true, false) {
+		s.entered <- struct{}{}
+		<-s.release
+	}
+}
+
+// TestStartOptimizerStopJoins pins the shutdown contract: the stop func
+// returned by StartOptimizer must not return while a background recompile
+// is still in flight, and after it returns the optimizer must never
+// recompile again.
+func TestStartOptimizerStopJoins(t *testing.T) {
+	f := newFig1(t)
+	f.setFig1Policies(t)
+	sink := newGateSink()
+	f.ctrl.AddRuleMirror(sink) // disarmed: the registration replay passes through
+
+	stop := f.ctrl.StartOptimizer(5 * time.Millisecond)
+	sink.armed.Store(true)
+	f.b1.Withdraw(f.p3) // dirties the controller; next tick recompiles
+
+	select {
+	case <-sink.entered: // optimizer frozen inside Recompile
+	case <-time.After(5 * time.Second):
+		t.Fatal("optimizer never started a recompile")
+	}
+
+	stopped := make(chan struct{})
+	go func() {
+		stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		t.Fatal("stop() returned while a recompile was in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(sink.release)
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() did not return after the recompile finished")
+	}
+
+	// After stop, dirtying the controller must not trigger another pass.
+	before := f.ctrl.Metrics().Counter("controller.full_compiles").Value()
+	f.b1.Announce(f.p3, asB)
+	time.Sleep(50 * time.Millisecond)
+	if after := f.ctrl.Metrics().Counter("controller.full_compiles").Value(); after != before {
+		t.Fatalf("optimizer recompiled after stop: %d -> %d full compiles", before, after)
+	}
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sdx/internal/telemetry"
+)
+
+// WithTelemetry directs the controller's metrics into reg instead of the
+// private registry every controller otherwise creates. Injecting a shared
+// registry lets several components (controller, BGP listener, daemon)
+// publish into one snapshot.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Controller) { c.metrics = reg }
+}
+
+// WithTracer directs the controller's event trace into tr instead of the
+// private bounded tracer every controller otherwise creates.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(c *Controller) { c.tracer = tr }
+}
+
+// Metrics returns the controller's registry (never nil).
+func (c *Controller) Metrics() *telemetry.Registry { return c.metrics }
+
+// Tracer returns the controller's event tracer (never nil).
+func (c *Controller) Tracer() *telemetry.Tracer { return c.tracer }
+
+// ctrlMetrics holds the controller's metric handles, resolved once at
+// construction so hot paths never touch the registry's name map.
+type ctrlMetrics struct {
+	updatesIn    *telemetry.Counter   // controller.updates_in
+	updateNS     *telemetry.Histogram // controller.update_ns
+	updateEvents *telemetry.Counter   // controller.update_events
+	dirtySet     *telemetry.Histogram // controller.dirty_set
+
+	fastCompiles *telemetry.Counter   // controller.fast_compiles
+	fullCompiles *telemetry.Counter   // controller.full_compiles
+	compileNS    *telemetry.Histogram // controller.compile_ns
+
+	rulesInstalled *telemetry.Counter // controller.rules_installed
+	arpReplies     *telemetry.Counter // controller.arp_replies
+
+	cacheHits *telemetry.Counter // compiler.cache_hits
+	busyNS    *telemetry.Counter // compiler.busy_ns
+
+	groups        *telemetry.Gauge // controller.groups
+	band1         *telemetry.Gauge // controller.rules_band1
+	band2         *telemetry.Gauge // controller.rules_band2
+	vnhsAllocated *telemetry.Gauge // controller.vnhs_allocated
+}
+
+// initTelemetry resolves the metric handles and registers snapshot-time
+// size gauges for structures that already track their own sizes. Called
+// once from NewController, after c.metrics, c.sw and c.pcomp exist.
+func (c *Controller) initTelemetry() {
+	reg := c.metrics
+	c.m = ctrlMetrics{
+		updatesIn:      reg.Counter("controller.updates_in"),
+		updateNS:       reg.Histogram("controller.update_ns"),
+		updateEvents:   reg.Counter("controller.update_events"),
+		dirtySet:       reg.Histogram("controller.dirty_set"),
+		fastCompiles:   reg.Counter("controller.fast_compiles"),
+		fullCompiles:   reg.Counter("controller.full_compiles"),
+		compileNS:      reg.Histogram("controller.compile_ns"),
+		rulesInstalled: reg.Counter("controller.rules_installed"),
+		arpReplies:     reg.Counter("controller.arp_replies"),
+		cacheHits:      reg.Counter("compiler.cache_hits"),
+		busyNS:         reg.Counter("compiler.busy_ns"),
+		groups:         reg.Gauge("controller.groups"),
+		band1:          reg.Gauge("controller.rules_band1"),
+		band2:          reg.Gauge("controller.rules_band2"),
+		vnhsAllocated:  reg.Gauge("controller.vnhs_allocated"),
+	}
+	sw, pcomp := c.sw, c.pcomp
+	reg.RegisterGaugeFunc("dataplane.rules", func() int64 {
+		return int64(sw.Table().Len())
+	})
+	reg.RegisterGaugeFunc("dataplane.misses", func() int64 {
+		return int64(sw.Table().Misses())
+	})
+	reg.RegisterGaugeFunc("dataplane.packet_ins", func() int64 {
+		return int64(sw.PacketIns())
+	})
+	reg.RegisterGaugeFunc("dataplane.drops", func() int64 {
+		return int64(sw.Drops())
+	})
+	reg.RegisterGaugeFunc("compiler.cache_entries", func() int64 {
+		return int64(pcomp.CacheLen())
+	})
+	reg.RegisterGaugeFunc("compiler.workers", func() int64 {
+		return int64(pcomp.Workers())
+	})
+	reg.RegisterGaugeFunc("controller.fast_rules", func() int64 {
+		return int64(c.FastRules())
+	})
+}

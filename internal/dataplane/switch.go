@@ -39,7 +39,8 @@ type Switch struct {
 	// PacketIn, when non-nil, receives table-miss packets.
 	PacketIn func(pkt.Packet)
 
-	drops atomic.Uint64
+	drops     atomic.Uint64
+	packetIns atomic.Uint64
 }
 
 // NewSwitch returns a switch with an empty flow table.
@@ -117,6 +118,7 @@ func (s *Switch) Inject(ingress pkt.PortID, p pkt.Packet) int {
 	if outs == nil {
 		// Table miss (Process returns a non-nil empty slice when a drop
 		// rule matched): hand the packet to the controller.
+		s.packetIns.Add(1)
 		if s.PacketIn != nil {
 			s.PacketIn(p)
 		}
@@ -180,3 +182,7 @@ func (s *Switch) Stats(id pkt.PortID) (PortStats, bool) {
 
 // Drops returns the count of packets lost to unknown ports.
 func (s *Switch) Drops() uint64 { return s.drops.Load() }
+
+// PacketIns returns the count of table-miss packets handed to the
+// controller channel.
+func (s *Switch) PacketIns() uint64 { return s.packetIns.Load() }

@@ -40,8 +40,8 @@ func Ablation(participants, groups int, seed int64) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, m := range modes {
 		// Two passes per mode; keep the faster one (allocator warm-up).
-		rep := ctrl.RecompileWithOptions(m.opts)
-		rep2 := ctrl.RecompileWithOptions(m.opts)
+		rep := ctrl.Recompile(core.WithCompileOptions(m.opts))
+		rep2 := ctrl.Recompile(core.WithCompileOptions(m.opts))
 		if rep2.Elapsed < rep.Elapsed {
 			rep = rep2
 		}

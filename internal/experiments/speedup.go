@@ -45,7 +45,7 @@ func CompileSpeedup(participants []int, groups int, seed int64) ([]SpeedupPoint,
 			var best time.Duration
 			var workers int
 			for i := 0; i < 2; i++ {
-				rep := ctrl.RecompileWithOptions(core.CompileOptions{Serial: serial})
+				rep := ctrl.Recompile(core.WithCompileOptions(core.CompileOptions{Serial: serial}))
 				if i == 0 || rep.Elapsed < best {
 					best = rep.Elapsed
 				}

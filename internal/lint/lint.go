@@ -59,6 +59,11 @@ type Pass struct {
 	// be silently discarded (the unchecked-wire-error analyzer's scope).
 	WirePackages map[string]bool
 
+	// InstrumentedPackages is the set of import paths whose hot paths must
+	// measure durations through the telemetry timer helper (the telemtime
+	// analyzer's scope).
+	InstrumentedPackages map[string]bool
+
 	diags *[]Diagnostic
 }
 
@@ -90,6 +95,7 @@ func Analyzers() []*Analyzer {
 		WireErrAnalyzer,
 		GoLeakAnalyzer,
 		MutexValAnalyzer,
+		TelemTimeAnalyzer,
 	}
 }
 
@@ -101,10 +107,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			a.Run(&Pass{
-				Analyzer:     a,
-				Pkg:          pkg,
-				WirePackages: DefaultWirePackages,
-				diags:        &diags,
+				Analyzer:             a,
+				Pkg:                  pkg,
+				WirePackages:         DefaultWirePackages,
+				InstrumentedPackages: DefaultInstrumentedPackages,
+				diags:                &diags,
 			})
 		}
 		diags = append(diags, malformedDirectives(pkg)...)

@@ -139,6 +139,9 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{fixture: "wireerr", importPath: "sdx/internal/bgp", analyzers: []*Analyzer{WireErrAnalyzer}},
 		{fixture: "goleak", importPath: "sdx/fixture/goleak", analyzers: []*Analyzer{GoLeakAnalyzer}},
 		{fixture: "mutexval", importPath: "sdx/fixture/mutexval", analyzers: []*Analyzer{MutexValAnalyzer}},
+		// The telemtime fixture masquerades as the controller package so it
+		// falls inside DefaultInstrumentedPackages.
+		{fixture: "telemtime", importPath: "sdx/internal/core", analyzers: []*Analyzer{TelemTimeAnalyzer}},
 		{
 			fixture:    "suppress",
 			importPath: "sdx/fixture/suppress",
@@ -155,6 +158,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			}
 			checkAgainstMarkers(t, dir, diags, tt.extraWant)
 		})
+	}
+}
+
+// TestTelemTimeScopedToInstrumentedPackages loads the telemtime fixture
+// under a path outside DefaultInstrumentedPackages: the identical code must
+// produce zero findings there.
+func TestTelemTimeScopedToInstrumentedPackages(t *testing.T) {
+	diags := runFixture(t, "telemtime", "sdx/fixture/telemtime", []*Analyzer{TelemTimeAnalyzer})
+	for _, d := range diags {
+		t.Errorf("finding outside instrumented scope: %s", d)
 	}
 }
 

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DefaultInstrumentedPackages lists the packages whose hot paths carry
+// telemetry instrumentation: duration measurement there must flow through
+// telemetry.StartTimer/Timer.Stop so every latency lands in a histogram
+// (or is at least visibly unrecorded via StartTimer(nil)). Raw
+// time.Since / time.Time.Sub arithmetic in these packages bypasses the
+// telemetry layer and silently loses the sample.
+var DefaultInstrumentedPackages = map[string]bool{
+	"sdx/internal/core":      true,
+	"sdx/internal/rs":        true,
+	"sdx/internal/bgp":       true,
+	"sdx/internal/dataplane": true,
+	"sdx/internal/openflow":  true,
+	"sdx/internal/policy":    true,
+}
+
+// TelemTimeAnalyzer flags direct time subtraction — time.Since(t) calls
+// and time.Time.Sub method calls — inside instrumented packages. Forming
+// deadlines with time.Now().Add is fine; only subtraction (i.e. duration
+// measurement) is the telemetry layer's job. Test files are exempt (the
+// loader skips them), as is the telemetry package itself, which owns the
+// sanctioned implementation.
+var TelemTimeAnalyzer = &Analyzer{
+	Name: "telemtime",
+	Doc:  "flags raw time.Since / time.Time.Sub in instrumented packages; use telemetry.StartTimer",
+	Run:  runTelemTime,
+}
+
+func runTelemTime(pass *Pass) {
+	if !pass.InstrumentedPackages[pass.Pkg.Path] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch obj.Name() {
+			case "Since":
+				pass.Reportf(call.Pos(),
+					"time.Since in instrumented package %s: use telemetry.StartTimer/Timer.Stop", pass.Pkg.Path)
+			case "Sub":
+				// Only time.Time.Sub is subtraction; other Sub methods in
+				// package time do not exist today, but the receiver check
+				// keeps this future-proof.
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if namedPathIs(info.Types[sel.X].Type, "time", "Time") {
+						pass.Reportf(call.Pos(),
+							"time.Time.Sub in instrumented package %s: use telemetry.StartTimer/Timer.Stop", pass.Pkg.Path)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

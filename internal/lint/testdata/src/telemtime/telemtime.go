@@ -1,0 +1,48 @@
+// Fixture for the telemtime analyzer. The test loads this package under an
+// instrumented import path (sdx/internal/core), where raw duration
+// subtraction must be flagged, and again under a neutral path, where the
+// same code must produce no findings.
+package telemtime
+
+import "time"
+
+func measureSince() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start) // want telemtime "time.Since"
+}
+
+func measureSub() time.Duration {
+	start := time.Now()
+	work()
+	end := time.Now()
+	return end.Sub(start) // want telemtime "time.Time.Sub"
+}
+
+func measureSubQualified(deadline time.Time) float64 {
+	return time.Now().Sub(deadline).Seconds() // want telemtime "time.Time.Sub"
+}
+
+// Deadlines are formed with Add, not subtraction — legal.
+func deadline(hold time.Duration) time.Time {
+	return time.Now().Add(hold)
+}
+
+// A Sub method on a non-time type is not duration measurement — legal.
+type vec struct{ x, y int }
+
+func (v vec) Sub(o vec) vec { return vec{v.x - o.x, v.y - o.y} }
+
+func vectorMath() vec {
+	return vec{3, 4}.Sub(vec{1, 2})
+}
+
+// Suppressed with a justified directive — legal.
+func suppressed() time.Duration {
+	start := time.Now()
+	work()
+	//lint:ignore telemtime wall-clock log line, not a recorded latency
+	return time.Since(start)
+}
+
+func work() {}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"sdx/internal/dataplane"
 	"sdx/internal/pkt"
@@ -26,9 +27,32 @@ type Client struct {
 	xid    uint32
 	waits  map[uint32]chan Message
 
+	flowMods   atomic.Uint64
+	packetOuts atomic.Uint64
+	packetIns  atomic.Uint64
+	echoes     atomic.Uint64
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	err       error
+}
+
+// ChannelStats counts control-channel traffic through one client.
+type ChannelStats struct {
+	FlowMods   uint64 // FlowMod messages sent
+	PacketOuts uint64 // PACKET_OUT messages sent
+	PacketIns  uint64 // PACKET_IN messages received
+	Echoes     uint64 // echo round trips completed
+}
+
+// ChannelStats returns a snapshot of the channel counters.
+func (c *Client) ChannelStats() ChannelStats {
+	return ChannelStats{
+		FlowMods:   c.flowMods.Load(),
+		PacketOuts: c.packetOuts.Load(),
+		PacketIns:  c.packetIns.Load(),
+		Echoes:     c.echoes.Load(),
+	}
 }
 
 // NewClient performs the hello exchange on conn and returns a client
@@ -98,6 +122,7 @@ func (c *Client) readLoop() {
 		}
 		switch m := msg.(type) {
 		case *PacketIn:
+			c.packetIns.Add(1)
 			if c.OnPacketIn != nil {
 				c.OnPacketIn(m.Packet)
 			}
@@ -132,6 +157,12 @@ func (c *Client) deliver(xid uint32, m Message) {
 }
 
 func (c *Client) send(m Message) error {
+	switch m.(type) {
+	case *FlowMod:
+		c.flowMods.Add(1)
+	case *PacketOut:
+		c.packetOuts.Add(1)
+	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	//lint:ignore lockblock sendMu exists solely to serialize concurrent writers on the conn; holding it across the write is the serialization, and no other lock is ever taken while it is held
@@ -216,6 +247,9 @@ func (c *Client) Stats() (*StatsReply, error) {
 func (c *Client) Echo() error {
 	xid := c.nextXid()
 	_, err := c.roundTrip(xid, &EchoRequest{Xid: xid})
+	if err == nil {
+		c.echoes.Add(1)
+	}
 	return err
 }
 

@@ -9,10 +9,11 @@ import (
 // CompileStats counts the work a compilation performed; the SDX evaluation
 // (§6.3) reports these alongside wall-clock time.
 type CompileStats struct {
-	SeqOps    int // sequential composition operations
-	ParOps    int // parallel composition operations
-	CacheHits int // memoized sub-policies reused (§4.3.1)
-	Rules     int // rules in the most recent result
+	SeqOps    int   // sequential composition operations
+	ParOps    int   // parallel composition operations
+	CacheHits int   // memoized sub-policies reused (§4.3.1)
+	Rules     int   // rules in the most recent result
+	BusyNS    int64 // pool-worker busy time (parallel compiler only)
 }
 
 // Compiler translates policies to classifiers. It memoizes compiled

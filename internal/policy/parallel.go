@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"sdx/internal/pkt"
+	"sdx/internal/telemetry"
 )
 
 // cacheShards spreads the memoization table over independently locked
@@ -131,6 +132,7 @@ type ParallelCompiler struct {
 	DisableConcat bool
 
 	seqOps, parOps, cacheHits, rules atomic.Int64
+	busyNS                           atomic.Int64
 }
 
 // NewParallelCompiler returns a compiler with a pool of `workers`
@@ -150,13 +152,16 @@ func (c *ParallelCompiler) Workers() int { return cap(c.sem) }
 
 // Stats returns a snapshot of the work counters. SeqOps, ParOps and
 // Rules match the serial compiler's; CacheHits additionally counts
-// goroutines that waited on an in-flight entry.
+// goroutines that waited on an in-flight entry; BusyNS sums the time
+// pool workers spent compiling fanned-out branches (inline fallbacks
+// run on the caller's clock and are not counted).
 func (c *ParallelCompiler) Stats() CompileStats {
 	return CompileStats{
 		SeqOps:    int(c.seqOps.Load()),
 		ParOps:    int(c.parOps.Load()),
 		CacheHits: int(c.cacheHits.Load()),
 		Rules:     int(c.rules.Load()),
+		BusyNS:    c.busyNS.Load(),
 	}
 }
 
@@ -169,6 +174,7 @@ func (c *ParallelCompiler) Reset() {
 	c.parOps.Store(0)
 	c.cacheHits.Store(0)
 	c.rules.Store(0)
+	c.busyNS.Store(0)
 }
 
 // Invalidate drops the memoization entry for a policy node.
@@ -241,7 +247,9 @@ func (c *ParallelCompiler) fanOut(ps []Policy) []Classifier {
 			go func() {
 				defer wg.Done()
 				defer func() { <-c.sem }()
+				t := telemetry.StartTimer(nil)
 				sub[i] = c.compile(p)
+				c.busyNS.Add(int64(t.Stop()))
 			}()
 		default:
 			sub[i] = c.compile(p)

@@ -14,6 +14,7 @@ import (
 
 	"sdx/internal/bgp"
 	"sdx/internal/iputil"
+	"sdx/internal/telemetry"
 )
 
 // ExportPolicy restricts which of a participant's routes the route server
@@ -87,6 +88,51 @@ type Server struct {
 	//	(localAS, peer) announce only to AS peer (whitelist mode when
 	//	                any such community is present)
 	communityAS uint32 // the route server's AS; 0 disables the semantics
+
+	// Resolved metric handles; nil (the default) makes every update a
+	// no-op, so an unobserved server pays nothing.
+	mUpdatesIn   *telemetry.Counter
+	mBestChanges *telemetry.Counter
+	mDecisionNS  *telemetry.Histogram
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMetrics publishes route-server metrics into reg:
+//
+//	rs.updates_in     counter   UPDATE messages processed
+//	rs.best_changes   counter   best-route change events emitted
+//	rs.decision_ns    histogram decision-process latency per batch
+//	rs.adj_rib_routes gauge     routes in the merged Adj-RIB-In
+//	rs.loc_rib_routes gauge     best routes across all participant views
+//	rs.participants   gauge     registered participants
+//
+// The size gauges are snapshot-time callbacks; they add no work to the
+// update path.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(s *Server) {
+		s.mUpdatesIn = reg.Counter("rs.updates_in")
+		s.mBestChanges = reg.Counter("rs.best_changes")
+		s.mDecisionNS = reg.Histogram("rs.decision_ns")
+		reg.RegisterGaugeFunc("rs.adj_rib_routes", func() int64 {
+			return int64(s.adjIn.Len())
+		})
+		reg.RegisterGaugeFunc("rs.loc_rib_routes", func() int64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			n := 0
+			for _, p := range s.participants {
+				n += len(p.best)
+			}
+			return int64(n)
+		})
+		reg.RegisterGaugeFunc("rs.participants", func() int64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return int64(len(s.participants))
+		})
+	}
 }
 
 // EnableCommunities turns on conventional route-server community
@@ -126,11 +172,15 @@ func (s *Server) communityAllows(r *bgp.Route, to uint32) bool {
 }
 
 // New returns an empty route server.
-func New() *Server {
-	return &Server{
+func New(opts ...Option) *Server {
+	s := &Server{
 		participants: make(map[uint32]*participant),
 		adjIn:        bgp.NewRIB(),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // AddParticipant registers a participant. It fails on duplicate AS.
@@ -161,7 +211,7 @@ func (s *Server) RemoveParticipant(as uint32) []Event {
 	defer s.mu.Unlock()
 	delete(s.participants, as)
 	affected := s.adjIn.RemovePeer(as)
-	return s.recomputeLocked(affected)
+	return s.decideLocked(affected)
 }
 
 // Participants returns the registered AS numbers, sorted.
@@ -198,7 +248,18 @@ func (s *Server) HandleUpdate(from uint32, u *bgp.Update) []Event {
 		s.adjIn.Add(&bgp.Route{Prefix: p, Attrs: u.Attrs.Clone(), PeerAS: from, PeerID: routerID})
 		affected = append(affected, p)
 	}
-	return s.recomputeLocked(affected)
+	s.mUpdatesIn.Inc()
+	return s.decideLocked(affected)
+}
+
+// decideLocked runs the decision process over the affected prefixes with
+// its latency and resulting change count recorded.
+func (s *Server) decideLocked(affected []iputil.Prefix) []Event {
+	t := telemetry.StartTimer(s.mDecisionNS)
+	events := s.recomputeLocked(affected)
+	t.Stop()
+	s.mBestChanges.Add(int64(len(events)))
+	return events
 }
 
 // recomputeLocked recomputes best routes for the affected prefixes for

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds non-positive
+// observations and bucket i (1..63) holds values in [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram is a power-of-two bucketed histogram with lock-free writes
+// and reads: Observe is one atomic add per bucket plus two for count/sum,
+// and Snapshot loads the buckets without any lock. The exponential
+// buckets give quantiles with a worst-case relative error of 2x — enough
+// to tell a 100µs fast path from a 10ms one, which is what the §6.3
+// latency claims need. The zero value is ready; methods are no-ops on a
+// nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the inclusive lower and upper value bounds of a
+// bucket.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one non-empty histogram bucket: Count observations were ≤ Le.
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram summary with p50/p95/p99
+// estimates interpolated inside the power-of-two buckets.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	P50     int64    `json:"p50"`
+	P95     int64    `json:"p95"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot summarizes the histogram. Under concurrent Observe calls the
+// bucket counts are each individually consistent; the total may lag by
+// in-flight observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, Sum: h.sum.Load()}
+	for i, c := range counts {
+		if c > 0 {
+			_, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, Bucket{Le: hi, Count: c})
+		}
+	}
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) of the observed
+// values, linearly interpolated within the containing bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantile(&counts, total, q)
+}
+
+func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	// Prometheus-style rank: the q-quantile is the smallest value v with
+	// q*total observations ≤ v, interpolated within its bucket.
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return 0 // unreachable: buckets sum to total ≥ rank
+}
+
+// Timer measures one latency sample. Obtain with StartTimer, finish with
+// Stop; the elapsed time is recorded into the histogram (when non-nil)
+// and returned, so hot paths that also report the duration upward need no
+// second clock read. This is the only sanctioned way to measure durations
+// in instrumented packages — the sdx-lint telemtime analyzer rejects raw
+// time.Since there.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts a latency sample destined for h (which may be nil to
+// measure without recording).
+func StartTimer(h *Histogram) Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the elapsed time into the histogram and returns it.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}

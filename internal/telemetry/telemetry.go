@@ -1,0 +1,293 @@
+// Package telemetry is the SDX's stdlib-only observability layer: atomic
+// counters and gauges, lock-free-read bucketed histograms with quantile
+// summaries, and a bounded ring-buffer event tracer with typed events.
+//
+// The package is built for hot paths: every metric type is safe for
+// concurrent use, every write is a single atomic operation, and every
+// method is a no-op on a nil receiver so instrumented code never branches
+// on "is telemetry enabled". A component takes an optional *Registry (and
+// *Tracer), resolves the metric pointers it needs once at construction,
+// and then updates them unconditionally:
+//
+//	m := reg.Counter("bgp.updates_in") // nil reg -> nil counter
+//	...
+//	m.Inc() // no-op when nil
+//
+// Durations are recorded as integer nanoseconds in histograms whose names
+// carry a _ns suffix. Use StartTimer/Timer.Stop for latency measurement —
+// the sdx-lint telemtime analyzer forbids raw time.Since arithmetic in
+// instrumented packages so every duration measured on a hot path lands in
+// a histogram (or is at least visible at the call site as deliberately
+// unrecorded via StartTimer(nil)).
+//
+// Registries render three ways: Snapshot() for programmatic access and
+// tests, WriteJSON for machine scraping (the sdxd /metrics endpoint), and
+// WriteText for human consumption.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are no-ops on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to use;
+// all methods are no-ops on a nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named collection of counters, gauges, histograms, and
+// callback gauges. Metric accessors get-or-create, so independent
+// components agree on a metric by name alone. A nil *Registry is valid
+// everywhere and hands out nil metrics, making instrumentation free when
+// observability is not wired up.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	gaugeFns map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		gaugeFns: make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterGaugeFunc registers a callback evaluated at snapshot time — the
+// way to expose a size the owning structure already tracks (rule-table
+// length, RIB size) without adding writes to its hot path. The callback
+// must be safe to invoke from any goroutine and must not call back into
+// the registry.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+// Callback gauges appear in Gauges alongside explicit ones. Values read
+// under concurrent writes are individually consistent (each is one atomic
+// load) but the snapshot as a whole is not a cross-metric atomic cut.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry. A nil registry yields empty maps.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
+	r.mu.RUnlock()
+
+	// Callbacks run outside the registry lock: they may take their owner's
+	// locks (flow table, RIB) and must not deadlock against a concurrent
+	// metric registration.
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range gaugeFns {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes a sorted human-readable dump, one metric per line.
+func (r *Registry) WriteText(w io.Writer) {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "counter   %-32s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "gauge     %-32s %d\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "histogram %-32s count=%d sum=%d p50=%d p95=%d p99=%d\n",
+			name, h.Count, h.Sum, h.P50, h.P95, h.P99)
+	}
+}
+
+// ServeHTTP serves the registry as JSON (the sdxd /metrics endpoint);
+// ?format=text selects the human dump.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// An encode failure here means the client went away mid-response;
+	// there is nothing useful to do with it.
+	_ = r.WriteJSON(w)
+}

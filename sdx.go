@@ -19,9 +19,9 @@
 //		Ports: []sdx.PhysicalPort{{ID: 1}}})
 //	_ = a
 //	// AS A: web via B, everything else follows BGP.
-//	x.SetPolicyAndCompile(100, nil, []sdx.Term{
+//	x.Recompile(sdx.CompilePolicy(100, nil, []sdx.Term{
 //		sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
-//	})
+//	}))
 //
 // Border routers attach with the router package
 // (sdx/internal/router.Attach) or over real BGP sessions via ListenBGP.
@@ -39,6 +39,7 @@ import (
 	"sdx/internal/pkt"
 	"sdx/internal/policy"
 	"sdx/internal/rs"
+	"sdx/internal/telemetry"
 )
 
 // Core controller types.
@@ -65,12 +66,70 @@ type (
 
 	// CompileOptions selects compiler variants (serial baseline, ablations).
 	CompileOptions = core.CompileOptions
+	// CompileOption configures one Recompile pass (variadic-option form).
+	CompileOption = core.CompileOption
 	// Compiled is the output of a compilation pass.
 	Compiled = core.Compiled
 	// PrefixGroup is one forwarding equivalence class.
 	PrefixGroup = core.PrefixGroup
 	// ExportPolicy restricts route-server exports per peer.
 	ExportPolicy = rs.ExportPolicy
+)
+
+// Telemetry types (see internal/telemetry; injected with WithTelemetry /
+// WithTracer, served by sdxd's -metrics endpoint).
+type (
+	// Registry is a named collection of counters, gauges and histograms.
+	Registry = telemetry.Registry
+	// Snapshot is a point-in-time copy of every metric in a registry.
+	Snapshot = telemetry.Snapshot
+	// HistogramSnapshot summarizes one histogram (count, sum, p50/95/99).
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// Tracer is a bounded ring buffer of typed control-plane events.
+	Tracer = telemetry.Tracer
+	// Event is one traced control-plane event.
+	Event = telemetry.Event
+	// EventType identifies one kind of traced event.
+	EventType = telemetry.EventType
+)
+
+// Telemetry constructors and controller options.
+var (
+	// NewRegistry returns an empty metric registry.
+	NewRegistry = telemetry.NewRegistry
+	// NewTracer returns a tracer retaining the most recent events.
+	NewTracer = telemetry.NewTracer
+	// WithTelemetry injects a shared metric registry into a controller.
+	WithTelemetry = core.WithTelemetry
+	// WithTracer injects a shared event tracer into a controller.
+	WithTracer = core.WithTracer
+)
+
+// Traced event types.
+const (
+	EventBGPUpdateReceived  = telemetry.EventBGPUpdateReceived
+	EventFECChanged         = telemetry.EventFECChanged
+	EventCompileStarted     = telemetry.EventCompileStarted
+	EventCompileDone        = telemetry.EventCompileDone
+	EventRuleInstalled      = telemetry.EventRuleInstalled
+	EventARPReply           = telemetry.EventARPReply
+	EventSessionStateChange = telemetry.EventSessionStateChange
+)
+
+// Recompile options (ctrl.Recompile(sdx.CompileSerial()), ...).
+var (
+	// CompileSerial forces the single-threaded reference compiler.
+	CompileSerial = core.CompileSerial
+	// CompileNaiveDstIP disables VNH grouping (one rule per prefix).
+	CompileNaiveDstIP = core.CompileNaiveDstIP
+	// CompileWithoutCache disables sub-policy memoization.
+	CompileWithoutCache = core.CompileWithoutCache
+	// CompileWithoutConcat disables disjoint concatenation.
+	CompileWithoutConcat = core.CompileWithoutConcat
+	// WithCompileOptions applies a whole CompileOptions struct.
+	WithCompileOptions = core.WithCompileOptions
+	// CompilePolicy folds a policy install into a Recompile call.
+	CompilePolicy = core.CompilePolicy
 )
 
 // Packet-model types.
