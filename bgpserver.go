@@ -4,17 +4,27 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"sdx/internal/bgp"
 	"sdx/internal/iputil"
 )
+
+// handshakeTimeout bounds how long an accepted connection may take to
+// complete the OPEN/KEEPALIVE exchange. Without it, a wedged or
+// byte-dribbling transport would pin a handler goroutine (and block
+// Close) indefinitely.
+const handshakeTimeout = 10 * time.Second
 
 // BGPServer accepts BGP sessions from participant border routers over
 // TCP, the way the paper's participants peer with the SDX route server:
 // received UPDATEs flow into the controller's update pipeline, and the
 // controller's (VNH-rewritten) advertisements flow back over the session.
 // A connecting router is identified by the AS number in its OPEN, which
-// must belong to a registered participant.
+// must belong to a registered participant. A reconnecting router
+// displaces its previous session, and the controller is told about
+// session life-cycle changes (PeerUp/PeerDown) so flapped routes age out
+// instead of wedging.
 type BGPServer struct {
 	ctrl     *Controller
 	localAS  uint32
@@ -24,7 +34,9 @@ type BGPServer struct {
 	mu       sync.Mutex
 	wg       sync.WaitGroup
 	closed   bool
+	conns    map[net.Conn]struct{} // accepted, pre-handshake
 	sessions map[*bgp.Session]struct{}
+	peers    map[uint32]*bgp.Session // current session per peer AS
 }
 
 // ListenBGP starts a route-server endpoint on addr (e.g. "127.0.0.1:0").
@@ -35,22 +47,34 @@ func ListenBGP(ctrl *Controller, addr string, localAS uint32) (*BGPServer, error
 	if err != nil {
 		return nil, err
 	}
+	return ServeBGP(ctrl, ln, localAS), nil
+}
+
+// ServeBGP runs a route-server endpoint on an existing listener — the
+// seam that lets tests drive the real server over an in-memory
+// fault-injection transport instead of TCP.
+func ServeBGP(ctrl *Controller, ln net.Listener, localAS uint32) *BGPServer {
 	s := &BGPServer{
 		ctrl: ctrl, localAS: localAS,
 		routerID: MustParseAddr("172.0.255.254"),
 		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
 		sessions: make(map[*bgp.Session]struct{}),
+		peers:    make(map[uint32]*bgp.Session),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
 func (s *BGPServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops accepting connections, terminates every established
-// session with a CEASE notification, and waits for all handlers to exit.
+// session with a CEASE notification (and every half-shaken connection
+// outright), and waits for all handlers to exit. It does not trigger
+// PeerDown route aging: a closing exchange is shutting down, not
+// observing peer failures.
 func (s *BGPServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -58,8 +82,15 @@ func (s *BGPServer) Close() error {
 	for sess := range s.sessions {
 		open = append(open, sess)
 	}
+	raw := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		raw = append(raw, conn)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, conn := range raw {
+		_ = conn.Close() // mid-handshake: nothing to say, just cut it
+	}
 	for _, sess := range open {
 		// Close sends a best-effort CEASE; the session is torn down either way.
 		_ = sess.Close()
@@ -84,6 +115,16 @@ func (s *BGPServer) acceptLoop() {
 }
 
 func (s *BGPServer) handle(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	sess, err := bgp.Establish(conn, bgp.SessionConfig{
 		LocalAS:  s.localAS,
 		RouterID: s.routerID,
@@ -93,9 +134,14 @@ func (s *BGPServer) handle(conn net.Conn) {
 		Metrics: s.ctrl.Metrics(),
 		Tracer:  s.ctrl.Tracer(),
 	})
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 	if err != nil {
 		return
 	}
+	_ = conn.SetDeadline(time.Time{})
+
 	peerAS := sess.PeerAS()
 	if _, ok := s.ctrl.Participant(peerAS); !ok {
 		_ = sess.Close()
@@ -107,17 +153,35 @@ func (s *BGPServer) handle(conn net.Conn) {
 		_ = sess.Close()
 		return
 	}
+	displaced := s.peers[peerAS]
+	s.peers[peerAS] = sess
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
+	if displaced != nil {
+		// The reconnect wins: the stale session (its transport is usually
+		// already dead, it just has not noticed) is cut loose.
+		_ = displaced.Close()
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.sessions, sess)
+		current := s.peers[peerAS] == sess
+		if current {
+			delete(s.peers, peerAS)
+		}
+		closed := s.closed
 		s.mu.Unlock()
+		// Only the peer's current session going down means the peer is
+		// down; a displaced predecessor's teardown says nothing.
+		if current && !closed {
+			s.ctrl.PeerDown(peerAS)
+		}
 	}()
 
-	// Stream the controller's advertisements to this session. The sink
-	// remains registered after the session dies but becomes a no-op.
-	err = s.ctrl.OnRoute(peerAS, func(ad RouteAd) {
+	// Stream the controller's advertisements to this session. The sink is
+	// unregistered at teardown so reconnect cycles do not pile up dead
+	// sinks.
+	unregister, err := s.ctrl.OnRoute(peerAS, func(ad RouteAd) {
 		select {
 		case <-sess.Done():
 			return
@@ -131,6 +195,13 @@ func (s *BGPServer) handle(conn net.Conn) {
 		_ = sess.Close()
 		return
 	}
+	defer unregister()
+
+	// A fresh session is a full table exchange (RFC 4271 §8): whatever the
+	// peer's previous incarnation left in the Adj-RIB-In is flushed, and
+	// the peer re-announces over this session.
+	s.ctrl.PeerUp(peerAS)
+
 	// Initial table transfer: everything the participant should know.
 	for _, ad := range s.ctrl.RoutesFor(peerAS) {
 		if err := sess.SendUpdate(adToUpdate(ad)); err != nil {

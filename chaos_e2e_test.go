@@ -1,0 +1,294 @@
+package sdx_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sdx"
+	"sdx/internal/bgp"
+	"sdx/internal/simnet"
+	"sdx/internal/simnet/chaostest"
+)
+
+// chaosSeeds is the fixed seed matrix CI replays (go test -run TestChaos
+// -count=3). Each seed produces a distinct schedule injecting at least
+// four fault kinds: a mid-stream reset, a corruption window, a delivery
+// stall and a global partition.
+var chaosSeeds = []int64{11, 23, 42}
+
+func chaosSpecs() []chaostest.PeerSpec {
+	pfx := sdx.MustParsePrefix
+	return []chaostest.PeerSpec{
+		{
+			AS: 100, Port: 1,
+			Outbound: []sdx.Term{
+				sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
+				sdx.Fwd(sdx.MatchAll.DstPort(443), 300),
+			},
+		},
+		{
+			AS: 200, Port: 2,
+			Anns: []chaostest.Announcement{
+				{Prefix: pfx("11.0.0.0/8"), Path: []uint32{200, 900}},
+				{Prefix: pfx("12.0.0.0/8"), Path: []uint32{200}},
+			},
+		},
+		{
+			AS: 300, Port: 4,
+			Anns: []chaostest.Announcement{
+				{Prefix: pfx("11.0.0.0/8"), Path: []uint32{300}},
+				{Prefix: pfx("13.0.0.0/8"), Path: []uint32{300}},
+			},
+		},
+	}
+}
+
+// chaosState is everything a run must agree on with its golden twin,
+// already normalized for cross-run comparison.
+type chaosState struct {
+	ribs  map[uint32]string // per-AS Loc-RIB dump
+	canon string            // Compiled.Canonical of the controller
+}
+
+// settleAndCapture drives a converged deployment to its quiescent
+// installed state (recompile so the fast band folds away, then barrier
+// the control channel) and captures it. It also asserts the remote
+// fabric's table is byte-identical to the controller's local one.
+func settleAndCapture(t *testing.T, seed int64, d *chaostest.Deployment) chaosState {
+	t.Helper()
+	d.Ctrl.Recompile()
+	client := d.OFClient()
+	if client == nil {
+		t.Fatalf("seed %d: control channel down after convergence", seed)
+	}
+	if err := client.Barrier(); err != nil {
+		t.Fatalf("seed %d: barrier: %v", seed, err)
+	}
+	if n := d.Ctrl.FastRules(); n != 0 {
+		t.Fatalf("seed %d: %d fast-path rules survived the recompile", seed, n)
+	}
+	local, remote := d.LocalRules(), d.RemoteRules()
+	if strings.Join(local, "\n") != strings.Join(remote, "\n") {
+		t.Fatalf("seed %d: remote fabric diverges from local\n local:\n  %s\n remote:\n  %s",
+			seed, strings.Join(local, "\n  "), strings.Join(remote, "\n  "))
+	}
+	st := chaosState{ribs: make(map[uint32]string)}
+	for as, p := range d.Peers {
+		st.ribs[as] = strings.Join(chaostest.Normalize(p.RIBDump()), "\n")
+	}
+	st.canon = chaostest.NormalizeText(d.Ctrl.Compiled().Canonical())
+	return st
+}
+
+// runChaos executes one golden + one faulted run for a seed and asserts
+// the faulted run converges back to exactly the golden state. Every
+// failure message carries the seed, which is the complete repro recipe.
+func runChaos(t *testing.T, seed int64) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+
+	// Golden run: same topology, no faults.
+	goldenNet := simnet.New(seed)
+	golden, err := chaostest.Start(goldenNet, seed, chaosSpecs(), chaostest.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: golden start: %v", seed, err)
+	}
+	if err := golden.WaitConverged(10 * time.Second); err != nil {
+		t.Fatalf("seed %d: golden run: %v", seed, err)
+	}
+	want := settleAndCapture(t, seed, golden)
+	golden.Stop()
+	goldenNet.Close()
+
+	// Faulted run: identical stack, plus the seed's fault schedule.
+	n := simnet.New(seed)
+	d, err := chaostest.Start(n, seed, chaosSpecs(), chaostest.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: start: %v", seed, err)
+	}
+	if err := d.WaitConverged(10 * time.Second); err != nil {
+		t.Fatalf("seed %d: pre-fault convergence: %v", seed, err)
+	}
+
+	tags := make([]string, 0, 4)
+	for _, spec := range chaosSpecs() {
+		tags = append(tags, spec.Tag())
+	}
+	tags = append(tags, chaostest.OFTag)
+	script := simnet.GenScript(seed, tags)
+	if kinds := script.Kinds(); len(kinds) < 4 {
+		t.Fatalf("seed %d: schedule injects only %v", seed, kinds)
+	}
+	if err := script.Run(context.Background(), n); err != nil {
+		t.Fatalf("seed %d: script: %v", seed, err)
+	}
+	// Post-heal: bounce any transport that carried corrupted bytes — a
+	// desynced-but-alive session must not be trusted to re-converge.
+	n.ResetTainted()
+
+	if err := d.WaitConverged(20 * time.Second); err != nil {
+		t.Fatalf("seed %d: post-heal convergence: %v\nreproduce with this schedule:\n%s",
+			seed, err, script)
+	}
+	got := settleAndCapture(t, seed, d)
+
+	for as, wantRIB := range want.ribs {
+		if got.ribs[as] != wantRIB {
+			t.Errorf("seed %d: AS%d post-heal Loc-RIB != fault-free run\n got:\n  %s\n want:\n  %s\nschedule:\n%s",
+				seed, as, strings.ReplaceAll(got.ribs[as], "\n", "\n  "),
+				strings.ReplaceAll(wantRIB, "\n", "\n  "), script)
+		}
+	}
+	if got.canon != want.canon {
+		t.Errorf("seed %d: post-heal compilation != fault-free run\n got:\n%s\n want:\n%s\nschedule:\n%s",
+			seed, got.canon, want.canon, script)
+	}
+
+	// Telemetry consistency: the schedule's >1s stall/partition windows
+	// must have expired at least one hold timer, and after teardown every
+	// session ever established must also have closed.
+	reg := d.Ctrl.Metrics()
+	if v := reg.Counter("bgp.hold_expired").Value(); v < 1 {
+		t.Errorf("seed %d: no hold timer expired under the schedule:\n%s", seed, script)
+	}
+	// Both ends of every session publish into the registry, so the three
+	// initial sessions alone record six establishments; the schedule's
+	// faults must have forced at least one full reconnect on top.
+	established := reg.Counter("bgp.sessions_established").Value()
+	if established < 2*int64(len(d.Peers))+2 {
+		t.Errorf("seed %d: only %d session-ends established; faults should force reconnects", seed, established)
+	}
+	d.Stop()
+	n.Close()
+	waitCounterSettles(t, seed, established, func() int64 {
+		return reg.Counter("bgp.sessions_closed").Value()
+	})
+
+	waitGoroutines(t, seed, baseline)
+}
+
+func waitCounterSettles(t *testing.T, seed int64, want int64, get func() int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: %d sessions established but only %d closed after teardown",
+				seed, want, get())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitGoroutines asserts the run leaked no goroutines (small slack for
+// runtime helpers), dumping all stacks on failure.
+func waitGoroutines(t *testing.T, seed int64, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			var b strings.Builder
+			_ = pprof.Lookup("goroutine").WriteTo(&b, 1)
+			t.Fatalf("seed %d: goroutine leak: %d at start, %d after teardown\n%s",
+				seed, baseline, runtime.NumGoroutine(), b.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosConvergence is the acceptance gate: for every seed in the
+// matrix, a full SDX stack driven through a ≥4-fault-kind schedule
+// converges back to exactly the fault-free run's state.
+func TestChaosConvergence(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+// TestChaosScriptReproducibility: the schedule is a pure function of the
+// seed — two generations are step-for-step identical, and distinct seeds
+// produce distinct schedules. This is what makes any soak failure a
+// one-seed repro.
+func TestChaosScriptReproducibility(t *testing.T) {
+	tags := []string{"peer100", "peer200", "peer300", chaostest.OFTag}
+	var traces []string
+	for _, seed := range chaosSeeds {
+		a := simnet.GenScript(seed, tags)
+		b := simnet.GenScript(seed, tags)
+		at, bt := strings.Join(a.Trace(), "\n"), strings.Join(b.Trace(), "\n")
+		if at != bt {
+			t.Fatalf("seed %d: two generations differ:\n%s\n--\n%s", seed, at, bt)
+		}
+		traces = append(traces, at)
+	}
+	for i := 1; i < len(traces); i++ {
+		if traces[i] == traces[0] {
+			t.Fatalf("seeds %d and %d produced identical schedules", chaosSeeds[0], chaosSeeds[i])
+		}
+	}
+}
+
+// TestChaosSessionStates spot-checks the FSM surface the harness depends
+// on: an idle-after-reset peer re-establishes through its dialer.
+func TestChaosSessionStates(t *testing.T) {
+	n := simnet.New(7)
+	defer n.Close()
+	d, err := chaostest.Start(n, 7, chaosSpecs(), chaostest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first := d.Peers[200].Session()
+	n.Reset("peer200")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := d.Peers[200].Session()
+		if s != nil && s != first && s.State() == bgp.StateEstablished {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("AS200 did not re-establish after reset; state=%v", first.State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSoak runs extra seeds beyond the fixed matrix; skipped under
+// -short so PR CI stays fast while the full job soaks. Override the
+// round count with SDX_CHAOS_SOAK_ROUNDS.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	rounds := 2
+	if env := os.Getenv("SDX_CHAOS_SOAK_ROUNDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("SDX_CHAOS_SOAK_ROUNDS=%q: %v", env, err)
+		}
+		rounds = v
+	}
+	for round := 0; round < rounds; round++ {
+		seed := int64(1000 + round*37)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}

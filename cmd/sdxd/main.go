@@ -27,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -58,40 +59,59 @@ func main() {
 			log.Fatalf("config: %v", err)
 		}
 	}
+	fabricCtx, fabricStop := context.WithCancel(context.Background())
+	defer fabricStop()
 	if *fabric != "" {
-		client, err := openflow.Dial(*fabric)
-		if err != nil {
-			log.Fatalf("fabric: %v", err)
+		// The control channel is kept alive by a redialer: whenever the
+		// channel dies, it reconnects with backoff and resyncs the full
+		// rule state (flush + band replay) through AddRuleMirror.
+		red := &openflow.Redialer{
+			Dial: func(context.Context) (*openflow.Client, error) {
+				return openflow.Dial(*fabric)
+			},
+			Logf: log.Printf,
 		}
-		// Remote table misses: answer ARP (VNH resolution) and fall back
-		// to normal L2 delivery, both via PACKET_OUT.
-		client.OnPacketIn = func(p sdx.Packet) {
-			// PACKET_OUT failures mean the control channel died; the
-			// packet is dropped like any other table miss, and the
-			// channel's Done() is the reconnect signal.
-			if reply, ok := ctrl.HandleARP(p); ok {
-				_ = client.PacketOut(p.InPort, reply)
-				return
+		red.OnUp = func(client *openflow.Client) {
+			// Remote table misses: answer ARP (VNH resolution) and fall
+			// back to normal L2 delivery, both via PACKET_OUT.
+			client.OnPacketIn = func(p sdx.Packet) {
+				// PACKET_OUT failures mean the control channel died; the
+				// packet is dropped like any other table miss, and the
+				// channel's Done() is the reconnect signal.
+				if reply, ok := ctrl.HandleARP(p); ok {
+					_ = client.PacketOut(p.InPort, reply)
+					return
+				}
+				if egress, ok := ctrl.NormalEgress(p); ok {
+					_ = client.PacketOut(egress, p)
+				}
 			}
-			if egress, ok := ctrl.NormalEgress(p); ok {
-				_ = client.PacketOut(egress, p)
+			ctrl.AddRuleMirror(openflow.Mirror{C: client})
+			log.Printf("fabric channel up, rule state resynced")
+		}
+		red.OnDown = func(client *openflow.Client, err error) {
+			ctrl.RemoveRuleMirror(openflow.Mirror{C: client})
+			log.Printf("fabric channel down: %v", err)
+		}
+		go func() { _ = red.Run(fabricCtx) }()
+		stats := func(f func(openflow.ChannelStats) uint64) func() int64 {
+			return func() int64 {
+				c := red.Client()
+				if c == nil {
+					return 0
+				}
+				return int64(f(c.ChannelStats()))
 			}
 		}
-		client.Start()
-		ctrl.AddRuleMirror(openflow.Mirror{C: client})
 		reg := ctrl.Metrics()
-		reg.RegisterGaugeFunc("openflow.flow_mods", func() int64 {
-			return int64(client.ChannelStats().FlowMods)
-		})
-		reg.RegisterGaugeFunc("openflow.packet_outs", func() int64 {
-			return int64(client.ChannelStats().PacketOuts)
-		})
-		reg.RegisterGaugeFunc("openflow.packet_ins", func() int64 {
-			return int64(client.ChannelStats().PacketIns)
-		})
-		reg.RegisterGaugeFunc("openflow.echoes", func() int64 {
-			return int64(client.ChannelStats().Echoes)
-		})
+		reg.RegisterGaugeFunc("openflow.flow_mods",
+			stats(func(s openflow.ChannelStats) uint64 { return s.FlowMods }))
+		reg.RegisterGaugeFunc("openflow.packet_outs",
+			stats(func(s openflow.ChannelStats) uint64 { return s.PacketOuts }))
+		reg.RegisterGaugeFunc("openflow.packet_ins",
+			stats(func(s openflow.ChannelStats) uint64 { return s.PacketIns }))
+		reg.RegisterGaugeFunc("openflow.echoes",
+			stats(func(s openflow.ChannelStats) uint64 { return s.Echoes }))
 		log.Printf("programming external fabric at %s", *fabric)
 	}
 	if *metricsAddr != "" {
@@ -130,6 +150,7 @@ func main() {
 		case <-stop:
 			log.Printf("shutting down")
 			srv.Close()
+			fabricStop()
 			return
 		}
 	}

@@ -1,0 +1,133 @@
+package bgp
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialer maintains one BGP session against a peer, redialing with
+// jittered exponential backoff whenever the transport fails or the
+// session is torn down. It is the piece that turns Session's
+// Idle-on-teardown contract into actual resilience: each time the FSM
+// returns to Idle the Dialer opens a fresh connection and re-runs the
+// OPEN/KEEPALIVE handshake.
+type Dialer struct {
+	// Dial opens a new transport connection to the peer. Required.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Config is the per-attempt session configuration. Config.OnDown is
+	// invoked as usual on every teardown; the Dialer additionally resets
+	// its backoff after a session that reached Established.
+	Config SessionConfig
+
+	// MinBackoff and MaxBackoff bound the retry schedule. Zero values
+	// default to 250ms and 30s.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Seed makes the retry jitter reproducible; zero derives from the
+	// local AS so two dialers in one test do not march in lockstep.
+	Seed int64
+	// HandshakeTimeout bounds one attempt's OPEN/KEEPALIVE exchange. A
+	// transport that starts blackholing mid-handshake would otherwise pin
+	// the attempt far past the retry schedule. Zero defaults to 10s.
+	HandshakeTimeout time.Duration
+
+	// OnUp, when non-nil, runs after each successful handshake, before
+	// Start. Use it to (re)register sinks and replay state; the session
+	// has not begun dispatching yet, so registration cannot miss updates.
+	OnUp func(s *Session)
+
+	mu   sync.Mutex
+	sess *Session
+}
+
+// Session returns the most recently established session, or nil before
+// the first handshake completes. The session may already be down; check
+// State or Done.
+func (d *Dialer) Session() *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sess
+}
+
+// Run dials, establishes and babysits the session until ctx is
+// cancelled, at which point any live session is closed with CEASE and
+// Run returns ctx.Err(). Failed attempts back off exponentially with
+// ±50% jitter; an attempt that reaches Established resets the schedule.
+func (d *Dialer) Run(ctx context.Context) error {
+	minB := d.MinBackoff
+	if minB <= 0 {
+		minB = 250 * time.Millisecond
+	}
+	maxB := d.MaxBackoff
+	if maxB < minB {
+		maxB = 30 * time.Second
+		if maxB < minB {
+			maxB = minB
+		}
+	}
+	seed := d.Seed
+	if seed == 0 {
+		seed = int64(d.Config.LocalAS) + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	backoff := minB
+	for {
+		sess, err := d.attempt(ctx)
+		if err == nil {
+			d.mu.Lock()
+			d.sess = sess
+			d.mu.Unlock()
+			sess.Start()
+			select {
+			case <-sess.Done():
+				// A session that got all the way up earns a fresh
+				// schedule; transient flaps then reconnect quickly.
+				backoff = minB
+			case <-ctx.Done():
+				_ = sess.Close()
+				return ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+
+		// Jittered sleep in [backoff/2, backoff) before the next attempt.
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+		backoff = min(backoff*2, maxB)
+	}
+}
+
+// attempt performs one dial + handshake round.
+func (d *Dialer) attempt(ctx context.Context) (*Session, error) {
+	conn, err := d.Dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// A wedged peer must not hang the handshake past the retry schedule.
+	hsTimeout := d.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 10 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(hsTimeout))
+	sess, err := Establish(conn, d.Config)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if d.OnUp != nil {
+		d.OnUp(sess)
+	}
+	return sess, nil
+}

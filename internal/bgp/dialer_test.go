@@ -1,0 +1,180 @@
+package bgp
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"sdx/internal/iputil"
+	"sdx/internal/simnet"
+)
+
+// TestDialerReconnectsAfterReset is the satellite regression test: a
+// session killed by a mid-stream transport reset must leave the peer in
+// Idle, and the Dialer must then re-establish over a fresh connection.
+func TestDialerReconnectsAfterReset(t *testing.T) {
+	n := simnet.New(31)
+	defer n.Close()
+	ln, err := n.Listen("rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Passive side: accept and establish forever, like the route server.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				s, err := Establish(conn, SessionConfig{LocalAS: 65000, RouterID: iputil.MustParseAddr("10.0.0.1"), HoldTime: 2 * time.Second})
+				if err != nil {
+					return
+				}
+				s.Start()
+			}()
+		}
+	}()
+
+	ups := make(chan *Session, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := &Dialer{
+		Dial: func(context.Context) (net.Conn, error) { return n.Dial("rs", "peer100") },
+		Config: SessionConfig{
+			LocalAS:  65100,
+			RouterID: iputil.MustParseAddr("10.0.0.2"),
+			HoldTime: 2 * time.Second,
+		},
+		MinBackoff: 20 * time.Millisecond,
+		MaxBackoff: 200 * time.Millisecond,
+		Seed:       1,
+		OnUp:       func(s *Session) { ups <- s },
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+
+	var first *Session
+	select {
+	case first = <-ups:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dialer never established")
+	}
+	if got := first.State(); got != StateEstablished {
+		t.Fatalf("first session state = %v", got)
+	}
+
+	// Kill the transport mid-stream.
+	if hit := n.Reset("peer100"); hit == 0 {
+		t.Fatal("reset hit no pairs")
+	}
+	select {
+	case <-first.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session survived the reset")
+	}
+	if got := first.State(); got != StateIdle {
+		t.Fatalf("post-reset state = %v, want Idle (reconnect impossible otherwise)", got)
+	}
+
+	// The Dialer must come back with a brand-new session.
+	var second *Session
+	select {
+	case second = <-ups:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dialer did not reconnect after reset")
+	}
+	if second == first {
+		t.Fatal("reconnect reused the dead session")
+	}
+	if got := second.State(); got != StateEstablished {
+		t.Fatalf("second session state = %v", got)
+	}
+	if d.Session() != second {
+		// OnUp runs before Start/bookkeeping; give Run a moment to record it.
+		deadline := time.Now().Add(time.Second)
+		for d.Session() != second && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if d.Session() != second {
+			t.Fatal("Dialer.Session() does not track the live session")
+		}
+	}
+
+	// Cancellation closes the live session and stops the loop.
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	select {
+	case <-second.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel left the session up")
+	}
+}
+
+// TestDialerBacksOffWhileUnreachable: with no listener the dialer must
+// keep retrying without spinning, then succeed as soon as one appears.
+func TestDialerBacksOffWhileUnreachable(t *testing.T) {
+	n := simnet.New(32)
+	defer n.Close()
+
+	attempts := make(chan struct{}, 64)
+	ups := make(chan *Session, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := &Dialer{
+		Dial: func(context.Context) (net.Conn, error) {
+			select {
+			case attempts <- struct{}{}:
+			default:
+			}
+			return n.Dial("rs", "peer")
+		},
+		Config:     SessionConfig{LocalAS: 65100, RouterID: 1, HoldTime: 2 * time.Second},
+		MinBackoff: 10 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Seed:       2,
+		OnUp:       func(s *Session) { ups <- s },
+	}
+	go func() { _ = d.Run(ctx) }()
+
+	// Let several failed attempts accumulate.
+	for i := 0; i < 3; i++ {
+		select {
+		case <-attempts:
+		case <-time.After(5 * time.Second):
+			t.Fatal("dialer stopped retrying")
+		}
+	}
+
+	ln, err := n.Listen("rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s, err := Establish(conn, SessionConfig{LocalAS: 65000, RouterID: 2, HoldTime: 2 * time.Second})
+		if err != nil {
+			return
+		}
+		s.Start()
+	}()
+
+	select {
+	case s := <-ups:
+		defer s.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("dialer never connected once the listener appeared")
+	}
+}

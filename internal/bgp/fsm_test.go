@@ -1,0 +1,236 @@
+package bgp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdx/internal/simnet"
+	"sdx/internal/telemetry"
+)
+
+// closeRecorder wraps a conn to observe whether the session closed it.
+type closeRecorder struct {
+	net.Conn
+	closed atomic.Bool
+}
+
+func (c *closeRecorder) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// establishOver runs the handshake concurrently over an existing pair.
+func establishOver(t *testing.T, ca, cb net.Conn, a, b SessionConfig) (*Session, *Session) {
+	t.Helper()
+	var sa, sb *Session
+	var ea, eb error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); sa, ea = Establish(ca, a) }()
+	go func() { defer wg.Done(); sb, eb = Establish(cb, b) }()
+	wg.Wait()
+	if ea != nil || eb != nil {
+		t.Fatalf("establish: %v / %v", ea, eb)
+	}
+	return sa, sb
+}
+
+// TestFSMTeardownPaths is the table-driven FSM coverage: every teardown
+// cause — remote NOTIFICATION, hold-timer expiry, truncated header,
+// corrupted marker, local Close, and a simnet mid-stream reset — must
+// land the session back in Idle with its connection closed, which is the
+// precondition for Dialer re-establishment.
+func TestFSMTeardownPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		// inject receives the raw peer-side conn (session b's peer) and
+		// the peer session; it provokes the teardown of session b.
+		inject  func(t *testing.T, peerConn net.Conn, peer, victim *Session)
+		wantErr func(err error) bool
+	}{
+		{
+			name: "remote notification",
+			inject: func(t *testing.T, _ net.Conn, peer, _ *Session) {
+				if err := peer.send(&Notification{Code: NotifCease}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: func(err error) bool {
+				var n *Notification
+				return errors.As(err, &n) && n.Code == NotifCease
+			},
+		},
+		{
+			name: "hold timer expiry",
+			// The peer stays connected but completely silent (it was never
+			// Started, so it sends no keepalives): the victim's 1s hold
+			// timer must fire on its own.
+			inject: func(t *testing.T, _ net.Conn, _, _ *Session) {},
+			wantErr: func(err error) bool {
+				return err != nil && strings.Contains(err.Error(), "hold timer expired")
+			},
+		},
+		{
+			name: "truncated header",
+			inject: func(t *testing.T, peerConn net.Conn, _, _ *Session) {
+				// 7 bytes of valid marker, then the stream dies: the
+				// victim's header read must fail, not block.
+				_ = peerConn.SetWriteDeadline(time.Now().Add(time.Second))
+				_, _ = peerConn.Write(marker[:7])
+				_ = peerConn.Close()
+			},
+			wantErr: func(err error) bool { return err != nil },
+		},
+		{
+			name: "corrupted marker",
+			inject: func(t *testing.T, peerConn net.Conn, _, _ *Session) {
+				bad := make([]byte, HeaderLen)
+				copy(bad, marker[:])
+				bad[3] = 0x00 // one flipped marker byte
+				bad[17] = HeaderLen
+				bad[18] = 4
+				_ = peerConn.SetWriteDeadline(time.Now().Add(time.Second))
+				_, _ = peerConn.Write(bad)
+			},
+			wantErr: func(err error) bool {
+				return err != nil && strings.Contains(err.Error(), "bad marker")
+			},
+		},
+		{
+			name: "local close",
+			inject: func(t *testing.T, _ net.Conn, _, victim *Session) {
+				_ = victim.Close()
+			},
+			wantErr: func(err error) bool { return err == nil },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			ca, cb := net.Pipe()
+			rec := &closeRecorder{Conn: cb}
+			peer, victim := establishOver(t, ca, rec,
+				SessionConfig{LocalAS: 1, RouterID: 1, HoldTime: time.Second},
+				SessionConfig{LocalAS: 2, RouterID: 2, HoldTime: time.Second, Metrics: reg},
+			)
+			if got := victim.State(); got != StateEstablished {
+				t.Fatalf("post-handshake state = %v, want Established", got)
+			}
+			victim.Start()
+			// Drain the victim→peer direction so the victim's keepalives
+			// never wedge on the unbuffered pipe (the peer session is not
+			// Started, so nothing else reads). Reads do not conflict with
+			// the raw injection writes, which go the other direction.
+			go func() { _, _ = io.Copy(io.Discard, ca) }()
+			tc.inject(t, ca, peer, victim)
+
+			select {
+			case <-victim.Done():
+			case <-time.After(5 * time.Second):
+				t.Fatal("session did not tear down")
+			}
+			if !tc.wantErr(victim.Err()) {
+				t.Fatalf("teardown err = %v", victim.Err())
+			}
+			if got := victim.State(); got != StateIdle {
+				t.Fatalf("post-teardown state = %v, want Idle", got)
+			}
+			if !rec.closed.Load() {
+				t.Fatal("session left its connection open")
+			}
+			if tc.name == "hold timer expiry" {
+				if v := reg.Counter("bgp.hold_expired").Value(); v != 1 {
+					t.Fatalf("hold_expired = %d, want 1", v)
+				}
+			}
+			peer.shutdownQuietly()
+		})
+	}
+}
+
+// shutdownQuietly tears a test peer down without CEASE traffic.
+func (s *Session) shutdownQuietly() { s.shutdown(nil) }
+
+// TestFSMSimnetReset covers the remaining injected fault: a mid-stream
+// transport reset. Both ends must land in Idle with a non-nil error.
+func TestFSMSimnetReset(t *testing.T) {
+	n := simnet.New(21)
+	defer n.Close()
+	ca, cb := n.Pipe("peer")
+	sa, sb := establishOver(t, ca, cb,
+		SessionConfig{LocalAS: 1, RouterID: 1, HoldTime: 2 * time.Second},
+		SessionConfig{LocalAS: 2, RouterID: 2, HoldTime: 2 * time.Second},
+	)
+	sa.Start()
+	sb.Start()
+	if hit := n.Reset("peer"); hit != 1 {
+		t.Fatalf("Reset hit %d pairs, want 1", hit)
+	}
+	for _, s := range []*Session{sa, sb} {
+		select {
+		case <-s.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatal("session survived a transport reset")
+		}
+		if s.Err() == nil {
+			t.Fatal("reset teardown carried no error")
+		}
+		if got := s.State(); got != StateIdle {
+			t.Fatalf("post-reset state = %v, want Idle", got)
+		}
+	}
+}
+
+// TestFSMHandshakeStates spot-checks the intermediate states: a session
+// blocked waiting for the peer OPEN reports OpenSent, and a failed
+// handshake ends Idle.
+func TestFSMHandshakeStates(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer cb.Close()
+	done := make(chan *Session, 1)
+	go func() {
+		s, _ := Establish(ca, SessionConfig{LocalAS: 1, RouterID: 1})
+		done <- s
+	}()
+	// The far end drains the OPEN but never answers; the near side sits
+	// in OpenSent until its conn dies.
+	go func() {
+		buf := make([]byte, 4096)
+		_, _ = cb.Read(buf)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	_ = ca.Close()
+	if s := <-done; s != nil {
+		t.Fatal("handshake against a silent peer must fail once the conn closes")
+	}
+
+	// Wrong version: the initiating side must fail and close the conn.
+	c1, c2 := net.Pipe()
+	rec := &closeRecorder{Conn: c1}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Establish(rec, SessionConfig{LocalAS: 1, RouterID: 1})
+		errCh <- err
+	}()
+	bad, err := Marshal(&Open{Version: 3, AS: 9, RouterID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = c2.Read(make([]byte, 4096)) }() // absorb the NOTIFICATION
+	if err := <-errCh; err == nil {
+		t.Fatal("version mismatch must fail the handshake")
+	}
+	if !rec.closed.Load() {
+		t.Fatal("failed handshake left the connection open")
+	}
+}

@@ -5,11 +5,44 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdx/internal/iputil"
 	"sdx/internal/telemetry"
 )
+
+// State is a BGP finite-state-machine state (RFC 4271 §8.2.2, collapsed
+// to the states this implementation can occupy: Active is folded into
+// Connect because dialing is the caller's job).
+type State int32
+
+// FSM states. Every teardown path — remote NOTIFICATION, hold-timer
+// expiry, read/write error, or local Close — lands back in Idle, which
+// is what permits a Dialer to re-establish on a fresh connection.
+const (
+	StateIdle State = iota
+	StateConnect
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
 
 // SessionConfig configures one side of a BGP session.
 type SessionConfig struct {
@@ -62,11 +95,19 @@ type Session struct {
 	met      sessionMetrics
 
 	sendMu sync.Mutex // serializes writes to conn
+	state  atomic.Int32
 
 	closeOnce sync.Once
 	closed    chan struct{}
 	downErr   error
 }
+
+// State reports the session's current FSM state. It is Established for
+// the lifetime of a healthy session and returns to Idle once the session
+// is torn down for any reason.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+func (s *Session) setState(st State) { s.state.Store(int32(st)) }
 
 // sessionMetrics holds a session's resolved counter handles; every field
 // is nil (and every update free) when SessionConfig.Metrics is nil.
@@ -100,6 +141,7 @@ func newSessionMetrics(reg *telemetry.Registry) sessionMetrics {
 // error the connection is closed.
 func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	s := &Session{cfg: cfg, conn: conn, closed: make(chan struct{}), met: newSessionMetrics(cfg.Metrics)}
+	s.setState(StateConnect)
 
 	proposed := cfg.HoldTime
 	switch {
@@ -127,8 +169,10 @@ func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		}
 		writeErr <- s.send(&Keepalive{})
 	}()
+	s.setState(StateOpenSent)
 
 	fail := func(err error) (*Session, error) {
+		s.setState(StateIdle)
 		_ = conn.Close() // handshake already failed; the original error wins
 		return nil, err
 	}
@@ -149,6 +193,7 @@ func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		s.sendBestEffort(&Notification{Code: NotifOpenMessageError, Subcode: 2})
 		return fail(fmt.Errorf("bgp: peer AS %d, expected %d", peerOpen.AS, cfg.ExpectedPeerAS))
 	}
+	s.setState(StateOpenConfirm)
 	msg, err = ReadMessage(conn)
 	if err != nil {
 		return fail(fmt.Errorf("bgp: waiting for keepalive: %w", err))
@@ -165,6 +210,7 @@ func Establish(conn net.Conn, cfg SessionConfig) (*Session, error) {
 
 	s.peerOpen = peerOpen
 	s.holdTime = min(proposed, time.Duration(peerOpen.HoldTime)*time.Second)
+	s.setState(StateEstablished)
 	s.met.established.Inc()
 	cfg.Tracer.Emit(telemetry.EventSessionStateChange, peerOpen.AS, "established", 0)
 	cfg.logf("bgp: session established AS%d <-> AS%d hold=%s", cfg.LocalAS, peerOpen.AS, s.holdTime)
@@ -306,6 +352,9 @@ func (s *Session) sendBestEffort(m Message) {
 func (s *Session) shutdown(err error) {
 	s.closeOnce.Do(func() {
 		s.downErr = err
+		// Return to Idle before signalling Done so that a Dialer waking on
+		// the closed channel always observes a re-establishable peer.
+		s.setState(StateIdle)
 		close(s.closed)
 		_ = s.conn.Close() // the session is already down; nothing to do with a close error
 		s.met.sessionsClosed.Inc()

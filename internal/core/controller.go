@@ -89,10 +89,17 @@ type Controller struct {
 	fastRules  int
 	advNH      map[iputil.Prefix]iputil.Addr // next hop currently advertised
 	macToPort  map[pkt.MAC]pkt.PortID        // NORMAL fallback table
-	sinks      map[uint32][]func(RouteAd)
+	sinks      map[uint32]map[int]func(RouteAd)
+	nextSinkID int
 	mirrors    []RuleSink
 	nextVPort  int
 	dirty      bool
+
+	// peerDown holds the age-out timer armed when a participant's BGP
+	// session drops; PeerUp before expiry cancels it, expiry flushes the
+	// peer's routes so a flapping session cannot wedge stale state.
+	peerDown    map[uint32]*time.Timer
+	routeAgeOut time.Duration
 
 	// metrics and tracer are never nil: injected via WithTelemetry /
 	// WithTracer or privately created. m caches the resolved handles.
@@ -132,29 +139,75 @@ func WithCompileWorkers(n int) Option {
 	return func(c *Controller) { c.compileWorkers = n }
 }
 
+// WithRouteAgeOut sets how long a participant's routes survive after its
+// BGP session drops before they are flushed from the RIBs (default 30s).
+// The grace period lets a flapping router reconnect without the exchange
+// churning withdraws through every other participant.
+func WithRouteAgeOut(d time.Duration) Option {
+	return func(c *Controller) { c.routeAgeOut = d }
+}
+
+// RuleFlusher is an optional RuleSink extension: sinks that can clear
+// their whole table implement it, and AddRuleMirror flushes them before
+// replaying state so a resync starts from a known-empty table (stale
+// rules from a previous control channel cannot linger).
+type RuleFlusher interface {
+	FlushAll()
+}
+
 // AddRuleMirror registers a rule sink after construction and replays the
-// currently installed bands into it so the external table converges.
+// currently installed state into it so the external table converges: the
+// optimized bands plus any live fast-band rules. A sink implementing
+// RuleFlusher is flushed first, making this the reconnect-with-resync
+// path for a re-established control channel.
 func (c *Controller) AddRuleMirror(sink RuleSink) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if f, ok := sink.(RuleFlusher); ok {
+		f.FlushAll()
+	}
 	c.mirrors = append(c.mirrors, sink)
 	sink.Replace(cookieBand1, dataplane.EntriesFromClassifier(c.cur.Band1, band1Base, cookieBand1))
 	sink.Replace(cookieBand2, dataplane.EntriesFromClassifier(c.cur.Band2, band2Base, cookieBand2))
+	var fast []*dataplane.FlowEntry
+	for _, e := range c.sw.Table().Entries() {
+		if e.Cookie == cookieFast {
+			fast = append(fast, e)
+		}
+	}
+	if len(fast) > 0 {
+		sink.AddBatch(fast)
+	}
+}
+
+// RemoveRuleMirror deregisters a previously added rule sink. Safe to call
+// with a sink that was never registered.
+func (c *Controller) RemoveRuleMirror(sink RuleSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, m := range c.mirrors {
+		if m == sink {
+			c.mirrors = append(c.mirrors[:i], c.mirrors[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewController returns an SDX controller with an empty fabric.
 func NewController(opts ...Option) *Controller {
 	c := &Controller{
-		sw:         dataplane.NewSwitch("sdx-fabric"),
-		arpd:       arp.NewResponder(),
-		parts:      make(map[uint32]*Participant),
-		vnhs:       newVNHTable(),
-		fastPrefix: make(map[iputil.Prefix]uint32),
-		advNH:      make(map[iputil.Prefix]iputil.Addr),
-		macToPort:  make(map[pkt.MAC]pkt.PortID),
-		sinks:      make(map[uint32][]func(RouteAd)),
-		cur:        &Compiled{GroupIdx: map[iputil.Prefix]int{}},
-		logf:       func(string, ...any) {},
+		sw:          dataplane.NewSwitch("sdx-fabric"),
+		arpd:        arp.NewResponder(),
+		parts:       make(map[uint32]*Participant),
+		vnhs:        newVNHTable(),
+		fastPrefix:  make(map[iputil.Prefix]uint32),
+		advNH:       make(map[iputil.Prefix]iputil.Addr),
+		macToPort:   make(map[pkt.MAC]pkt.PortID),
+		sinks:       make(map[uint32]map[int]func(RouteAd)),
+		peerDown:    make(map[uint32]*time.Timer),
+		routeAgeOut: 30 * time.Second,
+		cur:         &Compiled{GroupIdx: map[iputil.Prefix]int{}},
+		logf:        func(string, ...any) {},
 	}
 	for _, o := range opts {
 		o(c)
@@ -235,15 +288,79 @@ func (c *Controller) Participant(as uint32) (*Participant, bool) {
 // OnRoute registers an advertisement sink for a participant's border
 // router; a participant with several routers registers one sink each. The
 // sink is called with the SDX's (VNH-rewritten) route advertisements; it
-// must not call back into the controller.
-func (c *Controller) OnRoute(as uint32, sink func(RouteAd)) error {
+// must not call back into the controller. The returned function
+// unregisters the sink — a reconnecting session registers a fresh sink,
+// so teardown must drop the old one or dead sinks pile up across flaps.
+func (c *Controller) OnRoute(as uint32, sink func(RouteAd)) (func(), error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.parts[as]; !ok {
-		return fmt.Errorf("core: unknown participant AS%d", as)
+		return nil, fmt.Errorf("core: unknown participant AS%d", as)
 	}
-	c.sinks[as] = append(c.sinks[as], sink)
-	return nil
+	if c.sinks[as] == nil {
+		c.sinks[as] = make(map[int]func(RouteAd))
+	}
+	id := c.nextSinkID
+	c.nextSinkID++
+	c.sinks[as][id] = sink
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if m := c.sinks[as]; m != nil {
+			delete(m, id)
+		}
+	}, nil
+}
+
+// PeerUp records that a participant's BGP session (re-)established: any
+// pending route age-out is cancelled and the peer's stale Adj-RIB-In is
+// flushed — a fresh session exchanges full tables (RFC 4271 §8), so
+// whatever the previous incarnation left behind (including updates
+// mangled by a corrupted transport) is replaced by the peer's
+// re-announcements, not merged with them.
+func (c *Controller) PeerUp(as uint32) {
+	c.mu.Lock()
+	if t, ok := c.peerDown[as]; ok {
+		t.Stop()
+		delete(c.peerDown, as)
+	}
+	c.mu.Unlock()
+	c.flushPeerRoutes(as)
+}
+
+// PeerDown records that a participant's BGP session dropped. The peer's
+// routes are not withdrawn immediately: an age-out timer starts, and only
+// if the session stays down past WithRouteAgeOut are the routes flushed
+// (graceful degradation — a flap costs nothing, a real outage converges).
+func (c *Controller) PeerDown(as uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.parts[as]; !ok {
+		return
+	}
+	if t, ok := c.peerDown[as]; ok {
+		t.Stop()
+	}
+	c.peerDown[as] = time.AfterFunc(c.routeAgeOut, func() {
+		c.mu.Lock()
+		delete(c.peerDown, as)
+		c.mu.Unlock()
+		c.logf("core: AS%d session down past age-out, flushing routes", as)
+		c.flushPeerRoutes(as)
+	})
+}
+
+// flushPeerRoutes drops every route learned from the peer and runs the
+// fast path over the resulting best-route changes, re-advertising
+// affected prefixes. The participant stays registered.
+func (c *Controller) flushPeerRoutes(as uint32) {
+	events := c.rs.FlushPeer(as)
+	if len(events) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handleEventsLocked(events)
 }
 
 // SetPolicy installs a participant's inbound and outbound policy terms,

@@ -134,6 +134,17 @@ func (t *FlowTable) Replace(cookie uint64, es []*FlowEntry) {
 	}
 }
 
+// Flush removes every entry regardless of cookie and returns the number
+// removed. A reconnecting controller flushes before replaying its rule
+// state so stale entries from the previous channel cannot linger.
+func (t *FlowTable) Flush() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.entries)
+	t.entries = nil
+	return n
+}
+
 // Lookup returns the matching entry for p (nil for table miss) without
 // updating counters.
 func (t *FlowTable) Lookup(p pkt.Packet) *FlowEntry {

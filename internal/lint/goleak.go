@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // GoLeakAnalyzer flags `go` statements whose function has no visible way to
@@ -31,8 +32,13 @@ func runGoLeak(pass *Pass) {
 	}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			if st, ok := n.(*ast.GoStmt); ok {
-				g.check(st)
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				g.check(n)
+			case *ast.ForStmt:
+				if n.Cond == nil {
+					g.checkRedialLoop(n)
+				}
 			}
 			return true
 		})
@@ -132,8 +138,9 @@ func (g *leakScanner) bodyHasCancellation(body *ast.BlockStmt, seen map[*ast.Fun
 }
 
 // exprCancels reports whether an expression's type is itself a shutdown
-// handle: a channel, a context.Context, or a conn/listener whose Close
-// unblocks pending I/O.
+// handle: a channel, a context.Context, a conn/listener whose Close
+// unblocks pending I/O, or any type exposing the Done() lifecycle
+// convention.
 func (g *leakScanner) exprCancels(e ast.Expr) bool {
 	tv, ok := g.pass.Pkg.Info.Types[e]
 	if !ok || tv.Type == nil {
@@ -149,5 +156,106 @@ func (g *leakScanner) exprCancels(e ast.Expr) bool {
 	if implementsIface(t, g.netConn) || implementsIface(t, g.netLn) {
 		return true
 	}
+	return hasDoneChannel(t)
+}
+
+// hasDoneChannel reports whether t exposes `Done() <-chan T` — the
+// lifecycle-handle convention of context.Context, bgp.Session,
+// openflow.Client and the simnet harness types. A goroutine holding such
+// a handle can select on its Done channel to exit, so the handle counts
+// as a cancellation path. WaitGroup-style Done() methods (no results) do
+// not match.
+func hasDoneChannel(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != "Done" {
+			continue
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		ch, ok := types.Unalias(sig.Results().At(0).Type()).Underlying().(*types.Chan)
+		if ok && ch.Dir() != types.SendOnly {
+			return true
+		}
+	}
 	return false
+}
+
+// checkRedialLoop flags an unconditioned `for` loop that dials a
+// transport but has no way out: no return, no break/goto, no select, no
+// channel operation and no context in sight. Such a loop reconnects until
+// process exit — precisely the shape a Dialer/Redialer must avoid, since
+// shutdown is supposed to stop the retrying, not just the live session.
+func (g *leakScanner) checkRedialLoop(loop *ast.ForStmt) {
+	dialName := ""
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs when called, not in this loop
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || dialName != "" {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.Contains(strings.ToLower(name), "dial") {
+			dialName = name
+		}
+		return true
+	})
+	if dialName == "" || g.loopHasExit(loop.Body) {
+		return
+	}
+	g.pass.Reportf(loop.For,
+		"reconnect loop calling %s has no exit path (return, break, select, channel op, or context check)",
+		dialName)
+}
+
+// loopHasExit reports whether a loop body contains any construct that can
+// end the loop or observe a shutdown signal. Nested-loop breaks are
+// counted too — over-approximating keeps the check free of false
+// positives on intricate but correct retry loops.
+func (g *leakScanner) loopHasExit(body *ast.BlockStmt) bool {
+	info := g.pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if tv, ok := info.Types[n]; ok && tv.Type != nil &&
+				g.ctxType != nil && implementsIface(types.Unalias(tv.Type), g.ctxType) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }

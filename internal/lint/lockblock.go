@@ -287,7 +287,15 @@ func (s *lockScanner) checkCall(call *ast.CallExpr, held map[string]heldLock) {
 
 	// A call handed a net.Conn may perform blocking I/O on it (e.g.
 	// WriteMessage(conn, m)); holding a lock across it has the same
-	// head-of-line effect as calling conn.Write directly.
+	// head-of-line effect as calling conn.Write directly. Builtins
+	// (append, delete, len, ...) cannot perform I/O no matter what they
+	// are handed — bookkeeping a conn in a map or slice under a lock is
+	// fine.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
 	for _, arg := range call.Args {
 		if t, ok := info.Types[arg]; ok && implementsIface(t.Type, s.netConn) {
 			s.pass.Reportf(call.Pos(), "call passing net.Conn %q while holding %s: potential blocking I/O under lock",

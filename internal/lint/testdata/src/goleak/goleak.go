@@ -111,3 +111,91 @@ func (s *server) outer() {
 func (s *server) waitClosed() {
 	<-s.closed
 }
+
+// A handle exposing the Done() <-chan struct{} lifecycle convention
+// (context.Context, a BGP session, an OpenFlow client) is a shutdown
+// path: the goroutine can select on it to exit.
+type handle struct{ done chan struct{} }
+
+func (h *handle) Done() <-chan struct{} { return h.done }
+
+func observe(*handle) {}
+
+func superviseHandle(h *handle) {
+	go func() { // ok: h's Done() channel is a shutdown path
+		for {
+			observe(h)
+		}
+	}()
+}
+
+// A Done method without the channel-result shape (WaitGroup style) does
+// not count as a lifecycle handle.
+type notHandle struct{ n int }
+
+func (notHandle) Done() {}
+
+func use(notHandle) {}
+
+func superviseNotHandle(v notHandle) {
+	go func() { // want goleak "goroutine func literal has no cancellation signal"
+		for {
+			use(v)
+		}
+	}()
+}
+
+// An unconditioned loop that redials forever with no exit construct
+// reconnects until process exit.
+func redialForever(addr string) {
+	for { // want goleak "reconnect loop calling Dial has no exit path"
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		_ = c.Close()
+	}
+}
+
+// The same shape with a break is a bounded retry, not a leak.
+func redialOnce(addr string) net.Conn {
+	var conn net.Conn
+	for { // ok: break exits the loop
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		conn = c
+		break
+	}
+	return conn
+}
+
+// Selecting on a stop channel inside the loop is the redialer idiom.
+func redialWithStop(stop chan struct{}, addr string) {
+	for { // ok: select on stop observes shutdown
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// A context threaded through the loop counts as an exit path even when
+// the checking happens in a helper.
+func redialWithContext(ctx context.Context, addr string) {
+	for { // ok: ctx is in scope for cancellation checks
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			_ = c.Close()
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}

@@ -137,6 +137,8 @@ func (a *Agent) applyFlowMod(m *FlowMod) {
 		a.sw.Table().Replace(m.Cookie, entriesFromRules(m.Rules, m.Cookie))
 	case OpDelete:
 		a.sw.Table().DeleteCookie(m.Cookie)
+	case OpFlushAll:
+		a.sw.Table().Flush()
 	}
 }
 

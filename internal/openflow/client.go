@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdx/internal/dataplane"
 	"sdx/internal/pkt"
@@ -78,13 +79,21 @@ func NewClient(conn net.Conn) (*Client, error) {
 	return c, nil
 }
 
-// Dial connects to a switch agent at addr.
+// Dial connects to a switch agent at addr. The hello exchange is bounded
+// by a deadline so a transport that dies mid-handshake cannot pin the
+// caller (NewClient itself imposes none, for callers owning the conn).
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn)
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	c, err := NewClient(conn)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return c, nil
 }
 
 // Start launches the reader goroutine dispatching PacketIns and replies.
@@ -92,6 +101,13 @@ func (c *Client) Start() { go c.readLoop() }
 
 // Done is closed when the connection terminates.
 func (c *Client) Done() <-chan struct{} { return c.closed }
+
+// Err returns the terminating error after Done is closed (nil for a
+// local Close).
+func (c *Client) Err() error {
+	<-c.closed
+	return c.err
+}
 
 // Close terminates the connection.
 func (c *Client) Close() error {
@@ -211,6 +227,12 @@ func (c *Client) Delete(cookie uint64) error {
 	return c.send(&FlowMod{Op: OpDelete, Cookie: cookie})
 }
 
+// FlushAll clears the remote table entirely, regardless of cookie. A
+// reconnecting controller sends this before replaying rule state.
+func (c *Client) FlushAll() error {
+	return c.send(&FlowMod{Op: OpFlushAll})
+}
+
 // InstallClassifier replaces the cookie's band with a compiled classifier
 // at the given priority base.
 func (c *Client) InstallClassifier(cookie uint64, base int, cl policy.Classifier) error {
@@ -272,6 +294,10 @@ func (m Mirror) Replace(cookie uint64, entries []*dataplane.FlowEntry) {
 
 // DeleteCookie implements band deletion.
 func (m Mirror) DeleteCookie(cookie uint64) { _ = m.C.Delete(cookie) }
+
+// FlushAll implements the controller's RuleFlusher: it clears the whole
+// remote table so a resync replay starts from a known-empty state.
+func (m Mirror) FlushAll() { _ = m.C.FlushAll() }
 
 func cookieOf(entries []*dataplane.FlowEntry) uint64 {
 	if len(entries) == 0 {

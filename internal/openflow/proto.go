@@ -49,6 +49,11 @@ const (
 	OpReplace uint8 = 2
 	// OpDelete removes every entry carrying the cookie.
 	OpDelete uint8 = 3
+	// OpFlushAll clears the entire table regardless of cookie. A
+	// reconnecting controller sends it before replaying its rule state so
+	// that entries surviving from the previous channel (including any
+	// installed under a corrupted cookie) cannot shadow the resync.
+	OpFlushAll uint8 = 4
 )
 
 // maxFrame bounds a frame's payload (a FlowMod batch can carry thousands

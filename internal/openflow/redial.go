@@ -1,0 +1,129 @@
+package openflow
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Redialer maintains one control channel against a switch agent,
+// redialing with jittered exponential backoff whenever the channel dies.
+// On every successful handshake it invokes OnUp before the reader starts,
+// which is where the controller re-registers its rule mirror and replays
+// the full table (flush + replace + fast-band re-push) — the
+// reconnect-with-resync contract that makes a flapping control channel
+// converge to the same installed state as an unbroken one.
+type Redialer struct {
+	// Dial opens a fresh control channel (hello exchange included).
+	// Required.
+	Dial func(ctx context.Context) (*Client, error)
+	// OnUp runs after each successful handshake, before Start: set
+	// OnPacketIn and resync state here — the reader has not begun, so no
+	// message can be missed.
+	OnUp func(c *Client)
+	// OnDown, when non-nil, runs after each channel teardown with the
+	// terminating error (nil for a local Close).
+	OnDown func(c *Client, err error)
+
+	// MinBackoff and MaxBackoff bound the retry schedule. Zero values
+	// default to 250ms and 30s.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Seed makes the retry jitter reproducible; zero uses 1.
+	Seed int64
+	// Logf, when non-nil, receives redial life-cycle logging.
+	Logf func(format string, args ...any)
+
+	mu  sync.Mutex
+	cur *Client
+}
+
+// Client returns the currently connected client, or nil while the
+// channel is down. Callers reading gauges must nil-check.
+func (r *Redialer) Client() *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+func (r *Redialer) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run dials and babysits the channel until ctx is cancelled, at which
+// point any live client is closed and Run returns ctx.Err(). Failed
+// attempts back off exponentially with ±50% jitter; an attempt that
+// completes the hello exchange resets the schedule.
+func (r *Redialer) Run(ctx context.Context) error {
+	minB := r.MinBackoff
+	if minB <= 0 {
+		minB = 250 * time.Millisecond
+	}
+	maxB := r.MaxBackoff
+	if maxB < minB {
+		maxB = 30 * time.Second
+		if maxB < minB {
+			maxB = minB
+		}
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	backoff := minB
+	for {
+		c, err := r.Dial(ctx)
+		if err == nil {
+			r.mu.Lock()
+			r.cur = c
+			r.mu.Unlock()
+			if r.OnUp != nil {
+				r.OnUp(c)
+			}
+			c.Start()
+			select {
+			case <-c.Done():
+				backoff = minB // the channel got all the way up: fresh schedule
+			case <-ctx.Done():
+				_ = c.Close()
+				r.clear(c)
+				return ctx.Err()
+			}
+			r.clear(c)
+			if r.OnDown != nil {
+				r.OnDown(c, c.Err())
+			}
+			r.logf("openflow: control channel down: %v", c.Err())
+		} else {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			r.logf("openflow: dial failed: %v", err)
+		}
+
+		// Jittered sleep in [backoff/2, backoff) before the next attempt.
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+		backoff = min(backoff*2, maxB)
+	}
+}
+
+func (r *Redialer) clear(c *Client) {
+	r.mu.Lock()
+	if r.cur == c {
+		r.cur = nil
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,175 @@
+package openflow
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/pkt"
+	"sdx/internal/simnet"
+)
+
+// TestRedialerResync: kill the control channel mid-flight, then verify
+// the Redialer reconnects and the resync (flush + replay in OnUp) leaves
+// the remote table holding exactly the replayed state — including
+// evicting a rule that only existed on the old channel.
+func TestRedialerResync(t *testing.T) {
+	n := simnet.New(41)
+	defer n.Close()
+	ln, err := n.Listen("switch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dataplane.NewSwitch("remote")
+	agent := NewAgent(sw)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Per-connection errors end that controller's tenure; the
+			// agent keeps accepting replacements.
+			_ = agent.ServeConn(conn)
+		}
+	}()
+
+	// The state the controller believes in: two band rules it replays on
+	// every (re)connect, exactly like core.Controller.AddRuleMirror.
+	wantRules := []FlowRule{
+		{Priority: 10, Match: pkt.MatchAll.DstPort(80), Actions: nil},
+		{Priority: 5, Match: pkt.MatchAll, Actions: nil},
+	}
+	ups := make(chan *Client, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	red := &Redialer{
+		Dial: func(context.Context) (*Client, error) {
+			conn, err := n.Dial("switch", "ofctl")
+			if err != nil {
+				return nil, err
+			}
+			return NewClient(conn)
+		},
+		OnUp: func(c *Client) {
+			_ = c.FlushAll()
+			_ = c.Replace(1, wantRules)
+			ups <- c
+		},
+		MinBackoff: 20 * time.Millisecond,
+		MaxBackoff: 200 * time.Millisecond,
+		Seed:       1,
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- red.Run(ctx) }()
+
+	var first *Client
+	select {
+	case first = <-ups:
+	case <-time.After(5 * time.Second):
+		t.Fatal("redialer never connected")
+	}
+	if err := first.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Table().Len(); got != len(wantRules) {
+		t.Fatalf("initial install: %d rules, want %d", got, len(wantRules))
+	}
+
+	// Pollute the table through the doomed channel: this rule must NOT
+	// survive the resync.
+	if err := first.Add(99, []FlowRule{{Priority: 1, Match: pkt.MatchAll.DstPort(22)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Table().Len(); got != len(wantRules)+1 {
+		t.Fatalf("pollution install: %d rules", got)
+	}
+
+	if hit := n.Reset("ofctl"); hit == 0 {
+		t.Fatal("reset hit no pairs")
+	}
+	select {
+	case <-first.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client survived the reset")
+	}
+
+	var second *Client
+	select {
+	case second = <-ups:
+	case <-time.After(5 * time.Second):
+		t.Fatal("redialer did not reconnect")
+	}
+	if second == first {
+		t.Fatal("reconnect reused the dead client")
+	}
+	if err := second.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	entries := sw.Table().Entries()
+	if len(entries) != len(wantRules) {
+		t.Fatalf("post-resync table has %d rules, want %d:\n%s", len(entries), len(wantRules), sw.Table())
+	}
+	for _, e := range entries {
+		if e.Cookie != 1 {
+			t.Fatalf("stale rule survived resync: %v (cookie %d)", e, e.Cookie)
+		}
+	}
+	if red.Client() != second {
+		t.Fatal("Redialer.Client() does not track the live channel")
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	if red.Client() != nil {
+		t.Fatal("Client() non-nil after shutdown")
+	}
+}
+
+// TestFlushAllOp: the wire op clears the whole table regardless of cookie.
+func TestFlushAllOp(t *testing.T) {
+	sw := dataplane.NewSwitch("remote")
+	agent := NewAgent(sw)
+	n := simnet.New(42)
+	defer n.Close()
+	ca, cb := n.Pipe("ch")
+	go func() { _ = agent.ServeConn(ca) }()
+	c, err := NewClient(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+	if err := c.Add(1, []FlowRule{{Priority: 1, Match: pkt.MatchAll}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(2, []FlowRule{{Priority: 2, Match: pkt.MatchAll}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Table().Len(); got != 2 {
+		t.Fatalf("pre-flush %d rules", got)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Table().Len(); got != 0 {
+		t.Fatalf("post-flush %d rules, want 0", got)
+	}
+}

@@ -46,7 +46,7 @@ func Attach(ctrl *core.Controller, as uint32, port core.PhysicalPort) (*BorderRo
 		return nil, fmt.Errorf("router: port %d does not belong to AS%d", port.ID, as)
 	}
 	r := &BorderRouter{ctrl: ctrl, as: as, port: port}
-	if err := ctrl.OnRoute(as, r.handleAd); err != nil {
+	if _, err := ctrl.OnRoute(as, r.handleAd); err != nil {
 		return nil, err
 	}
 	// Initial table transfer: a router attaching to a running exchange

@@ -214,6 +214,18 @@ func (s *Server) RemoveParticipant(as uint32) []Event {
 	return s.decideLocked(affected)
 }
 
+// FlushPeer withdraws every route learned from the participant while
+// keeping it registered, returning the resulting events — the route
+// server's half of session-flap degradation: a peer whose BGP session
+// stayed down past the controller's age-out loses its routes, but can
+// re-announce them on the next session without re-registering.
+func (s *Server) FlushPeer(as uint32) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affected := s.adjIn.RemovePeer(as)
+	return s.decideLocked(affected)
+}
+
 // Participants returns the registered AS numbers, sorted.
 func (s *Server) Participants() []uint32 {
 	s.mu.RLock()

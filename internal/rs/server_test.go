@@ -233,3 +233,35 @@ func TestReAnnouncementReplacesRoute(t *testing.T) {
 		t.Fatal("attribute change should emit an event")
 	}
 }
+
+func TestFlushPeerKeepsParticipant(t *testing.T) {
+	s := newServer(t, 100, 200, 300)
+	s.HandleUpdate(200, announce([]string{"10.0.0.0/8"}, 200, 900))
+	s.HandleUpdate(300, announce([]string{"10.0.0.0/8"}, 300))
+	s.HandleUpdate(300, announce([]string{"13.0.0.0/8"}, 300))
+
+	events := s.FlushPeer(300)
+	if len(events) == 0 {
+		t.Fatal("flushing a peer with live routes produced no events")
+	}
+	// 10/8 falls back to the 200 path; 13/8 disappears entirely.
+	best, ok := s.BestRoute(100, pfx("10.0.0.0/8"))
+	if !ok || best.PeerAS != 200 {
+		t.Fatalf("best for 100 after flush: %v (ok=%v)", best, ok)
+	}
+	if _, ok := s.BestRoute(100, pfx("13.0.0.0/8")); ok {
+		t.Fatal("13.0.0.0/8 survived its only announcer's flush")
+	}
+
+	// The participant stays registered: re-announcing works without
+	// AddParticipant, exactly what a reconnecting session does.
+	s.HandleUpdate(300, announce([]string{"13.0.0.0/8"}, 300))
+	if _, ok := s.BestRoute(100, pfx("13.0.0.0/8")); !ok {
+		t.Fatal("re-announcement after flush did not take")
+	}
+
+	// Flushing a peer with nothing to flush is a quiet no-op.
+	if events := s.FlushPeer(100); len(events) != 0 {
+		t.Fatalf("empty flush produced events: %v", events)
+	}
+}

@@ -1,0 +1,428 @@
+// Package chaostest assembles a complete SDX deployment — controller,
+// BGP route-server endpoint, participant border-router simulators and a
+// remote OpenFlow fabric — entirely over an internal/simnet Network, and
+// provides the convergence and golden-run comparison helpers the chaos
+// soak tests assert with.
+//
+// The same Deployment runs twice per seed: once over a fault-free
+// network (the golden run) and once under a simnet.GenScript fault
+// schedule. After the script completes and tainted transports are
+// bounced, the faulted run must converge to exactly the golden run's
+// state: identical Loc-RIBs at every border router and an identical
+// installed rule table on the remote fabric. VNH/VMAC allocation order
+// differs between runs (fault-driven churn allocates extra pairs), so
+// cross-run comparisons go through Normalize, which rewrites those
+// assignments into first-occurrence tokens.
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdx"
+	"sdx/internal/bgp"
+	"sdx/internal/dataplane"
+	"sdx/internal/iputil"
+	"sdx/internal/openflow"
+	"sdx/internal/pkt"
+	"sdx/internal/simnet"
+)
+
+// Announcement is one prefix a border router originates.
+type Announcement struct {
+	Prefix iputil.Prefix
+	Path   []uint32
+}
+
+// PeerSpec describes one participant: its AS, fabric port, outbound
+// policy and the prefixes its border router announces on every session
+// (re-)establishment.
+type PeerSpec struct {
+	AS       uint32
+	Port     pkt.PortID
+	Outbound []sdx.Term
+	Anns     []Announcement
+}
+
+// Tag returns the simnet connection tag the peer's dialer uses; scripted
+// faults target sessions through it across reconnects.
+func (s PeerSpec) Tag() string { return fmt.Sprintf("peer%d", s.AS) }
+
+// OFTag is the simnet tag of the OpenFlow control channel.
+const OFTag = "ofctl"
+
+// Peer is a simulated border router: a redialing BGP session plus the
+// Loc-RIB it builds from the route server's advertisements. A fresh
+// session is a full table exchange, so the RIB is cleared on every
+// re-establishment before the initial transfer arrives.
+type Peer struct {
+	Spec   PeerSpec
+	dialer *bgp.Dialer
+
+	mu  sync.Mutex
+	rib map[iputil.Prefix]ribEntry
+}
+
+type ribEntry struct {
+	nh   iputil.Addr
+	path string
+}
+
+// Session returns the peer's most recent BGP session (nil before the
+// first handshake).
+func (p *Peer) Session() *bgp.Session { return p.dialer.Session() }
+
+// Established reports whether the peer currently has an Established
+// session.
+func (p *Peer) Established() bool {
+	s := p.dialer.Session()
+	return s != nil && s.State() == bgp.StateEstablished
+}
+
+// RIBDump renders the peer's Loc-RIB sorted, one route per line, in the
+// same format as Deployment.ServerView.
+func (p *Peer) RIBDump() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lines := make([]string, 0, len(p.rib))
+	for pre, e := range p.rib {
+		lines = append(lines, fmt.Sprintf("%s via %s path %s", pre, e.nh, e.path))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func (p *Peer) onUp(s *bgp.Session) {
+	p.mu.Lock()
+	p.rib = make(map[iputil.Prefix]ribEntry)
+	p.mu.Unlock()
+	for _, a := range p.Spec.Anns {
+		// A send failing here means the session died mid-announcement;
+		// the dialer observes the teardown and the next session replays.
+		_ = s.SendUpdate(&bgp.Update{
+			Attrs: &bgp.PathAttrs{ASPath: a.Path, NextHop: sdx.PortIP(p.Spec.Port)},
+			NLRI:  []iputil.Prefix{a.Prefix},
+		})
+	}
+}
+
+func (p *Peer) onUpdate(_ *bgp.Session, u *bgp.Update) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range u.Withdrawn {
+		delete(p.rib, w)
+	}
+	if u.Attrs == nil {
+		return
+	}
+	for _, pre := range u.NLRI {
+		p.rib[pre] = ribEntry{nh: u.Attrs.NextHop, path: fmt.Sprint(u.Attrs.ASPath)}
+	}
+}
+
+// Deployment is one full SDX stack wired over a simnet Network.
+type Deployment struct {
+	Net    *simnet.Network
+	Ctrl   *sdx.Controller
+	Srv    *sdx.BGPServer
+	Remote *dataplane.Switch
+	Peers  map[uint32]*Peer
+
+	red    *openflow.Redialer
+	swLn   *simnet.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Options tunes a deployment. The zero value picks chaos-friendly
+// defaults: 1s hold time (the wire floor, so sub-2s stalls and
+// partitions expire it), fast reconnect backoff and sub-second route
+// age-out.
+type Options struct {
+	HoldTime   time.Duration // BGP hold time proposed by the peers
+	MinBackoff time.Duration // dialer retry floor
+	MaxBackoff time.Duration // dialer retry ceiling
+	AgeOut     time.Duration // controller route age-out after PeerDown
+}
+
+func (o *Options) fill() {
+	if o.HoldTime == 0 {
+		o.HoldTime = time.Second
+	}
+	if o.MinBackoff == 0 {
+		o.MinBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 400 * time.Millisecond
+	}
+	if o.AgeOut == 0 {
+		o.AgeOut = 700 * time.Millisecond
+	}
+}
+
+// Start brings up the whole stack on n: route server listening at "rs",
+// switch agent at "switch", one redialing BGP peer per spec and a
+// redialing OpenFlow control channel (tag OFTag) mirroring the
+// controller's rules to the remote fabric. Seed makes every dialer's
+// retry jitter reproducible.
+func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Deployment, error) {
+	opts.fill()
+	ctrl := sdx.New(sdx.WithRouteAgeOut(opts.AgeOut))
+	for i, spec := range specs {
+		_, err := ctrl.AddParticipant(sdx.ParticipantConfig{
+			AS:    spec.AS,
+			Name:  string(rune('A' + i)),
+			Ports: []sdx.PhysicalPort{{ID: spec.Port}},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range specs {
+		if len(spec.Outbound) == 0 {
+			continue
+		}
+		if err := ctrl.SetPolicy(spec.AS, nil, spec.Outbound); err != nil {
+			return nil, err
+		}
+	}
+	ctrl.Recompile()
+
+	rsLn, err := n.Listen("rs")
+	if err != nil {
+		return nil, err
+	}
+	swLn, err := n.Listen("switch")
+	if err != nil {
+		return nil, err
+	}
+
+	remote := dataplane.NewSwitch("chaos-remote")
+	for i, spec := range specs {
+		if err := remote.AddPort(spec.Port, fmt.Sprintf("%c%d", 'A'+i, spec.Port), nil); err != nil {
+			return nil, err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Deployment{
+		Net:    n,
+		Ctrl:   ctrl,
+		Srv:    sdx.ServeBGP(ctrl, rsLn, 64512),
+		Remote: remote,
+		Peers:  make(map[uint32]*Peer),
+		swLn:   swLn,
+		cancel: cancel,
+	}
+
+	agent := openflow.NewAgent(remote)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = agent.ListenAndServe(swLn)
+	}()
+
+	d.red = &openflow.Redialer{
+		Dial: func(context.Context) (*openflow.Client, error) {
+			conn, err := n.Dial("switch", OFTag)
+			if err != nil {
+				return nil, err
+			}
+			// Bound the hello exchange: a partition landing mid-handshake
+			// must fail the attempt into the backoff loop, not wedge it.
+			_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+			c, err := openflow.NewClient(conn)
+			if err != nil {
+				return nil, err
+			}
+			_ = conn.SetDeadline(time.Time{})
+			return c, nil
+		},
+		OnUp:       func(c *openflow.Client) { ctrl.AddRuleMirror(openflow.Mirror{C: c}) },
+		OnDown:     func(c *openflow.Client, _ error) { ctrl.RemoveRuleMirror(openflow.Mirror{C: c}) },
+		MinBackoff: opts.MinBackoff,
+		MaxBackoff: opts.MaxBackoff,
+		Seed:       seed + 1,
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = d.red.Run(ctx)
+	}()
+
+	for _, spec := range specs {
+		spec := spec
+		p := &Peer{Spec: spec, rib: make(map[iputil.Prefix]ribEntry)}
+		p.dialer = &bgp.Dialer{
+			Dial: func(context.Context) (net.Conn, error) {
+				return n.Dial("rs", spec.Tag())
+			},
+			Config: bgp.SessionConfig{
+				LocalAS:  spec.AS,
+				RouterID: iputil.Addr(spec.AS),
+				HoldTime: opts.HoldTime,
+				OnUpdate: p.onUpdate,
+				// Both ends publish into the controller's registry: a hold
+				// expiry races between the two sides of a starved session,
+				// and whichever fires first must be the one counted.
+				Metrics: ctrl.Metrics(),
+			},
+			MinBackoff:       opts.MinBackoff,
+			MaxBackoff:       opts.MaxBackoff,
+			Seed:             seed + int64(spec.AS),
+			HandshakeTimeout: 2 * time.Second,
+			OnUp:             p.onUp,
+		}
+		d.Peers[spec.AS] = p
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			_ = p.dialer.Run(ctx)
+		}()
+	}
+	return d, nil
+}
+
+// Stop tears the deployment down: the route server first (a closing
+// exchange must not record PeerDowns), then every dialer, then the agent
+// listener, and waits for all goroutines.
+func (d *Deployment) Stop() {
+	_ = d.Srv.Close()
+	d.cancel()
+	_ = d.swLn.Close()
+	d.wg.Wait()
+}
+
+// OFClient returns the live OpenFlow client, or nil while the control
+// channel is down.
+func (d *Deployment) OFClient() *openflow.Client { return d.red.Client() }
+
+// ServerView renders what the route server currently advertises to as,
+// sorted, in the same format as Peer.RIBDump.
+func (d *Deployment) ServerView(as uint32) []string {
+	ads := d.Ctrl.RoutesFor(as)
+	lines := make([]string, 0, len(ads))
+	for _, ad := range ads {
+		lines = append(lines, fmt.Sprintf("%s via %s path %v", ad.Prefix, ad.NextHop, ad.Attrs.ASPath))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// Converged returns nil when every BGP session is Established, the
+// OpenFlow channel is up, and every peer's Loc-RIB matches the server's
+// advertised view exactly. Otherwise it describes the first divergence.
+func (d *Deployment) Converged() error {
+	for as, p := range d.Peers {
+		if !p.Established() {
+			return fmt.Errorf("AS%d: session not established", as)
+		}
+	}
+	if d.red.Client() == nil {
+		return fmt.Errorf("openflow control channel down")
+	}
+	for as, p := range d.Peers {
+		got, want := p.RIBDump(), d.ServerView(as)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			return fmt.Errorf("AS%d Loc-RIB diverges from server view\n peer:\n  %s\n server:\n  %s",
+				as, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+		}
+	}
+	return nil
+}
+
+// WaitConverged polls Converged until it holds on two consecutive checks
+// (so a mid-churn coincidence does not count) or the timeout passes, in
+// which case the last divergence is returned.
+func (d *Deployment) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	streak := 0
+	var last error
+	for time.Now().Before(deadline) {
+		if err := d.Converged(); err != nil {
+			last = err
+			streak = 0
+		} else {
+			streak++
+			if streak >= 2 {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if last == nil {
+		last = fmt.Errorf("converged only once before timeout")
+	}
+	return fmt.Errorf("not converged after %s: %w", timeout, last)
+}
+
+// ruleDump renders a flow table sorted and cookie-tagged, so two tables
+// are equal iff their dumps are equal.
+func ruleDump(t *dataplane.FlowTable) []string {
+	entries := t.Entries()
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		lines[i] = fmt.Sprintf("cookie=%d %s", e.Cookie, e)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// LocalRules dumps the controller's local fabric table.
+func (d *Deployment) LocalRules() []string { return ruleDump(d.Ctrl.Switch().Table()) }
+
+// RemoteRules dumps the remote fabric's table as programmed over the
+// control channel.
+func (d *Deployment) RemoteRules() []string { return ruleDump(d.Remote.Table()) }
+
+var (
+	vmacRE = regexp.MustCompile(`\ba2(?::[0-9a-f]{2}){5}\b`)
+	ipRE   = regexp.MustCompile(`\b(?:\d{1,3}\.){3}\d{1,3}\b`)
+)
+
+// Normalize rewrites run-specific virtual identifiers — VMACs and
+// VNH-subnet addresses — into sequential first-occurrence tokens, so two
+// runs that allocated the same forwarding structure in a different order
+// compare equal, while structural differences (prefixes grouped
+// differently, routes missing) still compare unequal.
+func Normalize(lines []string) []string {
+	macTok := make(map[string]string)
+	vnhTok := make(map[string]string)
+	out := make([]string, len(lines))
+	for i, ln := range lines {
+		ln = vmacRE.ReplaceAllStringFunc(ln, func(m string) string {
+			t, ok := macTok[m]
+			if !ok {
+				t = fmt.Sprintf("vmac#%d", len(macTok)+1)
+				macTok[m] = t
+			}
+			return t
+		})
+		ln = ipRE.ReplaceAllStringFunc(ln, func(m string) string {
+			a, err := iputil.ParseAddr(m)
+			if err != nil || !sdx.VNHSubnet.Contains(a) {
+				return m
+			}
+			t, ok := vnhTok[m]
+			if !ok {
+				t = fmt.Sprintf("vnh#%d", len(vnhTok)+1)
+				vnhTok[m] = t
+			}
+			return t
+		})
+		out[i] = ln
+	}
+	return out
+}
+
+// NormalizeText is Normalize over a newline-joined blob (e.g. a
+// Compiled.Canonical dump).
+func NormalizeText(text string) string {
+	return strings.Join(Normalize(strings.Split(text, "\n")), "\n")
+}

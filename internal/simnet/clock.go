@@ -1,0 +1,51 @@
+package simnet
+
+import "time"
+
+// Clock maps virtual durations onto wall-clock durations by a constant
+// scale factor, letting fault schedules be written in protocol-meaningful
+// time (seconds of latency, minutes of partition) and executed
+// compressed. Scale 10 runs ten times faster than real time; scale <= 0
+// or 1 is identity. The zero-value/nil clock is identity too, so an
+// unconfigured network behaves like real time.
+type Clock struct {
+	scale float64
+	start time.Time
+}
+
+// NewClock returns a clock with the given compression factor.
+func NewClock(scale float64) *Clock {
+	return &Clock{scale: scale, start: time.Now()}
+}
+
+// Scale returns the compression factor (1 for identity).
+func (c *Clock) Scale() float64 {
+	if c == nil || c.scale <= 0 {
+		return 1
+	}
+	return c.scale
+}
+
+// Real converts a virtual duration to the wall-clock duration to wait.
+func (c *Clock) Real(d time.Duration) time.Duration {
+	if s := c.Scale(); s != 1 {
+		return time.Duration(float64(d) / s)
+	}
+	return d
+}
+
+// Virtual converts elapsed wall-clock time into virtual time.
+func (c *Clock) Virtual(d time.Duration) time.Duration {
+	if s := c.Scale(); s != 1 {
+		return time.Duration(float64(d) * s)
+	}
+	return d
+}
+
+// Now returns the current virtual time since the clock was created.
+func (c *Clock) Now() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.Virtual(time.Since(c.start))
+}

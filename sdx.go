@@ -173,6 +173,10 @@ func New(opts ...core.Option) *Controller { return core.NewController(opts...) }
 // WithLogger directs controller logging to logf.
 var WithLogger = core.WithLogger
 
+// WithRouteAgeOut sets how long a flapped peer's routes survive before
+// aging out of the RIBs.
+var WithRouteAgeOut = core.WithRouteAgeOut
+
 // Policy-term constructors (§2's four application idioms).
 var (
 	// Fwd builds an application-specific-peering outbound term.
