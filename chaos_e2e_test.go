@@ -117,12 +117,7 @@ func runChaos(t *testing.T, seed int64) {
 		t.Fatalf("seed %d: pre-fault convergence: %v", seed, err)
 	}
 
-	tags := make([]string, 0, 4)
-	for _, spec := range chaosSpecs() {
-		tags = append(tags, spec.Tag())
-	}
-	tags = append(tags, chaostest.OFTag)
-	script := simnet.GenScript(seed, tags)
+	script := simnet.GenScript(seed, chaostest.Targets(chaosSpecs()))
 	if kinds := script.Kinds(); len(kinds) < 4 {
 		t.Fatalf("seed %d: schedule injects only %v", seed, kinds)
 	}
@@ -133,10 +128,12 @@ func runChaos(t *testing.T, seed int64) {
 	// desynced-but-alive session must not be trusted to re-converge.
 	n.ResetTainted()
 
-	if err := d.WaitConverged(20 * time.Second); err != nil {
+	elapsed, err := d.WaitConvergedTimed(20 * time.Second)
+	if err != nil {
 		t.Fatalf("seed %d: post-heal convergence: %v\nreproduce with this schedule:\n%s",
 			seed, err, script)
 	}
+	benchConverge.Observe(int64(elapsed))
 	got := settleAndCapture(t, seed, d)
 
 	for as, wantRIB := range want.ribs {
@@ -164,6 +161,9 @@ func runChaos(t *testing.T, seed int64) {
 	established := reg.Counter("bgp.sessions_established").Value()
 	if established < 2*int64(len(d.Peers))+2 {
 		t.Errorf("seed %d: only %d session-ends established; faults should force reconnects", seed, established)
+	}
+	if c := reg.Histogram(chaostest.ConvergeMetric).Count(); c < 1 {
+		t.Errorf("seed %d: no %s sample recorded for the post-heal convergence", seed, chaostest.ConvergeMetric)
 	}
 	d.Stop()
 	n.Close()
@@ -221,11 +221,11 @@ func TestChaosConvergence(t *testing.T) {
 // produce distinct schedules. This is what makes any soak failure a
 // one-seed repro.
 func TestChaosScriptReproducibility(t *testing.T) {
-	tags := []string{"peer100", "peer200", "peer300", chaostest.OFTag}
+	targets := chaostest.Targets(chaosSpecs())
 	var traces []string
 	for _, seed := range chaosSeeds {
-		a := simnet.GenScript(seed, tags)
-		b := simnet.GenScript(seed, tags)
+		a := simnet.GenScript(seed, targets)
+		b := simnet.GenScript(seed, targets)
 		at, bt := strings.Join(a.Trace(), "\n"), strings.Join(b.Trace(), "\n")
 		if at != bt {
 			t.Fatalf("seed %d: two generations differ:\n%s\n--\n%s", seed, at, bt)

@@ -1,0 +1,388 @@
+package sdx_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdx"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/simnet"
+	"sdx/internal/simnet/chaostest"
+	"sdx/internal/telemetry"
+)
+
+// benchConverge aggregates every chaos run's fault-heal → steady-state
+// latency (virtual-clock ns) across the whole test binary; TestMain
+// writes its quantiles to the path in SDX_CHAOS_BENCH as the CI
+// BENCH_chaos.json artifact.
+var benchConverge = &telemetry.Histogram{}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("SDX_CHAOS_BENCH"); path != "" && code == 0 {
+		if err := writeChaosBench(path); err != nil {
+			fmt.Fprintf(os.Stderr, "SDX_CHAOS_BENCH: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeChaosBench(path string) error {
+	s := benchConverge.Snapshot()
+	doc := map[string]any{
+		"metric":  chaostest.ConvergeMetric,
+		"samples": s.Count,
+		"p50_ns":  s.P50,
+		"p95_ns":  s.P95,
+		"p99_ns":  s.P99,
+		"sum_ns":  s.Sum,
+		"buckets": s.Buckets,
+		"host":    map[string]any{"cpus": runtime.NumCPU(), "go": runtime.Version()},
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// fabricTopo is the triangle fabric: three switches, a participant port
+// subset on each, and redundant trunks (every pair directly linked).
+func fabricTopo(ports map[sdx.PortID]string) sdx.FabricTopology {
+	return sdx.FabricTopology{
+		Switches: []string{"s1", "s2", "s3"},
+		Ports:    ports,
+		Links: []sdx.FabricLink{
+			{A: "s1", B: "s2", PortA: 100, PortB: 101},
+			{A: "s2", B: "s3", PortA: 102, PortB: 103},
+			{A: "s1", B: "s3", PortA: 104, PortB: 105},
+		},
+	}
+}
+
+// multiswitchSpecs is the examples/multiswitch workload as a chaos
+// deployment: A on s1 steers web traffic to B on s2 by policy while the
+// BGP best path for the same prefix is C on s3.
+func multiswitchSpecs() []chaostest.PeerSpec {
+	pfx := sdx.MustParsePrefix
+	return []chaostest.PeerSpec{
+		{
+			AS: 100, Port: 1,
+			Outbound: []sdx.Term{
+				sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
+				sdx.Fwd(sdx.MatchAll.DstPort(443), 300),
+			},
+		},
+		{
+			AS: 200, Port: 2,
+			Anns: []chaostest.Announcement{
+				{Prefix: pfx("11.0.0.0/8"), Path: []uint32{200, 900}},
+				{Prefix: pfx("12.0.0.0/8"), Path: []uint32{200}},
+			},
+		},
+		{
+			AS: 300, Port: 4,
+			Anns: []chaostest.Announcement{
+				{Prefix: pfx("11.0.0.0/8"), Path: []uint32{300}},
+				{Prefix: pfx("13.0.0.0/8"), Path: []uint32{300}},
+			},
+		},
+	}
+}
+
+// inboundTESpecs is the examples/inboundte workload: B is dual-homed
+// across two switches (port 2 on s2, port 3 on s3) and splits inbound
+// traffic by source prefix, which only works if both the policy rules
+// and the trunk band survive on every switch.
+func inboundTESpecs() []chaostest.PeerSpec {
+	pfx := sdx.MustParsePrefix
+	return []chaostest.PeerSpec{
+		{
+			AS: 100, Port: 1,
+			Outbound: []sdx.Term{sdx.Fwd(sdx.MatchAll.DstPort(443), 300)},
+		},
+		{
+			AS: 200, Port: 2, ExtraPorts: []sdx.PortID{3},
+			Inbound: []sdx.Term{
+				sdx.FwdPort(sdx.MatchAll.SrcIP(pfx("0.0.0.0/1")), 2),
+				sdx.FwdPort(sdx.MatchAll.SrcIP(pfx("128.0.0.0/1")), 3),
+			},
+			Anns: []chaostest.Announcement{
+				{Prefix: pfx("93.184.0.0/16"), Path: []uint32{200}},
+			},
+		},
+		{
+			AS: 300, Port: 4,
+			Anns: []chaostest.Announcement{
+				{Prefix: pfx("13.0.0.0/8"), Path: []uint32{300}},
+			},
+		},
+	}
+}
+
+// fabricProbe is one end-to-end data-plane check: a packet injected on
+// the remote fabric's ingress port must be delivered on the expected
+// egress port, crossing trunk links where the switches differ.
+type fabricProbe struct {
+	desc    string
+	ingress pkt.PortID
+	egress  pkt.PortID
+	prefix  iputil.Prefix // destination group: its VMAC tags the packet
+	src     string
+	dst     string
+	dstPort uint16
+}
+
+func multiswitchProbes() []fabricProbe {
+	pfx := sdx.MustParsePrefix
+	return []fabricProbe{
+		{desc: "web-via-B", ingress: 1, egress: 2, prefix: pfx("11.0.0.0/8"),
+			src: "50.0.0.1", dst: "11.1.1.1", dstPort: 80},
+		{desc: "default-via-C", ingress: 1, egress: 4, prefix: pfx("11.0.0.0/8"),
+			src: "50.0.0.1", dst: "11.1.1.1", dstPort: 22},
+	}
+}
+
+func inboundTEProbes() []fabricProbe {
+	pfx := sdx.MustParsePrefix
+	return []fabricProbe{
+		{desc: "low-src-to-B1", ingress: 1, egress: 2, prefix: pfx("93.184.0.0/16"),
+			src: "17.0.0.1", dst: "93.184.216.34", dstPort: 80},
+		{desc: "high-src-to-B2", ingress: 1, egress: 3, prefix: pfx("93.184.0.0/16"),
+			src: "212.0.0.1", dst: "93.184.216.34", dstPort: 80},
+	}
+}
+
+// fabricState is everything a faulted fabric run must agree on with its
+// golden twin, already normalized for cross-run comparison.
+type fabricState struct {
+	ribs   map[uint32]string
+	canon  string
+	tables map[string]string // per-switch rule dump
+}
+
+// settleAndCaptureFabric drives a converged fabric deployment quiescent
+// and captures its state, asserting every remote switch's table is
+// byte-identical to the local model's — the static trunk band included.
+func settleAndCaptureFabric(t *testing.T, seed int64, fd *chaostest.FabricDeployment) fabricState {
+	t.Helper()
+	fd.Ctrl.Recompile()
+	for _, name := range fd.SwitchNames() {
+		client := fd.OFClient(name)
+		if client == nil {
+			t.Fatalf("seed %d: switch %s control channel down after convergence", seed, name)
+		}
+		if err := client.Barrier(); err != nil {
+			t.Fatalf("seed %d: switch %s barrier: %v", seed, name, err)
+		}
+	}
+	if n := fd.Ctrl.FastRules(); n != 0 {
+		t.Fatalf("seed %d: %d fast-path rules survived the recompile", seed, n)
+	}
+	st := fabricState{ribs: make(map[uint32]string), tables: make(map[string]string)}
+	for _, name := range fd.SwitchNames() {
+		model, remote := fd.ModelRules(name), fd.RemoteRules(name)
+		if strings.Join(model, "\n") != strings.Join(remote, "\n") {
+			t.Fatalf("seed %d: switch %s remote table diverges from model\n remote:\n  %s\n model:\n  %s",
+				seed, name, strings.Join(remote, "\n  "), strings.Join(model, "\n  "))
+		}
+		st.tables[name] = strings.Join(chaostest.Normalize(remote), "\n")
+	}
+	for as, p := range fd.Peers {
+		st.ribs[as] = strings.Join(chaostest.Normalize(p.RIBDump()), "\n")
+	}
+	st.canon = chaostest.NormalizeText(fd.Ctrl.Compiled().Canonical())
+	return st
+}
+
+// probeFabric pushes every probe through the remote fabric and waits for
+// delivery on the expected egress port. Injections are retried: right
+// after a heal a trunk may still be relinking, and chaos probes must
+// tolerate loss, not reordering of state.
+func probeFabric(t *testing.T, seed int64, fd *chaostest.FabricDeployment, probes []fabricProbe, label string) {
+	t.Helper()
+	var mu sync.Mutex
+	got := make(map[string]pkt.PortID) // payload marker -> delivery port
+	record := func(port pkt.PortID) func(pkt.Packet) {
+		return func(p pkt.Packet) {
+			mu.Lock()
+			got[string(p.Payload)] = port
+			mu.Unlock()
+		}
+	}
+	seen := make(map[pkt.PortID]bool)
+	for _, pr := range probes {
+		if seen[pr.egress] {
+			continue
+		}
+		seen[pr.egress] = true
+		if err := fd.OnDeliver(pr.egress, record(pr.egress)); err != nil {
+			t.Fatalf("seed %d: %s: %v", seed, label, err)
+		}
+	}
+	compiled := fd.Ctrl.Compiled()
+	for i, pr := range probes {
+		gi, ok := compiled.GroupIdx[pr.prefix]
+		if !ok {
+			t.Fatalf("seed %d: %s probe %q: prefix %s has no forwarding group", seed, label, pr.desc, pr.prefix)
+		}
+		vmac := compiled.VMACs[gi]
+		deadline := time.Now().Add(5 * time.Second)
+		attempt := 0
+		for {
+			attempt++
+			marker := fmt.Sprintf("%s/%s#%d", label, pr.desc, attempt)
+			fd.InjectRemote(pr.ingress, pkt.Packet{
+				EthType: pkt.EthTypeIPv4, DstMAC: vmac,
+				SrcIP: sdx.MustParseAddr(pr.src), DstIP: sdx.MustParseAddr(pr.dst),
+				Proto: pkt.ProtoTCP, SrcPort: 40000 + uint16(i), DstPort: pr.dstPort,
+				Payload: []byte(marker),
+			})
+			var at pkt.PortID
+			delivered := false
+			for waited := 0; waited < 10 && !delivered; waited++ {
+				time.Sleep(20 * time.Millisecond)
+				mu.Lock()
+				at, delivered = got[marker]
+				mu.Unlock()
+			}
+			if delivered {
+				if at != pr.egress {
+					t.Fatalf("seed %d: %s probe %q delivered at port %d, want %d", seed, label, pr.desc, at, pr.egress)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("seed %d: %s probe %q never delivered at port %d after %d attempts",
+					seed, label, pr.desc, pr.egress, attempt)
+			}
+		}
+	}
+}
+
+// runFabricChaos is runChaos for the multi-switch stack: a golden and a
+// faulted run per seed, per-trunk and per-channel faults including at
+// least one asymmetric partition, and post-heal state plus end-to-end
+// delivery equal to the fault-free run. Failures carry the seed.
+func runFabricChaos(t *testing.T, seed int64, specs []chaostest.PeerSpec, probes []fabricProbe, ports map[sdx.PortID]string) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+
+	goldenNet := simnet.New(seed)
+	golden, err := chaostest.StartFabric(goldenNet, seed, specs, fabricTopo(ports), chaostest.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: golden start: %v", seed, err)
+	}
+	if err := golden.WaitConverged(10 * time.Second); err != nil {
+		t.Fatalf("seed %d: golden run: %v", seed, err)
+	}
+	want := settleAndCaptureFabric(t, seed, golden)
+	probeFabric(t, seed, golden, probes, "golden")
+	golden.Stop()
+	goldenNet.Close()
+
+	n := simnet.New(seed)
+	fd, err := chaostest.StartFabric(n, seed, specs, fabricTopo(ports), chaostest.Options{})
+	if err != nil {
+		t.Fatalf("seed %d: start: %v", seed, err)
+	}
+	if err := fd.WaitConverged(10 * time.Second); err != nil {
+		t.Fatalf("seed %d: pre-fault convergence: %v", seed, err)
+	}
+
+	script := simnet.GenScript(seed, fd.Targets())
+	kinds := script.Kinds()
+	if len(kinds) < 4 {
+		t.Fatalf("seed %d: schedule injects only %v", seed, kinds)
+	}
+	directed := false
+	for _, k := range kinds {
+		if k == simnet.StepPartitionDir {
+			directed = true
+		}
+	}
+	if !directed {
+		t.Fatalf("seed %d: schedule has no asymmetric partition:\n%s", seed, script)
+	}
+	if err := script.Run(context.Background(), n); err != nil {
+		t.Fatalf("seed %d: script: %v", seed, err)
+	}
+	n.ResetTainted()
+
+	elapsed, err := fd.WaitConvergedTimed(30 * time.Second)
+	if err != nil {
+		t.Fatalf("seed %d: post-heal convergence: %v\nreproduce with this schedule:\n%s", seed, err, script)
+	}
+	benchConverge.Observe(int64(elapsed))
+	got := settleAndCaptureFabric(t, seed, fd)
+
+	for as, wantRIB := range want.ribs {
+		if got.ribs[as] != wantRIB {
+			t.Errorf("seed %d: AS%d post-heal Loc-RIB != fault-free run\n got:\n  %s\n want:\n  %s\nschedule:\n%s",
+				seed, as, strings.ReplaceAll(got.ribs[as], "\n", "\n  "),
+				strings.ReplaceAll(wantRIB, "\n", "\n  "), script)
+		}
+	}
+	if got.canon != want.canon {
+		t.Errorf("seed %d: post-heal compilation != fault-free run\n got:\n%s\n want:\n%s\nschedule:\n%s",
+			seed, got.canon, want.canon, script)
+	}
+	for name, wantTable := range want.tables {
+		if got.tables[name] != wantTable {
+			t.Errorf("seed %d: switch %s post-heal table != fault-free run\n got:\n  %s\n want:\n  %s\nschedule:\n%s",
+				seed, name, strings.ReplaceAll(got.tables[name], "\n", "\n  "),
+				strings.ReplaceAll(wantTable, "\n", "\n  "), script)
+		}
+	}
+	probeFabric(t, seed, fd, probes, "faulted")
+
+	reg := fd.Ctrl.Metrics()
+	if c := reg.Histogram(chaostest.ConvergeMetric).Count(); c < 1 {
+		t.Errorf("seed %d: no %s sample recorded for the post-heal convergence", seed, chaostest.ConvergeMetric)
+	}
+	fd.Stop()
+	n.Close()
+	waitGoroutines(t, seed, baseline)
+}
+
+// chaosFabricSeeds is the fabric seed matrix CI replays; disjoint from
+// the single-switch matrix so the two jobs exercise different schedules.
+var chaosFabricSeeds = []int64{5, 17, 29}
+
+// TestChaosFabricConvergence: the multiswitch workload across a
+// three-switch triangle fabric survives per-trunk, per-channel and
+// per-session faults — including one-direction partitions — and
+// converges back to the fault-free state, trunk band and cross-switch
+// delivery included.
+func TestChaosFabricConvergence(t *testing.T) {
+	ports := map[sdx.PortID]string{1: "s1", 2: "s2", 4: "s3"}
+	for _, seed := range chaosFabricSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runFabricChaos(t, seed, multiswitchSpecs(), multiswitchProbes(), ports)
+		})
+	}
+}
+
+// TestChaosFabricInboundTE: the inbound-TE workload with a participant
+// dual-homed across two switches; inbound steering by source prefix must
+// survive the chaos schedule on every switch it spans.
+func TestChaosFabricInboundTE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second fabric workload skipped in -short mode")
+	}
+	ports := map[sdx.PortID]string{1: "s1", 2: "s2", 3: "s3", 4: "s3"}
+	for _, seed := range chaosFabricSeeds[:1] {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runFabricChaos(t, seed, inboundTESpecs(), inboundTEProbes(), ports)
+		})
+	}
+}

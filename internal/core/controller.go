@@ -98,7 +98,14 @@ type Controller struct {
 	// peerDown holds the age-out timer armed when a participant's BGP
 	// session drops; PeerUp before expiry cancels it, expiry flushes the
 	// peer's routes so a flapping session cannot wedge stale state.
+	// peerGen is the per-AS flush generation: PeerUp (and participant
+	// removal) bump it under c.mu, and a fired age-out callback re-checks
+	// it before flushing — Stop() alone cannot cancel a timer whose
+	// callback is already blocked on c.mu, and without the check that
+	// stale flush would run after PeerUp's flush and the fresh session's
+	// re-announcements, silently dropping live routes.
 	peerDown    map[uint32]*time.Timer
+	peerGen     map[uint32]uint64
 	routeAgeOut time.Duration
 
 	// metrics and tracer are never nil: injected via WithTelemetry /
@@ -205,6 +212,7 @@ func NewController(opts ...Option) *Controller {
 		macToPort:   make(map[pkt.MAC]pkt.PortID),
 		sinks:       make(map[uint32]map[int]func(RouteAd)),
 		peerDown:    make(map[uint32]*time.Timer),
+		peerGen:     make(map[uint32]uint64),
 		routeAgeOut: 30 * time.Second,
 		cur:         &Compiled{GroupIdx: map[iputil.Prefix]int{}},
 		logf:        func(string, ...any) {},
@@ -320,12 +328,16 @@ func (c *Controller) OnRoute(as uint32, sink func(RouteAd)) (func(), error) {
 // re-announcements, not merged with them.
 func (c *Controller) PeerUp(as uint32) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if t, ok := c.peerDown[as]; ok {
+		// Stop()==false means the timer already fired and its callback is
+		// queued on c.mu; the generation bump below is what actually
+		// disarms it.
 		t.Stop()
 		delete(c.peerDown, as)
 	}
-	c.mu.Unlock()
-	c.flushPeerRoutes(as)
+	c.peerGen[as]++
+	c.flushPeerRoutesLocked(as)
 }
 
 // PeerDown records that a participant's BGP session dropped. The peer's
@@ -341,25 +353,32 @@ func (c *Controller) PeerDown(as uint32) {
 	if t, ok := c.peerDown[as]; ok {
 		t.Stop()
 	}
+	gen := c.peerGen[as]
 	c.peerDown[as] = time.AfterFunc(c.routeAgeOut, func() {
 		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.peerGen[as] != gen {
+			// Superseded while we were firing: the session came back (or
+			// the participant left) and already flushed; running now would
+			// drop the routes the fresh session re-announced.
+			return
+		}
 		delete(c.peerDown, as)
-		c.mu.Unlock()
 		c.logf("core: AS%d session down past age-out, flushing routes", as)
-		c.flushPeerRoutes(as)
+		c.flushPeerRoutesLocked(as)
 	})
 }
 
-// flushPeerRoutes drops every route learned from the peer and runs the
-// fast path over the resulting best-route changes, re-advertising
-// affected prefixes. The participant stays registered.
-func (c *Controller) flushPeerRoutes(as uint32) {
+// flushPeerRoutesLocked drops every route learned from the peer and runs
+// the fast path over the resulting best-route changes, re-advertising
+// affected prefixes. The participant stays registered. Caller holds c.mu
+// (the established lock order is c.mu before rs.mu, as in ProcessUpdate),
+// which makes the flush atomic with the generation check above.
+func (c *Controller) flushPeerRoutesLocked(as uint32) {
 	events := c.rs.FlushPeer(as)
 	if len(events) == 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.handleEventsLocked(events)
 }
 
@@ -523,6 +542,11 @@ func (c *Controller) RemoveParticipant(as uint32) (UpdateResult, error) {
 	// policies and synthetic sets.
 	delete(c.parts, as)
 	delete(c.sinks, as)
+	if t, ok := c.peerDown[as]; ok {
+		t.Stop()
+		delete(c.peerDown, as)
+	}
+	c.peerGen[as]++ // disarm any already-fired age-out callback
 	for _, pp := range p.cfg.Ports {
 		c.sw.RemovePort(pp.ID)
 		delete(c.macToPort, pp.MAC())

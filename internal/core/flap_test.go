@@ -1,7 +1,9 @@
 package core_test
 
 import (
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -119,6 +121,95 @@ func TestPeerUpCancelsAgeOut(t *testing.T) {
 	time.Sleep(150 * time.Millisecond) // well past the original age-out
 	if _, ok := ctrl.RouteServer().BestRoute(100, target); !ok {
 		t.Fatal("cancelled age-out still flushed the routes")
+	}
+}
+
+// TestPeerUpAgeOutFiredTimerRace: PeerUp racing an age-out timer that
+// has already FIRED (t.Stop() returns false, the callback is queued on
+// the controller lock) must not let the stale flush run after PeerUp's
+// flush and the fresh session's re-announcements. The test pins the
+// interleaving deterministically: a blocking route sink holds the
+// controller lock across the timer's fire window, then a blocking logger
+// parks the fired callback at the age-out log seam while PeerUp and the
+// re-announcement race it.
+func TestPeerUpAgeOutFiredTimerRace(t *testing.T) {
+	target := pfx("10.0.0.0/8")
+
+	var armed atomic.Bool
+	logBlocked := make(chan struct{})
+	logRelease := make(chan struct{})
+	logf := func(format string, _ ...any) {
+		if strings.Contains(format, "age-out") && armed.CompareAndSwap(true, false) {
+			close(logBlocked)
+			<-logRelease
+		}
+	}
+	ctrl := core.NewController(core.WithRouteAgeOut(25*time.Millisecond), core.WithLogger(logf))
+	for i, as := range []uint32{100, 200} {
+		if _, err := ctrl.AddParticipant(core.ParticipantConfig{
+			AS: as, Name: string(rune('A' + i)),
+			Ports: []core.PhysicalPort{{ID: pkt.PortID(i + 1)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	announceFrom(ctrl, 200, target)
+	armed.Store(true)
+	ctrl.PeerDown(200)
+
+	// Advertisement sinks run under the controller lock, so a sink that
+	// blocks keeps the lock held while the age-out timer fires and its
+	// callback queues on the lock — exactly the Stop()==false window.
+	sinkBlocked := make(chan struct{})
+	sinkRelease := make(chan struct{})
+	var once sync.Once
+	unreg, err := ctrl.OnRoute(100, func(core.RouteAd) {
+		once.Do(func() {
+			close(sinkBlocked)
+			<-sinkRelease
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unreg()
+	go func() {
+		// The withdraw/announce cycle guarantees the sink fires (see
+		// TestOnRouteUnregister).
+		announceFrom(ctrl, 200, pfx("11.0.0.0/8"))
+		ctrl.ProcessUpdate(200, &bgp.Update{Withdrawn: []iputil.Prefix{pfx("11.0.0.0/8")}})
+	}()
+	<-sinkBlocked
+	time.Sleep(60 * time.Millisecond) // > age-out: the timer fires, callback queues on c.mu
+	close(sinkRelease)
+	<-logBlocked // the fired callback reached the flush seam
+
+	// The session comes back: PeerUp cancels (too late for Stop) and the
+	// fresh session re-announces its table.
+	peerUpDone := make(chan struct{})
+	go func() {
+		defer close(peerUpDone)
+		ctrl.PeerUp(200)
+		announceFrom(ctrl, 200, target)
+	}()
+	// Pre-fix the callback is parked outside the lock, so PeerUp and the
+	// re-announcement complete here; post-fix the callback holds the lock
+	// across its generation check and flush, so PeerUp waits and the
+	// select times out — either way the stale flush is released last.
+	select {
+	case <-peerUpDone:
+	case <-time.After(200 * time.Millisecond):
+	}
+	close(logRelease)
+	<-peerUpDone
+
+	// The released callback finishes asynchronously; watch the Loc-RIB
+	// long enough to catch its flush landing after the re-announcement.
+	for deadline := time.Now().Add(500 * time.Millisecond); time.Now().Before(deadline); {
+		if _, ok := ctrl.RouteServer().BestRoute(100, target); !ok {
+			t.Fatal("stale age-out flush ran after PeerUp + re-announcement and dropped a live route")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

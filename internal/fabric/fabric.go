@@ -56,8 +56,8 @@ type Topology struct {
 	Links []Link
 }
 
-// trunkCookie tags the static L2 band.
-const trunkCookie = ^uint64(0)
+// TrunkCookie tags the static L2 trunk band on every member switch.
+const TrunkCookie = ^uint64(0)
 
 // trunkPriority sits below every policy band but above nothing else.
 const trunkPriority = 1000
@@ -176,27 +176,36 @@ func New(topo Topology) (*Fabric, error) {
 
 // installTrunkBand programs the static per-port L2 unicast rules.
 func (f *Fabric) installTrunkBand() {
+	for _, name := range f.order {
+		f.switches[name].Table().Replace(TrunkCookie, f.TrunkEntries(name))
+	}
+}
+
+// TrunkEntries returns the static L2 trunk band for one member switch:
+// one rule per participant port, forwarding by real destination MAC to
+// the port itself when local or the trunk toward its owner otherwise.
+// A resync path that flushed the member's table replays exactly this
+// band (under TrunkCookie) alongside the controller's policy bands.
+func (f *Fabric) TrunkEntries(name string) []*dataplane.FlowEntry {
 	ports := make([]pkt.PortID, 0, len(f.portSw))
 	for p := range f.portSw {
 		ports = append(ports, p)
 	}
 	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
-	for _, name := range f.order {
-		var entries []*dataplane.FlowEntry
-		for _, q := range ports {
-			out, ok := f.localOutput(name, q)
-			if !ok {
-				continue
-			}
-			entries = append(entries, &dataplane.FlowEntry{
-				Priority: trunkPriority,
-				Match:    pkt.MatchAll.DstMAC(core.PortMAC(q)),
-				Actions:  []pkt.Action{pkt.Output(out)},
-				Cookie:   trunkCookie,
-			})
+	var entries []*dataplane.FlowEntry
+	for _, q := range ports {
+		out, ok := f.localOutput(name, q)
+		if !ok {
+			continue
 		}
-		f.switches[name].Table().Replace(trunkCookie, entries)
+		entries = append(entries, &dataplane.FlowEntry{
+			Priority: trunkPriority,
+			Match:    pkt.MatchAll.DstMAC(core.PortMAC(q)),
+			Actions:  []pkt.Action{pkt.Output(out)},
+			Cookie:   TrunkCookie,
+		})
 	}
+	return entries
 }
 
 // localOutput maps a fabric-wide egress port to the output a given switch
@@ -251,7 +260,7 @@ func (f *Fabric) TotalRules() int {
 	n := 0
 	for _, name := range f.order {
 		for _, e := range f.switches[name].Table().Entries() {
-			if e.Cookie != trunkCookie {
+			if e.Cookie != TrunkCookie {
 				n++
 			}
 		}
@@ -335,4 +344,78 @@ func (f *Fabric) DeleteCookie(cookie uint64) {
 	for _, name := range f.order {
 		f.switches[name].Table().DeleteCookie(cookie)
 	}
+}
+
+// FlushAll implements core.RuleFlusher: every member table is cleared
+// and the static trunk band immediately reinstalled. Without the
+// reinstall, an AddRuleMirror resync (flush, then policy-band replay)
+// would silently lose the trunk band — the controller replays only the
+// bands it owns — leaving cross-switch forwarding dead after a
+// reconnect.
+func (f *Fabric) FlushAll() {
+	for _, name := range f.order {
+		f.switches[name].Table().Flush()
+	}
+	f.installTrunkBand()
+}
+
+// switchSink projects the fabric's rule distribution onto one member
+// switch and forwards that switch's share of every operation to an
+// underlying sink — typically an openflow.Mirror driving the real
+// remote switch over a control channel. Its FlushAll clears the remote
+// table and immediately replays the member's static trunk band, so the
+// controller's reconnect resync (FlushAll + policy-band replay)
+// reconstructs the full remote table, trunk band included.
+type switchSink struct {
+	f    *Fabric
+	name string
+	sink core.RuleSink
+}
+
+// SwitchSink returns a core.RuleSink (also a core.RuleFlusher) that
+// drives the named member switch's share of the fabric through sink.
+// Register one per control channel with Controller.AddRuleMirror; each
+// returned value has identity, so RemoveRuleMirror works per channel.
+func (f *Fabric) SwitchSink(name string, sink core.RuleSink) (core.RuleSink, error) {
+	if f.switches[name] == nil {
+		return nil, fmt.Errorf("fabric: unknown switch %q", name)
+	}
+	return &switchSink{f: f, name: name, sink: sink}, nil
+}
+
+// AddBatch implements core.RuleSink.
+func (s *switchSink) AddBatch(entries []*dataplane.FlowEntry) {
+	var out []*dataplane.FlowEntry
+	for _, e := range entries {
+		if d := s.f.distribute(e)[s.name]; d != nil {
+			out = append(out, d)
+		}
+	}
+	if len(out) > 0 {
+		s.sink.AddBatch(out)
+	}
+}
+
+// Replace implements core.RuleSink. An empty share still replaces (to
+// empty), mirroring Fabric.Replace.
+func (s *switchSink) Replace(cookie uint64, entries []*dataplane.FlowEntry) {
+	out := make([]*dataplane.FlowEntry, 0, len(entries))
+	for _, e := range entries {
+		if d := s.f.distribute(e)[s.name]; d != nil {
+			d.Cookie = cookie
+			out = append(out, d)
+		}
+	}
+	s.sink.Replace(cookie, out)
+}
+
+// DeleteCookie implements core.RuleSink.
+func (s *switchSink) DeleteCookie(cookie uint64) { s.sink.DeleteCookie(cookie) }
+
+// FlushAll implements core.RuleFlusher.
+func (s *switchSink) FlushAll() {
+	if fl, ok := s.sink.(core.RuleFlusher); ok {
+		fl.FlushAll()
+	}
+	s.sink.Replace(TrunkCookie, s.f.TrunkEntries(s.name))
 }

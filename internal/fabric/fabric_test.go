@@ -1,11 +1,15 @@
 package fabric_test
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
 	"sdx/internal/bgp"
 	"sdx/internal/core"
+	"sdx/internal/dataplane"
 	"sdx/internal/fabric"
 	"sdx/internal/iputil"
 	"sdx/internal/pkt"
@@ -261,6 +265,130 @@ func TestFastPathReachesAllSwitches(t *testing.T) {
 	ctrl.Recompile()
 	if f.TotalRules() >= before+5 {
 		t.Fatalf("recompile did not clean the fabric: %d rules", f.TotalRules())
+	}
+}
+
+// dump renders a flow table as sorted, byte-comparable lines.
+func dump(tb *dataplane.FlowTable) []string {
+	entries := tb.Entries()
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		lines[i] = fmt.Sprintf("cookie=%d %s", e.Cookie, e)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func hasTrunkBand(lines []string) bool {
+	tag := fmt.Sprintf("cookie=%d ", fabric.TrunkCookie)
+	for _, l := range lines {
+		if strings.HasPrefix(l, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFlushReplayRestoresTrunkBand: the reconnect resync path —
+// AddRuleMirror flushing a RuleFlusher sink and replaying the policy
+// bands — must reconstruct every member switch's table byte-identically,
+// including the static trunk band the controller does not own. Before
+// Fabric implemented FlushAll, a resync either skipped the flush (stale
+// rules lingered) or, flushed remotely, lost the trunk band for good.
+func TestFlushReplayRestoresTrunkBand(t *testing.T) {
+	f := chainThree(t)
+	ctrl, _ := exchange(t, f)
+
+	golden := map[string][]string{}
+	for _, name := range []string{"s1", "s2", "s3"} {
+		golden[name] = dump(f.Switch(name).Table())
+		if !hasTrunkBand(golden[name]) {
+			t.Fatalf("%s: golden table has no trunk band:\n%s", name, strings.Join(golden[name], "\n"))
+		}
+	}
+
+	// A dead control channel leaves stale rules behind; the resync must
+	// not merge them into the replayed state.
+	f.Switch("s2").Table().AddBatch([]*dataplane.FlowEntry{{
+		Priority: 7,
+		Match:    pkt.MatchAll.DstPort(9999),
+		Actions:  []pkt.Action{pkt.Output(2)},
+		Cookie:   0xdead,
+	}})
+
+	ctrl.RemoveRuleMirror(f)
+	ctrl.AddRuleMirror(f) // reconnect: FlushAll + band replay
+
+	for name, want := range golden {
+		got := dump(f.Switch(name).Table())
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("%s: post-resync table != pre-flush table\n got:\n  %s\n want:\n  %s",
+				name, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+		}
+	}
+}
+
+// tableSink drives a bare flow table as a RuleSink+RuleFlusher — the
+// test stand-in for an openflow.Mirror pushing FlowMods to a remote
+// switch (whose FlushAll is a wire OpFlushAll).
+type tableSink struct{ t *dataplane.FlowTable }
+
+func (s tableSink) AddBatch(es []*dataplane.FlowEntry)          { s.t.AddBatch(es) }
+func (s tableSink) Replace(c uint64, es []*dataplane.FlowEntry) { s.t.Replace(c, es) }
+func (s tableSink) DeleteCookie(c uint64)                       { s.t.DeleteCookie(c) }
+func (s tableSink) FlushAll()                                   { s.t.Flush() }
+
+// TestSwitchSinkResync: per-switch control channels resync through
+// SwitchSink. AddRuleMirror's flush-then-replay must rebuild each remote
+// switch table byte-identically to the local fabric model — trunk band
+// included (SwitchSink.FlushAll replays it after the remote flush) — and
+// incremental fast-path ops must keep the tables in lockstep.
+func TestSwitchSinkResync(t *testing.T) {
+	f := chainThree(t)
+	ctrl, _ := exchange(t, f)
+
+	names := []string{"s1", "s2", "s3"}
+	remote := map[string]*dataplane.FlowTable{}
+	for _, name := range names {
+		tb := dataplane.NewSwitch(name + "-remote").Table()
+		// Pre-dirty the remote: a previous channel's leftovers must be
+		// wiped by the resync flush.
+		tb.AddBatch([]*dataplane.FlowEntry{{
+			Priority: 3, Match: pkt.MatchAll.DstPort(1), Cookie: 0xbeef,
+		}})
+		remote[name] = tb
+		sink, err := f.SwitchSink(name, tableSink{tb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.AddRuleMirror(sink)
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		for _, name := range names {
+			want := dump(f.Switch(name).Table())
+			got := dump(remote[name])
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("%s %s: remote table != local model\n got:\n  %s\n want:\n  %s",
+					stage, name, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+			}
+			if !hasTrunkBand(got) {
+				t.Fatalf("%s %s: remote table lost the trunk band", stage, name)
+			}
+		}
+	}
+	compare("post-resync")
+
+	// Fast-path churn flows through per-switch sinks identically.
+	ctrl.ProcessUpdate(200, &bgp.Update{Withdrawn: []iputil.Prefix{pfx("11.0.0.0/8")}})
+	compare("post-withdraw")
+	ctrl.Recompile()
+	compare("post-recompile")
+
+	// An unknown switch name is rejected.
+	if _, err := f.SwitchSink("nope", tableSink{remote["s1"]}); err == nil {
+		t.Fatal("SwitchSink for unknown switch must fail")
 	}
 }
 

@@ -40,22 +40,46 @@ type Announcement struct {
 	Path   []uint32
 }
 
-// PeerSpec describes one participant: its AS, fabric port, outbound
-// policy and the prefixes its border router announces on every session
+// PeerSpec describes one participant: its AS, fabric port(s), policies
+// and the prefixes its border router announces on every session
 // (re-)establishment.
 type PeerSpec struct {
 	AS       uint32
 	Port     pkt.PortID
 	Outbound []sdx.Term
 	Anns     []Announcement
+
+	// ExtraPorts lists additional fabric ports beyond Port for
+	// multi-homed participants — the §2 inbound-TE workload needs a
+	// dual-homed eyeball network.
+	ExtraPorts []pkt.PortID
+	// Inbound is the participant's inbound policy (FwdPort terms).
+	Inbound []sdx.Term
 }
 
 // Tag returns the simnet connection tag the peer's dialer uses; scripted
 // faults target sessions through it across reconnects.
 func (s PeerSpec) Tag() string { return fmt.Sprintf("peer%d", s.AS) }
 
+// ports returns every fabric port the participant owns, primary first.
+func (s PeerSpec) ports() []pkt.PortID {
+	return append([]pkt.PortID{s.Port}, s.ExtraPorts...)
+}
+
 // OFTag is the simnet tag of the OpenFlow control channel.
 const OFTag = "ofctl"
+
+// Targets maps a deployment's transports to simnet fault targets, with
+// the listener peers filled in so simnet.GenScript can schedule
+// asymmetric (one-direction) partitions that leave BGP and OpenFlow
+// sessions half-open.
+func Targets(specs []PeerSpec) []simnet.Target {
+	ts := make([]simnet.Target, 0, len(specs)+1)
+	for _, s := range specs {
+		ts = append(ts, simnet.Target{Tag: s.Tag(), Peer: "rs"})
+	}
+	return append(ts, simnet.Target{Tag: OFTag, Peer: "switch"})
+}
 
 // Peer is a simulated border router: a redialing BGP session plus the
 // Loc-RIB it builds from the route server's advertisements. A fresh
@@ -173,26 +197,10 @@ func (o *Options) fill() {
 // retry jitter reproducible.
 func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Deployment, error) {
 	opts.fill()
-	ctrl := sdx.New(sdx.WithRouteAgeOut(opts.AgeOut))
-	for i, spec := range specs {
-		_, err := ctrl.AddParticipant(sdx.ParticipantConfig{
-			AS:    spec.AS,
-			Name:  string(rune('A' + i)),
-			Ports: []sdx.PhysicalPort{{ID: spec.Port}},
-		})
-		if err != nil {
-			return nil, err
-		}
+	ctrl, err := buildController(specs, opts)
+	if err != nil {
+		return nil, err
 	}
-	for _, spec := range specs {
-		if len(spec.Outbound) == 0 {
-			continue
-		}
-		if err := ctrl.SetPolicy(spec.AS, nil, spec.Outbound); err != nil {
-			return nil, err
-		}
-	}
-	ctrl.Recompile()
 
 	rsLn, err := n.Listen("rs")
 	if err != nil {
@@ -205,8 +213,10 @@ func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Depl
 
 	remote := dataplane.NewSwitch("chaos-remote")
 	for i, spec := range specs {
-		if err := remote.AddPort(spec.Port, fmt.Sprintf("%c%d", 'A'+i, spec.Port), nil); err != nil {
-			return nil, err
+		for _, port := range spec.ports() {
+			if err := remote.AddPort(port, fmt.Sprintf("%c%d", 'A'+i, port), nil); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -257,28 +267,7 @@ func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Depl
 	}()
 
 	for _, spec := range specs {
-		spec := spec
-		p := &Peer{Spec: spec, rib: make(map[iputil.Prefix]ribEntry)}
-		p.dialer = &bgp.Dialer{
-			Dial: func(context.Context) (net.Conn, error) {
-				return n.Dial("rs", spec.Tag())
-			},
-			Config: bgp.SessionConfig{
-				LocalAS:  spec.AS,
-				RouterID: iputil.Addr(spec.AS),
-				HoldTime: opts.HoldTime,
-				OnUpdate: p.onUpdate,
-				// Both ends publish into the controller's registry: a hold
-				// expiry races between the two sides of a starved session,
-				// and whichever fires first must be the one counted.
-				Metrics: ctrl.Metrics(),
-			},
-			MinBackoff:       opts.MinBackoff,
-			MaxBackoff:       opts.MaxBackoff,
-			Seed:             seed + int64(spec.AS),
-			HandshakeTimeout: 2 * time.Second,
-			OnUp:             p.onUp,
-		}
+		p := newPeer(n, ctrl, spec, opts, seed)
 		d.Peers[spec.AS] = p
 		d.wg.Add(1)
 		go func() {
@@ -287,6 +276,63 @@ func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Depl
 		}()
 	}
 	return d, nil
+}
+
+// buildController assembles a controller with the specs' participants and
+// policies installed and an initial compile done.
+func buildController(specs []PeerSpec, opts Options) (*sdx.Controller, error) {
+	ctrl := sdx.New(sdx.WithRouteAgeOut(opts.AgeOut))
+	for i, spec := range specs {
+		ports := make([]sdx.PhysicalPort, 0, 1+len(spec.ExtraPorts))
+		for _, port := range spec.ports() {
+			ports = append(ports, sdx.PhysicalPort{ID: port})
+		}
+		_, err := ctrl.AddParticipant(sdx.ParticipantConfig{
+			AS:    spec.AS,
+			Name:  string(rune('A' + i)),
+			Ports: ports,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range specs {
+		if len(spec.Outbound) == 0 && len(spec.Inbound) == 0 {
+			continue
+		}
+		if err := ctrl.SetPolicy(spec.AS, spec.Inbound, spec.Outbound); err != nil {
+			return nil, err
+		}
+	}
+	ctrl.Recompile()
+	return ctrl, nil
+}
+
+// newPeer builds a border-router simulator with a redialing session
+// against the "rs" listener. The caller starts the dialer.
+func newPeer(n *simnet.Network, ctrl *sdx.Controller, spec PeerSpec, opts Options, seed int64) *Peer {
+	p := &Peer{Spec: spec, rib: make(map[iputil.Prefix]ribEntry)}
+	p.dialer = &bgp.Dialer{
+		Dial: func(context.Context) (net.Conn, error) {
+			return n.Dial("rs", spec.Tag())
+		},
+		Config: bgp.SessionConfig{
+			LocalAS:  spec.AS,
+			RouterID: iputil.Addr(spec.AS),
+			HoldTime: opts.HoldTime,
+			OnUpdate: p.onUpdate,
+			// Both ends publish into the controller's registry: a hold
+			// expiry races between the two sides of a starved session,
+			// and whichever fires first must be the one counted.
+			Metrics: ctrl.Metrics(),
+		},
+		MinBackoff:       opts.MinBackoff,
+		MaxBackoff:       opts.MaxBackoff,
+		Seed:             seed + int64(spec.AS),
+		HandshakeTimeout: 2 * time.Second,
+		OnUp:             p.onUp,
+	}
+	return p
 }
 
 // Stop tears the deployment down: the route server first (a closing
@@ -341,17 +387,48 @@ func (d *Deployment) Converged() error {
 // (so a mid-churn coincidence does not count) or the timeout passes, in
 // which case the last divergence is returned.
 func (d *Deployment) WaitConverged(timeout time.Duration) error {
+	_, err := waitConverged(d.Net.Clock(), timeout, d.Converged)
+	return err
+}
+
+// ConvergeMetric is the registry histogram recording fault-heal to
+// steady-state latencies, in virtual-clock nanoseconds.
+const ConvergeMetric = "chaos_converge_ns"
+
+// WaitConvergedTimed is WaitConverged called at the moment a fault heals:
+// it measures the virtual-clock latency until the convergence streak
+// begins and records it into the controller registry's ConvergeMetric
+// histogram, so a chaos run reports p50/p95/p99 convergence times that
+// are independent of the host's real-time load and the polling cadence's
+// confirmation checks.
+func (d *Deployment) WaitConvergedTimed(timeout time.Duration) (time.Duration, error) {
+	elapsed, err := waitConverged(d.Net.Clock(), timeout, d.Converged)
+	if err == nil {
+		d.Ctrl.Metrics().Histogram(ConvergeMetric).Observe(int64(elapsed))
+	}
+	return elapsed, err
+}
+
+// waitConverged polls conv until it holds on two consecutive checks or
+// the timeout passes. On success it returns the virtual-clock time from
+// the call to the first check of the successful streak.
+func waitConverged(clock *simnet.Clock, timeout time.Duration, conv func() error) (time.Duration, error) {
+	start := clock.Now()
 	deadline := time.Now().Add(timeout)
 	streak := 0
+	var at time.Duration
 	var last error
 	for time.Now().Before(deadline) {
-		if err := d.Converged(); err != nil {
+		if err := conv(); err != nil {
 			last = err
 			streak = 0
 		} else {
+			if streak == 0 {
+				at = clock.Now()
+			}
 			streak++
 			if streak >= 2 {
-				return nil
+				return at - start, nil
 			}
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -359,7 +436,7 @@ func (d *Deployment) WaitConverged(timeout time.Duration) error {
 	if last == nil {
 		last = fmt.Errorf("converged only once before timeout")
 	}
-	return fmt.Errorf("not converged after %s: %w", timeout, last)
+	return 0, fmt.Errorf("not converged after %s: %w", timeout, last)
 }
 
 // ruleDump renders a flow table sorted and cookie-tagged, so two tables

@@ -1,0 +1,569 @@
+// Fabric deployment: the multi-switch variant of the chaos harness. The
+// single remote switch of Deployment becomes a fabric.Topology of ≥3
+// switches with redundant trunks, where every layer rides a faultable
+// simnet transport:
+//
+//   - one OpenFlow control channel per switch (tag "ofctl-<name>" against
+//     listener "switch-<name>"), each driving its switch's share of the
+//     compiled policy through fabric.SwitchSink, so a reconnect resync
+//     replays the static trunk band alongside the policy bands;
+//   - one simnet pipe per trunk link carrying framed pkt.Packets between
+//     the remote switches, so partitions, stalls, corruption and resets
+//     hit the data plane's cross-switch forwarding, not just control;
+//   - the same redialing BGP peers as the single-switch harness.
+//
+// A local fabric.Fabric (Model) mirrors the controller directly and acts
+// as the authoritative per-switch rule state: convergence requires every
+// remote table to be byte-identical to its model switch. Because writes
+// into a one-way partition vanish silently, a control channel can stay
+// alive while its flow-mods are lost; the convergence check doubles as an
+// anti-entropy audit that bounces any channel whose table stays diverged,
+// forcing the flush-and-replay resync.
+package chaostest
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdx"
+	"sdx/internal/core"
+	"sdx/internal/dataplane"
+	"sdx/internal/fabric"
+	"sdx/internal/iputil"
+	"sdx/internal/openflow"
+	"sdx/internal/pkt"
+	"sdx/internal/simnet"
+)
+
+// SwitchListener and SwitchTag name the per-switch OpenFlow endpoints in
+// the simnet namespace; scripted faults target one control channel
+// without touching its siblings.
+func SwitchListener(name string) string { return "switch-" + name }
+func SwitchTag(name string) string      { return "ofctl-" + name }
+
+// divergeBounce is how many consecutive Converged checks (20ms apart) a
+// remote table may stay diverged with a live channel before the channel
+// is bounced to force a full resync. The grace absorbs in-flight
+// flow-mods; silent loss into a one-way partition never self-heals
+// without the bounce.
+const divergeBounce = 8
+
+// FabricDeployment is a multi-switch SDX stack wired over one simnet
+// Network.
+type FabricDeployment struct {
+	Net   *simnet.Network
+	Ctrl  *sdx.Controller
+	Srv   *sdx.BGPServer
+	Model *fabric.Fabric
+	Peers map[uint32]*Peer
+
+	specs     []PeerSpec
+	names     []string // sorted switch names
+	remote    map[string]*dataplane.Switch
+	portSw    map[pkt.PortID]string
+	trunkTags []string
+
+	reds    map[string]*openflow.Redialer
+	mu      sync.Mutex
+	sinks   map[*openflow.Client]core.RuleSink
+	diverge map[string]int
+
+	lns    []*simnet.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// StartFabric brings up the multi-switch stack on n: route server at
+// "rs", one remote switch+agent per topology member, per-switch control
+// channels, trunk pipes between the switches, and one redialing BGP peer
+// per spec. Every participant port in the specs must be placed by
+// topo.Ports.
+func StartFabric(n *simnet.Network, seed int64, specs []PeerSpec, topo fabric.Topology, opts Options) (*FabricDeployment, error) {
+	opts.fill()
+	for _, spec := range specs {
+		for _, port := range spec.ports() {
+			if _, ok := topo.Ports[port]; !ok {
+				return nil, fmt.Errorf("chaostest: AS%d port %d not placed by the topology", spec.AS, port)
+			}
+		}
+	}
+	ctrl, err := buildController(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := fabric.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.AddRuleMirror(model)
+
+	rsLn, err := n.Listen("rs")
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fd := &FabricDeployment{
+		Net:     n,
+		Ctrl:    ctrl,
+		Srv:     sdx.ServeBGP(ctrl, rsLn, 64512),
+		Model:   model,
+		Peers:   make(map[uint32]*Peer),
+		specs:   specs,
+		remote:  make(map[string]*dataplane.Switch),
+		portSw:  make(map[pkt.PortID]string, len(topo.Ports)),
+		reds:    make(map[string]*openflow.Redialer),
+		sinks:   make(map[*openflow.Client]core.RuleSink),
+		diverge: make(map[string]int),
+		lns:     []*simnet.Listener{},
+		cancel:  cancel,
+	}
+	fail := func(err error) (*FabricDeployment, error) {
+		fd.Stop()
+		return nil, err
+	}
+	for port, sw := range topo.Ports {
+		fd.portSw[port] = sw
+	}
+	fd.names = append(fd.names, topo.Switches...)
+	sort.Strings(fd.names)
+
+	// Remote switches: participant ports per the topology, trunk ports
+	// per the links (delivery wired to the trunk pipes below).
+	for _, name := range fd.names {
+		sw := dataplane.NewSwitch(name)
+		for port, owner := range topo.Ports {
+			if owner != name {
+				continue
+			}
+			if err := sw.AddPort(port, fmt.Sprintf("p%d", port), nil); err != nil {
+				return fail(err)
+			}
+		}
+		fd.remote[name] = sw
+	}
+	for i, l := range topo.Links {
+		a, b := fd.remote[l.A], fd.remote[l.B]
+		if a == nil || b == nil {
+			return fail(fmt.Errorf("chaostest: link between unknown switches %q-%q", l.A, l.B))
+		}
+		if err := a.AddPort(l.PortA, "trunk", nil); err != nil {
+			return fail(err)
+		}
+		if err := b.AddPort(l.PortB, "trunk", nil); err != nil {
+			return fail(err)
+		}
+		tag := fmt.Sprintf("trunk%d-%s-%s", i, l.A, l.B)
+		fd.trunkTags = append(fd.trunkTags, tag)
+		outA := make(chan pkt.Packet, 128)
+		outB := make(chan pkt.Packet, 128)
+		if err := a.SetDeliver(l.PortA, enqueue(outA)); err != nil {
+			return fail(err)
+		}
+		if err := b.SetDeliver(l.PortB, enqueue(outB)); err != nil {
+			return fail(err)
+		}
+		l := l
+		fd.wg.Add(1)
+		go fd.runTrunk(ctx, l, tag, outA, outB)
+	}
+
+	// Per-switch agents and redialing control channels.
+	for i, name := range fd.names {
+		ln, err := n.Listen(SwitchListener(name))
+		if err != nil {
+			return fail(err)
+		}
+		fd.lns = append(fd.lns, ln)
+		agent := openflow.NewAgent(fd.remote[name])
+		fd.wg.Add(1)
+		go func() {
+			defer fd.wg.Done()
+			_ = agent.ListenAndServe(ln)
+		}()
+
+		name := name
+		red := &openflow.Redialer{
+			Dial: func(context.Context) (*openflow.Client, error) {
+				conn, err := n.Dial(SwitchListener(name), SwitchTag(name))
+				if err != nil {
+					return nil, err
+				}
+				// Bound the hello exchange: a partition landing
+				// mid-handshake must fail the attempt into the backoff
+				// loop, not wedge it.
+				_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+				c, err := openflow.NewClient(conn)
+				if err != nil {
+					return nil, err
+				}
+				_ = conn.SetDeadline(time.Time{})
+				return c, nil
+			},
+			OnUp: func(c *openflow.Client) {
+				sink, err := model.SwitchSink(name, openflow.Mirror{C: c})
+				if err != nil {
+					return
+				}
+				fd.mu.Lock()
+				fd.sinks[c] = sink
+				fd.mu.Unlock()
+				ctrl.AddRuleMirror(sink)
+			},
+			OnDown: func(c *openflow.Client, _ error) {
+				fd.mu.Lock()
+				sink := fd.sinks[c]
+				delete(fd.sinks, c)
+				fd.mu.Unlock()
+				if sink != nil {
+					ctrl.RemoveRuleMirror(sink)
+				}
+			},
+			MinBackoff: opts.MinBackoff,
+			MaxBackoff: opts.MaxBackoff,
+			Seed:       seed + 1000 + int64(i),
+		}
+		fd.reds[name] = red
+		fd.wg.Add(1)
+		go func() {
+			defer fd.wg.Done()
+			_ = red.Run(ctx)
+		}()
+	}
+
+	for _, spec := range specs {
+		p := newPeer(n, ctrl, spec, opts, seed)
+		fd.Peers[spec.AS] = p
+		fd.wg.Add(1)
+		go func() {
+			defer fd.wg.Done()
+			_ = p.dialer.Run(ctx)
+		}()
+	}
+	return fd, nil
+}
+
+// Stop tears the deployment down in the same order as Deployment.Stop.
+func (fd *FabricDeployment) Stop() {
+	_ = fd.Srv.Close()
+	fd.cancel()
+	for _, ln := range fd.lns {
+		_ = ln.Close()
+	}
+	fd.wg.Wait()
+}
+
+// Targets returns every faultable transport of the deployment with both
+// endpoints named, so GenScript schedules can partition any of them in
+// one direction only: BGP sessions, per-switch control channels and the
+// inter-switch trunks.
+func (fd *FabricDeployment) Targets() []simnet.Target {
+	ts := make([]simnet.Target, 0, len(fd.specs)+len(fd.names)+len(fd.trunkTags))
+	for _, s := range fd.specs {
+		ts = append(ts, simnet.Target{Tag: s.Tag(), Peer: "rs"})
+	}
+	for _, name := range fd.names {
+		ts = append(ts, simnet.Target{Tag: SwitchTag(name), Peer: SwitchListener(name)})
+	}
+	for _, tag := range fd.trunkTags {
+		// A pipe's halves are tagged tag and tag+"-peer"; a directed
+		// partition between them starves exactly one trunk direction.
+		ts = append(ts, simnet.Target{Tag: tag, Peer: tag + "-peer"})
+	}
+	return ts
+}
+
+// SwitchNames returns the sorted fabric member names.
+func (fd *FabricDeployment) SwitchNames() []string {
+	return append([]string(nil), fd.names...)
+}
+
+// OFClient returns one switch's live control-channel client, or nil
+// while it is down.
+func (fd *FabricDeployment) OFClient(name string) *openflow.Client {
+	red := fd.reds[name]
+	if red == nil {
+		return nil
+	}
+	return red.Client()
+}
+
+// ModelRules dumps the local model's table for one switch — the expected
+// remote state.
+func (fd *FabricDeployment) ModelRules(name string) []string {
+	return ruleDump(fd.Model.Switch(name).Table())
+}
+
+// RemoteRules dumps one remote switch's table as programmed over its
+// control channel.
+func (fd *FabricDeployment) RemoteRules(name string) []string {
+	return ruleDump(fd.remote[name].Table())
+}
+
+// InjectRemote offers a packet to the remote fabric on a participant
+// port, entering at the switch owning it.
+func (fd *FabricDeployment) InjectRemote(port pkt.PortID, p pkt.Packet) bool {
+	name, ok := fd.portSw[port]
+	if !ok {
+		return false
+	}
+	return fd.remote[name].Inject(port, p) > 0
+}
+
+// OnDeliver installs the delivery handler for a participant port on the
+// remote fabric.
+func (fd *FabricDeployment) OnDeliver(port pkt.PortID, deliver func(pkt.Packet)) error {
+	name, ok := fd.portSw[port]
+	if !ok {
+		return fmt.Errorf("chaostest: unknown participant port %d", port)
+	}
+	return fd.remote[name].SetDeliver(port, deliver)
+}
+
+// ServerView renders what the route server currently advertises to as.
+func (fd *FabricDeployment) ServerView(as uint32) []string {
+	ads := fd.Ctrl.RoutesFor(as)
+	lines := make([]string, 0, len(ads))
+	for _, ad := range ads {
+		lines = append(lines, fmt.Sprintf("%s via %s path %v", ad.Prefix, ad.NextHop, ad.Attrs.ASPath))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// Converged returns nil when every BGP session is Established, every
+// control channel is up, every peer's Loc-RIB matches the server view,
+// and every remote switch's table is byte-identical to the local model's.
+// A remote table that stays diverged while its channel is up has lost
+// flow-mods (one-way partition); after divergeBounce consecutive
+// observations the channel is closed so the redialer's resync replays
+// the full table, trunk band included.
+func (fd *FabricDeployment) Converged() error {
+	for _, spec := range fd.specs {
+		if p := fd.Peers[spec.AS]; !p.Established() {
+			return fmt.Errorf("AS%d: session not established", spec.AS)
+		}
+	}
+	for _, spec := range fd.specs {
+		p := fd.Peers[spec.AS]
+		got, want := p.RIBDump(), fd.ServerView(spec.AS)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			return fmt.Errorf("AS%d Loc-RIB diverges from server view\n peer:\n  %s\n server:\n  %s",
+				spec.AS, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+		}
+	}
+	var firstErr error
+	for _, name := range fd.names {
+		if fd.reds[name].Client() == nil {
+			// No audit while the channel resyncs.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("switch %s: control channel down", name)
+			}
+			continue
+		}
+		want, got := fd.ModelRules(name), fd.RemoteRules(name)
+		if strings.Join(want, "\n") == strings.Join(got, "\n") {
+			fd.mu.Lock()
+			fd.diverge[name] = 0
+			fd.mu.Unlock()
+			continue
+		}
+		fd.auditDiverged(name)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("switch %s table diverges from model\n remote:\n  %s\n model:\n  %s",
+				name, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+		}
+	}
+	return firstErr
+}
+
+// auditDiverged advances one switch's divergence streak and bounces its
+// live channel when the streak exceeds the in-flight grace.
+func (fd *FabricDeployment) auditDiverged(name string) {
+	fd.mu.Lock()
+	fd.diverge[name]++
+	bounce := fd.diverge[name] >= divergeBounce
+	if bounce {
+		fd.diverge[name] = 0
+	}
+	fd.mu.Unlock()
+	if bounce {
+		if c := fd.reds[name].Client(); c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// WaitConverged polls Converged until it holds on two consecutive checks
+// or the timeout passes.
+func (fd *FabricDeployment) WaitConverged(timeout time.Duration) error {
+	_, err := waitConverged(fd.Net.Clock(), timeout, fd.Converged)
+	return err
+}
+
+// WaitConvergedTimed is WaitConverged called at the moment a fault
+// heals; on success the fault-heal → steady-state latency is recorded
+// (virtual-clock) into the controller registry's ConvergeMetric.
+func (fd *FabricDeployment) WaitConvergedTimed(timeout time.Duration) (time.Duration, error) {
+	elapsed, err := waitConverged(fd.Net.Clock(), timeout, fd.Converged)
+	if err == nil {
+		fd.Ctrl.Metrics().Histogram(ConvergeMetric).Observe(int64(elapsed))
+	}
+	return elapsed, err
+}
+
+// --- trunk transport ---------------------------------------------------------
+
+// enqueue adapts a switch delivery callback to a bounded channel,
+// dropping on overflow — a congested trunk loses packets, it does not
+// stall the emitting switch's pipeline.
+func enqueue(ch chan pkt.Packet) func(pkt.Packet) {
+	return func(p pkt.Packet) {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// runTrunk carries one trunk link over a sequence of simnet pipes: the
+// A-side half carries tag, the B-side half tag+"-peer". Any transport
+// error (reset, corrupted frame, teardown) drops the pipe and relinks
+// after a short pause; the outbound channels persist across relinks, so
+// only in-flight frames are lost.
+func (fd *FabricDeployment) runTrunk(ctx context.Context, l fabric.Link, tag string, outA, outB chan pkt.Packet) {
+	defer fd.wg.Done()
+	for ctx.Err() == nil {
+		ca, cb := fd.Net.Pipe(tag)
+		var once sync.Once
+		broken := make(chan struct{})
+		fail := func() { once.Do(func() { close(broken) }) }
+		var ewg sync.WaitGroup
+		ewg.Add(4)
+		go trunkWriter(&ewg, ca, outA, broken, fail)
+		go trunkWriter(&ewg, cb, outB, broken, fail)
+		go trunkReader(&ewg, ca, fd.remote[l.A], l.PortA, fail)
+		go trunkReader(&ewg, cb, fd.remote[l.B], l.PortB, fail)
+		select {
+		case <-ctx.Done():
+		case <-broken:
+		}
+		_ = ca.Close()
+		_ = cb.Close()
+		ewg.Wait()
+		if ctx.Err() == nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+func trunkWriter(wg *sync.WaitGroup, conn net.Conn, out <-chan pkt.Packet, broken <-chan struct{}, fail func()) {
+	defer wg.Done()
+	for {
+		select {
+		case <-broken:
+			return
+		case p := <-out:
+			if err := writeTrunkFrame(conn, p); err != nil {
+				fail()
+				return
+			}
+		}
+	}
+}
+
+func trunkReader(wg *sync.WaitGroup, conn net.Conn, sw *dataplane.Switch, in pkt.PortID, fail func()) {
+	defer wg.Done()
+	br := bufio.NewReader(conn)
+	for {
+		p, err := readTrunkFrame(br)
+		if err != nil {
+			fail()
+			return
+		}
+		sw.Inject(in, p)
+	}
+}
+
+// --- trunk frame codec -------------------------------------------------------
+
+// The trunk frame format: a magic word and body length, then the located
+// packet's header fields and payload. The magic catches stream desync
+// after corruption, turning garbage into a relink instead of an endless
+// stream of phantom packets.
+const (
+	trunkMagic    = 0x5d781f2a
+	maxTrunkFrame = 1 << 16
+)
+
+func writeTrunkFrame(w io.Writer, p pkt.Packet) error {
+	if len(p.Payload) > maxTrunkFrame-64 {
+		return fmt.Errorf("chaostest: trunk frame payload too large (%d)", len(p.Payload))
+	}
+	body := make([]byte, 0, 35+len(p.Payload))
+	body = binary.BigEndian.AppendUint32(body, uint32(p.InPort))
+	src, dst := p.SrcMAC.Octets(), p.DstMAC.Octets()
+	body = append(body, src[:]...)
+	body = append(body, dst[:]...)
+	body = binary.BigEndian.AppendUint16(body, p.EthType)
+	body = binary.BigEndian.AppendUint32(body, uint32(p.SrcIP))
+	body = binary.BigEndian.AppendUint32(body, uint32(p.DstIP))
+	body = append(body, p.Proto)
+	body = binary.BigEndian.AppendUint16(body, p.SrcPort)
+	body = binary.BigEndian.AppendUint16(body, p.DstPort)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(p.Payload)))
+	body = append(body, p.Payload...)
+
+	frame := make([]byte, 0, 8+len(body))
+	frame = binary.BigEndian.AppendUint32(frame, trunkMagic)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = append(frame, body...)
+	_, err := w.Write(frame)
+	return err
+}
+
+func readTrunkFrame(r io.Reader) (pkt.Packet, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return pkt.Packet{}, err
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != trunkMagic {
+		return pkt.Packet{}, fmt.Errorf("chaostest: bad trunk frame magic")
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n < 35 || n > maxTrunkFrame {
+		return pkt.Packet{}, fmt.Errorf("chaostest: bad trunk frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return pkt.Packet{}, err
+	}
+	var p pkt.Packet
+	p.InPort = pkt.PortID(binary.BigEndian.Uint32(body[0:4]))
+	var src, dst [6]byte
+	copy(src[:], body[4:10])
+	copy(dst[:], body[10:16])
+	p.SrcMAC, p.DstMAC = pkt.MACFromOctets(src), pkt.MACFromOctets(dst)
+	p.EthType = binary.BigEndian.Uint16(body[16:18])
+	p.SrcIP = iputil.Addr(binary.BigEndian.Uint32(body[18:22]))
+	p.DstIP = iputil.Addr(binary.BigEndian.Uint32(body[22:26]))
+	p.Proto = body[26]
+	p.SrcPort = binary.BigEndian.Uint16(body[27:29])
+	p.DstPort = binary.BigEndian.Uint16(body[29:31])
+	plen := binary.BigEndian.Uint32(body[31:35])
+	if plen != n-35 {
+		return pkt.Packet{}, fmt.Errorf("chaostest: trunk frame payload length mismatch")
+	}
+	if plen > 0 {
+		p.Payload = body[35:]
+	}
+	return p, nil
+}

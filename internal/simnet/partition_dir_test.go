@@ -1,0 +1,238 @@
+package simnet
+
+import (
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPartitionDirOneWay: a directed partition blackholes exactly one
+// direction of a pair; the reverse keeps flowing, and heal restores both.
+func TestPartitionDirOneWay(t *testing.T) {
+	n := New(20)
+	c1, c2 := n.Pipe("x")
+	n.PartitionDir("x", "x-peer")
+
+	if _, err := c1.Write([]byte("gone")); err != nil {
+		t.Fatalf("blackholed write must succeed silently, got %v", err)
+	}
+	_ = c2.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if k, err := c2.Read(make([]byte, 4)); err == nil {
+		t.Fatalf("read got %d bytes through a directed partition", k)
+	}
+
+	// The reverse direction is untouched: c2 can still speak to c1.
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c1.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c1, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("reverse read %q, %v", buf, err)
+	}
+
+	n.HealDir("x", "x-peer")
+	_ = c2.SetReadDeadline(time.Time{})
+	if _, err := c1.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf4 := make([]byte, 4)
+	if _, err := io.ReadFull(c2, buf4); err != nil || string(buf4) != "back" {
+		t.Fatalf("post-heal read %q, %v", buf4, err)
+	}
+}
+
+// TestPartitionDirDialedConn: directed partitions follow the dial-tag /
+// listener-name endpoints of a dialed connection — sever the server's
+// speaking direction and the client's bytes still arrive.
+func TestPartitionDirDialedConn(t *testing.T) {
+	n := New(23)
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(got)
+			return
+		}
+		got <- c
+	}()
+	cl, err := n.Dial("srv", "cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-got
+	if srv == nil {
+		t.Fatal("accept failed")
+	}
+
+	n.PartitionDir("srv", "cl") // the server can hear but not speak
+
+	if _, err := srv.Write([]byte("mute")); err != nil {
+		t.Fatalf("blackholed server write must succeed silently, got %v", err)
+	}
+	_ = cl.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if k, err := cl.Read(make([]byte, 4)); err == nil {
+		t.Fatalf("client read %d bytes from a mute server", k)
+	}
+	if _, err := cl.Write([]byte("hear")); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(srv, buf); err != nil || string(buf) != "hear" {
+		t.Fatalf("server read %q, %v", buf, err)
+	}
+}
+
+// TestPartitionDirBlocksDials: while either direction between two
+// endpoints is severed, new dials between them fail (a handshake needs
+// both directions); unrelated tags still connect.
+func TestPartitionDirBlocksDials(t *testing.T) {
+	n := New(22)
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	n.PartitionDir("cl", "srv")
+	if _, err := n.Dial("srv", "cl"); err == nil {
+		t.Fatal("dial through a forward directed partition must fail")
+	}
+	if _, err := n.Dial("srv", "other"); err != nil {
+		t.Fatalf("unrelated tag must still dial: %v", err)
+	}
+	n.HealDir("cl", "srv")
+
+	n.PartitionDir("srv", "cl")
+	if _, err := n.Dial("srv", "cl"); err == nil {
+		t.Fatal("dial through a reverse directed partition must fail")
+	}
+	n.HealDir("srv", "cl")
+
+	if _, err := n.Dial("srv", "cl"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+// TestDialPartitionRace: dials racing Partition*/Heal* either fail or
+// yield a fully delivered pair — every successful dial is matched by an
+// accepted conn (no half-open leaks), and the storm leaks no goroutines.
+func TestDialPartitionRace(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	n := New(21)
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			_ = c.Close()
+		}
+	}()
+
+	var ok atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := n.Dial("srv", "cl")
+				if err == nil {
+					ok.Add(1)
+					_ = c.Close()
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+	}
+	// Land symmetric and directed partitions mid-storm, with healed
+	// windows in between, then leave the network healed for a grace
+	// window so the storm records successes before it stops.
+	for i := 0; i < 40; i++ {
+		n.PartitionTag("cl")
+		time.Sleep(100 * time.Microsecond)
+		n.HealTag("cl")
+		time.Sleep(100 * time.Microsecond)
+		n.PartitionDir("cl", "srv")
+		time.Sleep(100 * time.Microsecond)
+		n.HealDir("cl", "srv")
+		time.Sleep(100 * time.Microsecond)
+	}
+	for deadline := time.Now().Add(5 * time.Second); ok.Load() == 0; {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every successful dial must surface on the accept side: drain until
+	// the counts match. A half-open leak stalls this forever.
+	deadline := time.Now().Add(5 * time.Second)
+	for accepted.Load() < ok.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d dials succeeded but only %d conns accepted — half-open leak",
+				ok.Load(), accepted.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if accepted.Load() != ok.Load() {
+		t.Fatalf("accepted %d != dialed %d", accepted.Load(), ok.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("storm made no successful dials; partitions were never lifted?")
+	}
+
+	// A dial with the partition held must fail deterministically.
+	n.PartitionTag("cl")
+	if _, err := n.Dial("srv", "cl"); err == nil {
+		t.Fatal("dial under a held partition must fail")
+	}
+	n.HealTag("cl")
+
+	ln.Close()
+	<-acceptDone
+	n.Close()
+	for deadline := time.Now().Add(5 * time.Second); runtime.NumGoroutine() > baseline+3; {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d at start, %d after storm", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -20,6 +20,8 @@ const (
 	StepCorruptOff
 	StepPartition
 	StepHeal
+	StepPartitionDir
+	StepHealDir
 )
 
 func (k StepKind) String() string {
@@ -36,6 +38,10 @@ func (k StepKind) String() string {
 		return "partition"
 	case StepHeal:
 		return "heal"
+	case StepPartitionDir:
+		return "partition-dir"
+	case StepHealDir:
+		return "heal-dir"
 	}
 	return fmt.Sprintf("step(%d)", uint8(k))
 }
@@ -44,7 +50,8 @@ func (k StepKind) String() string {
 type Step struct {
 	At   time.Duration
 	Kind StepKind
-	Tag  string        // target connection tag; "" targets the whole network
+	Tag  string        // target connection tag; for directed partitions, the from endpoint; "" targets the whole network
+	To   string        // directed partitions: the to endpoint
 	Dur  time.Duration // stall window length
 	Mean int64         // corrupt-on: mean bytes between bit flips
 }
@@ -54,6 +61,9 @@ func (s Step) String() string {
 	out := fmt.Sprintf("t=%s %s", s.At, s.Kind)
 	if s.Tag != "" {
 		out += " tag=" + s.Tag
+	}
+	if s.To != "" {
+		out += " to=" + s.To
 	}
 	if s.Dur > 0 {
 		out += fmt.Sprintf(" dur=%s", s.Dur)
@@ -116,6 +126,10 @@ func (s *Script) Run(ctx context.Context, n *Network) error {
 			n.PartitionAll()
 		case StepHeal:
 			n.HealAll()
+		case StepPartitionDir:
+			n.PartitionDir(st.Tag, st.To)
+		case StepHealDir:
+			n.HealDir(st.Tag, st.To)
 		}
 	}
 	return nil
@@ -134,6 +148,9 @@ func (s *Script) Kinds() []StepKind {
 		if k == StepHeal {
 			k = StepPartition
 		}
+		if k == StepHealDir {
+			k = StepPartitionDir
+		}
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, k)
@@ -142,28 +159,64 @@ func (s *Script) Kinds() []StepKind {
 	return out
 }
 
-// GenScript derives a chaos schedule from a seed over the given target
-// tags. Every schedule injects at least four distinct fault kinds — a
+// Target names one faultable session for GenScript: the connection tag
+// the client dials with, and the endpoint name it dials (the listener
+// name, or tag+"-peer" for Pipe pairs). Peer may be empty, which
+// excludes the target from directed-partition steps.
+type Target struct {
+	Tag  string
+	Peer string
+}
+
+// Targets builds a directed-fault-free target list from bare tags,
+// for callers that only want the symmetric fault vocabulary.
+func Targets(tags ...string) []Target {
+	out := make([]Target, len(tags))
+	for i, t := range tags {
+		out[i] = Target{Tag: t}
+	}
+	return out
+}
+
+// GenScript derives a chaos schedule from a seed over the given targets.
+// Every schedule injects at least four distinct fault kinds — a
 // mid-stream reset, a corruption window, a delivery stall and a global
-// partition — with seed-chosen targets, offsets and window lengths. The
-// stall and partition windows always exceed one second so that at least
-// one established session's hold timer (floor 1s on the wire) expires.
-func GenScript(seed int64, tags []string) *Script {
-	if len(tags) == 0 {
-		panic("simnet: GenScript needs at least one target tag")
+// partition — with seed-chosen targets, offsets and window lengths; when
+// any target names its peer endpoint, the schedule also always includes
+// a directed partition (one direction blackholed, seed-chosen) so
+// half-open sessions are exercised. The stall and partition windows
+// always exceed one second so that at least one established session's
+// hold timer (floor 1s on the wire) expires.
+func GenScript(seed int64, targets []Target) *Script {
+	if len(targets) == 0 {
+		panic("simnet: GenScript needs at least one target")
 	}
 	rng := rand.New(rand.NewSource(mix(seed, 0x5eed, 2)))
-	pick := func() string { return tags[rng.Intn(len(tags))] }
+	pick := func() string { return targets[rng.Intn(len(targets))].Tag }
 	ms := func(lo, hi int) time.Duration {
 		return time.Duration(lo+rng.Intn(hi-lo)) * time.Millisecond
+	}
+	var directed []Target
+	for _, t := range targets {
+		if t.Peer != "" {
+			directed = append(directed, t)
+		}
 	}
 
 	steps := []Step{
 		{At: ms(50, 150), Kind: StepReset, Tag: pick()},
 		{At: ms(200, 300), Kind: StepCorruptOn, Tag: pick(), Dur: ms(300, 500), Mean: 120 + rng.Int63n(160)},
 		{At: ms(350, 450), Kind: StepStall, Tag: pick(), Dur: ms(1300, 1600)},
-		{At: ms(550, 650), Kind: StepPartition, Dur: ms(1400, 1700)},
 	}
+	if len(directed) > 0 {
+		t := directed[rng.Intn(len(directed))]
+		from, to := t.Tag, t.Peer
+		if rng.Intn(2) == 0 {
+			from, to = to, from
+		}
+		steps = append(steps, Step{At: ms(400, 550), Kind: StepPartitionDir, Tag: from, To: to, Dur: ms(1300, 1600)})
+	}
+	steps = append(steps, Step{At: ms(550, 650), Kind: StepPartition, Dur: ms(1400, 1700)})
 	if rng.Intn(2) == 0 {
 		steps = append(steps, Step{At: ms(350, 500), Kind: StepReset, Tag: pick()})
 	}
@@ -176,6 +229,8 @@ func GenScript(seed int64, tags []string) *Script {
 			closers = append(closers, Step{At: st.At + st.Dur, Kind: StepCorruptOff, Tag: st.Tag})
 		case StepPartition:
 			closers = append(closers, Step{At: st.At + st.Dur, Kind: StepHeal})
+		case StepPartitionDir:
+			closers = append(closers, Step{At: st.At + st.Dur, Kind: StepHealDir, Tag: st.Tag, To: st.To})
 		}
 	}
 	steps = append(steps, closers...)
@@ -187,7 +242,10 @@ func GenScript(seed int64, tags []string) *Script {
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
 		}
-		return a.Tag < b.Tag
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.To < b.To
 	})
 	return &Script{Seed: seed, Steps: steps}
 }

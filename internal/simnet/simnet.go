@@ -31,7 +31,10 @@
 // vanish), latency/jitter/bandwidth shaping. Control faults are imposed
 // on a running network: Reset tears a connection pair down with
 // ErrReset on both ends, Stall freezes delivery for a window, Partition
-// blackholes every write and refuses new dials until Heal. Corruption
+// blackholes every write and refuses new dials until Heal, and
+// PartitionDir severs a single direction between two named endpoints so
+// half-open sessions (a peer that can hear but not speak) can be
+// exercised deterministically. Corruption
 // taints the pair (Tainted), letting a harness bounce connections that
 // carried damaged bytes, the way an operator would bounce a session that
 // desynced.
@@ -93,6 +96,7 @@ type Network struct {
 	pairs     []*Conn // dial-side conn of every pair, in creation order
 	partAll   bool
 	partTag   map[string]bool
+	partDir   map[string]map[string]bool // from -> to -> blackholed
 	events    []string
 }
 
@@ -115,6 +119,7 @@ func New(seed int64, opts ...Option) *Network {
 		clock:     NewClock(1),
 		listeners: make(map[string]*Listener),
 		partTag:   make(map[string]bool),
+		partDir:   make(map[string]map[string]bool),
 	}
 	for _, o := range opts {
 		o(n)
@@ -140,12 +145,14 @@ func (n *Network) record(format string, args ...any) {
 	n.mu.Unlock()
 }
 
-// blackholed reports whether writes from connections tagged tag currently
-// vanish (global partition or per-tag partition).
-func (n *Network) blackholed(tag string) bool {
+// blackholedDir reports whether writes on a connection tagged tag,
+// flowing from endpoint from toward endpoint to, currently vanish
+// (global partition, per-tag partition, or a directed partition covering
+// exactly this direction).
+func (n *Network) blackholedDir(tag, from, to string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.partAll || n.partTag[tag]
+	return n.partAll || n.partTag[tag] || n.partDir[from][to]
 }
 
 // Listen registers a named endpoint ("rs", "fabric", ...). Dials to the
@@ -165,26 +172,35 @@ func (n *Network) Listen(name string) (*Listener, error) {
 }
 
 // Dial connects to a listening endpoint. The tag names the connection for
-// targeted fault injection (Reset, Stall, SetCorrupt, PartitionTag) and
-// appears in the trace; a reconnecting client reuses its tag so scripted
-// faults follow it across reconnects.
+// targeted fault injection (Reset, Stall, SetCorrupt, PartitionTag,
+// PartitionDir) and appears in the trace; a reconnecting client reuses
+// its tag so scripted faults follow it across reconnects.
+//
+// The partition check, pair creation and delivery to the listener happen
+// atomically with respect to Partition*/Heal*: a dial racing a partition
+// either fails outright or yields a fully delivered pair — never a
+// half-open conn the accept side cannot see.
 func (n *Network) Dial(name, tag string) (net.Conn, error) {
 	n.mu.Lock()
-	closed := n.closed
-	blocked := n.partAll || n.partTag[tag]
-	l := n.listeners[name]
-	n.mu.Unlock()
-	if closed {
+	if n.closed {
+		n.mu.Unlock()
 		return nil, net.ErrClosed
 	}
-	if blocked {
+	// A handshake needs both directions, so a directed partition either
+	// way between the two endpoints blocks new dials.
+	if n.partAll || n.partTag[tag] || n.partDir[tag][name] || n.partDir[name][tag] {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("simnet: dial %s from %s: network unreachable", name, tag)
 	}
+	l := n.listeners[name]
 	if l == nil {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("simnet: dial %s: connection refused", name)
 	}
-	cd, ca := n.newPair(tag, name)
-	if err := l.deliver(ca); err != nil {
+	cd, ca := n.newPairLocked(tag, name)
+	err := l.deliver(ca) //lint:ignore lockblock deliver is non-blocking: bounded backlog, never waits
+	n.mu.Unlock()
+	if err != nil {
 		// The pair never left the building; close errors carry nothing.
 		_ = cd.Close()
 		_ = ca.Close()
@@ -194,18 +210,20 @@ func (n *Network) Dial(name, tag string) (net.Conn, error) {
 }
 
 // Pipe returns a directly connected pair (no listener), tagged for fault
-// targeting like a dialed connection.
+// targeting like a dialed connection. For directed partitions the first
+// conn's endpoint name is the tag and the second's is tag+"-peer".
 func (n *Network) Pipe(tag string) (net.Conn, net.Conn) {
-	c1, c2 := n.newPair(tag, tag+"-peer")
+	n.mu.Lock()
+	c1, c2 := n.newPairLocked(tag, tag+"-peer")
+	n.mu.Unlock()
 	return c1, c2
 }
 
-// newPair builds both ends of a connection and registers the pair.
-func (n *Network) newPair(tag, remote string) (*Conn, *Conn) {
-	n.mu.Lock()
+// newPairLocked builds both ends of a connection and registers the pair.
+// Caller holds n.mu.
+func (n *Network) newPairLocked(tag, remote string) (*Conn, *Conn) {
 	id := n.nextID
 	n.nextID++
-	n.mu.Unlock()
 
 	tainted := new(atomic.Bool)
 	// Per-direction PRNG streams: same seed + same creation order =>
@@ -221,12 +239,13 @@ func (n *Network) newPair(tag, remote string) (*Conn, *Conn) {
 	dialSide.writeDL.init()
 	acceptSide.readDL.init()
 	acceptSide.writeDL.init()
-	ab.blackholed = func() bool { return n.blackholed(tag) }
-	ba.blackholed = func() bool { return n.blackholed(tag) }
+	// ab carries tag -> remote bytes, ba the reverse; each direction
+	// consults its own (from, to) pair so PartitionDir can sever one
+	// while the other keeps flowing.
+	ab.blackholed = func() bool { return n.blackholedDir(tag, tag, remote) }
+	ba.blackholed = func() bool { return n.blackholedDir(tag, remote, tag) }
 
-	n.mu.Lock()
 	n.pairs = append(n.pairs, dialSide)
-	n.mu.Unlock()
 	return dialSide, acceptSide
 }
 
@@ -329,6 +348,39 @@ func (n *Network) HealTag(tag string) {
 	delete(n.partTag, tag)
 	n.mu.Unlock()
 	n.record("## heal tag=%s", tag)
+}
+
+// PartitionDir blackholes one direction only: bytes flowing from the
+// endpoint named from toward the endpoint named to silently vanish while
+// the reverse direction keeps working — the classic asymmetric link
+// failure (A hears B, B cannot hear A). Endpoint names are the dial tag
+// on the dial side and the listener name on the accept side (for Pipe
+// pairs, the tag and tag+"-peer"). New dials between the two endpoints
+// fail in either direction while the partition holds, since a handshake
+// needs both. Established connections stay up and starve one way.
+func (n *Network) PartitionDir(from, to string) {
+	n.mu.Lock()
+	m := n.partDir[from]
+	if m == nil {
+		m = make(map[string]bool)
+		n.partDir[from] = m
+	}
+	m[to] = true
+	n.mu.Unlock()
+	n.record("## partition dir %s>%s", from, to)
+}
+
+// HealDir lifts a PartitionDir.
+func (n *Network) HealDir(from, to string) {
+	n.mu.Lock()
+	if m := n.partDir[from]; m != nil {
+		delete(m, to)
+		if len(m) == 0 {
+			delete(n.partDir, from)
+		}
+	}
+	n.mu.Unlock()
+	n.record("## heal dir %s>%s", from, to)
 }
 
 // Close closes every listener and connection. Subsequent dials fail.

@@ -313,26 +313,53 @@ func TestScheduleDeterminism(t *testing.T) {
 }
 
 // TestScriptDeterminism: the generated chaos schedule is a pure function
-// of the seed and always includes the four required fault kinds.
+// of the seed and always includes the four required fault kinds — plus a
+// directed partition whenever a target names its peer endpoint.
 func TestScriptDeterminism(t *testing.T) {
-	tags := []string{"rtr100", "rtr200", "rtr300", "ofctl"}
+	targets := []Target{
+		{Tag: "rtr100", Peer: "rs"}, {Tag: "rtr200", Peer: "rs"},
+		{Tag: "rtr300", Peer: "rs"}, {Tag: "ofctl", Peer: "switch"},
+	}
 	for _, seed := range []int64{1, 11, 23, 42, 1000} {
-		a := GenScript(seed, tags)
-		b := GenScript(seed, tags)
+		a := GenScript(seed, targets)
+		b := GenScript(seed, targets)
 		if !reflect.DeepEqual(a.Trace(), b.Trace()) {
 			t.Fatalf("seed %d: non-deterministic script", seed)
 		}
-		if got := len(a.Kinds()); got < 4 {
+		if got := len(a.Kinds()); got < 5 {
 			t.Fatalf("seed %d: only %d fault kinds: %v", seed, got, a)
 		}
+		sawDir := false
 		for _, st := range a.Steps {
 			if st.Kind == StepStall && st.Dur <= time.Second {
 				t.Fatalf("seed %d: stall %v not above the 1s hold floor", seed, st.Dur)
 			}
+			if st.Kind == StepPartitionDir {
+				sawDir = true
+				if st.Dur <= time.Second {
+					t.Fatalf("seed %d: directed partition %v not above the 1s hold floor", seed, st.Dur)
+				}
+				if st.Tag == "" || st.To == "" {
+					t.Fatalf("seed %d: directed partition missing endpoints: %v", seed, st)
+				}
+			}
+		}
+		if !sawDir {
+			t.Fatalf("seed %d: no directed partition despite directed-capable targets:\n%v", seed, a)
 		}
 	}
-	if reflect.DeepEqual(GenScript(1, tags).Trace(), GenScript(2, tags).Trace()) {
+	if reflect.DeepEqual(GenScript(1, targets).Trace(), GenScript(2, targets).Trace()) {
 		t.Fatal("different seeds produced identical scripts")
+	}
+	// Tag-only targets keep the symmetric four-kind vocabulary.
+	bare := GenScript(3, Targets("a", "b"))
+	for _, st := range bare.Steps {
+		if st.Kind == StepPartitionDir || st.Kind == StepHealDir {
+			t.Fatalf("directed step generated without any Peer endpoint: %v", st)
+		}
+	}
+	if got := len(bare.Kinds()); got < 4 {
+		t.Fatalf("tag-only script has only %d fault kinds", got)
 	}
 }
 

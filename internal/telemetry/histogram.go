@@ -112,8 +112,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Quantile estimates the q-th quantile (0 < q ≤ 1) of the observed
-// values, linearly interpolated within the containing bucket.
+// Quantile estimates the q-th quantile of the observed values, linearly
+// interpolated within the containing bucket. Out-of-range inputs are
+// defined: an empty histogram always reports 0, q ≤ 0 (or NaN) reports
+// the estimated minimum (the lower bound of the first non-empty bucket),
+// and q ≥ 1 reports the estimated maximum (the upper bound of the last
+// non-empty bucket).
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -131,25 +135,52 @@ func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
+	// Clamp out-of-range ranks to defined values. NaN fails every
+	// comparison, so !(q > 0) also catches it and reports the minimum.
+	if !(q > 0) {
+		for i, c := range counts {
+			if c > 0 {
+				lo, _ := bucketBounds(i)
+				return lo
+			}
+		}
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	// Prometheus-style rank: the q-quantile is the smallest value v with
 	// q*total observations ≤ v, interpolated within its bucket.
 	rank := q * float64(total)
 	cum := int64(0)
+	last := int64(0)
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
+		lo, hi := bucketBounds(i)
 		if float64(cum+c) >= rank {
-			lo, hi := bucketBounds(i)
 			frac := (rank - float64(cum)) / float64(c)
 			if frac < 0 {
 				frac = 0
 			}
-			return lo + int64(frac*float64(hi-lo))
+			if frac > 1 {
+				frac = 1
+			}
+			v := lo + int64(frac*float64(hi-lo))
+			// float64 rounding can overflow the top bucket's int64 math;
+			// clamp the estimate to the bucket's bounds.
+			if v < lo || v > hi {
+				v = hi
+			}
+			return v
 		}
 		cum += c
+		last = hi
 	}
-	return 0 // unreachable: buckets sum to total ≥ rank
+	// Floating-point rounding can push rank past the running sum; the
+	// answer is then the estimated maximum.
+	return last
 }
 
 // Timer measures one latency sample. Obtain with StartTimer, finish with

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -130,6 +131,62 @@ func TestHistogramSingleValue(t *testing.T) {
 	}
 	if got := h.Quantile(0.99); got != 0 {
 		t.Fatalf("p99 of single zero = %d", got)
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the defined behaviour for inputs
+// outside (0, 1] and for degenerate histograms: empty always reports 0,
+// q ≤ 0 (or NaN) reports the estimated minimum, q ≥ 1 the estimated
+// maximum, and a fully saturated top bucket never returns garbage.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %d, want 0", got)
+	}
+
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(100)     // bucket [64,127]
+		h.Observe(100_000) // bucket [65536,131071]
+	}
+	for _, q := range []float64{-3, 0, math.NaN()} {
+		if got := h.Quantile(q); got != 64 {
+			t.Fatalf("Quantile(%v) = %d, want the minimum bucket bound 64", q, got)
+		}
+	}
+	for _, q := range []float64{1, 1.5, math.Inf(1)} {
+		if got := h.Quantile(q); got != 131071 {
+			t.Fatalf("Quantile(%v) = %d, want the maximum bucket bound 131071", q, got)
+		}
+	}
+
+	// Single-bucket saturation: every observation in one bucket must keep
+	// all quantiles inside that bucket's bounds.
+	var one Histogram
+	for i := 0; i < 1000; i++ {
+		one.Observe(100)
+	}
+	for _, q := range []float64{0, 0.01, 0.5, 0.999, 1, 7} {
+		got := one.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Fatalf("saturated bucket Quantile(%v) = %d, want within [64,127]", q, got)
+		}
+	}
+
+	// Top-bucket saturation: MaxInt64 observations stay in-range (the top
+	// bucket's upper bound is exactly MaxInt64, never a wrapped negative).
+	var top Histogram
+	top.Observe(math.MaxInt64)
+	for _, q := range []float64{0.5, 1, 2} {
+		if got := top.Quantile(q); got < 0 {
+			t.Fatalf("top bucket Quantile(%v) = %d, wrapped negative", q, got)
+		}
 	}
 }
 
