@@ -103,6 +103,9 @@ func runChaos(t *testing.T, seed int64) {
 	if err := golden.WaitConverged(10 * time.Second); err != nil {
 		t.Fatalf("seed %d: golden run: %v", seed, err)
 	}
+	if err := golden.VerifyTables(); err != nil {
+		t.Fatalf("seed %d: golden run tables: %v", seed, err)
+	}
 	want := settleAndCapture(t, seed, golden)
 	golden.Stop()
 	goldenNet.Close()
@@ -134,6 +137,9 @@ func runChaos(t *testing.T, seed int64) {
 			seed, err, script)
 	}
 	benchConverge.Observe(int64(elapsed))
+	if err := d.VerifyTables(); err != nil {
+		t.Errorf("seed %d: post-heal tables: %v", seed, err)
+	}
 	got := settleAndCapture(t, seed, d)
 
 	for as, wantRIB := range want.ribs {

@@ -285,6 +285,9 @@ func runFabricChaos(t *testing.T, seed int64, specs []chaostest.PeerSpec, probes
 	if err := golden.WaitConverged(10 * time.Second); err != nil {
 		t.Fatalf("seed %d: golden run: %v", seed, err)
 	}
+	if err := golden.VerifyTables(); err != nil {
+		t.Fatalf("seed %d: golden run tables: %v", seed, err)
+	}
 	want := settleAndCaptureFabric(t, seed, golden)
 	probeFabric(t, seed, golden, probes, "golden")
 	golden.Stop()
@@ -323,6 +326,9 @@ func runFabricChaos(t *testing.T, seed int64, specs []chaostest.PeerSpec, probes
 		t.Fatalf("seed %d: post-heal convergence: %v\nreproduce with this schedule:\n%s", seed, err, script)
 	}
 	benchConverge.Observe(int64(elapsed))
+	if err := fd.VerifyTables(); err != nil {
+		t.Errorf("seed %d: post-heal tables: %v", seed, err)
+	}
 	got := settleAndCaptureFabric(t, seed, fd)
 
 	for as, wantRIB := range want.ribs {

@@ -351,6 +351,7 @@ func (s *Session) sendBestEffort(m Message) {
 
 func (s *Session) shutdown(err error) {
 	s.closeOnce.Do(func() {
+		//lint:ignore riblock published before close(s.closed); Err readers block on the channel, so the close is the ordering edge
 		s.downErr = err
 		// Return to Idle before signalling Done so that a Dialer waking on
 		// the closed channel always observes a re-establishable peer.

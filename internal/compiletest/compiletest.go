@@ -9,6 +9,7 @@ package compiletest
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"sdx/internal/core"
 	"sdx/internal/dataplane"
 	"sdx/internal/pkt"
+	"sdx/internal/verify"
 	"sdx/internal/workload"
 )
 
@@ -28,6 +30,27 @@ type Workload struct {
 	Seed         int64
 	// WithPolicies installs the §6.1 policy mix (seeded from Seed).
 	WithPolicies bool
+}
+
+// CorpusSize is the number of cases in the standard differential corpus.
+const CorpusSize = 200
+
+// CorpusWorkload returns case i of the standard corpus: the workload
+// parameters plus the number of BGP update bursts replayed after the
+// initial compile. The differential suite and `sdx-lint -tables` both
+// iterate this function, so "the corpus is conflict-free" means the same
+// workloads in both places.
+func CorpusWorkload(i int) (w Workload, bursts int) {
+	r := rand.New(rand.NewSource(int64(i)*7919 + 13))
+	w = Workload{
+		Participants: 3 + r.Intn(22),
+		Prefixes:     40 + r.Intn(201),
+		Seed:         int64(i)*31 + 5,
+		// Every fifth case runs with route-server state only, so the
+		// default-forwarding band is exercised without the policy mix.
+		WithPolicies: i%5 != 0,
+	}
+	return w, r.Intn(13)
 }
 
 // Instance is one built workload: a loaded controller plus the topology
@@ -67,6 +90,22 @@ func Build(w Workload) (*Instance, error) {
 func (in *Instance) Compile(serial bool) string {
 	in.Ctrl.Recompile(core.WithCompileOptions(core.CompileOptions{Serial: serial}))
 	return in.Ctrl.Compiled().Canonical()
+}
+
+// VerifyTables runs the semantic checker (internal/verify) over the
+// controller's installed flow table and, when a full compilation exists,
+// over the rendered classifier bands, returning an error on any
+// equal-priority conflict or shadowed rule. The differential suite calls
+// it after every compile and burst replay, so each workload is proven
+// conflict-free in addition to serial/parallel-identical.
+func (in *Instance) VerifyTables() error {
+	rep := verify.Table(in.Ctrl.Switch().Table())
+	if c := in.Ctrl.Compiled(); c != nil {
+		bands := verify.Compiled(c)
+		rep.Rules += bands.Rules
+		rep.Findings = append(rep.Findings, bands.Findings...)
+	}
+	return rep.Err()
 }
 
 // Trace synthesizes a deterministic BGP update trace for this instance's

@@ -2,7 +2,6 @@ package compiletest
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 )
 
@@ -15,20 +14,9 @@ import (
 // incremental fast-path output, the post-burst recompilation, and the
 // CompileFast-vs-full forwarding semantics.
 func TestDifferentialSerialVsParallel(t *testing.T) {
-	const cases = 200
-	for i := 0; i < cases; i++ {
+	for i := 0; i < CorpusSize; i++ {
 		t.Run(fmt.Sprintf("case%03d", i), func(t *testing.T) {
-			r := rand.New(rand.NewSource(int64(i)*7919 + 13))
-			w := Workload{
-				Participants: 3 + r.Intn(22),
-				Prefixes:     40 + r.Intn(201),
-				Seed:         int64(i)*31 + 5,
-				// Every fifth case runs with route-server state only, so
-				// the default-forwarding band is exercised without the
-				// policy mix.
-				WithPolicies: i%5 != 0,
-			}
-			bursts := r.Intn(13)
+			w, bursts := CorpusWorkload(i)
 
 			serial, err := Build(w)
 			if err != nil {
@@ -46,6 +34,9 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 			}
 			if err := DiffLines("initial rule stream", serial.Rules.Log(), par.Rules.Log()); err != nil {
 				t.Fatal(err)
+			}
+			if err := par.VerifyTables(); err != nil {
+				t.Fatalf("initial compile: %v", err)
 			}
 
 			if bursts == 0 {
@@ -65,6 +56,9 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 			if err := DiffLines("burst rule stream", serial.Rules.Log(), par.Rules.Log()); err != nil {
 				t.Fatal(err)
 			}
+			if err := par.VerifyTables(); err != nil {
+				t.Fatalf("after burst replay: %v", err)
+			}
 
 			// CompileFast semantics: forwarding outcomes with the fast band
 			// active must survive a from-scratch recompilation untouched.
@@ -80,6 +74,9 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 			}
 			if err := DiffOutcomes("forwarding", Outcomes(serial.Ctrl, 4, 6), after); err != nil {
 				t.Fatal(err)
+			}
+			if err := par.VerifyTables(); err != nil {
+				t.Fatalf("post-burst recompile: %v", err)
 			}
 		})
 	}

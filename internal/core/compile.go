@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"sdx/internal/bgp"
+	"sdx/internal/dataplane"
 	"sdx/internal/iputil"
 	"sdx/internal/pkt"
 	"sdx/internal/policy"
@@ -45,6 +46,16 @@ type Compiled struct {
 
 // NumRules returns the total installed rule count (the Figure 7 metric).
 func (c *Compiled) NumRules() int { return len(c.Band1) + len(c.Band2) }
+
+// BandEntries renders the compiled classifiers as flow entries exactly as
+// the controller installs them on a full recompile: Band1 at its band base
+// under its cookie, Band2 one band below under its own. The result is in
+// table precedence order. The semantic verifier (internal/verify) uses this
+// to check a compilation for conflicts and shadowing without a controller.
+func (c *Compiled) BandEntries() []*dataplane.FlowEntry {
+	es := dataplane.EntriesFromClassifier(c.Band1, band1Base, cookieBand1)
+	return append(es, dataplane.EntriesFromClassifier(c.Band2, band2Base, cookieBand2)...)
+}
 
 // setOwner identifies the origin of one MDS input set: an outbound
 // forwarding term (as, term, target), or — with as == 0 and term == -1 —

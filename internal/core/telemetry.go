@@ -53,6 +53,7 @@ type ctrlMetrics struct {
 // once from NewController, after c.metrics, c.sw and c.pcomp exist.
 func (c *Controller) initTelemetry() {
 	reg := c.metrics
+	//lint:ignore riblock one-time init called from NewController before the controller is shared
 	c.m = ctrlMetrics{
 		updatesIn:      reg.Counter("controller.updates_in"),
 		updateNS:       reg.Histogram("controller.update_ns"),

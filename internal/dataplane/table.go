@@ -18,14 +18,20 @@ import (
 )
 
 // FlowEntry is one prioritized flow-table rule. Higher priority wins; ties
-// are broken by insertion order (earlier wins), matching how the policy
-// compiler emits ordered classifiers.
+// are broken deterministically by cookie (ascending), then by insertion
+// order (earlier wins), matching how the policy compiler emits ordered
+// classifiers. The cookie tie-break makes precedence at equal priority
+// independent of the interleaving of controller bands — a flush-and-replay
+// resync installs the same effective order as the original incremental
+// installs, which the overlap verifier (internal/verify) depends on to
+// classify conflicts.
 type FlowEntry struct {
 	Priority int
 	Match    pkt.Match
 	Actions  []pkt.Action // empty = drop
 	Cookie   uint64       // opaque owner tag, used for grouped deletion
 
+	seq     uint64 // insertion sequence, stamped by insertLocked
 	packets atomic.Uint64
 	bytes   atomic.Uint64
 }
@@ -52,7 +58,8 @@ func (e *FlowEntry) String() string {
 // FlowTable is a concurrency-safe prioritized flow table.
 type FlowTable struct {
 	mu      sync.RWMutex
-	entries []*FlowEntry // sorted by priority descending, stable
+	entries []*FlowEntry // sorted by entryBefore (priority desc, cookie asc, seq asc)
+	seq     uint64       // next insertion sequence number
 	misses  atomic.Uint64
 }
 
@@ -85,11 +92,28 @@ func (t *FlowTable) AddBatch(es []*FlowEntry) {
 	}
 }
 
-// insertLocked keeps entries sorted by priority descending; among equal
-// priorities the earlier insertion stays first.
+// entryBefore reports whether a takes precedence over b in table order:
+// priority descending, then cookie ascending, then insertion sequence
+// ascending. The cookie leg makes equal-priority precedence across bands a
+// property of the entries themselves rather than of install interleaving.
+func entryBefore(a, b *FlowEntry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Cookie != b.Cookie {
+		return a.Cookie < b.Cookie
+	}
+	return a.seq < b.seq
+}
+
+// insertLocked stamps the entry's insertion sequence and keeps entries
+// sorted by entryBefore; among equal priority and cookie the earlier
+// insertion stays first.
 func (t *FlowTable) insertLocked(e *FlowEntry) {
+	e.seq = t.seq
+	t.seq++
 	i := sort.Search(len(t.entries), func(i int) bool {
-		return t.entries[i].Priority < e.Priority
+		return entryBefore(e, t.entries[i])
 	})
 	t.entries = append(t.entries, nil)
 	copy(t.entries[i+1:], t.entries[i:])
@@ -195,6 +219,20 @@ func (t *FlowTable) String() string {
 		fmt.Fprintln(&b, e)
 	}
 	return b.String()
+}
+
+// OrderEntries sorts a snapshot of entries into table precedence order:
+// priority descending, then cookie ascending, then original slice order.
+// For a snapshot taken from a FlowTable this is a no-op; the verifier uses
+// it to impose the table's deterministic precedence on entry sets
+// assembled outside a FlowTable (e.g. rendered classifier bands).
+func OrderEntries(es []*FlowEntry) {
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Priority != es[j].Priority {
+			return es[i].Priority > es[j].Priority
+		}
+		return es[i].Cookie < es[j].Cookie
+	})
 }
 
 // EntriesFromClassifier converts a compiled classifier into flow entries:

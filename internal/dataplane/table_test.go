@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -187,5 +188,94 @@ func BenchmarkFlowTableLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tbl.Lookup(p)
+	}
+}
+
+func TestFlowTableTieBreakCookieDeterministic(t *testing.T) {
+	// At equal priority, the lower cookie must win no matter which order
+	// the bands were installed in: a flush-and-replay resync that installs
+	// bands in a different interleaving must produce the same precedence.
+	band1 := &FlowEntry{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}, Cookie: 1}
+	band2 := &FlowEntry{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}, Cookie: 2}
+
+	forward := NewFlowTable()
+	forward.Add(band1)
+	forward.Add(band2)
+
+	b1 := &FlowEntry{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}, Cookie: 1}
+	b2 := &FlowEntry{Priority: 5, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}, Cookie: 2}
+	reverse := NewFlowTable()
+	reverse.Add(b2)
+	reverse.Add(b1)
+
+	if e := forward.Lookup(pkt.Packet{}); e != band1 {
+		t.Fatalf("forward install: lookup hit cookie %d, want cookie 1", e.Cookie)
+	}
+	if e := reverse.Lookup(pkt.Packet{}); e != b1 {
+		t.Fatalf("reverse install: lookup hit cookie %d, want cookie 1", e.Cookie)
+	}
+}
+
+func TestFlowTableTieBreakRandomizedOrderInvariant(t *testing.T) {
+	// Install the same entry set under many random interleavings and check
+	// the resulting table order is identical every time.
+	mk := func() []*FlowEntry {
+		var es []*FlowEntry
+		for pri := 0; pri < 3; pri++ {
+			for cookie := uint64(1); cookie <= 3; cookie++ {
+				es = append(es, &FlowEntry{
+					Priority: pri,
+					Match:    pkt.MatchAll.DstPort(uint16(pri)),
+					Actions:  []pkt.Action{pkt.Output(pkt.PortID(cookie))},
+					Cookie:   cookie,
+				})
+			}
+		}
+		return es
+	}
+	dump := func(tbl *FlowTable) string {
+		var b strings.Builder
+		for _, e := range tbl.Entries() {
+			fmt.Fprintf(&b, "%d/%d\n", e.Priority, e.Cookie)
+		}
+		return b.String()
+	}
+	var want string
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		es := mk()
+		r.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+		tbl := NewFlowTable()
+		for _, e := range es {
+			tbl.Add(e)
+		}
+		got := dump(tbl)
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: table order depends on install order:\n got: %s\nwant: %s", trial, got, want)
+		}
+	}
+}
+
+func TestOrderEntriesMatchesTableOrder(t *testing.T) {
+	es := []*FlowEntry{
+		{Priority: 1, Cookie: 2},
+		{Priority: 9, Cookie: 3},
+		{Priority: 9, Cookie: 1},
+		{Priority: 1, Cookie: 2},
+	}
+	OrderEntries(es)
+	got := make([]string, len(es))
+	for i, e := range es {
+		got[i] = fmt.Sprintf("%d/%d", e.Priority, e.Cookie)
+	}
+	want := []string{"9/1", "9/3", "1/2", "1/2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrderEntries = %v, want %v", got, want)
+		}
 	}
 }

@@ -64,6 +64,11 @@ type Pass struct {
 	// analyzer's scope).
 	InstrumentedPackages map[string]bool
 
+	// GuardedPackages is the set of import paths whose mutex-bearing
+	// structs must only be written under their own write lock (the riblock
+	// analyzer's scope).
+	GuardedPackages map[string]bool
+
 	diags *[]Diagnostic
 }
 
@@ -92,6 +97,7 @@ var DefaultWirePackages = map[string]bool{
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LockBlockAnalyzer,
+		RIBLockAnalyzer,
 		WireErrAnalyzer,
 		GoLeakAnalyzer,
 		MutexValAnalyzer,
@@ -111,6 +117,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:                  pkg,
 				WirePackages:         DefaultWirePackages,
 				InstrumentedPackages: DefaultInstrumentedPackages,
+				GuardedPackages:      DefaultGuardedPackages,
 				diags:                &diags,
 			})
 		}

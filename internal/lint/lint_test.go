@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -138,6 +139,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// its own functions fall inside DefaultWirePackages.
 		{fixture: "wireerr", importPath: "sdx/internal/bgp", analyzers: []*Analyzer{WireErrAnalyzer}},
 		{fixture: "goleak", importPath: "sdx/fixture/goleak", analyzers: []*Analyzer{GoLeakAnalyzer}},
+		// The riblock fixture masquerades as the route-server package so
+		// its structs fall inside DefaultGuardedPackages.
+		{fixture: "riblock", importPath: "sdx/internal/rs", analyzers: []*Analyzer{RIBLockAnalyzer}},
+		// The generics fixture proves the loader type-checks parameterized
+		// code and that riblock sees through generic receivers.
+		{fixture: "generics", importPath: "sdx/internal/core", analyzers: []*Analyzer{RIBLockAnalyzer}},
 		{fixture: "mutexval", importPath: "sdx/fixture/mutexval", analyzers: []*Analyzer{MutexValAnalyzer}},
 		// The telemtime fixture masquerades as the controller package so it
 		// falls inside DefaultInstrumentedPackages.
@@ -168,6 +175,16 @@ func TestTelemTimeScopedToInstrumentedPackages(t *testing.T) {
 	diags := runFixture(t, "telemtime", "sdx/fixture/telemtime", []*Analyzer{TelemTimeAnalyzer})
 	for _, d := range diags {
 		t.Errorf("finding outside instrumented scope: %s", d)
+	}
+}
+
+// TestRIBLockScopedToGuardedPackages loads the riblock fixture under a
+// path outside DefaultGuardedPackages: the identical code must produce
+// zero findings there.
+func TestRIBLockScopedToGuardedPackages(t *testing.T) {
+	diags := runFixture(t, "riblock", "sdx/fixture/riblock", []*Analyzer{RIBLockAnalyzer})
+	for _, d := range diags {
+		t.Errorf("finding outside guarded scope: %s", d)
 	}
 }
 
@@ -220,4 +237,76 @@ func TestRunDeterministic(t *testing.T) {
 		t.Fatal("lockblock fixture produced no findings")
 	}
 	_ = fmt.Sprintf("%v", diags[0]) // Diagnostic must be printable
+}
+
+// TestLoaderBuildConstraints: files excluded by a //go:build line or a
+// GOOS/GOARCH filename suffix must not be parsed — each excluded file here
+// redeclares F, so loading any of them is a guaranteed type error.
+func TestLoaderBuildConstraints(t *testing.T) {
+	dir := t.TempDir()
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	files := map[string]string{
+		"go.mod":                  "module tmpmod\n\ngo 1.21\n",
+		"a.go":                    "package a\n\nfunc F() int { return 1 }\n",
+		"tagged.go":               "//go:build neverbuildtag\n\npackage a\n\nfunc F() int { return 2 }\n",
+		"plat_" + otherOS + ".go": "package a\n\nfunc F() int { return 3 }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "tmpmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error from an excluded file: %v", terr)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (a.go only)", len(pkg.Files))
+	}
+}
+
+// TestLoaderSkipsFullyExcludedDirs: a directory whose every file is ruled
+// out by build constraints has no package to load — LoadAll must walk past
+// it instead of failing on an empty file set.
+func TestLoaderSkipsFullyExcludedDirs(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ghost")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod":         "module tmpmod\n\ngo 1.21\n",
+		"a.go":           "package a\n\nfunc F() int { return 1 }\n",
+		"ghost/ghost.go": "//go:build neverbuildtag\n\npackage ghost\n\nfunc G() {}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, filepath.FromSlash(name)), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tmpmod" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		t.Errorf("LoadAll = %v, want [tmpmod] only", paths)
+	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -144,7 +145,7 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range ents {
-		if isSourceFile(e.Name()) {
+		if isSourceFile(dir, e.Name()) {
 			return true
 		}
 	}
@@ -154,11 +155,18 @@ func hasGoFiles(dir string) bool {
 // isSourceFile reports whether name is a non-test Go source file the loader
 // should parse. Test files are excluded: the analyzers target the shipped
 // code paths, and external _test packages would need a second type universe.
-func isSourceFile(name string) bool {
-	return strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") &&
-		!strings.HasPrefix(name, ".") &&
-		!strings.HasPrefix(name, "_")
+// Files ruled out by a //go:build constraint or a GOOS/GOARCH filename
+// suffix for the running platform are excluded too — parsing them alongside
+// the selected files would redeclare every platform-specialized symbol.
+func isSourceFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") ||
+		strings.HasSuffix(name, "_test.go") ||
+		strings.HasPrefix(name, ".") ||
+		strings.HasPrefix(name, "_") {
+		return false
+	}
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
 }
 
 // LoadDir parses and type-checks the package in dir under the given import
@@ -181,7 +189,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range ents {
-		if !isSourceFile(e.Name()) {
+		if !isSourceFile(dir, e.Name()) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -31,6 +31,11 @@ type lockScanner struct {
 	pass    *Pass
 	netConn *types.Interface
 	netLn   *types.Interface
+
+	// defers collects the deferred calls of the function scope currently
+	// being scanned, in registration order; scanFunc replays them in LIFO
+	// order against the locks still held at function return.
+	defers []*ast.CallExpr
 }
 
 func runLockBlock(pass *Pass) {
@@ -46,7 +51,57 @@ func runLockBlock(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			s.stmts(fd.Body.List, make(map[string]heldLock))
+			s.scanFunc(fd.Body, make(map[string]heldLock))
+		}
+	}
+}
+
+// scanFunc scans one function scope: the body statements first, then the
+// deferred calls in reverse registration order — the teardown path. A
+// deferred release drops its lock for the defers registered before it
+// (they run after it), so `defer mu.Unlock()` at the top of a function
+// correctly unprotects nothing, while a blocking deferred call registered
+// after it runs before the unlock and is scanned with the lock held.
+func (s *lockScanner) scanFunc(body *ast.BlockStmt, held map[string]heldLock) {
+	outer := s.defers
+	s.defers = nil
+	s.stmts(body.List, held)
+	s.runDefers(held)
+	s.defers = outer
+}
+
+// runDefers simulates the function's deferred calls LIFO against the
+// locks still held at return. Deferred function literals — the teardown
+// closures lockblock previously never scanned — are scanned as nested
+// scopes under whatever locks remain held at the point they run.
+func (s *lockScanner) runDefers(held map[string]heldLock) {
+	info := s.pass.Pkg.Info
+	fset := s.pass.Pkg.Fset
+	defers := s.defers
+	for i := len(defers) - 1; i >= 0; i-- {
+		call := defers[i]
+		if name, recv, ok := syncMethod(info, call); ok {
+			key := lockKey(fset, recv)
+			if _, isRelease := lockRelease[name]; isRelease {
+				delete(held, key)
+				continue
+			}
+			if lockAcquire[name] {
+				if prev, dup := held[key]; dup {
+					s.pass.Reportf(call.Pos(),
+						"deferred %s.%s while %q is still held at return (since line %d): self-deadlock",
+						key, name, key, prev.line)
+				}
+				held[key] = heldLock{key: key, line: fset.Position(call.Pos()).Line}
+				continue
+			}
+		}
+		if fl, ok := call.Fun.(*ast.FuncLit); ok {
+			s.scanFunc(fl.Body, held)
+			continue
+		}
+		if len(held) > 0 {
+			s.checkCall(call, held)
 		}
 	}
 }
@@ -108,8 +163,14 @@ func (s *lockScanner) stmt(st ast.Stmt, held map[string]heldLock) {
 		s.exprs(st.X, held)
 	case *ast.DeferStmt:
 		// defer mu.Unlock() keeps the lock held to the end of the function,
-		// so a deferred release never removes from the held set; other
-		// defers run after the region of interest and are not scanned.
+		// so a deferred release never removes from the held set here; the
+		// call itself is recorded and replayed LIFO by runDefers once the
+		// body has been scanned. Argument expressions evaluate now, at the
+		// defer statement, under the current held set.
+		for _, arg := range st.Call.Args {
+			s.exprs(arg, held)
+		}
+		s.defers = append(s.defers, st.Call)
 	case *ast.GoStmt:
 		// The launch itself does not block; argument evaluation does.
 		for _, arg := range st.Call.Args {

@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RIBLockAnalyzer flags writes to fields of a mutex-guarded struct made
+// without holding the struct's own write lock. The RIB and Loc-RIB maps of
+// rs.Server, the controller's compilation state, and the dataplane tables
+// are all "fields behind a sync.(RW)Mutex in the same struct"; a write that
+// slips outside the Lock/Unlock window (or sneaks in under an RLock) is a
+// data race the race detector only catches when a test happens to collide.
+//
+// Scope and conventions:
+//
+//   - Only packages in Pass.GuardedPackages are scanned, and only methods
+//     whose receiver struct carries a sync.Mutex or sync.RWMutex field
+//     (named or embedded). Constructors and free functions are exempt —
+//     values under construction are not yet shared.
+//   - Holding any of the receiver's own mutexes for write licenses every
+//     field write; with several mutexes in one struct, which lock guards
+//     which field is a convention the analyzer does not guess at.
+//   - A method whose name ends in "Locked" is assumed to be called with
+//     the write lock held and is not scanned.
+//   - `defer s.mu.Unlock()` keeps the lock held to the end of the body.
+//   - Function literals are scanned with a fresh, unlocked state: a
+//     closure outlives the locked region it was built in, so it needs its
+//     own locking discipline (or a //lint:ignore with a reason).
+var RIBLockAnalyzer = &Analyzer{
+	Name: "riblock",
+	Doc:  "flags writes to mutex-guarded struct fields outside the write lock (or under only an RLock)",
+	Run:  runRIBLock,
+}
+
+// DefaultGuardedPackages lists the packages whose mutex-bearing structs
+// riblock polices: the route server's RIB/Loc-RIB state, the controller's
+// compilation state, and the session/table state they feed.
+var DefaultGuardedPackages = map[string]bool{
+	"sdx/internal/rs":        true,
+	"sdx/internal/core":      true,
+	"sdx/internal/bgp":       true,
+	"sdx/internal/openflow":  true,
+	"sdx/internal/dataplane": true,
+}
+
+// embeddedLockKey tracks an acquisition through an embedded mutex, where
+// the receiver itself is the lockable value (s.Lock()).
+const embeddedLockKey = "<embedded>"
+
+// ribState is the receiver-mutex lock state at one program point.
+type ribState struct {
+	w map[string]bool // mutex fields held for write
+	r map[string]bool // mutex fields held for read
+}
+
+func newRIBState() *ribState {
+	return &ribState{w: make(map[string]bool), r: make(map[string]bool)}
+}
+
+func (st *ribState) copy() *ribState {
+	cp := newRIBState()
+	for k := range st.w {
+		cp.w[k] = true
+	}
+	for k := range st.r {
+		cp.r[k] = true
+	}
+	return cp
+}
+
+type ribScanner struct {
+	pass    *Pass
+	recv    types.Object    // the method's receiver variable
+	mutexes map[string]bool // receiver mutex field names; "" key unused
+}
+
+func runRIBLock(pass *Pass) {
+	if !pass.GuardedPackages[pass.Pkg.Types.Path()] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				continue
+			}
+			recv := pass.Pkg.Info.Defs[names[0]]
+			if recv == nil {
+				continue
+			}
+			mutexes := receiverMutexFields(recv.Type())
+			if len(mutexes) == 0 {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				// Callee contract: the caller already holds the write lock.
+				continue
+			}
+			s := &ribScanner{pass: pass, recv: recv, mutexes: mutexes}
+			s.stmts(fd.Body.List, newRIBState())
+		}
+	}
+}
+
+// receiverMutexFields returns the names of t's sync.Mutex / sync.RWMutex
+// fields (value or pointer, named or embedded), or nil when t is not a
+// struct or carries none.
+func receiverMutexFields(t types.Type) map[string]bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if namedPathIs(f.Type(), "sync", "Mutex") || namedPathIs(f.Type(), "sync", "RWMutex") {
+			if f.Embedded() {
+				out[embeddedLockKey] = true
+			} else {
+				out[f.Name()] = true
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (s *ribScanner) stmts(list []ast.Stmt, st *ribState) {
+	for _, stmt := range list {
+		s.stmt(stmt, st)
+	}
+}
+
+func (s *ribScanner) stmt(stmt ast.Stmt, st *ribState) {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := stmt.X.(*ast.CallExpr); ok {
+			if s.lockTransition(call, st) {
+				return
+			}
+			s.checkDelete(call, st)
+		}
+		s.scanFuncLits(stmt.X)
+	case *ast.DeferStmt:
+		// A deferred release runs at return: the lock is held for the rest
+		// of the body, so the state is left untouched. Deferred closures
+		// are teardown code with their own locking needs.
+		if fl, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+			s.stmts(fl.Body.List, newRIBState())
+		}
+	case *ast.GoStmt:
+		if fl, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+			s.stmts(fl.Body.List, newRIBState())
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range stmt.Lhs {
+			s.checkWrite(lhs, st)
+		}
+		for _, rhs := range stmt.Rhs {
+			s.scanFuncLits(rhs)
+		}
+	case *ast.IncDecStmt:
+		s.checkWrite(stmt.X, st)
+	case *ast.ReturnStmt:
+		for _, e := range stmt.Results {
+			s.scanFuncLits(e)
+		}
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s.stmt(stmt.Init, st)
+		}
+		s.stmts(stmt.Body.List, st.copy())
+		if stmt.Else != nil {
+			s.stmt(stmt.Else, st.copy())
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s.stmt(stmt.Init, st)
+		}
+		s.stmts(stmt.Body.List, st.copy())
+	case *ast.RangeStmt:
+		s.stmts(stmt.Body.List, st.copy())
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			s.stmt(stmt.Init, st)
+		}
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, st.copy())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if stmt.Init != nil {
+			s.stmt(stmt.Init, st)
+		}
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, st.copy())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmts(cc.Body, st.copy())
+			}
+		}
+	case *ast.BlockStmt:
+		s.stmts(stmt.List, st)
+	case *ast.LabeledStmt:
+		s.stmt(stmt.Stmt, st)
+	}
+}
+
+// lockTransition updates the state when call locks or unlocks one of the
+// receiver's own mutexes, reporting whether it was such a call.
+func (s *ribScanner) lockTransition(call *ast.CallExpr, st *ribState) bool {
+	name, recvExpr, ok := syncMethod(s.pass.Pkg.Info, call)
+	if !ok {
+		return false
+	}
+	key, ok := s.receiverMutexKey(recvExpr)
+	if !ok {
+		return false
+	}
+	switch name {
+	case "Lock":
+		st.w[key] = true
+	case "RLock":
+		st.r[key] = true
+	case "Unlock":
+		delete(st.w, key)
+	case "RUnlock":
+		delete(st.r, key)
+	default:
+		return false
+	}
+	return true
+}
+
+// receiverMutexKey resolves the receiver expression of a sync method call
+// to one of the scanned method's own mutex fields: s.mu → "mu", bare s
+// (promoted through embedding) → embeddedLockKey.
+func (s *ribScanner) receiverMutexKey(e ast.Expr) (string, bool) {
+	e = unparen(e)
+	if id, ok := e.(*ast.Ident); ok && s.pass.Pkg.Info.Uses[id] == s.recv {
+		if s.mutexes[embeddedLockKey] {
+			return embeddedLockKey, true
+		}
+		return "", false
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := unparen(sel.X).(*ast.Ident)
+	if !ok || s.pass.Pkg.Info.Uses[base] != s.recv {
+		return "", false
+	}
+	if !s.mutexes[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkWrite flags lhs when it stores through a receiver field while no
+// receiver mutex is write-held.
+func (s *ribScanner) checkWrite(lhs ast.Expr, st *ribState) {
+	field, ok := s.receiverField(lhs)
+	if !ok || s.mutexes[field] || len(st.w) > 0 {
+		return
+	}
+	fset := s.pass.Pkg.Fset
+	if len(st.r) > 0 {
+		s.pass.Reportf(lhs.Pos(),
+			"write to %s under RLock only: an RLock admits concurrent readers, writes need the write lock",
+			exprString(fset, lhs))
+		return
+	}
+	s.pass.Reportf(lhs.Pos(),
+		"write to %s without holding the receiver's write lock", exprString(fset, lhs))
+}
+
+// checkDelete flags delete(s.field, k) like any other guarded write.
+func (s *ribScanner) checkDelete(call *ast.CallExpr, st *ribState) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "delete" || len(call.Args) != 2 {
+		return
+	}
+	if _, isBuiltin := s.pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if _, ok := s.receiverField(call.Args[0]); !ok || len(st.w) > 0 {
+		return
+	}
+	fset := s.pass.Pkg.Fset
+	if len(st.r) > 0 {
+		s.pass.Reportf(call.Pos(),
+			"delete from %s under RLock only: an RLock admits concurrent readers, writes need the write lock",
+			exprString(fset, call.Args[0]))
+		return
+	}
+	s.pass.Reportf(call.Pos(),
+		"delete from %s without holding the receiver's write lock", exprString(fset, call.Args[0]))
+}
+
+// receiverField reports whether e is a store target rooted at the method
+// receiver (s.x, s.m[k], s.parts[as].field, *s.p) and names the first
+// field on the path for the diagnostic.
+func (s *ribScanner) receiverField(e ast.Expr) (string, bool) {
+	// Walk down to the base of the selector/index chain, remembering the
+	// selector applied directly to the base identifier.
+	var field string
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			field = x.Sel.Name
+			e = x.X
+		case *ast.Ident:
+			if s.pass.Pkg.Info.Uses[x] == s.recv && field != "" {
+				return field, true
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// scanFuncLits scans function literals nested in an expression with a
+// fresh, unlocked state: the closure may run long after the enclosing
+// locked region has been released.
+func (s *ribScanner) scanFuncLits(root ast.Expr) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			s.stmts(fl.Body.List, newRIBState())
+			return false
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,50 @@
+// Package generics exercises the loader and analyzers on type-parameterized
+// code: generic functions must type-check, and a generic struct guarding
+// its fields with a mutex is held to the same riblock discipline as a
+// monomorphic one.
+package generics
+
+import "sync"
+
+// Cache is a mutex-guarded generic map.
+type Cache[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+}
+
+func (c *Cache[K, V]) PutRacy(k K, v V) {
+	c.m[k] = v // want riblock "write to c.m[k] without holding"
+}
+
+func (c *Cache[K, V]) DropUnderRLock(k K) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	delete(c.m, k) // want riblock "delete from c.m under RLock only"
+}
+
+// Map is a plain generic function: nothing to guard, nothing to flag.
+func Map[T, U any](in []T, f func(T) U) []U {
+	out := make([]U, 0, len(in))
+	for _, v := range in {
+		out = append(out, f(v))
+	}
+	return out
+}
+
+// Keys instantiates Map through a method value, exercising generic
+// instantiation in the type-checker.
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]K, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	return out
+}

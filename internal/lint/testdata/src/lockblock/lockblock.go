@@ -147,3 +147,59 @@ func lockInLoopBody(s *state) {
 	}
 	s.ch <- 1 // ok: loop-body lock does not escape the iteration
 }
+
+func deferredClosureUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() { // registered after the unlock: runs before it, lock held
+		<-s.done // want lockblock "channel receive from \"s.done\" while holding s.mu"
+	}()
+}
+
+func deferredClosureAfterUnlock(s *state) {
+	defer func() {
+		<-s.done // ok: the deferred unlock registered later runs first
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func deferredConnWriteUnderLock(s *state, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.conn.Write(buf) // want lockblock "s.conn.Write (net.Conn I/O) while holding s.mu"
+}
+
+func deferredCallAfterUnlock(s *state, buf []byte) {
+	defer s.conn.Write(buf) // ok: runs after the deferred unlock
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func deferredSleepInTeardown(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer time.Sleep(time.Millisecond) // want lockblock "time.Sleep while holding s.mu"
+}
+
+func deferredNestedTeardown(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		s.other.Lock() // want lockblock "acquires \"s.other\" while holding s.mu"
+		defer s.other.Unlock()
+		s.ch <- 1 // want lockblock "channel send on \"s.ch\""
+	}()
+}
+
+func deferredArgsEvaluateNow(s *state) {
+	s.mu.Lock()
+	defer s.conn.Write([]byte{byte(<-s.ch)}) // want lockblock "channel receive from \"s.ch\" while holding s.mu"
+	s.mu.Unlock()
+}
+
+func deferredCloseIsFine(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.conn.Close() // ok: Close is not blocking I/O
+}

@@ -1,0 +1,144 @@
+// Package riblock is the fixture for the guarded-field write analyzer. It
+// is loaded masqueraded as a guarded package (sdx/internal/rs) by the
+// fixture test, and under its own path by the scope-exclusion test.
+package riblock
+
+import "sync"
+
+type route struct{ pref int }
+
+type server struct {
+	mu    sync.RWMutex
+	best  map[string]*route
+	count int
+	name  string
+}
+
+func (s *server) unlockedWrite() {
+	s.count = 1 // want riblock "write to s.count without holding the receiver's write lock"
+}
+
+func (s *server) lockedWrite() {
+	s.mu.Lock()
+	s.count = 1
+	s.best["a"] = &route{pref: 1}
+	s.mu.Unlock()
+}
+
+func (s *server) deferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	delete(s.best, "a")
+}
+
+func (s *server) writeUnderRLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.count = 2 // want riblock "write to s.count under RLock only"
+}
+
+func (s *server) deleteUnderRLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	delete(s.best, "a") // want riblock "delete from s.best under RLock only"
+}
+
+func (s *server) unlockedMapWrite() {
+	s.best["a"] = nil // want riblock "write to s.best[\"a\"] without holding"
+}
+
+func (s *server) unlockedDelete() {
+	delete(s.best, "a") // want riblock "delete from s.best without holding"
+}
+
+func (s *server) unlockedIncrement() {
+	s.count++ // want riblock "write to s.count without holding"
+}
+
+func (s *server) chainWrite() {
+	s.best["a"].pref = 9 // want riblock "write to s.best[\"a\"].pref without holding"
+}
+
+// flushLocked follows the *Locked naming contract: the caller holds the
+// write lock, so its unguarded writes are licensed.
+func (s *server) flushLocked() {
+	s.count = 0
+	s.best = make(map[string]*route)
+}
+
+// releaseThenWrite: the write lands after the explicit unlock.
+func (s *server) releaseThenWrite() {
+	s.mu.Lock()
+	s.count = 1
+	s.mu.Unlock()
+	s.name = "late" // want riblock "write to s.name without holding"
+}
+
+// branchLock: a lock taken inside one branch does not license writes in
+// the fall-through path.
+func (s *server) branchLock(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.count = 1
+		s.mu.Unlock()
+	}
+	s.count = 2 // want riblock "write to s.count without holding"
+}
+
+// closureUnderLock: the closure may run after the locked region ends, so
+// its writes need their own locking.
+func (s *server) closureUnderLock(run func(func())) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run(func() {
+		s.count = 3 // want riblock "write to s.count without holding"
+	})
+}
+
+// closureWithOwnLock is the fix for the case above.
+func (s *server) closureWithOwnLock(run func(func())) {
+	run(func() {
+		s.mu.Lock()
+		s.count = 4
+		s.mu.Unlock()
+	})
+}
+
+// localOnly writes locals and parameters: never guarded.
+func (s *server) localOnly(n int) int {
+	m := map[string]int{}
+	m["a"] = n
+	n++
+	return n
+}
+
+// embedded mutex: the receiver itself is the lockable value.
+type counter struct {
+	sync.Mutex
+	n int
+}
+
+func (c *counter) inc() {
+	c.Lock()
+	c.n++
+	c.Unlock()
+}
+
+func (c *counter) incUnlocked() {
+	c.n++ // want riblock "write to c.n without holding"
+}
+
+// plain has no mutex at all: writes are out of scope.
+type plain struct{ n int }
+
+func (p *plain) set(n int) { p.n = n }
+
+// newServer is a constructor: the value is not yet shared, free functions
+// are exempt.
+func newServer() *server {
+	s := &server{}
+	s.best = make(map[string]*route)
+	s.count = 0
+	return s
+}

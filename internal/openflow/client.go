@@ -117,6 +117,7 @@ func (c *Client) Close() error {
 
 func (c *Client) shutdown(err error) {
 	c.closeOnce.Do(func() {
+		//lint:ignore riblock published before close(c.closed); Err readers block on the channel, so the close is the ordering edge
 		c.err = err
 		close(c.closed)
 		_ = c.conn.Close() // the channel is already down; nothing to do with a close error

@@ -175,6 +175,15 @@ func (m Match) Disjoint(o Match) bool {
 	return !ok
 }
 
+// Overlaps reports whether some packet satisfies both matches, i.e. the
+// intersection is non-empty. Overlapping rules at the same priority with
+// divergent actions make forwarding nondeterministic; the verifier in
+// internal/verify uses this to flag them.
+func (m Match) Overlaps(o Match) bool {
+	_, ok := m.Intersect(o)
+	return ok
+}
+
 // Covers reports whether every packet matching o also matches m.
 func (m Match) Covers(o Match) bool {
 	for f := Field(0); f < NumFields; f++ {

@@ -186,3 +186,27 @@ func TestMatchNumFieldsSet(t *testing.T) {
 		t.Errorf("NumFieldsSet = %d, want 2", got)
 	}
 }
+
+func TestMatchOverlaps(t *testing.T) {
+	a := MatchAll.DstPort(80).SrcIP(pfx("10.0.0.0/8"))
+	b := MatchAll.SrcIP(pfx("10.1.0.0/16")).InPort(1)
+	if !a.Overlaps(b) {
+		t.Error("nested prefixes with disjoint other fields should overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Error("match overlaps itself")
+	}
+	if !MatchAll.Overlaps(a) || !a.Overlaps(MatchAll) {
+		t.Error("wildcard overlaps everything")
+	}
+	if MatchAll.DstPort(80).Overlaps(MatchAll.DstPort(443)) {
+		t.Error("conflicting exact fields must not overlap")
+	}
+	if MatchAll.SrcIP(pfx("10.0.0.0/8")).Overlaps(MatchAll.SrcIP(pfx("11.0.0.0/8"))) {
+		t.Error("disjoint prefixes must not overlap")
+	}
+	// Overlaps and Disjoint are complements.
+	if a.Overlaps(b) == a.Disjoint(b) {
+		t.Error("Overlaps must be the complement of Disjoint")
+	}
+}

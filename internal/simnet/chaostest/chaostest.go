@@ -32,6 +32,7 @@ import (
 	"sdx/internal/openflow"
 	"sdx/internal/pkt"
 	"sdx/internal/simnet"
+	"sdx/internal/verify"
 )
 
 // Announcement is one prefix a border router originates.
@@ -457,6 +458,21 @@ func (d *Deployment) LocalRules() []string { return ruleDump(d.Ctrl.Switch().Tab
 // RemoteRules dumps the remote fabric's table as programmed over the
 // control channel.
 func (d *Deployment) RemoteRules() []string { return ruleDump(d.Remote.Table()) }
+
+// VerifyTables runs the semantic verifier (internal/verify) over the
+// controller's local table and the remote switch's table as programmed
+// over the control channel: both must be free of equal-priority conflicts
+// and shadowed rules. Chaos soaks call it at converged checkpoints.
+func (d *Deployment) VerifyTables() error {
+	rep := verify.Table(d.Ctrl.Switch().Table())
+	remote := verify.Table(d.Remote.Table())
+	for _, f := range remote.Findings {
+		f.Switch = "remote"
+		rep.Findings = append(rep.Findings, f)
+	}
+	rep.Rules += remote.Rules
+	return rep.Err()
+}
 
 var (
 	vmacRE = regexp.MustCompile(`\ba2(?::[0-9a-f]{2}){5}\b`)

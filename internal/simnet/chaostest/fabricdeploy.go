@@ -41,6 +41,7 @@ import (
 	"sdx/internal/openflow"
 	"sdx/internal/pkt"
 	"sdx/internal/simnet"
+	"sdx/internal/verify"
 )
 
 // SwitchListener and SwitchTag name the per-switch OpenFlow endpoints in
@@ -66,6 +67,7 @@ type FabricDeployment struct {
 	Peers map[uint32]*Peer
 
 	specs     []PeerSpec
+	topo      fabric.Topology
 	names     []string // sorted switch names
 	remote    map[string]*dataplane.Switch
 	portSw    map[pkt.PortID]string
@@ -118,6 +120,7 @@ func StartFabric(n *simnet.Network, seed int64, specs []PeerSpec, topo fabric.To
 		Model:   model,
 		Peers:   make(map[uint32]*Peer),
 		specs:   specs,
+		topo:    topo,
 		remote:  make(map[string]*dataplane.Switch),
 		portSw:  make(map[pkt.PortID]string, len(topo.Ports)),
 		reds:    make(map[string]*openflow.Redialer),
@@ -400,6 +403,31 @@ func (fd *FabricDeployment) auditDiverged(name string) {
 			_ = c.Close()
 		}
 	}
+}
+
+// VerifyTables runs the semantic verifier (internal/verify) over every
+// switch of both fabrics: the local model and the remote switches as
+// programmed over their control channels. Each table must be free of
+// equal-priority conflicts and shadowed rules, and each switch must carry
+// a complete trunk band for the topology's participant ports. Chaos soaks
+// call it at converged checkpoints — a resync that replayed bands in the
+// wrong shape shows up here even if forwarding happens to agree.
+func (fd *FabricDeployment) VerifyTables() error {
+	rep := verify.Fabric(fd.Model, fd.topo)
+	for _, name := range fd.names {
+		es := fd.remote[name].Table().Entries()
+		r := verify.Entries(es)
+		for _, f := range r.Findings {
+			f.Switch = "remote:" + name
+			rep.Findings = append(rep.Findings, f)
+		}
+		rep.Rules += r.Rules
+		for _, f := range verify.TrunkCoverage(fd.topo, name, es) {
+			f.Switch = "remote:" + name
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	return rep.Err()
 }
 
 // WaitConverged polls Converged until it holds on two consecutive checks
