@@ -29,11 +29,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark baseline instead of text tables")
-	outPath := flag.String("o", "BENCH_compile.json", "output path for -json")
+	dataplaneOut := flag.Bool("dataplane", false, "benchmark the dataplane fast path (compiled engine + megaflow cache vs naive scan) and write its baseline")
+	outPath := flag.String("o", "", "output path (default BENCH_compile.json for -json, BENCH_dataplane.json for -dataplane)")
 	flag.Parse()
 
+	if *dataplaneOut {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_dataplane.json"
+		}
+		if err := writeDataplaneReport(path, *seed); err != nil {
+			log.Fatalf("dataplane baseline: %v", err)
+		}
+		return
+	}
 	if *jsonOut {
-		if err := writeJSONReport(*outPath, *seed, *full); err != nil {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_compile.json"
+		}
+		if err := writeJSONReport(path, *seed, *full); err != nil {
 			log.Fatalf("bench baseline: %v", err)
 		}
 		return

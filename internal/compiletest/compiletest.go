@@ -208,22 +208,23 @@ var probeHeaders = []struct {
 	{"udp9000", pkt.ProtoUDP, 52000, 9000},
 }
 
-// Outcomes probes the forwarding behaviour the fabric presents to border
-// routers: for up to `viewers` participants and `routes` advertised
-// routes each, it builds packets addressed the way a border router would
-// after processing the SDX's re-advertisements (destination MAC resolved
-// from the advertised next hop via ARP, exactly as a router's ARP query
-// would), pushes them through the flow table, and records where each
-// packet leaves. Keys are stable across recompilations; values are the
-// sorted egress ports, or "drop" when the packet never leaves the
-// fabric. The mechanism (flow-table rule vs normal L2 fallback) is
-// deliberately not part of the value: a recompilation may legitimately
-// move an un-grouped prefix from the fast band back to L2 forwarding,
-// but the egress port must not change. Because keys carry no VNH/VMAC
-// bytes, Outcomes taken before and after a full recompilation — or from
-// a serial- vs parallel-compiled controller — must be equal.
-func Outcomes(ctrl *core.Controller, viewers, routes int) map[string]string {
-	out := make(map[string]string)
+// Probe is one forwarding probe: a packet built the way a border router
+// would address it, plus a key that is stable across recompilations.
+type Probe struct {
+	Key string
+	P   pkt.Packet
+}
+
+// ProbePackets builds the probe set Outcomes evaluates: for up to
+// `viewers` participants and `routes` advertised routes each, packets
+// addressed the way a border router would after processing the SDX's
+// re-advertisements (destination MAC resolved from the advertised next
+// hop via ARP, exactly as a router's ARP query would), crossed with the
+// probeHeaders variants. The dataplane differential harness reuses the
+// same probes to compare the compiled engine against the naive scan on
+// real classifier output rather than synthetic rules.
+func ProbePackets(ctrl *core.Controller, viewers, routes int) []Probe {
+	var probes []Probe
 	ases := ctrl.RouteServer().Participants()
 	if len(ases) > viewers {
 		ases = ases[:viewers]
@@ -255,12 +256,76 @@ func Outcomes(ctrl *core.Controller, viewers, routes int) map[string]string {
 				if resolved {
 					p.DstMAC = dstMAC
 				}
-				key := fmt.Sprintf("as%d/%s/%s", as, ad.Prefix, h.name)
-				out[key] = outcome(ctrl, p)
+				probes = append(probes, Probe{
+					Key: fmt.Sprintf("as%d/%s/%s", as, ad.Prefix, h.name),
+					P:   p,
+				})
 			}
 		}
 	}
+	return probes
+}
+
+// Outcomes probes the forwarding behaviour the fabric presents to border
+// routers, pushing each ProbePackets packet through the flow table and
+// recording where it leaves. Keys are stable across recompilations;
+// values are the sorted egress ports, or "drop" when the packet never
+// leaves the fabric. The mechanism (flow-table rule vs normal L2
+// fallback) is deliberately not part of the value: a recompilation may
+// legitimately move an un-grouped prefix from the fast band back to L2
+// forwarding, but the egress port must not change. Because keys carry no
+// VNH/VMAC bytes, Outcomes taken before and after a full recompilation —
+// or from a serial- vs parallel-compiled controller — must be equal.
+func Outcomes(ctrl *core.Controller, viewers, routes int) map[string]string {
+	out := make(map[string]string)
+	for _, pr := range ProbePackets(ctrl, viewers, routes) {
+		out[pr.Key] = outcome(ctrl, pr.P)
+	}
 	return out
+}
+
+// VerifyEngine differentially checks the dataplane's compiled dispatch
+// engine against the naive priority-ordered scan on this instance's
+// installed flow table: for every forwarding probe, both paths must
+// choose the same entry (identical priority, cookie, and insertion
+// sequence) and Process must emit identical packets. It exercises the
+// compiled path twice per probe — cold engine dispatch and warm megaflow
+// cache — so cache hits are verified as well as trie dispatch.
+func (in *Instance) VerifyEngine(viewers, routes int) error {
+	table := in.Ctrl.Switch().Table()
+	prev := table.Compiled()
+	table.SetCompiled(true)
+	defer table.SetCompiled(prev)
+	for _, pr := range ProbePackets(in.Ctrl, viewers, routes) {
+		want := table.LookupNaive(pr.P)
+		for _, label := range []string{"cold", "warm"} {
+			got := table.Lookup(pr.P)
+			if got != want {
+				return fmt.Errorf("probe %s (%s): compiled chose %s, naive chose %s",
+					pr.Key, label, entryID(got), entryID(want))
+			}
+		}
+		gotOut := table.Process(pr.P)
+		wantOut := table.ProcessNaive(pr.P)
+		if (gotOut == nil) != (wantOut == nil) || len(gotOut) != len(wantOut) {
+			return fmt.Errorf("probe %s: Process emitted %d packets, naive %d", pr.Key, len(gotOut), len(wantOut))
+		}
+		for i := range gotOut {
+			if !gotOut[i].SameHeader(wantOut[i]) {
+				return fmt.Errorf("probe %s: output %d differs: %v vs %v", pr.Key, i, gotOut[i], wantOut[i])
+			}
+		}
+	}
+	return nil
+}
+
+// entryID renders a flow entry's identity (priority, cookie, insertion
+// sequence) for divergence reports.
+func entryID(e *dataplane.FlowEntry) string {
+	if e == nil {
+		return "miss"
+	}
+	return fmt.Sprintf("prio=%d cookie=%d seq=%d", e.Priority, e.Cookie, e.Seq())
 }
 
 // outcome classifies one packet's fate in the fabric: the sorted egress

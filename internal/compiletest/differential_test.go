@@ -38,6 +38,9 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 			if err := par.VerifyTables(); err != nil {
 				t.Fatalf("initial compile: %v", err)
 			}
+			if err := par.VerifyEngine(4, 6); err != nil {
+				t.Fatalf("initial compile: engine divergence: %v", err)
+			}
 
 			if bursts == 0 {
 				if err := DiffOutcomes("forwarding", Outcomes(serial.Ctrl, 4, 6), Outcomes(par.Ctrl, 4, 6)); err != nil {
@@ -59,6 +62,9 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 			if err := par.VerifyTables(); err != nil {
 				t.Fatalf("after burst replay: %v", err)
 			}
+			if err := par.VerifyEngine(4, 6); err != nil {
+				t.Fatalf("after burst replay: engine divergence: %v", err)
+			}
 
 			// CompileFast semantics: forwarding outcomes with the fast band
 			// active must survive a from-scratch recompilation untouched.
@@ -77,6 +83,9 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 			}
 			if err := par.VerifyTables(); err != nil {
 				t.Fatalf("post-burst recompile: %v", err)
+			}
+			if err := par.VerifyEngine(4, 6); err != nil {
+				t.Fatalf("post-burst recompile: engine divergence: %v", err)
 			}
 		})
 	}

@@ -658,6 +658,11 @@ func (c *Controller) recompile(opts CompileOptions) CompileReport {
 	c.fastRules = 0
 	c.fastPrefix = make(map[iputil.Prefix]uint32)
 
+	// Eagerly rebuild the dataplane's compiled dispatch engine for the new
+	// bands, so the first post-install packet pays dispatch cost, not an
+	// engine build.
+	c.sw.Table().Precompile()
+
 	for gi := range compiled.VNHs {
 		c.arpd.Register(compiled.VNHs[gi], compiled.VMACs[gi])
 	}

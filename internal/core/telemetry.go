@@ -84,6 +84,18 @@ func (c *Controller) initTelemetry() {
 	reg.RegisterGaugeFunc("dataplane.drops", func() int64 {
 		return int64(sw.Drops())
 	})
+	reg.RegisterGaugeFunc("dataplane.cache_hits", func() int64 {
+		return int64(sw.Table().Stats().Hits)
+	})
+	reg.RegisterGaugeFunc("dataplane.cache_misses", func() int64 {
+		return int64(sw.Table().Stats().Misses)
+	})
+	reg.RegisterGaugeFunc("dataplane.cache_entries", func() int64 {
+		return int64(sw.Table().Stats().Entries)
+	})
+	reg.RegisterGaugeFunc("dataplane.engine_builds", func() int64 {
+		return int64(sw.Table().EngineBuilds())
+	})
 	reg.RegisterGaugeFunc("compiler.cache_entries", func() int64 {
 		return int64(pcomp.CacheLen())
 	})

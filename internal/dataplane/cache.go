@@ -1,0 +1,144 @@
+package dataplane
+
+// The megaflow cache. Even through the compiled dispatch structure, a
+// lookup costs a trie walk plus a few map probes; real traffic is heavily
+// repetitive (a border router re-sends the same header tuple for every
+// packet of a flow), so — like Open vSwitch's megaflow layer — we
+// memoize the final verdict per exact header tuple. A cached verdict is
+// valid only for the table generation it was computed under: every
+// mutation bumps the generation (inside the table's write lock, before
+// touching the entries), so a racing reader that still observes the old
+// generation is linearized before the mutation and a reader that
+// observes the new one can never hit a stale shard — stale megaflow
+// entries can never serve a packet. Negative verdicts (table miss) are
+// cached too, keeping the miss path allocation-free once warm.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdx/internal/pkt"
+)
+
+const (
+	cacheShards = 16
+
+	// defaultCacheCap bounds each shard; a shard that fills is cleared
+	// wholesale (cheap, and the generation check makes partial state
+	// harmless) rather than tracking LRU order on the hot path.
+	defaultCacheCap = 4096
+)
+
+type cacheShard struct {
+	mu  sync.Mutex
+	gen uint64
+	m   map[pkt.HeaderKey]*FlowEntry
+}
+
+// megaflowCache is a sharded, generation-stamped exact-match cache from
+// header tuple to winning entry (nil = cached miss).
+type megaflowCache struct {
+	shardCap atomic.Int64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	shards   [cacheShards]cacheShard
+}
+
+func newMegaflowCache() *megaflowCache {
+	c := &megaflowCache{}
+	c.shardCap.Store(defaultCacheCap)
+	return c
+}
+
+// keyHash mixes every header field (FNV-1a style); the low bits pick the
+// shard.
+func keyHash(k pkt.HeaderKey) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(k.InPort)) * prime
+	h = (h ^ uint64(k.SrcMAC)) * prime
+	h = (h ^ uint64(k.DstMAC)) * prime
+	h = (h ^ uint64(k.EthType)) * prime
+	h = (h ^ uint64(k.SrcIP)) * prime
+	h = (h ^ uint64(k.DstIP)) * prime
+	h = (h ^ uint64(k.Proto)) * prime
+	h = (h ^ uint64(k.SrcPort)) * prime
+	h = (h ^ uint64(k.DstPort)) * prime
+	// Fold the high bits down so shard selection sees the whole hash.
+	return h ^ h>>32
+}
+
+// get returns the cached verdict for k computed under generation gen.
+// The verdict itself may be nil (a cached table miss); ok distinguishes
+// "cached nil" from "not cached".
+func (c *megaflowCache) get(gen uint64, k pkt.HeaderKey) (e *FlowEntry, ok bool) {
+	s := &c.shards[keyHash(k)%cacheShards]
+	s.mu.Lock()
+	if s.gen == gen {
+		e, ok = s.m[k]
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// put records a verdict computed under generation gen. A shard lagging
+// behind gen is cleared and restamped; a shard already ahead (another
+// reader raced a newer mutation) is left alone so newer verdicts are
+// never poisoned by older ones.
+func (c *megaflowCache) put(gen uint64, k pkt.HeaderKey, e *FlowEntry) {
+	s := &c.shards[keyHash(k)%cacheShards]
+	s.mu.Lock()
+	if s.gen > gen {
+		s.mu.Unlock()
+		return
+	}
+	if s.gen < gen || s.m == nil {
+		s.gen = gen
+		if s.m == nil {
+			s.m = make(map[pkt.HeaderKey]*FlowEntry)
+		} else {
+			clear(s.m)
+		}
+	}
+	if int64(len(s.m)) >= c.shardCap.Load() {
+		clear(s.m)
+	}
+	s.m[k] = e
+	s.mu.Unlock()
+}
+
+// len returns the total number of cached verdicts across shards.
+func (c *megaflowCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats reports megaflow cache effectiveness: lookups served from
+// the cache, lookups that fell through to the dispatch engine, and the
+// number of currently cached verdicts.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// HitRate returns the fraction of lookups served from the cache, or 0
+// when nothing has been looked up.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,491 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// randEntry synthesizes one classifier-shaped entry: usually a dstIP
+// prefix, often inPort/dstMAC/ethType, occasionally transport fields,
+// sometimes a drop.
+func randEntry(r *rand.Rand) *FlowEntry {
+	m := pkt.MatchAll
+	if r.Intn(4) > 0 {
+		m = m.DstIP(iputil.NewPrefix(iputil.Addr(r.Uint32()), uint8(r.Intn(33))))
+	}
+	if r.Intn(2) == 0 {
+		m = m.InPort(pkt.PortID(r.Intn(8)))
+	}
+	if r.Intn(3) == 0 {
+		m = m.DstMAC(pkt.MAC(r.Intn(8)))
+	}
+	if r.Intn(3) == 0 {
+		m = m.EthType([]uint16{pkt.EthTypeIPv4, pkt.EthTypeARP}[r.Intn(2)])
+	}
+	if r.Intn(4) == 0 {
+		m = m.Proto([]uint8{pkt.ProtoTCP, pkt.ProtoUDP}[r.Intn(2)])
+	}
+	if r.Intn(4) == 0 {
+		m = m.DstPort([]uint16{80, 443, 53}[r.Intn(3)])
+	}
+	var acts []pkt.Action
+	if r.Intn(5) > 0 {
+		acts = []pkt.Action{pkt.Output(pkt.PortID(100 + r.Intn(8)))}
+	}
+	return &FlowEntry{
+		Priority: r.Intn(64),
+		Match:    m,
+		Actions:  acts,
+		Cookie:   uint64(r.Intn(4)),
+	}
+}
+
+// randPacket synthesizes a probe packet, biased so rules actually hit:
+// half the time the destination is drawn near an installed rule's
+// prefix.
+func randPacket(r *rand.Rand, es []*FlowEntry) pkt.Packet {
+	p := pkt.Packet{
+		InPort:  pkt.PortID(r.Intn(8)),
+		DstMAC:  pkt.MAC(r.Intn(8)),
+		EthType: []uint16{pkt.EthTypeIPv4, pkt.EthTypeARP}[r.Intn(2)],
+		DstIP:   iputil.Addr(r.Uint32()),
+		Proto:   []uint8{pkt.ProtoTCP, pkt.ProtoUDP, pkt.ProtoICMP}[r.Intn(3)],
+		DstPort: []uint16{80, 443, 53, 9000}[r.Intn(4)],
+	}
+	if len(es) > 0 && r.Intn(2) == 0 {
+		e := es[r.Intn(len(es))]
+		if pfx, ok := e.Match.GetDstIP(); ok {
+			p.DstIP = pfx.Addr() + iputil.Addr(r.Intn(7))
+		}
+	}
+	return p
+}
+
+func entryID(e *FlowEntry) string {
+	if e == nil {
+		return "miss"
+	}
+	return fmt.Sprintf("prio=%d cookie=%d seq=%d", e.Priority, e.Cookie, e.Seq())
+}
+
+// TestCompiledLookupEquivalence: on randomized rule sets, the compiled
+// engine (cold cache, then warm cache) must return the exact entry the
+// naive scan picks — same pointer, hence same (priority, cookie, seq).
+func TestCompiledLookupEquivalence(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)*101 + 7))
+		tbl := NewFlowTable()
+		tbl.SetCompiled(true)
+		var es []*FlowEntry
+		for i := 0; i < 1+r.Intn(120); i++ {
+			es = append(es, randEntry(r))
+		}
+		tbl.AddBatch(es)
+		for probe := 0; probe < 300; probe++ {
+			p := randPacket(r, es)
+			want := tbl.LookupNaive(p)
+			if got := tbl.Lookup(p); got != want {
+				t.Fatalf("trial %d: cold lookup %s, naive %s for %v", trial, entryID(got), entryID(want), p)
+			}
+			if got := tbl.Lookup(p); got != want {
+				t.Fatalf("trial %d: warm lookup diverged for %v", trial, p)
+			}
+		}
+	}
+}
+
+// TestCompiledProcessEquivalence: Process through the compiled path must
+// emit the same packets as the naive oracle.
+func TestCompiledProcessEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	var es []*FlowEntry
+	for i := 0; i < 80; i++ {
+		es = append(es, randEntry(r))
+	}
+	tbl.AddBatch(es)
+	for probe := 0; probe < 500; probe++ {
+		p := randPacket(r, es)
+		got := tbl.Process(p)
+		want := tbl.ProcessNaive(p)
+		if (got == nil) != (want == nil) || len(got) != len(want) {
+			t.Fatalf("Process %v != ProcessNaive %v for %v", got, want, p)
+		}
+		for i := range got {
+			if !got[i].SameHeader(want[i]) {
+				t.Fatalf("output %d differs: %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// mutation cases for the invalidation property: every table mutation op
+// must advance the generation and make the very next lookup reflect the
+// new table — a stale megaflow verdict must never be served.
+func TestCacheInvalidationOnEveryMutation(t *testing.T) {
+	probe := pkt.Packet{DstIP: iputil.MustParseAddr("10.1.2.3"), DstPort: 80}
+	low := func() *FlowEntry {
+		return &FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}, Cookie: 1}
+	}
+	high := func() *FlowEntry {
+		return &FlowEntry{Priority: 9, Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(2)}, Cookie: 2}
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(t *FlowTable)
+		want   pkt.PortID // egress after the mutation
+	}{
+		{"Add", func(tb *FlowTable) { tb.Add(high()) }, 2},
+		{"AddBatch", func(tb *FlowTable) { tb.AddBatch([]*FlowEntry{high()}) }, 2},
+		{"Replace", func(tb *FlowTable) { tb.Replace(2, []*FlowEntry{high()}) }, 2},
+		{"DeleteCookie", func(tb *FlowTable) {
+			tb.Add(high())
+			if tb.Lookup(probe).Cookie != 2 { // warm the cache on the high entry
+				t.Fatal("setup: high entry not winning")
+			}
+			tb.DeleteCookie(2)
+		}, 1},
+		{"Flush", func(tb *FlowTable) {
+			tb.Flush()
+			tb.Add(high())
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := NewFlowTable()
+			tbl.SetCompiled(true)
+			tbl.Add(low())
+			// Warm both the engine and the megaflow cache on the old table.
+			for i := 0; i < 3; i++ {
+				if e := tbl.Lookup(probe); e == nil || e.Actions[0].Out != 1 {
+					t.Fatalf("setup lookup = %v", e)
+				}
+			}
+			gen := tbl.Generation()
+			tc.mutate(tbl)
+			if tbl.Generation() == gen {
+				t.Fatalf("%s did not advance the generation", tc.name)
+			}
+			e := tbl.Lookup(probe)
+			if e == nil || e.Actions[0].Out != tc.want {
+				t.Fatalf("after %s: lookup = %v, want egress %d (stale cache served?)", tc.name, e, tc.want)
+			}
+			if got, want := tbl.Lookup(probe), tbl.LookupNaive(probe); got != want {
+				t.Fatalf("after %s: compiled %s != naive %s", tc.name, entryID(got), entryID(want))
+			}
+		})
+	}
+}
+
+// TestGenerationAdvancesOnNoOpMutations: even mutations that change
+// nothing observable (deleting an absent cookie, flushing an empty
+// table, replacing with an equal band) must advance the generation —
+// cheap over-invalidation is the safety margin.
+func TestGenerationAdvancesOnNoOpMutations(t *testing.T) {
+	tbl := NewFlowTable()
+	g := tbl.Generation()
+	if tbl.DeleteCookie(12345); tbl.Generation() == g {
+		t.Fatal("DeleteCookie(absent) did not bump generation")
+	}
+	g = tbl.Generation()
+	if tbl.Flush(); tbl.Generation() == g {
+		t.Fatal("Flush(empty) did not bump generation")
+	}
+	g = tbl.Generation()
+	if tbl.Replace(7, nil); tbl.Generation() == g {
+		t.Fatal("Replace(empty) did not bump generation")
+	}
+}
+
+// TestCacheInvalidationRandomizedOps hammers a table with random
+// mutations interleaved with lookups; after every mutation the compiled
+// verdict must equal the naive oracle for a fresh probe set.
+func TestCacheInvalidationRandomizedOps(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	var installed []*FlowEntry
+	lastGen := tbl.Generation()
+	for step := 0; step < 200; step++ {
+		mutated := true
+		switch r.Intn(5) {
+		case 0:
+			e := randEntry(r)
+			installed = append(installed, e)
+			tbl.Add(e)
+		case 1:
+			var batch []*FlowEntry
+			for i := 0; i < 1+r.Intn(10); i++ {
+				batch = append(batch, randEntry(r))
+			}
+			installed = append(installed, batch...)
+			tbl.AddBatch(batch)
+		case 2:
+			tbl.DeleteCookie(uint64(r.Intn(4)))
+		case 3:
+			var batch []*FlowEntry
+			for i := 0; i < r.Intn(8); i++ {
+				batch = append(batch, randEntry(r))
+			}
+			tbl.Replace(uint64(r.Intn(4)), batch)
+		case 4:
+			if r.Intn(8) == 0 {
+				tbl.Flush()
+			} else {
+				mutated = false
+			}
+		}
+		if g := tbl.Generation(); g <= lastGen {
+			if mutated {
+				t.Fatalf("step %d: generation did not advance (%d -> %d)", step, lastGen, g)
+			}
+		} else {
+			lastGen = g
+		}
+		for probe := 0; probe < 20; probe++ {
+			p := randPacket(r, installed)
+			if got, want := tbl.Lookup(p), tbl.LookupNaive(p); got != want {
+				t.Fatalf("step %d: compiled %s != naive %s for %v", step, entryID(got), entryID(want), p)
+			}
+		}
+	}
+}
+
+// TestConcurrentMutateWhileLookup runs mutators against lookup/process
+// hammers under the race detector. Safety properties checked from the
+// reader side: a returned entry's match must actually cover the packet
+// (no torn dispatch state), and once mutations stop, compiled and naive
+// must agree again.
+func TestConcurrentMutateWhileLookup(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	r := rand.New(rand.NewSource(4))
+	var seed []*FlowEntry
+	for i := 0; i < 50; i++ {
+		seed = append(seed, randEntry(r))
+	}
+	tbl.AddBatch(seed)
+
+	const readers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := randPacket(rr, seed2Entries)
+				if e := tbl.Lookup(p); e != nil && !e.Match.Matches(p) {
+					select {
+					case errs <- fmt.Errorf("lookup returned non-matching entry %s for %v", e, p):
+					default:
+					}
+					return
+				}
+				tbl.Process(p)
+			}
+		}(int64(g) + 100)
+	}
+
+	mut := rand.New(rand.NewSource(9))
+	for step := 0; step < 400; step++ {
+		switch mut.Intn(4) {
+		case 0:
+			tbl.Add(randEntry(mut))
+		case 1:
+			var batch []*FlowEntry
+			for i := 0; i < 1+mut.Intn(5); i++ {
+				batch = append(batch, randEntry(mut))
+			}
+			tbl.Replace(uint64(mut.Intn(4)), batch)
+		case 2:
+			tbl.DeleteCookie(uint64(mut.Intn(4)))
+		case 3:
+			tbl.AddBatch([]*FlowEntry{randEntry(mut)})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: compiled must equal naive everywhere again.
+	rr := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		p := randPacket(rr, seed)
+		if got, want := tbl.Lookup(p), tbl.LookupNaive(p); got != want {
+			t.Fatalf("post-quiesce: compiled %s != naive %s for %v", entryID(got), entryID(want), p)
+		}
+	}
+}
+
+// seed2Entries gives concurrent readers a stable entry set to bias
+// probe destinations with (the live table mutates underneath them).
+var seed2Entries = func() []*FlowEntry {
+	r := rand.New(rand.NewSource(5))
+	var es []*FlowEntry
+	for i := 0; i < 20; i++ {
+		es = append(es, randEntry(r))
+	}
+	return es
+}()
+
+// TestLookupZeroAllocWarm asserts the warm-cache hot path — hit, miss,
+// and the batched form — performs zero allocations per packet.
+func TestLookupZeroAllocWarm(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	r := rand.New(rand.NewSource(31))
+	// Every entry pins InPort to 0..7 so a packet on port 200 is a
+	// guaranteed miss; destinations spread over random /24s.
+	var es []*FlowEntry
+	for i := 0; i < 1000; i++ {
+		e := randEntry(r)
+		e.Match = e.Match.InPort(pkt.PortID(i % 8))
+		es = append(es, e)
+	}
+	tbl.AddBatch(es)
+	tbl.Precompile()
+
+	hit := randPacket(r, es)
+	hit.InPort = pkt.PortID(0)
+	for i := 0; tbl.LookupNaive(hit) == nil; i++ {
+		hit = randPacket(r, es)
+		hit.InPort = pkt.PortID(i % 8)
+	}
+	missPkt := pkt.Packet{InPort: 200, DstIP: 1, EthType: 0x9999}
+	if tbl.LookupNaive(missPkt) != nil {
+		t.Fatal("setup: port-200 probe unexpectedly matched")
+	}
+	tbl.Lookup(hit) // warm
+	tbl.Lookup(missPkt)
+
+	if n := testing.AllocsPerRun(200, func() { tbl.Lookup(hit) }); n != 0 {
+		t.Errorf("warm hit Lookup allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { tbl.Lookup(missPkt) }); n != 0 {
+		t.Errorf("warm miss Lookup allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { tbl.Process(missPkt) }); n != 0 {
+		t.Errorf("miss Process allocates %.1f/op, want 0", n)
+	}
+
+	in := make([]pkt.Packet, 64)
+	for i := range in {
+		if i%2 == 0 {
+			in[i] = hit
+		} else {
+			in[i] = missPkt
+		}
+	}
+	out := make([]pkt.Packet, 0, 256)
+	tbl.ProcessBatch(in, out[:0], nil) // warm every header in the batch
+	if n := testing.AllocsPerRun(100, func() { out = tbl.ProcessBatch(in, out[:0], nil) }); n != 0 {
+		t.Errorf("warm ProcessBatch allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestDropPathSharedVerdict: a matched drop rule returns the shared
+// empty (non-nil) slice, and appending to a returned verdict cannot
+// corrupt it for other callers.
+func TestDropPathSharedVerdict(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll})
+	out := tbl.Process(pkt.Packet{})
+	if out == nil || len(out) != 0 {
+		t.Fatalf("drop verdict = %v (nil=%v), want empty non-nil", out, out == nil)
+	}
+	_ = append(out, pkt.Packet{DstPort: 1}) // must copy, not share
+	again := tbl.Process(pkt.Packet{})
+	if len(again) != 0 {
+		t.Fatalf("shared drop verdict corrupted: %v", again)
+	}
+	if n := testing.AllocsPerRun(200, func() { tbl.Process(pkt.Packet{}) }); n != 0 {
+		t.Errorf("drop Process allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestSetCompiledToggle: the naive toggle must route lookups through the
+// linear scan (no cache) while SetCompiled(true) restores the fast path,
+// with identical verdicts either way.
+func TestSetCompiledToggle(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.SetCompiled(false)
+	if tbl.Compiled() {
+		t.Fatal("SetCompiled(false) ignored")
+	}
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll.DstPort(80), Actions: []pkt.Action{pkt.Output(3)}})
+	p := pkt.Packet{DstPort: 80}
+	hits := tbl.Stats().Hits + tbl.Stats().Misses
+	tbl.Lookup(p)
+	tbl.Lookup(p)
+	if got := tbl.Stats().Hits + tbl.Stats().Misses; got != hits {
+		t.Fatalf("naive mode touched the megaflow cache (%d -> %d lookups)", hits, got)
+	}
+	tbl.SetCompiled(true)
+	if !tbl.Compiled() {
+		t.Fatal("SetCompiled(true) ignored")
+	}
+	if e := tbl.Lookup(p); e == nil || e.Actions[0].Out != 3 {
+		t.Fatalf("compiled lookup = %v", e)
+	}
+	if tbl.Stats().Hits+tbl.Stats().Misses == hits {
+		t.Fatal("compiled mode bypassed the megaflow cache")
+	}
+}
+
+// TestCacheCapacityBound: the cache never exceeds its configured bound.
+func TestCacheCapacityBound(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	tbl.SetCacheCapacity(8) // 8 per shard, 16 shards -> ≤128 verdicts
+	tbl.Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(1)}})
+	for i := 0; i < 10000; i++ {
+		tbl.Lookup(pkt.Packet{DstIP: iputil.Addr(i), DstPort: uint16(i)})
+	}
+	if n := tbl.Stats().Entries; n > 16*8 {
+		t.Fatalf("cache holds %d verdicts, bound is %d", n, 16*8)
+	}
+}
+
+// TestEngineBuildsLazy: the dispatch structure is rebuilt at most once
+// per generation, and only when a lookup (or Precompile) needs it.
+func TestEngineBuildsLazy(t *testing.T) {
+	tbl := NewFlowTable()
+	tbl.SetCompiled(true)
+	for i := 0; i < 10; i++ {
+		tbl.Add(&FlowEntry{Priority: i, Match: pkt.MatchAll.DstPort(uint16(i)), Actions: []pkt.Action{pkt.Output(1)}})
+	}
+	if tbl.EngineBuilds() != 0 {
+		t.Fatalf("engine built before any lookup: %d", tbl.EngineBuilds())
+	}
+	tbl.Lookup(pkt.Packet{DstPort: 3})
+	tbl.Lookup(pkt.Packet{DstPort: 4})
+	tbl.Lookup(pkt.Packet{DstPort: 5})
+	if got := tbl.EngineBuilds(); got != 1 {
+		t.Fatalf("EngineBuilds = %d after lookups at one generation, want 1", got)
+	}
+	tbl.Add(&FlowEntry{Priority: 99, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}})
+	tbl.Precompile()
+	if got := tbl.EngineBuilds(); got != 2 {
+		t.Fatalf("EngineBuilds = %d after mutation+Precompile, want 2", got)
+	}
+}

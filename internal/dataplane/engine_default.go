@@ -1,0 +1,10 @@
+//go:build !sdx_naive_dataplane
+
+package dataplane
+
+// compiledByDefault selects the compiled dispatch engine + megaflow cache
+// for every table unless overridden at run time (SDX_DATAPLANE_ENGINE or
+// FlowTable.SetCompiled). Building with -tags sdx_naive_dataplane flips
+// the default to the naive linear scan, the always-available reference
+// oracle.
+const compiledByDefault = true

@@ -1,0 +1,8 @@
+//go:build sdx_naive_dataplane
+
+package dataplane
+
+// Built with -tags sdx_naive_dataplane: every table defaults to the
+// naive priority-ordered scan. The compiled engine remains available per
+// table via FlowTable.SetCompiled(true).
+const compiledByDefault = false

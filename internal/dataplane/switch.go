@@ -29,23 +29,48 @@ type port struct {
 // flow table and are delivered to the destination ports' handlers. A
 // table miss invokes the PacketIn callback (the controller channel).
 // Switch is safe for concurrent injection.
+//
+// Injection comes in three flavours: Inject (synchronous, one packet),
+// InjectBatch (synchronous, amortized over a batch with pooled output
+// slabs), and InjectAsync (queued to the ingress port's worker goroutine
+// when StartWorkers is active — per-port sharding means two ports never
+// contend on processing, only on the shared flow table's lock-free read
+// path).
 type Switch struct {
 	name  string
 	table *FlowTable
 
-	mu    sync.RWMutex
-	ports map[pkt.PortID]*port
+	mu     sync.RWMutex
+	ports  map[pkt.PortID]*port
+	queues map[pkt.PortID]chan pkt.Packet // non-nil while workers run
 
 	// PacketIn, when non-nil, receives table-miss packets.
 	PacketIn func(pkt.Packet)
 
+	// miss is the stable table-miss callback handed to ProcessBatch, so
+	// the batched path never allocates a closure per batch.
+	miss func(pkt.Packet)
+
 	drops     atomic.Uint64
 	packetIns atomic.Uint64
+
+	outPool sync.Pool // *[]pkt.Packet slabs for InjectBatch
 }
 
 // NewSwitch returns a switch with an empty flow table.
 func NewSwitch(name string) *Switch {
-	return &Switch{name: name, table: NewFlowTable(), ports: make(map[pkt.PortID]*port)}
+	s := &Switch{name: name, table: NewFlowTable(), ports: make(map[pkt.PortID]*port)}
+	s.miss = func(p pkt.Packet) {
+		s.packetIns.Add(1)
+		if s.PacketIn != nil {
+			s.PacketIn(p)
+		}
+	}
+	s.outPool.New = func() any {
+		sl := make([]pkt.Packet, 0, 256)
+		return &sl
+	}
+	return s
 }
 
 // Name returns the switch's name.
@@ -126,23 +151,162 @@ func (s *Switch) Inject(ingress pkt.PortID, p pkt.Packet) int {
 	}
 	emitted := 0
 	for _, q := range outs {
-		// Action application stored the egress port in InPort.
-		egress := q.InPort
-		s.mu.RLock()
-		out := s.ports[egress]
-		s.mu.RUnlock()
-		if out == nil {
-			s.drops.Add(1)
-			continue
+		if s.deliverOut(q) {
+			emitted++
 		}
-		out.txPkts.Add(1)
-		out.txBytes.Add(uint64(len(q.Payload)))
-		if out.deliver != nil {
-			out.deliver(q)
-		}
-		emitted++
 	}
 	return emitted
+}
+
+// deliverOut routes one table-output packet to its egress port,
+// updating counters; it reports whether the packet reached a registered
+// port.
+func (s *Switch) deliverOut(q pkt.Packet) bool {
+	// Action application stored the egress port in InPort.
+	egress := q.InPort
+	s.mu.RLock()
+	out := s.ports[egress]
+	s.mu.RUnlock()
+	if out == nil {
+		s.drops.Add(1)
+		return false
+	}
+	out.txPkts.Add(1)
+	out.txBytes.Add(uint64(len(q.Payload)))
+	if out.deliver != nil {
+		out.deliver(q)
+	}
+	return true
+}
+
+// processBatch is the shared batched datapath: ingress counters, the
+// table's batched lookup/apply into the reused out slab, then egress
+// delivery. It returns the extended slab and the number of packets that
+// reached a registered port. in is mutated (InPort is stamped).
+func (s *Switch) processBatch(ingress pkt.PortID, in []pkt.Packet, out []pkt.Packet) ([]pkt.Packet, int) {
+	s.mu.RLock()
+	pt := s.ports[ingress]
+	s.mu.RUnlock()
+	if pt == nil {
+		s.drops.Add(uint64(len(in)))
+		return out, 0
+	}
+	for i := range in {
+		pt.rxPkts.Add(1)
+		pt.rxBytes.Add(uint64(len(in[i].Payload)))
+		in[i].InPort = ingress
+	}
+	start := len(out)
+	out = s.table.ProcessBatch(in, out, s.miss)
+	emitted := 0
+	for i := start; i < len(out); i++ {
+		if s.deliverOut(out[i]) {
+			emitted++
+		}
+	}
+	return out, emitted
+}
+
+// InjectBatch offers a batch of packets arriving on one ingress port,
+// processing them through the batched datapath with a pooled output
+// slab. Each packet's InPort is overwritten with ingress (the slice is
+// mutated in place). It returns the number of packets emitted.
+func (s *Switch) InjectBatch(ingress pkt.PortID, ps []pkt.Packet) int {
+	slab := s.outPool.Get().(*[]pkt.Packet)
+	out, emitted := s.processBatch(ingress, ps, (*slab)[:0])
+	*slab = out[:0]
+	s.outPool.Put(slab)
+	return emitted
+}
+
+// workerBatch is how many queued packets one port worker drains per
+// ProcessBatch call.
+const workerBatch = 64
+
+// StartWorkers shards packet processing by ingress port: every port
+// registered at call time gets a queue of the given depth (default 256)
+// and a dedicated worker goroutine that drains it in batches of up to
+// workerBatch through the zero-alloc batched datapath, with in/out
+// slabs reused for the worker's lifetime. While workers run,
+// InjectAsync enqueues instead of processing inline. The returned stop
+// function halts every worker and waits for them; packets still queued
+// at stop are dropped. Ports added after StartWorkers fall back to
+// synchronous injection.
+func (s *Switch) StartWorkers(depth int) (stop func()) {
+	if depth <= 0 {
+		depth = 256
+	}
+	queues := make(map[pkt.PortID]chan pkt.Packet)
+	s.mu.Lock()
+	for id := range s.ports {
+		queues[id] = make(chan pkt.Packet, depth)
+	}
+	s.queues = queues
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for id, q := range queues {
+		wg.Add(1)
+		go func(id pkt.PortID, q chan pkt.Packet) {
+			defer wg.Done()
+			s.portWorker(id, q, done)
+		}(id, q)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+		s.mu.Lock()
+		s.queues = nil
+		s.mu.Unlock()
+	}
+}
+
+// portWorker drains one port's queue in batches. The in/out slabs live
+// for the worker's lifetime, so the steady-state path allocates nothing.
+func (s *Switch) portWorker(id pkt.PortID, q chan pkt.Packet, done chan struct{}) {
+	in := make([]pkt.Packet, 0, workerBatch)
+	out := make([]pkt.Packet, 0, 4*workerBatch)
+	for {
+		select {
+		case <-done:
+			return
+		case p := <-q:
+			in = append(in[:0], p)
+		gather:
+			for len(in) < cap(in) {
+				select {
+				case p := <-q:
+					in = append(in, p)
+				default:
+					break gather
+				}
+			}
+			out, _ = s.processBatch(id, in, out[:0])
+		}
+	}
+}
+
+// InjectAsync offers a packet on ingress via the port's worker queue.
+// It reports whether the packet was accepted: a full queue drops the
+// packet (counted in Drops), and a port without a worker — workers not
+// started, or the port added later — falls back to synchronous Inject.
+func (s *Switch) InjectAsync(ingress pkt.PortID, p pkt.Packet) bool {
+	s.mu.RLock()
+	q := s.queues[ingress]
+	s.mu.RUnlock()
+	if q == nil {
+		s.Inject(ingress, p)
+		return true
+	}
+	select {
+	case q <- p:
+		return true
+	default:
+		s.drops.Add(1)
+		return false
+	}
 }
 
 // Output emits a packet directly on a port, bypassing the flow table (the

@@ -177,3 +177,104 @@ type atomicCounter struct {
 
 func (c *atomicCounter) Add(d uint64) { c.mu.Lock(); c.n += d; c.mu.Unlock() }
 func (c *atomicCounter) Load() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.n }
+
+func TestSwitchInjectBatch(t *testing.T) {
+	sw, sinks := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{Priority: 2, Match: pkt.MatchAll.InPort(1).DstPort(80), Actions: []pkt.Action{pkt.Output(2)}})
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll.InPort(1), Actions: []pkt.Action{pkt.Output(3)}})
+	batch := make([]pkt.Packet, 10)
+	for i := range batch {
+		if i%2 == 0 {
+			batch[i].DstPort = 80
+		}
+	}
+	if n := sw.InjectBatch(1, batch); n != 10 {
+		t.Fatalf("InjectBatch emitted %d, want 10", n)
+	}
+	if len(*sinks[2]) != 5 || len(*sinks[3]) != 5 {
+		t.Fatalf("sinks: %d/%d, want 5/5", len(*sinks[2]), len(*sinks[3]))
+	}
+	st, _ := sw.Stats(1)
+	if st.RxPackets != 10 {
+		t.Fatalf("RxPackets = %d", st.RxPackets)
+	}
+}
+
+func TestSwitchInjectBatchMiss(t *testing.T) {
+	sw, _ := newTestSwitch(t)
+	var misses atomicCounter
+	sw.PacketIn = func(pkt.Packet) { misses.Add(1) }
+	sw.InjectBatch(1, make([]pkt.Packet, 7))
+	if misses.Load() != 7 {
+		t.Fatalf("PacketIn saw %d misses, want 7", misses.Load())
+	}
+	if sw.PacketIns() != 7 {
+		t.Fatalf("PacketIns = %d", sw.PacketIns())
+	}
+}
+
+// TestSwitchWorkers: per-port workers drain async injections through the
+// batched datapath; stop() joins every worker (goroutine-leak safe) and
+// is idempotent.
+func TestSwitchWorkers(t *testing.T) {
+	sw := NewSwitch("w")
+	var got atomicCounter
+	done := make(chan struct{})
+	const total = 4 * 500
+	if err := sw.AddPort(1, "in-a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddPort(2, "in-b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddPort(9, "out", func(p pkt.Packet) {
+		got.Add(1)
+		if got.Load() == total {
+			close(done)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(9)}})
+
+	stop := sw.StartWorkers(0)
+	defer stop()
+	var wg sync.WaitGroup
+	for _, ingress := range []pkt.PortID{1, 2} {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(ingress pkt.PortID) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					for !sw.InjectAsync(ingress, pkt.Packet{}) {
+					}
+				}
+			}(ingress)
+		}
+	}
+	wg.Wait()
+	<-done
+	if got.Load() != total {
+		t.Fatalf("delivered %d, want %d", got.Load(), total)
+	}
+	stop()
+	stop() // idempotent
+	// After stop, async injection falls back to the synchronous path.
+	if !sw.InjectAsync(1, pkt.Packet{}) {
+		t.Fatal("post-stop InjectAsync should fall back to Inject")
+	}
+	if got.Load() != total+1 {
+		t.Fatalf("fallback not delivered: %d", got.Load())
+	}
+}
+
+func TestSwitchInjectAsyncWithoutWorkers(t *testing.T) {
+	sw, sinks := newTestSwitch(t)
+	sw.Table().Add(&FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(2)}})
+	if !sw.InjectAsync(1, pkt.Packet{}) {
+		t.Fatal("InjectAsync without workers must fall back to Inject")
+	}
+	if len(*sinks[2]) != 1 {
+		t.Fatalf("sink 2: %d packets", len(*sinks[2]))
+	}
+}

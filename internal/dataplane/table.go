@@ -8,6 +8,7 @@ package dataplane
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +17,20 @@ import (
 	"sdx/internal/pkt"
 	"sdx/internal/policy"
 )
+
+// engineDefault is the process-wide lookup engine default, resolved once
+// from the build-time constant (see engine_default.go / engine_naive.go)
+// and the SDX_DATAPLANE_ENGINE environment variable ("naive" or
+// "compiled"). Individual tables override it with SetCompiled.
+var engineDefault = func() bool {
+	switch os.Getenv("SDX_DATAPLANE_ENGINE") {
+	case "naive":
+		return false
+	case "compiled":
+		return true
+	}
+	return compiledByDefault
+}()
 
 // FlowEntry is one prioritized flow-table rule. Higher priority wins; ties
 // are broken deterministically by cookie (ascending), then by insertion
@@ -39,6 +54,12 @@ type FlowEntry struct {
 // Packets returns the number of packets that hit this entry.
 func (e *FlowEntry) Packets() uint64 { return e.packets.Load() }
 
+// Seq returns the entry's insertion sequence number, the final
+// tie-break leg of table precedence. The differential harness asserts
+// compiled and naive lookups agree on the full (priority, cookie, seq)
+// identity, not just on equal-looking matches.
+func (e *FlowEntry) Seq() uint64 { return e.seq }
+
 // Bytes returns the number of payload bytes that hit this entry.
 func (e *FlowEntry) Bytes() uint64 { return e.bytes.Load() }
 
@@ -55,16 +76,37 @@ func (e *FlowEntry) String() string {
 	return fmt.Sprintf("prio=%d %s -> %s", e.Priority, e.Match, acts)
 }
 
-// FlowTable is a concurrency-safe prioritized flow table.
+// FlowTable is a concurrency-safe prioritized flow table. Lookups run,
+// by default, through a compiled dispatch structure (dst-prefix trie +
+// exact-field buckets, see compiled.go) fronted by a generation-stamped
+// megaflow cache (cache.go); the naive priority-ordered scan remains
+// available as LookupNaive/ProcessNaive, the reference oracle the
+// differential and fuzz harnesses compare against, and can be made the
+// table's engine via SetCompiled(false), SDX_DATAPLANE_ENGINE=naive, or
+// the sdx_naive_dataplane build tag.
 type FlowTable struct {
 	mu      sync.RWMutex
 	entries []*FlowEntry // sorted by entryBefore (priority desc, cookie asc, seq asc)
 	seq     uint64       // next insertion sequence number
 	misses  atomic.Uint64
+
+	// gen counts table mutations. It is bumped inside the write lock
+	// before the entries change, so a reader that still observes the old
+	// generation is linearized before the mutation; the compiled engine
+	// and every megaflow verdict are stamped with the generation they
+	// were computed under and ignored once it is stale.
+	gen    atomic.Uint64
+	eng    atomic.Pointer[engine]
+	builds atomic.Uint64
+	cache  *megaflowCache
+
+	// mode overrides the process default engine: 0 default, 1 compiled,
+	// -1 naive.
+	mode atomic.Int32
 }
 
 // NewFlowTable returns an empty table.
-func NewFlowTable() *FlowTable { return &FlowTable{} }
+func NewFlowTable() *FlowTable { return &FlowTable{cache: newMegaflowCache()} }
 
 // Len returns the number of installed entries.
 func (t *FlowTable) Len() int {
@@ -76,10 +118,23 @@ func (t *FlowTable) Len() int {
 // Misses returns the number of lookups that matched no entry.
 func (t *FlowTable) Misses() uint64 { return t.misses.Load() }
 
+// Generation returns the table's mutation counter. Every Add, AddBatch,
+// DeleteCookie, Replace, and Flush advances it — including no-op
+// mutations — which is what invalidates the compiled engine and every
+// cached megaflow verdict.
+func (t *FlowTable) Generation() uint64 { return t.gen.Load() }
+
+// bumpLocked advances the generation. It must run under the write lock
+// and before the entries are touched: a reader that loads the old
+// generation is then guaranteed the mutation's effects were not yet
+// published, so serving it a pre-mutation verdict is linearizable.
+func (t *FlowTable) bumpLocked() { t.gen.Add(1) }
+
 // Add installs one entry.
 func (t *FlowTable) Add(e *FlowEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.bumpLocked()
 	t.insertLocked(e)
 }
 
@@ -87,6 +142,7 @@ func (t *FlowTable) Add(e *FlowEntry) {
 func (t *FlowTable) AddBatch(es []*FlowEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.bumpLocked()
 	for _, e := range es {
 		t.insertLocked(e)
 	}
@@ -125,6 +181,7 @@ func (t *FlowTable) insertLocked(e *FlowEntry) {
 func (t *FlowTable) DeleteCookie(cookie uint64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.bumpLocked()
 	kept := t.entries[:0]
 	removed := 0
 	for _, e := range t.entries {
@@ -145,6 +202,7 @@ func (t *FlowTable) DeleteCookie(cookie uint64) int {
 func (t *FlowTable) Replace(cookie uint64, es []*FlowEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.bumpLocked()
 	kept := t.entries[:0]
 	for _, e := range t.entries {
 		if e.Cookie != cookie {
@@ -164,14 +222,122 @@ func (t *FlowTable) Replace(cookie uint64, es []*FlowEntry) {
 func (t *FlowTable) Flush() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.bumpLocked()
 	n := len(t.entries)
 	t.entries = nil
 	return n
 }
 
+// SetCompiled overrides the table's lookup engine: true forces the
+// compiled dispatch structure + megaflow cache, false forces the naive
+// linear scan. The process default (build tag + SDX_DATAPLANE_ENGINE)
+// applies until the first call.
+func (t *FlowTable) SetCompiled(on bool) {
+	if on {
+		t.mode.Store(1)
+	} else {
+		t.mode.Store(-1)
+	}
+}
+
+// Compiled reports whether lookups currently run through the compiled
+// engine.
+func (t *FlowTable) Compiled() bool {
+	switch t.mode.Load() {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	return engineDefault
+}
+
+// Stats returns megaflow cache counters; EngineBuilds counts compiled
+// dispatch-structure rebuilds (one per generation that saw a lookup).
+func (t *FlowTable) Stats() CacheStats {
+	return CacheStats{
+		Hits:    t.cache.hits.Load(),
+		Misses:  t.cache.misses.Load(),
+		Entries: t.cache.len(),
+	}
+}
+
+// EngineBuilds returns how many times the compiled dispatch structure
+// was (re)built.
+func (t *FlowTable) EngineBuilds() uint64 { return t.builds.Load() }
+
+// SetCacheCapacity bounds the megaflow cache (verdicts per shard, 16
+// shards). A full shard is cleared wholesale on the next insert.
+func (t *FlowTable) SetCacheCapacity(perShard int) {
+	if perShard < 1 {
+		perShard = 1
+	}
+	t.cache.shardCap.Store(int64(perShard))
+}
+
+// engineFor returns a compiled engine no older than gen, rebuilding from
+// a consistent snapshot when the cached one is stale. The snapshot is
+// taken under the read lock, where the generation is stable, so the
+// engine's stamp exactly matches the entries it compiled.
+func (t *FlowTable) engineFor(gen uint64) *engine {
+	if en := t.eng.Load(); en != nil && en.gen >= gen {
+		return en
+	}
+	t.mu.RLock()
+	g := t.gen.Load()
+	es := append([]*FlowEntry(nil), t.entries...)
+	t.mu.RUnlock()
+	en := buildEngine(g, es)
+	t.builds.Add(1)
+	for {
+		cur := t.eng.Load()
+		if cur != nil && cur.gen >= en.gen {
+			return cur
+		}
+		if t.eng.CompareAndSwap(cur, en) {
+			return en
+		}
+	}
+}
+
+// Precompile eagerly builds the compiled dispatch structure for the
+// current generation, so the first packet after a large table swap does
+// not pay the build cost. The controller calls it after every full
+// recompilation.
+func (t *FlowTable) Precompile() {
+	if t.Compiled() {
+		t.engineFor(t.gen.Load())
+	}
+}
+
 // Lookup returns the matching entry for p (nil for table miss) without
-// updating counters.
+// updating counters. With the compiled engine active it consults the
+// megaflow cache first, then the dispatch structure, memoizing the
+// verdict either way; the result is always identical to LookupNaive at
+// the same generation.
 func (t *FlowTable) Lookup(p pkt.Packet) *FlowEntry {
+	if !t.Compiled() {
+		return t.LookupNaive(p)
+	}
+	gen := t.gen.Load()
+	key := p.HeaderKey()
+	if e, ok := t.cache.get(gen, key); ok {
+		return e
+	}
+	en := t.engineFor(gen)
+	e := en.lookup(p)
+	// Stamp with the engine's generation: if the table mutated between
+	// the gen load and the engine fetch, the verdict reflects the newer
+	// table and must not be served to older-generation readers.
+	t.cache.put(en.gen, key, e)
+	return e
+}
+
+// LookupNaive is the reference oracle: a linear scan of the
+// priority-ordered entry list under the read lock, bypassing both the
+// compiled engine and the megaflow cache. The differential and fuzz
+// harnesses compare every compiled verdict against it.
+func (t *FlowTable) LookupNaive(p pkt.Packet) *FlowEntry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for _, e := range t.entries {
@@ -182,17 +348,37 @@ func (t *FlowTable) Lookup(p pkt.Packet) *FlowEntry {
 	return nil
 }
 
+// dropVerdict is the shared empty output slice returned when a matched
+// entry emits nothing (a drop rule, or an action chain with no output).
+// Sharing it keeps the drop path allocation-free; appending to it cannot
+// corrupt it (zero capacity forces a copy).
+var dropVerdict = make([]pkt.Packet, 0)
+
 // Process applies the table to a packet: the highest-priority matching
 // entry's actions produce the output packets, and hit counters update.
-// A table miss returns nil and increments the miss counter.
+// A table miss returns nil and increments the miss counter; with a warm
+// megaflow cache both the miss and drop paths are allocation-free.
 func (t *FlowTable) Process(p pkt.Packet) []pkt.Packet {
-	e := t.Lookup(p)
+	return t.apply(t.Lookup(p), p)
+}
+
+// ProcessNaive is Process through LookupNaive — the forwarding oracle
+// the differential harness compares compiled Process output against.
+// Counters update exactly as in Process.
+func (t *FlowTable) ProcessNaive(p pkt.Packet) []pkt.Packet {
+	return t.apply(t.LookupNaive(p), p)
+}
+
+func (t *FlowTable) apply(e *FlowEntry, p pkt.Packet) []pkt.Packet {
 	if e == nil {
 		t.misses.Add(1)
 		return nil
 	}
 	e.packets.Add(1)
 	e.bytes.Add(uint64(len(p.Payload)))
+	if len(e.Actions) == 0 {
+		return dropVerdict
+	}
 	out := make([]pkt.Packet, 0, len(e.Actions))
 	for _, a := range e.Actions {
 		q, emitted := a.Apply(p)
@@ -201,6 +387,34 @@ func (t *FlowTable) Process(p pkt.Packet) []pkt.Packet {
 			continue
 		}
 		out = append(out, q)
+	}
+	return out
+}
+
+// ProcessBatch applies the table to every packet in in, appending each
+// output packet to out and returning the extended slice. Counters update
+// as in Process; misses increment the miss counter and invoke miss (when
+// non-nil) instead of producing output. With a warm megaflow cache and a
+// sufficiently large out slab the batched hot path performs zero
+// allocations — callers (the switch's per-port workers, the benchmark
+// harness) reuse their slabs across batches.
+func (t *FlowTable) ProcessBatch(in []pkt.Packet, out []pkt.Packet, miss func(pkt.Packet)) []pkt.Packet {
+	for i := range in {
+		e := t.Lookup(in[i])
+		if e == nil {
+			t.misses.Add(1)
+			if miss != nil {
+				miss(in[i])
+			}
+			continue
+		}
+		e.packets.Add(1)
+		e.bytes.Add(uint64(len(in[i].Payload)))
+		for _, a := range e.Actions {
+			if q, emitted := a.Apply(in[i]); emitted {
+				out = append(out, q)
+			}
+		}
 	}
 	return out
 }

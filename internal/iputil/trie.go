@@ -125,6 +125,43 @@ func (t *Trie) Walk(fn func(p Prefix, val any) bool) {
 	rec(t.root, 0, 0)
 }
 
+// PathIter iterates over the stored prefixes covering one address,
+// shortest (least specific) first. It is a plain value with no hidden
+// allocation, so hot paths — the dataplane's compiled match engine walks
+// one per table-miss lookup — can keep it on the stack.
+//
+// The iterator reads the trie without synchronization; like the rest of
+// Trie, callers must not mutate the trie concurrently.
+type PathIter struct {
+	n     *trieNode
+	addr  Addr
+	depth uint8
+}
+
+// Path returns an iterator over every stored prefix that contains addr,
+// in order of increasing prefix length (0.0.0.0/0 first when stored).
+func (t *Trie) Path(addr Addr) PathIter {
+	return PathIter{n: t.root, addr: addr}
+}
+
+// Next returns the next covering prefix and its value; ok is false when
+// the path is exhausted.
+func (it *PathIter) Next() (p Prefix, val any, ok bool) {
+	for it.n != nil {
+		n, depth := it.n, it.depth
+		if depth == 32 {
+			it.n = nil
+		} else {
+			it.n = n.child[bit(it.addr, depth)]
+			it.depth = depth + 1
+		}
+		if n.set {
+			return NewPrefix(it.addr, depth), n.val, true
+		}
+	}
+	return Prefix{}, nil, false
+}
+
 // bit returns bit i (0 = most significant) of a.
 func bit(a Addr, i uint8) int {
 	return int(a>>(31-i)) & 1

@@ -123,6 +123,37 @@ type Packet struct {
 	Payload []byte
 }
 
+// HeaderKey is the comparable tuple of a packet's matchable header fields
+// plus its location — everything Match can constrain, nothing it cannot.
+// It keys the dataplane's exact-match megaflow cache: two packets with
+// equal HeaderKeys are indistinguishable to any flow table.
+type HeaderKey struct {
+	InPort  PortID
+	SrcMAC  MAC
+	DstMAC  MAC
+	EthType uint16
+	SrcIP   iputil.Addr
+	DstIP   iputil.Addr
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+}
+
+// HeaderKey returns the packet's header tuple, ignoring the payload.
+func (p Packet) HeaderKey() HeaderKey {
+	return HeaderKey{
+		InPort:  p.InPort,
+		SrcMAC:  p.SrcMAC,
+		DstMAC:  p.DstMAC,
+		EthType: p.EthType,
+		SrcIP:   p.SrcIP,
+		DstIP:   p.DstIP,
+		Proto:   p.Proto,
+		SrcPort: p.SrcPort,
+		DstPort: p.DstPort,
+	}
+}
+
 // SameHeader reports whether two packets agree on every header field and
 // location, ignoring payloads. Packet itself is not comparable because of
 // the payload slice.

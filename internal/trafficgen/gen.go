@@ -1,0 +1,152 @@
+package trafficgen
+
+import (
+	"math/rand"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// Pools bounds the header-field values a PacketGen draws from. Empty
+// slices fall back to small defaults so a zero Pools still generates
+// plausible IXP traffic.
+type Pools struct {
+	InPorts  []pkt.PortID
+	DstMACs  []pkt.MAC
+	EthTypes []uint16
+	DstIPs   []iputil.Addr // "interesting" destinations, e.g. installed rule prefixes
+	Protos   []uint8
+	DstPorts []uint16
+}
+
+func (p Pools) withDefaults() Pools {
+	if len(p.InPorts) == 0 {
+		p.InPorts = []pkt.PortID{1, 2, 3, 4}
+	}
+	if len(p.DstMACs) == 0 {
+		p.DstMACs = []pkt.MAC{0, 1, 2, 3}
+	}
+	if len(p.EthTypes) == 0 {
+		p.EthTypes = []uint16{pkt.EthTypeIPv4}
+	}
+	if len(p.Protos) == 0 {
+		p.Protos = []uint8{pkt.ProtoTCP, pkt.ProtoUDP, pkt.ProtoICMP}
+	}
+	if len(p.DstPorts) == 0 {
+		p.DstPorts = []uint16{80, 443, 8080, 53, 9000, 25}
+	}
+	return p
+}
+
+// PoolsFromEntries derives Pools from installed flow entries, so
+// generated traffic lands on the match space the classifier actually
+// covers: destination addresses inside each rule's dst prefix, the
+// in-ports, MACs, ethertypes, protocols, and ports the rules test.
+func PoolsFromEntries(es []*dataplane.FlowEntry) Pools {
+	var p Pools
+	for _, e := range es {
+		if pfx, ok := e.Match.GetDstIP(); ok {
+			p.DstIPs = append(p.DstIPs, pfx.Addr())
+		}
+		if in, ok := e.Match.GetInPort(); ok {
+			p.InPorts = append(p.InPorts, in)
+		}
+		if mac, ok := e.Match.GetDstMAC(); ok {
+			p.DstMACs = append(p.DstMACs, mac)
+		}
+		if et, ok := e.Match.GetEthType(); ok {
+			p.EthTypes = append(p.EthTypes, et)
+		}
+		if pr, ok := e.Match.GetProto(); ok {
+			p.Protos = append(p.Protos, pr)
+		}
+		if dp, ok := e.Match.GetDstPort(); ok {
+			p.DstPorts = append(p.DstPorts, dp)
+		}
+	}
+	return p
+}
+
+// PacketGen deterministically synthesizes packet streams from a seed.
+// Two generators built with equal (seed, pools, options) produce
+// byte-identical streams — the property the differential harness and
+// the dataplane benchmarks rely on to replay the same traffic against
+// two lookup engines.
+type PacketGen struct {
+	r       *rand.Rand
+	pools   Pools
+	hitBias float64
+	ws      []pkt.Packet // active working set, nil when unbounded
+}
+
+// NewPacketGen returns a generator with a 0.75 hit bias and no working
+// set (every packet is a fresh draw).
+func NewPacketGen(seed int64, pools Pools) *PacketGen {
+	return &PacketGen{
+		r:       rand.New(rand.NewSource(seed)),
+		pools:   pools.withDefaults(),
+		hitBias: 0.75,
+	}
+}
+
+// SetHitBias sets the fraction of packets whose destination address is
+// drawn from the DstIPs pool (landing inside installed rules' prefixes);
+// the remainder are uniform random addresses, mostly table misses.
+func (g *PacketGen) SetHitBias(f float64) *PacketGen {
+	g.hitBias = f
+	return g
+}
+
+// SetWorkingSet bounds the stream to n distinct header tuples, drawn up
+// front and then sampled uniformly. The working-set size against the
+// megaflow cache capacity sets the cache hit rate: n far below capacity
+// approaches 100% hits, n far above forces engine dispatch on most
+// packets. n <= 0 removes the bound.
+func (g *PacketGen) SetWorkingSet(n int) *PacketGen {
+	if n <= 0 {
+		g.ws = nil
+		return g
+	}
+	g.ws = make([]pkt.Packet, n)
+	for i := range g.ws {
+		g.ws[i] = g.fresh()
+	}
+	return g
+}
+
+func (g *PacketGen) fresh() pkt.Packet {
+	p := pkt.Packet{
+		InPort:  g.pools.InPorts[g.r.Intn(len(g.pools.InPorts))],
+		DstMAC:  g.pools.DstMACs[g.r.Intn(len(g.pools.DstMACs))],
+		EthType: g.pools.EthTypes[g.r.Intn(len(g.pools.EthTypes))],
+		Proto:   g.pools.Protos[g.r.Intn(len(g.pools.Protos))],
+		SrcPort: uint16(1024 + g.r.Intn(60000)),
+		DstPort: g.pools.DstPorts[g.r.Intn(len(g.pools.DstPorts))],
+		SrcIP:   iputil.Addr(g.r.Uint32()),
+	}
+	if len(g.pools.DstIPs) > 0 && g.r.Float64() < g.hitBias {
+		base := g.pools.DstIPs[g.r.Intn(len(g.pools.DstIPs))]
+		p.DstIP = base + iputil.Addr(g.r.Intn(16))
+	} else {
+		p.DstIP = iputil.Addr(g.r.Uint32())
+	}
+	return p
+}
+
+// Next returns the stream's next packet.
+func (g *PacketGen) Next() pkt.Packet {
+	if g.ws != nil {
+		return g.ws[g.r.Intn(len(g.ws))]
+	}
+	return g.fresh()
+}
+
+// Fill overwrites every element of ps with the next packets of the
+// stream, allocation-free, and returns ps.
+func (g *PacketGen) Fill(ps []pkt.Packet) []pkt.Packet {
+	for i := range ps {
+		ps[i] = g.Next()
+	}
+	return ps
+}
