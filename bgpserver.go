@@ -37,6 +37,35 @@ type BGPServer struct {
 	conns    map[net.Conn]struct{} // accepted, pre-handshake
 	sessions map[*bgp.Session]struct{}
 	peers    map[uint32]*bgp.Session // current session per peer AS
+	queue    *UpdateQueue            // optional coalescing ingestion queue
+}
+
+// UseIngestQueue routes received UPDATEs through the coalescing queue
+// instead of applying each one synchronously: session reader goroutines
+// enqueue (blocking only when the queue exerts backpressure) and the
+// queue's drainer applies coalesced batches via ApplyBatch — the
+// full-table-burst configuration. Call before the first session
+// connects; the queue's lifecycle (Stop) stays with the caller.
+func (s *BGPServer) UseIngestQueue(q *UpdateQueue) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = q
+}
+
+// ingest applies one received UPDATE: through the queue when configured,
+// synchronously otherwise.
+func (s *BGPServer) ingest(from uint32, u *bgp.Update) {
+	s.mu.Lock()
+	q := s.queue
+	s.mu.Unlock()
+	if q != nil {
+		if err := q.Enqueue(from, u); err == nil {
+			return
+		}
+		// Queue stopped under us: fall back to the synchronous path so
+		// late in-flight updates are not dropped.
+	}
+	s.ctrl.ApplyUpdates(from, u)
 }
 
 // ListenBGP starts a route-server endpoint on addr (e.g. "127.0.0.1:0").
@@ -129,7 +158,7 @@ func (s *BGPServer) handle(conn net.Conn) {
 		LocalAS:  s.localAS,
 		RouterID: s.routerID,
 		OnUpdate: func(sess *bgp.Session, u *bgp.Update) {
-			s.ctrl.ProcessUpdate(sess.PeerAS(), u)
+			s.ingest(sess.PeerAS(), u)
 		},
 		Metrics: s.ctrl.Metrics(),
 		Tracer:  s.ctrl.Tracer(),

@@ -100,10 +100,10 @@ func TestBGPServerSessionFlow(t *testing.T) {
 
 	// With a policy covering the prefix, the re-advertised next hop moves
 	// into the VNH subnet.
-	if _, err := ctrl.SetPolicyAndCompile(100, nil, []Term{
+	if rep := ctrl.Recompile(CompilePolicy(100, nil, []Term{
 		Fwd(MatchAll.DstPort(80), 200),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	deadline = time.Now().Add(3 * time.Second)
 	for {

@@ -27,13 +27,36 @@ func main() {
 	withdraw := flag.Float64("withdraw-fraction", 0.2, "fraction of updates that are withdrawals")
 	seed := flag.Int64("seed", 1, "generator seed")
 	stats := flag.Bool("stats", false, "print Table 1-style statistics instead of the trace")
+	churn := flag.Bool("churn", false, "sustained hot-prefix churn instead of Table 1 bursts")
+	hotFraction := flag.Float64("hot-fraction", 0.01, "churn: fraction of prefixes forming the hot set")
+	hotShare := flag.Float64("hot-share", 0.8, "churn: fraction of updates aimed at the hot set")
+	profile := flag.String("profile", "", "full-table scale profile (ci, quarter, full); overrides -participants/-prefixes/-updates and implies -churn")
 	flag.Parse()
 
+	if *profile != "" {
+		sp, ok := workload.LookupScaleProfile(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bgpgen: unknown profile %q\n", *profile)
+			os.Exit(2)
+		}
+		*participants, *prefixes, *updates = sp.Participants, sp.Prefixes, sp.Updates
+		*churn = true
+	}
+
 	x := workload.NewIXP(workload.DefaultTopology(*participants, *prefixes, *seed))
-	tr := workload.GenerateTrace(x, workload.TraceConfig{
-		Seed: *seed, Updates: *updates,
-		UpdatedFraction: *fraction, WithdrawFraction: *withdraw,
-	})
+	var tr *workload.Trace
+	if *churn {
+		cfg := workload.DefaultChurn(*updates, *seed)
+		cfg.HotFraction = *hotFraction
+		cfg.HotShare = *hotShare
+		cfg.WithdrawFraction = *withdraw
+		tr = workload.GenerateChurn(x, cfg)
+	} else {
+		tr = workload.GenerateTrace(x, workload.TraceConfig{
+			Seed: *seed, Updates: *updates,
+			UpdatedFraction: *fraction, WithdrawFraction: *withdraw,
+		})
+	}
 
 	if *stats {
 		st := tr.Stats(*prefixes)

@@ -30,9 +30,27 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark baseline instead of text tables")
 	dataplaneOut := flag.Bool("dataplane", false, "benchmark the dataplane fast path (compiled engine + megaflow cache vs naive scan) and write its baseline")
-	outPath := flag.String("o", "", "output path (default BENCH_compile.json for -json, BENCH_dataplane.json for -dataplane)")
+	scaleOut := flag.Bool("scale", false, "run the full-table scale benchmark (serial vs coalesced ingestion) and write its baseline")
+	scaleCase := flag.String("scale-case", "", "with -scale: run only the named case (ci, participants1000)")
+	against := flag.String("against", "", "with -scale: compare the fresh report against this committed baseline and fail on >20% install-p95 regression")
+	outPath := flag.String("o", "", "output path (default BENCH_compile.json for -json, BENCH_dataplane.json for -dataplane, BENCH_scale.json for -scale)")
 	flag.Parse()
 
+	if *scaleOut {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_scale.json"
+		}
+		if err := writeScaleReport(path, *scaleCase, *seed); err != nil {
+			log.Fatalf("scale baseline: %v", err)
+		}
+		if *against != "" {
+			if err := checkScaleRegression(path, *against); err != nil {
+				log.Fatalf("scale regression gate: %v", err)
+			}
+		}
+		return
+	}
 	if *dataplaneOut {
 		path := *outPath
 		if path == "" {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sdx/internal/experiments"
+)
+
+// scaleReport is the machine-readable scale baseline written by
+// `sdx-bench -scale` (schema sdx-bench/scale/v1). Each case drives the
+// same sustained hot-prefix churn through the serial per-update path and
+// the coalescing batch path on identically built exchanges; `identical`
+// asserts the two end states recompiled byte-equal. Durations are
+// integer nanoseconds in _ns fields. As with the compile baseline,
+// absolute rates are host-dependent (see host.cpus) — the regression
+// gate compares like with like via -against.
+type scaleReport struct {
+	Schema      string      `json:"schema"`
+	GeneratedAt time.Time   `json:"generatedAt"`
+	Seed        int64       `json:"seed"`
+	Host        hostInfo    `json:"host"`
+	Cases       []scaleJSON `json:"cases"`
+}
+
+type scaleJSON struct {
+	Case          string  `json:"case"`
+	Participants  int     `json:"participants"`
+	Prefixes      int     `json:"prefixes"`
+	Updates       int     `json:"updates"`
+	LoadNS        int64   `json:"load_ns"`
+	CompileNS     int64   `json:"compile_ns"`
+	HeapPerPrefix float64 `json:"heapBytesPerPrefix"`
+	SerialNS      int64   `json:"serial_ns"`
+	SerialRate    float64 `json:"serialUpdatesPerSec"`
+	CoalescedNS   int64   `json:"coalesced_ns"`
+	CoalescedRate float64 `json:"coalescedUpdatesPerSec"`
+	Applied       int64   `json:"appliedEntries"`
+	CoalesceRatio float64 `json:"coalesceRatio"`
+	Speedup       float64 `json:"speedup"`
+	InstallP50NS  int64   `json:"installP50_ns"`
+	InstallP95NS  int64   `json:"installP95_ns"`
+	InstallP99NS  int64   `json:"installP99_ns"`
+	Identical     bool    `json:"identical"`
+}
+
+// writeScaleReport runs the scale cases (all, or just `only`) and writes
+// the baseline. The 1000-participant case must clear the
+// experiments.MinScaleSpeedup floor; every case must end byte-identical
+// across the two ingestion paths.
+func writeScaleReport(path, only string, seed int64) error {
+	report := scaleReport{
+		Schema:      "sdx-bench/scale/v1",
+		GeneratedAt: time.Now().UTC(),
+		Seed:        seed,
+		Host: hostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+	ran := 0
+	for _, c := range experiments.ScaleCases {
+		if only != "" && only != c.Name {
+			continue
+		}
+		ran++
+		fmt.Printf("scale %s: %d participants, %d prefixes, %d churn updates...\n",
+			c.Name, c.Participants, c.Prefixes, c.Updates)
+		r, err := experiments.Scale(c, seed)
+		if err != nil {
+			return err
+		}
+		if c.Participants >= 1000 && r.Speedup < experiments.MinScaleSpeedup {
+			return fmt.Errorf("scale %s: coalesced speedup %.2fx below the %.1fx floor",
+				c.Name, r.Speedup, experiments.MinScaleSpeedup)
+		}
+		fmt.Printf("  serial %.0f upd/s, coalesced %.0f upd/s (%.2fx, ratio %.1f), install p95 %v\n",
+			r.SerialRate, r.CoalescedRate, r.Speedup, r.CoalesceRatio,
+			r.InstallP95.Round(time.Millisecond))
+		report.Cases = append(report.Cases, scaleJSON{
+			Case:          c.Name,
+			Participants:  c.Participants,
+			Prefixes:      c.Prefixes,
+			Updates:       c.Updates,
+			LoadNS:        r.LoadTime.Nanoseconds(),
+			CompileNS:     r.CompileTime.Nanoseconds(),
+			HeapPerPrefix: r.HeapPerPfx,
+			SerialNS:      r.SerialTime.Nanoseconds(),
+			SerialRate:    r.SerialRate,
+			CoalescedNS:   r.CoalescedTime.Nanoseconds(),
+			CoalescedRate: r.CoalescedRate,
+			Applied:       r.Applied,
+			CoalesceRatio: r.CoalesceRatio,
+			Speedup:       r.Speedup,
+			InstallP50NS:  r.InstallP50.Nanoseconds(),
+			InstallP95NS:  r.InstallP95.Nanoseconds(),
+			InstallP99NS:  r.InstallP99.Nanoseconds(),
+			Identical:     r.Identical,
+		})
+	}
+	if ran == 0 {
+		return fmt.Errorf("no scale case named %q", only)
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", path, len(report.Cases))
+	return nil
+}
+
+// maxScaleRegression is the CI gate: a run's install p95 may not exceed
+// the committed baseline's by more than this factor for the same case.
+const maxScaleRegression = 1.20
+
+// checkScaleRegression compares a fresh report against a committed
+// baseline and fails on >20% p95 install-latency regression (or a lost
+// identical-end-state assertion) for any case present in both.
+func checkScaleRegression(newPath, basePath string) error {
+	load := func(p string) (*scaleReport, error) {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r scaleReport
+		if err := json.Unmarshal(buf, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		return &r, nil
+	}
+	fresh, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]scaleJSON)
+	for _, c := range base.Cases {
+		baseline[c.Case] = c
+	}
+	compared := 0
+	for _, c := range fresh.Cases {
+		b, ok := baseline[c.Case]
+		if !ok {
+			continue
+		}
+		compared++
+		if !c.Identical {
+			return fmt.Errorf("scale %s: end states diverged across ingestion paths", c.Case)
+		}
+		if b.InstallP95NS > 0 && float64(c.InstallP95NS) > float64(b.InstallP95NS)*maxScaleRegression {
+			return fmt.Errorf("scale %s: install p95 regressed %.1f%% (%v -> %v, gate %.0f%%)",
+				c.Case,
+				100*(float64(c.InstallP95NS)/float64(b.InstallP95NS)-1),
+				time.Duration(b.InstallP95NS).Round(time.Millisecond),
+				time.Duration(c.InstallP95NS).Round(time.Millisecond),
+				100*(maxScaleRegression-1))
+		}
+		fmt.Printf("scale %s: install p95 %v vs baseline %v — within gate\n",
+			c.Case,
+			time.Duration(c.InstallP95NS).Round(time.Millisecond),
+			time.Duration(b.InstallP95NS).Round(time.Millisecond))
+	}
+	if compared == 0 {
+		return fmt.Errorf("no shared cases between %s and %s", newPath, basePath)
+	}
+	return nil
+}

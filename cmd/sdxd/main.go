@@ -51,6 +51,7 @@ func main() {
 	fabric := flag.String("fabric", "", "optional sdx-switch address to program over the control channel")
 	optimize := flag.Duration("optimize-interval", 5*time.Second, "background recompilation interval")
 	metricsAddr := flag.String("metrics", "", "HTTP observability address (serves /metrics, /metrics/text, /trace); empty disables")
+	coalesce := flag.Bool("coalesce", true, "route received UPDATEs through the coalescing ingestion queue (per-(peer,prefix) latest-wins, bounded install latency)")
 	flag.Parse()
 
 	ctrl := sdx.New(sdx.WithLogger(log.Printf))
@@ -134,6 +135,13 @@ func main() {
 	}
 	log.Printf("route server listening on %s (AS%d)", srv.Addr(), *localAS)
 
+	var queue *sdx.UpdateQueue
+	if *coalesce {
+		queue = sdx.NewUpdateQueue(ctrl, sdx.QueueConfig{})
+		srv.UseIngestQueue(queue)
+		log.Printf("coalescing ingestion queue enabled")
+	}
+
 	// Background optimizer: recompile between update bursts (§4.3.2).
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -150,6 +158,12 @@ func main() {
 		case <-stop:
 			log.Printf("shutting down")
 			srv.Close()
+			if queue != nil {
+				queue.Stop()
+				st := queue.Stats()
+				log.Printf("ingestion queue: %d enqueued, %d coalesced, %d applied over %d drains",
+					st.Enqueued, st.Coalesced, st.Applied, st.Drains)
+			}
 			fabricStop()
 			return
 		}

@@ -70,10 +70,10 @@ func TestDistributedFabric(t *testing.T) {
 	}
 	announce(200, 200, 900, 901)
 	announce(300, 300)
-	if _, err := ctrl.SetPolicyAndCompile(100, nil, []Term{
+	if rep := ctrl.Recompile(CompilePolicy(100, nil, []Term{
 		Fwd(MatchAll.DstPort(80), 200),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	if err := client.Barrier(); err != nil {
 		t.Fatal(err)

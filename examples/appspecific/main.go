@@ -63,10 +63,10 @@ func main() {
 
 	exp.At(*policyAt, func() {
 		fmt.Printf("t=%4ds  AS C installs application-specific peering: port 80 via AS B\n", *policyAt)
-		if _, err := x.SetPolicyAndCompile(300, nil, []sdx.Term{
+		if rep := x.Recompile(sdx.CompilePolicy(300, nil, []sdx.Term{
 			sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
-		}); err != nil {
-			log.Fatal(err)
+		})); rep.Err != nil {
+			log.Fatal(rep.Err)
 		}
 	})
 	exp.At(*withdrawAt, func() {

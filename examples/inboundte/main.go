@@ -52,11 +52,11 @@ func main() {
 
 	// B's inbound TE policy (the §3.1 example): low halves of the source
 	// space to port B1, high halves to B2.
-	if _, err := x.SetPolicyAndCompile(200, []sdx.Term{
+	if rep := x.Recompile(sdx.CompilePolicy(200, []sdx.Term{
 		sdx.FwdPort(sdx.MatchAll.SrcIP(sdx.MustParsePrefix("0.0.0.0/1")), 2),
 		sdx.FwdPort(sdx.MatchAll.SrcIP(sdx.MustParsePrefix("128.0.0.0/1")), 3),
-	}, nil); err != nil {
-		log.Fatal(err)
+	}, nil)); rep.Err != nil {
+		log.Fatal(rep.Err)
 	}
 	b1.ClearReceived()
 	b2.ClearReceived()

@@ -75,8 +75,8 @@ func main() {
 					sdx.NoMods.SetDstIP(inst1)),
 			}
 		}
-		if _, err := x.SetPolicyAndCompile(400, terms, nil); err != nil {
-			log.Fatal(err)
+		if rep := x.Recompile(sdx.CompilePolicy(400, terms, nil)); rep.Err != nil {
+			log.Fatal(rep.Err)
 		}
 	}
 	setTenantPolicy(false)

@@ -56,8 +56,8 @@ func main() {
 	for _, p := range videoPrefixes {
 		terms = append(terms, sdx.FwdMiddlebox(sdx.MatchAll.SrcIP(p), 500))
 	}
-	if _, err := x.SetPolicyAndCompile(100, nil, terms); err != nil {
-		log.Fatal(err)
+	if rep := x.Recompile(sdx.CompilePolicy(100, nil, terms)); rep.Err != nil {
+		log.Fatal(rep.Err)
 	}
 
 	mbox.OnDeliver = func(p pkt.Packet) {

@@ -61,11 +61,11 @@ func main() {
 		Attrs: &bgp.PathAttrs{ASPath: []uint32{300}, NextHop: sdx.PortIP(4)},
 		NLRI:  []iputil.Prefix{p1},
 	})
-	rep, err := x.SetPolicyAndCompile(100, nil, []sdx.Term{
+	rep := x.Recompile(sdx.CompilePolicy(100, nil, []sdx.Term{
 		sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
-	})
-	if err != nil {
-		log.Fatal(err)
+	}))
+	if rep.Err != nil {
+		log.Fatal(rep.Err)
 	}
 	fmt.Printf("compiled %d rules; distributed across the fabric: %d switch entries\n",
 		rep.Rules, fab.TotalRules())

@@ -39,12 +39,12 @@ func main() {
 	c.Announce(p3, 300, 900)
 
 	// AS A's §3.1 policy: web via B, https via C, rest follows BGP.
-	rep, err := x.SetPolicyAndCompile(100, nil, []sdx.Term{
+	rep := x.Recompile(sdx.CompilePolicy(100, nil, []sdx.Term{
 		sdx.Fwd(sdx.MatchAll.DstPort(80), 200),
 		sdx.Fwd(sdx.MatchAll.DstPort(443), 300),
-	})
-	if err != nil {
-		log.Fatal(err)
+	}))
+	if rep.Err != nil {
+		log.Fatal(rep.Err)
 	}
 	fmt.Printf("compiled: %d prefix groups, %d rules (%d policy + %d default) in %v\n\n",
 		rep.Groups, rep.Rules, rep.Band1, rep.Band2, rep.Elapsed)

@@ -23,28 +23,72 @@ func (r *Route) String() string {
 	return fmt.Sprintf("%s via AS%d %s", r.Prefix, r.PeerAS, r.Attrs)
 }
 
-// RIB is a set of routes keyed by prefix with at most one route per
-// (prefix, peer AS) pair — the shape of both a per-peer Adj-RIB-In (where
-// all routes share one peer) and a route server's merged table. RIB is
-// safe for concurrent use.
-type RIB struct {
+// RIBShards is the number of independent lock domains a RIB is split
+// into. Updates for prefixes in different shards never contend. A small
+// power of two keeps the per-shard map overhead negligible while giving
+// full-table feeds (1M prefixes, 1000 peers) enough parallelism to keep
+// every core busy.
+const RIBShards = 16
+
+// ShardOf maps a prefix to its shard index. The mapping is a stable
+// FNV-1a hash over the prefix bytes rather than a range split: workload
+// prefixes are typically sequential /24s, so range-based sharding would
+// put entire feeds in one shard. Everything that partitions work by
+// prefix (the route server's per-shard decision process, parallel RIB
+// walks) must use this same mapping so per-prefix state lines up 1:1
+// across layers.
+func ShardOf(p iputil.Prefix) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	a := uint32(p.Addr())
+	h = (h ^ uint64(a>>24)) * prime64
+	h = (h ^ uint64(a>>16&0xff)) * prime64
+	h = (h ^ uint64(a>>8&0xff)) * prime64
+	h = (h ^ uint64(a&0xff)) * prime64
+	h = (h ^ uint64(p.Bits())) * prime64
+	return int(h & (RIBShards - 1))
+}
+
+// ribShard is one lock domain: a slice of the route table guarded by its
+// own lock. All prefixes in the shard satisfy ShardOf(p) == index.
+type ribShard struct {
 	mu     sync.RWMutex
 	routes map[iputil.Prefix]map[uint32]*Route // prefix -> peerAS -> route
 }
 
+// RIB is a set of routes keyed by prefix with at most one route per
+// (prefix, peer AS) pair — the shape of both a per-peer Adj-RIB-In (where
+// all routes share one peer) and a route server's merged table. RIB is
+// safe for concurrent use, and internally sharded (RIBShards lock
+// domains keyed by ShardOf) so writers touching disjoint prefixes do not
+// serialize on one mutex. The API is unchanged from the unsharded RIB;
+// per-shard accessors (ShardPrefixes, ShardRemovePeer) expose the
+// partitioning to callers that want to parallelize by shard.
+type RIB struct {
+	shards [RIBShards]ribShard
+}
+
 // NewRIB returns an empty RIB.
 func NewRIB() *RIB {
-	return &RIB{routes: make(map[iputil.Prefix]map[uint32]*Route)}
+	t := &RIB{}
+	for i := range t.shards {
+		t.shards[i].routes = make(map[iputil.Prefix]map[uint32]*Route)
+	}
+	return t
 }
 
 // Add inserts or replaces the route for (route.Prefix, route.PeerAS).
 func (t *RIB) Add(r *Route) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := t.routes[r.Prefix]
+	sh := &t.shards[ShardOf(r.Prefix)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.routes[r.Prefix]
 	if m == nil {
 		m = make(map[uint32]*Route)
-		t.routes[r.Prefix] = m
+		sh.routes[r.Prefix] = m
 	}
 	m[r.PeerAS] = r
 }
@@ -52,15 +96,16 @@ func (t *RIB) Add(r *Route) {
 // Remove deletes the route for (prefix, peerAS). It reports whether a
 // route was present.
 func (t *RIB) Remove(prefix iputil.Prefix, peerAS uint32) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := t.routes[prefix]
+	sh := &t.shards[ShardOf(prefix)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.routes[prefix]
 	if _, ok := m[peerAS]; !ok {
 		return false
 	}
 	delete(m, peerAS)
 	if len(m) == 0 {
-		delete(t.routes, prefix)
+		delete(sh.routes, prefix)
 	}
 	return true
 }
@@ -68,15 +113,27 @@ func (t *RIB) Remove(prefix iputil.Prefix, peerAS uint32) bool {
 // RemovePeer deletes every route learned from peerAS (session teardown)
 // and returns the affected prefixes.
 func (t *RIB) RemovePeer(peerAS uint32) []iputil.Prefix {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var affected []iputil.Prefix
-	for p, m := range t.routes {
+	for i := range t.shards {
+		affected = append(affected, t.ShardRemovePeer(i, peerAS)...)
+	}
+	return affected
+}
+
+// ShardRemovePeer deletes every route learned from peerAS whose prefix
+// lives in the given shard and returns the affected prefixes. Callers
+// parallelizing a session teardown run one call per shard concurrently.
+func (t *RIB) ShardRemovePeer(shard int, peerAS uint32) []iputil.Prefix {
+	sh := &t.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var affected []iputil.Prefix
+	for p, m := range sh.routes {
 		if _, ok := m[peerAS]; ok {
 			delete(m, peerAS)
 			affected = append(affected, p)
 			if len(m) == 0 {
-				delete(t.routes, p)
+				delete(sh.routes, p)
 			}
 		}
 	}
@@ -85,18 +142,20 @@ func (t *RIB) RemovePeer(peerAS uint32) []iputil.Prefix {
 
 // Get returns the route for (prefix, peerAS).
 func (t *RIB) Get(prefix iputil.Prefix, peerAS uint32) (*Route, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	r, ok := t.routes[prefix][peerAS]
+	sh := &t.shards[ShardOf(prefix)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.routes[prefix][peerAS]
 	return r, ok
 }
 
 // Routes returns every route for a prefix, ordered by peer AS for
 // determinism.
 func (t *RIB) Routes(prefix iputil.Prefix) []*Route {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	m := t.routes[prefix]
+	sh := &t.shards[ShardOf(prefix)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.routes[prefix]
 	out := make([]*Route, 0, len(m))
 	for _, r := range m {
 		out = append(out, r)
@@ -107,10 +166,22 @@ func (t *RIB) Routes(prefix iputil.Prefix) []*Route {
 
 // Prefixes returns every prefix with at least one route, sorted.
 func (t *RIB) Prefixes() []iputil.Prefix {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]iputil.Prefix, 0, len(t.routes))
-	for p := range t.routes {
+	var out []iputil.Prefix
+	for i := range t.shards {
+		out = append(out, t.ShardPrefixes(i)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// ShardPrefixes returns every prefix with at least one route in the
+// given shard, sorted. The union over all shards is Prefixes().
+func (t *RIB) ShardPrefixes(shard int) []iputil.Prefix {
+	sh := &t.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]iputil.Prefix, 0, len(sh.routes))
+	for p := range sh.routes {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
@@ -119,9 +190,14 @@ func (t *RIB) Prefixes() []iputil.Prefix {
 
 // Len returns the number of prefixes with at least one route.
 func (t *RIB) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.routes)
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.routes)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Walk visits every route grouped by prefix in sorted prefix order.
@@ -144,16 +220,19 @@ func (t *RIB) FilterASPath(expr string) ([]iputil.Prefix, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var out []iputil.Prefix
-	for p, m := range t.routes {
-		for _, r := range m {
-			if re.MatchString(pathString(r.Attrs.ASPath)) {
-				out = append(out, p)
-				break
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for p, m := range sh.routes {
+			for _, r := range m {
+				if re.MatchString(pathString(r.Attrs.ASPath)) {
+					out = append(out, p)
+					break
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out, nil

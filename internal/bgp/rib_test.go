@@ -116,3 +116,83 @@ func TestRIBFilterASPath(t *testing.T) {
 		t.Fatal("bad regexp must error")
 	}
 }
+
+func TestRIBShardMappingStableAndSpread(t *testing.T) {
+	// ShardOf must be deterministic and must spread the sequential /24
+	// prefixes the workload generator emits across all shards (a range
+	// split would put them all in one).
+	counts := make([]int, RIBShards)
+	for i := 0; i < 4096; i++ {
+		p, err := iputil.ParsePrefix(iputil.Addr(0x10_00_00_00|uint32(i)<<8).String() + "/24")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ShardOf(p)
+		if s != ShardOf(p) {
+			t.Fatalf("ShardOf(%s) unstable", p)
+		}
+		if s < 0 || s >= RIBShards {
+			t.Fatalf("ShardOf(%s) = %d out of range", p, s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no prefixes: %v", s, counts)
+		}
+		// With 4096 prefixes over 16 shards the expectation is 256; a
+		// loose 2x bound catches gross skew without being flaky.
+		if n > 2*4096/RIBShards {
+			t.Fatalf("shard %d is hot: %d of 4096 (%v)", s, n, counts)
+		}
+	}
+}
+
+func TestRIBShardAccessorsAgreeWithGlobal(t *testing.T) {
+	rib := NewRIB()
+	for i := 0; i < 300; i++ {
+		p, err := iputil.ParsePrefix(iputil.Addr(0x20_00_00_00|uint32(i)<<8).String() + "/24")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rib.Add(&Route{Prefix: p, Attrs: &PathAttrs{}, PeerAS: 100})
+		if i%3 == 0 {
+			rib.Add(&Route{Prefix: p, Attrs: &PathAttrs{}, PeerAS: 200})
+		}
+	}
+	// Union of per-shard prefixes == global Prefixes, with each prefix in
+	// exactly the shard ShardOf names.
+	seen := make(map[iputil.Prefix]bool)
+	total := 0
+	for s := 0; s < RIBShards; s++ {
+		for _, p := range rib.ShardPrefixes(s) {
+			if ShardOf(p) != s {
+				t.Fatalf("prefix %s reported by shard %d, ShardOf says %d", p, s, ShardOf(p))
+			}
+			if seen[p] {
+				t.Fatalf("prefix %s in two shards", p)
+			}
+			seen[p] = true
+			total++
+		}
+	}
+	if total != rib.Len() || total != len(rib.Prefixes()) {
+		t.Fatalf("shard union %d != Len %d / Prefixes %d", total, rib.Len(), len(rib.Prefixes()))
+	}
+	// ShardRemovePeer over all shards == RemovePeer.
+	var affected []iputil.Prefix
+	for s := 0; s < RIBShards; s++ {
+		affected = append(affected, rib.ShardRemovePeer(s, 200)...)
+	}
+	if len(affected) != 100 {
+		t.Fatalf("ShardRemovePeer removed %d prefixes, want 100", len(affected))
+	}
+	for _, p := range affected {
+		if _, ok := rib.Get(p, 200); ok {
+			t.Fatalf("route for %s peer 200 survived removal", p)
+		}
+		if _, ok := rib.Get(p, 100); !ok {
+			t.Fatalf("route for %s peer 100 lost", p)
+		}
+	}
+}

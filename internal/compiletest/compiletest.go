@@ -13,9 +13,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"sdx/internal/core"
 	"sdx/internal/dataplane"
+	"sdx/internal/iputil"
 	"sdx/internal/pkt"
 	"sdx/internal/verify"
 	"sdx/internal/workload"
@@ -115,8 +117,8 @@ func (in *Instance) Trace(updates int, seed int64) *workload.Trace {
 }
 
 // Replay feeds trace events through the controller's incremental path
-// (route server + CompileFast) and returns the total fast-band rules
-// installed.
+// (route server + CompileFast) one update at a time — the serial
+// reference the batched and coalesced paths are checked against.
 func (in *Instance) Replay(tr *workload.Trace) int {
 	rules := 0
 	for _, e := range tr.Events {
@@ -124,6 +126,48 @@ func (in *Instance) Replay(tr *workload.Trace) int {
 		rules += res.AdditionalRules
 	}
 	return rules
+}
+
+// ReplayCoalesced feeds the same trace through a bounded coalescing
+// UpdateQueue instead: every event is enqueued (repeated updates to one
+// (peer, prefix) collapse to their final action) and a single Flush
+// applies the coalesced set as one ApplyBatch pass. The queue is sized so
+// no drain fires before the Flush, making the coalescing maximal — the
+// hardest case for the serial-equivalence property.
+func (in *Instance) ReplayCoalesced(tr *workload.Trace) error {
+	q := core.NewUpdateQueue(in.Ctrl, core.QueueConfig{
+		MaxPending: 1 << 20,
+		MaxBatch:   1 << 20,
+		MaxDelay:   time.Hour,
+	})
+	for _, e := range tr.Events {
+		if err := q.Enqueue(e.Peer, e.Update); err != nil {
+			q.Stop()
+			return err
+		}
+	}
+	q.Stop() // final drain applies the whole coalesced set
+	return nil
+}
+
+// RIBDump renders every participant's Loc-RIB view (best route per
+// prefix, in prefix order) as comparable text lines. Two controllers that
+// processed equivalent update sequences must dump identically.
+func RIBDump(ctrl *core.Controller) []string {
+	rsrv := ctrl.RouteServer()
+	var lines []string
+	for _, as := range rsrv.Participants() {
+		best := rsrv.BestRoutes(as)
+		keys := make([]iputil.Prefix, 0, len(best))
+		for p := range best {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+		for _, p := range keys {
+			lines = append(lines, fmt.Sprintf("as%d %s", as, best[p]))
+		}
+	}
+	return lines
 }
 
 // RecordingSink is a core.RuleSink that renders every table operation it

@@ -16,11 +16,11 @@ import (
 func TestNaiveModeForwardsIdentically(t *testing.T) {
 	f := newFig1(t)
 	f.setFig1Policies(t)
-	if _, err := f.ctrl.SetPolicyAndCompile(asB, []core.Term{
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asB, []core.Term{
 		core.FwdPort(pkt.MatchAll.SrcIP(pfx("0.0.0.0/1")), 2),
 		core.FwdPort(pkt.MatchAll.SrcIP(pfx("128.0.0.0/1")), 3),
-	}, nil); err != nil {
-		t.Fatal(err)
+	}, nil)); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 
 	type probe struct {

@@ -85,14 +85,28 @@ func groupKey(owners []setOwner, g *PrefixGroup) string {
 	return b.String()
 }
 
+// fastVNHBase splits the 20-bit VNH index space (VNHSubnet is a /12) in
+// two: stable group indexes ascend from 1, transient fast-path indexes
+// ascend from here. Keeping the pools disjoint makes full-recompile VNH
+// assignment a pure function of the group-key history — how many fast
+// compiles ran in between cannot shift indexFor's next allocation — which
+// is what lets a coalesced burst and the same updates applied one at a
+// time converge to byte-identical compiled output.
+const fastVNHBase = 1 << 19
+
 // vnhTable persists (group key) -> allocation index across compilations.
 type vnhTable struct {
-	alloc *vnhAllocator
+	alloc *vnhAllocator // stable group indexes: 1 .. fastVNHBase-1
+	fast  *vnhAllocator // transient fast-path indexes: fastVNHBase ..
 	byKey map[string]uint32
 }
 
 func newVNHTable() *vnhTable {
-	return &vnhTable{alloc: newVNHAllocator(), byKey: make(map[string]uint32)}
+	return &vnhTable{
+		alloc: newVNHAllocator(),
+		fast:  &vnhAllocator{next: fastVNHBase},
+		byKey: make(map[string]uint32),
+	}
 }
 
 // indexFor returns the stable allocation index for a group key.
@@ -106,9 +120,12 @@ func (t *vnhTable) indexFor(key string) uint32 {
 	return i
 }
 
-// fresh returns a brand-new allocation index (fast-path per-prefix VNHs).
+// fresh returns a brand-new allocation index (fast-path per-prefix VNHs),
+// drawn from the dedicated fast pool. Fast VNHs are garbage-collected
+// with the fast band at every full recompilation but their indexes are
+// never reused within a process; the pool holds 2^19 of them.
 func (t *vnhTable) fresh() uint32 {
-	vnh, _ := t.alloc.Alloc()
+	vnh, _ := t.fast.Alloc()
 	return uint32(vnh - VNHSubnet.Addr())
 }
 

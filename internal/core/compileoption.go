@@ -68,19 +68,3 @@ func CompilePolicy(as uint32, inbound, outbound []Term) CompileOption {
 		cfg.policies = append(cfg.policies, policyChange{as: as, inbound: inbound, outbound: outbound})
 	}
 }
-
-// RecompileWithOptions is Recompile with ablation knobs.
-//
-// Deprecated: use Recompile(WithCompileOptions(opts)).
-func (c *Controller) RecompileWithOptions(opts CompileOptions) CompileReport {
-	return c.Recompile(WithCompileOptions(opts))
-}
-
-// SetPolicyAndCompile installs a policy and immediately recompiles.
-//
-// Deprecated: use Recompile(CompilePolicy(as, inbound, outbound)) and
-// check CompileReport.Err.
-func (c *Controller) SetPolicyAndCompile(as uint32, inbound, outbound []Term) (CompileReport, error) {
-	rep := c.Recompile(CompilePolicy(as, inbound, outbound))
-	return rep, rep.Err
-}

@@ -51,26 +51,20 @@ func TestCompileSerialOptionMatchesParallel(t *testing.T) {
 	}
 }
 
-// TestDeprecatedCompileWrappers keeps the thin wrappers delegating to the
-// variadic form: same report, and SetPolicyAndCompile's error mirrors
-// CompileReport.Err.
-func TestDeprecatedCompileWrappers(t *testing.T) {
+// TestWithCompileOptionsMatchesIndividualOptions pins the struct-bridge
+// form (used by ablation tables) to the equivalent individual options.
+func TestWithCompileOptionsMatchesIndividualOptions(t *testing.T) {
 	f := newFig1(t)
 	f.setFig1Policies(t)
 
-	viaWrapper := f.ctrl.RecompileWithOptions(core.CompileOptions{Serial: true})
+	viaStruct := f.ctrl.Recompile(core.WithCompileOptions(core.CompileOptions{Serial: true}))
 	viaOption := f.ctrl.Recompile(core.CompileSerial())
-	if viaWrapper.Rules != viaOption.Rules || viaWrapper.Groups != viaOption.Groups {
-		t.Fatalf("wrapper and option form disagree: %+v vs %+v", viaWrapper, viaOption)
+	if viaStruct.Rules != viaOption.Rules || viaStruct.Groups != viaOption.Groups {
+		t.Fatalf("struct bridge and option form disagree: %+v vs %+v", viaStruct, viaOption)
 	}
-
-	if _, err := f.ctrl.SetPolicyAndCompile(9999, nil, nil); err == nil {
-		t.Fatal("SetPolicyAndCompile must surface the validation error")
-	}
-	rep, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
-		core.Fwd(pkt.MatchAll.DstPort(80), asB),
-	})
-	if err != nil || rep.Err != nil {
-		t.Fatalf("valid wrapper call failed: err=%v rep.Err=%v", err, rep.Err)
+	structCanon := f.ctrl.Compiled().Canonical()
+	f.ctrl.Recompile(core.CompileSerial())
+	if f.ctrl.Compiled().Canonical() != structCanon {
+		t.Fatal("struct bridge and option form compile different tables")
 	}
 }

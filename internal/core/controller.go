@@ -384,7 +384,7 @@ func (c *Controller) flushPeerRoutesLocked(as uint32) {
 
 // SetPolicy installs a participant's inbound and outbound policy terms,
 // replacing any previous policy. The change takes effect at the next
-// Recompile (SetPolicyAndCompile combines both).
+// Recompile (Recompile(CompilePolicy(...)) combines both).
 func (c *Controller) SetPolicy(as uint32, inbound, outbound []Term) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -423,6 +423,11 @@ func (c *Controller) SetPolicy(as uint32, inbound, outbound []Term) error {
 // participant (§3.2 "originating BGP routes from the SDX"; the wide-area
 // load balancer announces its anycast prefix this way). In a real
 // deployment the SDX would verify ownership via the RPKI first.
+//
+// Deprecated-style convenience: this is a thin wrapper over ApplyUpdates
+// with a one-announcement UPDATE, kept for callers originating single
+// routes. New code with several routes in hand should build the UPDATEs
+// and call ApplyUpdates once.
 func (c *Controller) AnnouncePrefix(as uint32, prefix iputil.Prefix) (UpdateResult, error) {
 	c.mu.Lock()
 	p, ok := c.parts[as]
@@ -438,10 +443,13 @@ func (c *Controller) AnnouncePrefix(as uint32, prefix iputil.Prefix) (UpdateResu
 		Attrs: &bgp.PathAttrs{ASPath: []uint32{as}, NextHop: nh},
 		NLRI:  []iputil.Prefix{prefix},
 	}
-	return c.ProcessUpdate(as, u), nil
+	return c.ApplyUpdates(as, u), nil
 }
 
 // WithdrawPrefix withdraws a previously announced prefix.
+//
+// Deprecated-style convenience: thin wrapper over ApplyUpdates with a
+// one-withdrawal UPDATE (see AnnouncePrefix).
 func (c *Controller) WithdrawPrefix(as uint32, prefix iputil.Prefix) (UpdateResult, error) {
 	c.mu.Lock()
 	_, ok := c.parts[as]
@@ -449,22 +457,59 @@ func (c *Controller) WithdrawPrefix(as uint32, prefix iputil.Prefix) (UpdateResu
 	if !ok {
 		return UpdateResult{}, fmt.Errorf("core: unknown participant AS%d", as)
 	}
-	return c.ProcessUpdate(as, &bgp.Update{Withdrawn: []iputil.Prefix{prefix}}), nil
+	return c.ApplyUpdates(as, &bgp.Update{Withdrawn: []iputil.Prefix{prefix}}), nil
 }
 
 // ProcessUpdate runs one BGP update through the route server and the fast
-// incremental compilation path (§4.3.2): affected prefixes that interact
+// incremental compilation path.
+//
+// Deprecated-style convenience: this is ApplyUpdates with a single-UPDATE
+// batch, kept so per-update callers (BGP session OnUpdate hooks, tests)
+// read naturally. Batch callers — and anything fed by the coalescing
+// UpdateQueue — should use ApplyUpdates/ApplyBatch directly so the route
+// server's decision process and the re-advertisement pass run once per
+// batch instead of once per update.
+func (c *Controller) ProcessUpdate(from uint32, u *bgp.Update) UpdateResult {
+	return c.ApplyUpdates(from, u)
+}
+
+// ApplyUpdates applies a burst of BGP updates from one participant as a
+// single batch: every update's RIB mutations are applied (sharded, in
+// parallel) and the fast incremental compilation path (§4.3.2) runs once
+// over the combined best-route changes — affected prefixes that interact
 // with any policy get a fresh per-prefix VNH and higher-priority rules
 // immediately; the full (optimal) recompilation is left to the next
 // Recompile call, which the background optimizer invokes between bursts.
-func (c *Controller) ProcessUpdate(from uint32, u *bgp.Update) UpdateResult {
+// This is the batch-first ingestion API AnnouncePrefix, WithdrawPrefix
+// and ProcessUpdate are wrappers over.
+func (c *Controller) ApplyUpdates(from uint32, us ...*bgp.Update) UpdateResult {
+	batch := make([]rs.PeerUpdate, len(us))
+	for i, u := range us {
+		batch[i] = rs.PeerUpdate{From: from, Update: u}
+	}
+	return c.ApplyBatch(batch...)
+}
+
+// ApplyBatch is ApplyUpdates for a mixed-origin batch: updates from many
+// participants applied together, as drained from the ingestion queue.
+// Within the batch, updates for the same (prefix, peer) pair apply in
+// order, so the batch is equivalent to applying its updates one at a
+// time — only cheaper: one decision pass, one dirty set, one
+// re-advertisement sweep.
+func (c *Controller) ApplyBatch(batch ...rs.PeerUpdate) UpdateResult {
+	if len(batch) == 0 {
+		return UpdateResult{}
+	}
 	t := telemetry.StartTimer(c.m.updateNS)
-	c.m.updatesIn.Inc()
-	c.tracer.Emit(telemetry.EventBGPUpdateReceived, from, "", int64(len(u.NLRI)+len(u.Withdrawn)))
+	c.m.updatesIn.Add(int64(len(batch)))
+	for _, pu := range batch {
+		c.tracer.Emit(telemetry.EventBGPUpdateReceived, pu.From, "",
+			int64(len(pu.Update.NLRI)+len(pu.Update.Withdrawn)))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	events := c.rs.HandleUpdate(from, u)
+	events := c.rs.Apply(batch)
 	res := c.handleEventsLocked(events)
 	res.Elapsed = t.Stop()
 	return res
@@ -517,8 +562,15 @@ func (c *Controller) handleEventsLocked(events []rs.Event) UpdateResult {
 	}
 	c.dirty = c.dirty || len(events) > 0
 
-	// Re-advertise affected prefixes to every participant.
+	// Re-advertise affected prefixes to every participant, in sorted
+	// order so advertisement traces and mirror streams are deterministic
+	// across runs.
+	readv := make([]iputil.Prefix, 0, len(seen))
 	for p := range seen {
+		readv = append(readv, p)
+	}
+	sort.Slice(readv, func(i, j int) bool { return readv[i].Compare(readv[j]) < 0 })
+	for _, p := range readv {
 		c.advertisePrefixLocked(p)
 	}
 	return res
@@ -679,7 +731,12 @@ func (c *Controller) recompile(opts CompileOptions) CompileReport {
 	for p := range prev.GroupIdx {
 		changed[p] = true
 	}
+	readv := make([]iputil.Prefix, 0, len(changed))
 	for p := range changed {
+		readv = append(readv, p)
+	}
+	sort.Slice(readv, func(i, j int) bool { return readv[i].Compare(readv[j]) < 0 })
+	for _, p := range readv {
 		c.advertisePrefixLocked(p)
 	}
 

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+	"sdx/internal/rs"
+	"sdx/internal/telemetry"
+)
+
+// ErrQueueClosed is returned by UpdateQueue.Enqueue after Stop.
+var ErrQueueClosed = errors.New("core: update queue closed")
+
+// QueueConfig tunes an UpdateQueue. The zero value selects the defaults.
+type QueueConfig struct {
+	// MaxPending bounds the coalesced pending set. Enqueue of a NEW
+	// (peer, prefix) entry blocks while the set is full — backpressure
+	// toward the BGP sessions; re-coalescing onto an existing entry never
+	// blocks, so a hot prefix cannot wedge its own feed. Default 65536.
+	MaxPending int
+	// MaxBatch is the pending-set size that triggers an immediate drain.
+	// Default 4096.
+	MaxBatch int
+	// MaxDelay bounds how long an entry may sit in the queue before a
+	// drain starts — the update→rule-install latency floor under light
+	// load. Default 2ms.
+	MaxDelay time.Duration
+}
+
+func (cfg *QueueConfig) withDefaults() QueueConfig {
+	out := *cfg
+	if out.MaxPending <= 0 {
+		out.MaxPending = 65536
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 4096
+	}
+	if out.MaxBatch > out.MaxPending {
+		out.MaxBatch = out.MaxPending
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 2 * time.Millisecond
+	}
+	return out
+}
+
+// updateKey identifies one coalescing slot: the route server's end state
+// depends only on the LAST update applied per (prefix, advertising peer),
+// so a burst of updates for the same key collapses to its final action.
+type updateKey struct {
+	peer   uint32
+	prefix iputil.Prefix
+}
+
+// pendingUpdate is the coalesced latest action for one key: an
+// announcement (attrs != nil) or a withdrawal. The timer started at
+// FIRST enqueue survives coalescing, so the install-latency histogram
+// records the worst-case age of the information in each entry, not the
+// age of its most recent rewrite.
+type pendingUpdate struct {
+	attrs *bgp.PathAttrs
+	timer telemetry.Timer
+}
+
+// QueueStats is a point-in-time snapshot of an UpdateQueue.
+type QueueStats struct {
+	Depth     int   // coalesced entries currently pending
+	Enqueued  int64 // per-prefix actions offered
+	Coalesced int64 // actions absorbed into an existing entry
+	Drains    int64 // drain cycles run
+	Applied   int64 // coalesced entries applied to the controller
+}
+
+// UpdateQueue is the bounded, coalescing ingestion queue in front of a
+// Controller (the tentpole's "batch + coalesce" stage): BGP sessions
+// enqueue updates as they arrive, a single drainer goroutine applies the
+// coalesced pending set through one ApplyBatch call per cycle, and a
+// full queue pushes back on the enqueuers. Repeated updates to the same
+// (peer, prefix) collapse into one dirty-set entry, so a flapping prefix
+// costs one decision + one fast compile per drain cycle no matter how
+// fast it flaps.
+//
+// Ordering: entries drain in first-enqueue order, and a batch's effect is
+// identical to applying its entries one at a time (ApplyBatch contract);
+// coalescing is sound because the RIB end state per (prefix, peer) is
+// the last action anyway.
+//
+// Telemetry (under the controller's registry):
+//
+//	ingest.queue_depth     gauge     coalesced entries pending
+//	ingest.enqueued        counter   per-prefix actions offered
+//	ingest.coalesced       counter   actions absorbed into existing entries
+//	ingest.drains          counter   drain cycles
+//	ingest.batch_size      histogram coalesced entries per drain
+//	ingest.install_ns      histogram first-enqueue → rules-installed latency
+//	ingest.blocked         counter   Enqueue calls that hit backpressure
+type UpdateQueue struct {
+	ctrl *Controller
+	cfg  QueueConfig
+
+	mu      sync.Mutex
+	notFull *sync.Cond
+	pending map[updateKey]*pendingUpdate
+	order   []updateKey // first-enqueue order, for deterministic drains
+	closed  bool
+
+	enqueued  int64
+	coalesced int64
+	drains    int64
+	applied   int64
+
+	// drainMu serializes drain cycles (ticker-driven, threshold-driven and
+	// explicit Flush) so batches reach the controller in drain order.
+	drainMu sync.Mutex
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mEnqueued  *telemetry.Counter
+	mCoalesced *telemetry.Counter
+	mDrains    *telemetry.Counter
+	mBatchSize *telemetry.Histogram
+	mInstallNS *telemetry.Histogram
+	mBlocked   *telemetry.Counter
+}
+
+// NewUpdateQueue builds and starts a queue in front of ctrl. Stop must be
+// called to halt the drainer.
+func NewUpdateQueue(ctrl *Controller, cfg QueueConfig) *UpdateQueue {
+	q := &UpdateQueue{
+		ctrl:    ctrl,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[updateKey]*pendingUpdate),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	q.notFull = sync.NewCond(&q.mu)
+	reg := ctrl.Metrics()
+	q.mEnqueued = reg.Counter("ingest.enqueued")
+	q.mCoalesced = reg.Counter("ingest.coalesced")
+	q.mDrains = reg.Counter("ingest.drains")
+	q.mBatchSize = reg.Histogram("ingest.batch_size")
+	q.mInstallNS = reg.Histogram("ingest.install_ns")
+	q.mBlocked = reg.Counter("ingest.blocked")
+	reg.RegisterGaugeFunc("ingest.queue_depth", func() int64 {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return int64(len(q.pending))
+	})
+	q.wg.Add(1)
+	go q.drainLoop()
+	return q
+}
+
+// Enqueue offers one UPDATE from peer `from` to the queue, splitting it
+// into per-prefix actions and coalescing each onto any pending entry for
+// the same (peer, prefix). It blocks while the pending set is full and
+// the action would grow it (the backpressure contract), and returns
+// ErrQueueClosed after Stop.
+func (q *UpdateQueue) Enqueue(from uint32, u *bgp.Update) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, p := range u.Withdrawn {
+		if err := q.putLocked(updateKey{peer: from, prefix: p}, nil); err != nil {
+			return err
+		}
+	}
+	for _, p := range u.NLRI {
+		if err := q.putLocked(updateKey{peer: from, prefix: p}, u.Attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// putLocked coalesces one action into the pending set, blocking while a
+// new entry would overflow it. Caller holds q.mu.
+func (q *UpdateQueue) putLocked(k updateKey, attrs *bgp.PathAttrs) error {
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.enqueued++
+	q.mEnqueued.Inc()
+	if e, ok := q.pending[k]; ok {
+		// Coalesce: latest action wins, first-enqueue timer survives.
+		e.attrs = attrs
+		q.coalesced++
+		q.mCoalesced.Inc()
+		return nil
+	}
+	for len(q.pending) >= q.cfg.MaxPending {
+		q.mBlocked.Inc()
+		q.kickDrain()
+		q.notFull.Wait()
+		if q.closed {
+			return ErrQueueClosed
+		}
+	}
+	q.pending[k] = &pendingUpdate{attrs: attrs, timer: telemetry.StartTimer(q.mInstallNS)}
+	q.order = append(q.order, k)
+	if len(q.pending) >= q.cfg.MaxBatch {
+		q.kickDrain()
+	}
+	return nil
+}
+
+// kickDrain nudges the drainer without blocking.
+func (q *UpdateQueue) kickDrain() {
+	select {
+	case q.kick <- struct{}{}:
+	default:
+	}
+}
+
+// drainLoop is the single drainer: it runs a cycle when kicked (pending
+// set hit MaxBatch or an enqueuer is blocked) and at least every
+// MaxDelay, and exits on Stop.
+func (q *UpdateQueue) drainLoop() {
+	defer q.wg.Done()
+	t := time.NewTicker(q.cfg.MaxDelay)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.kick:
+			q.drainOnce()
+		case <-t.C:
+			q.drainOnce()
+		case <-q.done:
+			return
+		}
+	}
+}
+
+// drainOnce applies the current pending set as one batch. The swap holds
+// q.mu only briefly, so enqueuers keep filling the next batch while the
+// controller chews on this one; drainMu keeps concurrent cycles (ticker +
+// kick + Flush) in order.
+func (q *UpdateQueue) drainOnce() {
+	q.drainMu.Lock()
+	defer q.drainMu.Unlock()
+
+	//lint:ignore lockblock drainMu-before-mu is the queue's only lock order (never reversed); the nested hold is a brief swap, and q.mu holders never wait on drainMu
+	q.mu.Lock()
+	if len(q.pending) == 0 {
+		q.mu.Unlock()
+		return
+	}
+	pending, order := q.pending, q.order
+	q.pending = make(map[updateKey]*pendingUpdate)
+	q.order = nil
+	q.drains++
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+
+	batch := make([]rs.PeerUpdate, 0, len(order))
+	for _, k := range order {
+		e := pending[k]
+		u := &bgp.Update{}
+		if e.attrs == nil {
+			u.Withdrawn = []iputil.Prefix{k.prefix}
+		} else {
+			u.Attrs = e.attrs
+			u.NLRI = []iputil.Prefix{k.prefix}
+		}
+		batch = append(batch, rs.PeerUpdate{From: k.peer, Update: u})
+	}
+	q.ctrl.ApplyBatch(batch...)
+	// Rules for the whole batch are installed; close out every entry's
+	// first-enqueue timer so install_ns records worst-case latency.
+	for _, k := range order {
+		pending[k].timer.Stop()
+	}
+
+	//lint:ignore lockblock same drainMu-before-mu order as above; counter bump only
+	q.mu.Lock()
+	q.applied += int64(len(order))
+	q.mu.Unlock()
+	q.mDrains.Inc()
+	q.mBatchSize.Observe(int64(len(order)))
+}
+
+// Flush synchronously drains whatever is pending. Useful before reading
+// controller state in tests and during shutdown.
+func (q *UpdateQueue) Flush() {
+	q.drainOnce()
+}
+
+// Stop drains remaining entries, halts the drainer and releases any
+// blocked enqueuers. Enqueue fails with ErrQueueClosed afterwards. Safe
+// to call once.
+func (q *UpdateQueue) Stop() {
+	q.mu.Lock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+	close(q.done)
+	q.wg.Wait()
+	q.drainOnce()
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *UpdateQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Depth:     len(q.pending),
+		Enqueued:  q.enqueued,
+		Coalesced: q.coalesced,
+		Drains:    q.drains,
+		Applied:   q.applied,
+	}
+}

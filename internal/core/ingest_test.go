@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// ingestFixture builds a controller with n participants on ports 1..n.
+func ingestFixture(t *testing.T, n int) *Controller {
+	t.Helper()
+	ctrl := NewController()
+	for i := 0; i < n; i++ {
+		cfg := ParticipantConfig{AS: 100 + uint32(i), Name: "p",
+			Ports: []PhysicalPort{{ID: pkt.PortID(i + 1)}}}
+		if _, err := ctrl.AddParticipant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctrl
+}
+
+func pfxI(i int) iputil.Prefix {
+	return iputil.MustParsePrefix(iputil.Addr(0x50_00_00_00|uint32(i)<<8).String() + "/24")
+}
+
+func announceU(as uint32, salt uint32, ps ...iputil.Prefix) *bgp.Update {
+	return &bgp.Update{
+		Attrs: &bgp.PathAttrs{ASPath: []uint32{as, 900 + salt}, NextHop: iputil.Addr(as)},
+		NLRI:  ps,
+	}
+}
+
+func TestQueueCoalescesToLastAction(t *testing.T) {
+	ctrl := ingestFixture(t, 3)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxDelay: time.Hour}) // drain only on Flush
+	defer q.Stop()
+
+	p := pfxI(1)
+	// 50 flaps of the same (peer, prefix) collapse to one entry whose
+	// final action (announce with salt 49) wins.
+	for i := 0; i < 50; i++ {
+		if i%3 == 2 {
+			if err := q.Enqueue(100, &bgp.Update{Withdrawn: []iputil.Prefix{p}}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := q.Enqueue(100, announceU(100, uint32(i), p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := q.Stats()
+	if st.Depth != 1 {
+		t.Fatalf("pending depth %d, want 1 (coalesced)", st.Depth)
+	}
+	if st.Coalesced != 49 {
+		t.Fatalf("coalesced %d, want 49", st.Coalesced)
+	}
+	q.Flush()
+
+	r, ok := ctrl.RouteServer().BestRoute(101, p)
+	if !ok {
+		t.Fatalf("no best route for %s after flush", p)
+	}
+	if r.Attrs.ASPath[1] != 900+49 {
+		t.Fatalf("best path %v, want last announcement [100 949]", r.Attrs.ASPath)
+	}
+	if ctrl.RouteServer().UpdatesProcessed() != 1 {
+		t.Fatalf("route server processed %d updates, want 1 coalesced",
+			ctrl.RouteServer().UpdatesProcessed())
+	}
+	if st := q.Stats(); st.Applied != 1 || st.Drains != 1 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+}
+
+func TestQueueTrailingWithdrawWins(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxDelay: time.Hour})
+	defer q.Stop()
+
+	p := pfxI(2)
+	if err := q.Enqueue(100, announceU(100, 1, p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(100, &bgp.Update{Withdrawn: []iputil.Prefix{p}}); err != nil {
+		t.Fatal(err)
+	}
+	q.Flush()
+	if _, ok := ctrl.RouteServer().BestRoute(101, p); ok {
+		t.Fatalf("route for %s survived trailing withdrawal", p)
+	}
+}
+
+func TestQueueBackpressureBlocksAndReleases(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxPending: 2, MaxBatch: 1 << 20, MaxDelay: time.Hour})
+	defer q.Stop()
+
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(11))); err != nil {
+		t.Fatal(err)
+	}
+	// Re-coalescing onto a full queue must NOT block.
+	okc := make(chan struct{})
+	go func() {
+		_ = q.Enqueue(100, announceU(100, 2, pfxI(10)))
+		close(okc)
+	}()
+	select {
+	case <-okc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalescing enqueue blocked on a full queue")
+	}
+
+	// A new entry must block until a drain frees capacity. The blocked
+	// enqueuer kicks the drainer itself, so no explicit Flush is needed.
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done <- q.Enqueue(100, announceU(100, 1, pfxI(12)))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked enqueue never released")
+	}
+	wg.Wait()
+	q.Flush()
+	if _, ok := ctrl.RouteServer().BestRoute(101, pfxI(12)); !ok {
+		t.Fatal("entry enqueued under backpressure was lost")
+	}
+}
+
+func TestQueueStopDrainsAndRejects(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxDelay: time.Hour})
+	p := pfxI(20)
+	if err := q.Enqueue(100, announceU(100, 3, p)); err != nil {
+		t.Fatal(err)
+	}
+	q.Stop()
+	if _, ok := ctrl.RouteServer().BestRoute(101, p); !ok {
+		t.Fatal("Stop dropped a pending entry instead of draining it")
+	}
+	if err := q.Enqueue(100, announceU(100, 4, pfxI(21))); err != ErrQueueClosed {
+		t.Fatalf("Enqueue after Stop = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestQueueThresholdDrainWithoutFlush(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxBatch: 8, MaxDelay: time.Hour})
+	defer q.Stop()
+	for i := 0; i < 8; i++ {
+		if err := q.Enqueue(100, announceU(100, 1, pfxI(30+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ctrl.RouteServer().UpdatesProcessed() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("threshold drain never ran: %d updates processed", ctrl.RouteServer().UpdatesProcessed())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueTelemetryPublished(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxDelay: time.Hour})
+	defer q.Stop()
+	for i := 0; i < 4; i++ {
+		if err := q.Enqueue(100, announceU(100, uint32(i), pfxI(40))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Flush()
+	snap := ctrl.Metrics().Snapshot()
+	c := snap.Counters
+	if c["ingest.enqueued"] != 4 || c["ingest.coalesced"] != 3 || c["ingest.drains"] != 1 {
+		t.Fatalf("ingest counters: %+v", c)
+	}
+	if h := snap.Histograms["ingest.install_ns"]; h.Count != 1 {
+		t.Fatalf("ingest.install_ns count %d, want 1", h.Count)
+	}
+	if snap.Gauges["ingest.queue_depth"] != 0 {
+		t.Fatalf("queue_depth gauge %d after flush, want 0", snap.Gauges["ingest.queue_depth"])
+	}
+}

@@ -52,8 +52,8 @@ func TestOutboundPolicyWithMods(t *testing.T) {
 			Mods:          pkt.NoMods.SetDstPort(80),
 		},
 	}
-	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{term}); err != nil {
-		t.Fatal(err)
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, []core.Term{term})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	got := f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 8080), f.b1)
 	if got.DstPort != 80 {
@@ -66,10 +66,10 @@ func TestOutboundPolicyWithMods(t *testing.T) {
 func TestMultiPortSenderPolicy(t *testing.T) {
 	f := newFig1(t)
 	// B (ports 2 and 3) sends web traffic via C.
-	if _, err := f.ctrl.SetPolicyAndCompile(asB, nil, []core.Term{
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asB, nil, []core.Term{
 		core.Fwd(pkt.MatchAll.DstPort(80), asC),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	// C exports p1..p5? C announces p1,p2,p4 and p3; B's eligible set is
 	// what C exports to B (everything C announces). p1 web from both of
@@ -86,17 +86,17 @@ func TestPolicyReplacementTakesEffect(t *testing.T) {
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
 
 	// Replace: now only HTTPS is special, via B.
-	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, []core.Term{
 		core.Fwd(pkt.MatchAll.DstPort(443), asB),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.c) // back to default
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 443), f.b1)
 
 	// Clear entirely: everything defaults.
-	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, nil); err != nil {
-		t.Fatal(err)
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, nil)); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 443), f.c)
 }

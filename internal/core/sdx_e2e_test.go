@@ -80,12 +80,12 @@ func newFig1(t *testing.T) *fig1 {
 // A sends web via B and https via C.
 func (f *fig1) setFig1Policies(t *testing.T) core.CompileReport {
 	t.Helper()
-	rep, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
+	rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, []core.Term{
 		core.Fwd(pkt.MatchAll.DstPort(80), asB),
 		core.Fwd(pkt.MatchAll.DstPort(443), asC),
-	})
-	if err != nil {
-		t.Fatal(err)
+	}))
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	return rep
 }
@@ -194,11 +194,11 @@ func TestFig1InboundTrafficEngineering(t *testing.T) {
 	f.setFig1Policies(t)
 	// §3.1: B steers low source addresses to B1 (port 2) and high ones to
 	// B2 (port 3).
-	if _, err := f.ctrl.SetPolicyAndCompile(asB, []core.Term{
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asB, []core.Term{
 		core.FwdPort(pkt.MatchAll.SrcIP(pfx("0.0.0.0/1")), 2),
 		core.FwdPort(pkt.MatchAll.SrcIP(pfx("128.0.0.0/1")), 3),
-	}, nil); err != nil {
-		t.Fatal(err)
+	}, nil)); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 
 	// Policy-diverted web traffic honors B's inbound TE.
@@ -217,11 +217,11 @@ func TestFig1InboundTrafficEngineering(t *testing.T) {
 
 func TestFig1OutboundDrop(t *testing.T) {
 	f := newFig1(t)
-	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, []core.Term{
 		core.DropTerm(pkt.MatchAll.DstPort(25)), // block outbound SMTP
 		core.Fwd(pkt.MatchAll.DstPort(80), asB),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 25), nil)
 	f.sendAndExpect(t, f.a, tcp(ip("50.0.0.1"), ip("11.1.1.1"), 80), f.b1)
@@ -328,14 +328,14 @@ func TestWideAreaLoadBalancer(t *testing.T) {
 	if _, err := f.ctrl.AnnouncePrefix(asD, anycast); err != nil {
 		t.Fatal(err)
 	}
-	_, err := f.ctrl.SetPolicyAndCompile(asD, []core.Term{
+	rep := f.ctrl.Recompile(core.CompilePolicy(asD, []core.Term{
 		core.RewriteTerm(pkt.MatchAll.DstIP(pfx("74.125.1.1/32")).SrcIP(pfx("96.25.160.0/24")),
 			pkt.NoMods.SetDstIP(ip("74.125.224.161"))),
 		core.RewriteTerm(pkt.MatchAll.DstIP(pfx("74.125.1.1/32")).SrcIP(pfx("128.125.163.0/24")),
 			pkt.NoMods.SetDstIP(ip("74.125.137.139"))),
-	}, nil)
-	if err != nil {
-		t.Fatal(err)
+	}, nil))
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 
 	// Client 1 (via A) is rewritten to instance 1 behind B.
@@ -374,10 +374,10 @@ func TestMiddleboxRedirection(t *testing.T) {
 
 	// A redirects traffic from a suspicious source range through the
 	// middlebox, everything else unchanged.
-	if _, err := f.ctrl.SetPolicyAndCompile(asA, nil, []core.Term{
+	if rep := f.ctrl.Recompile(core.CompilePolicy(asA, nil, []core.Term{
 		core.FwdMiddlebox(pkt.MatchAll.SrcIP(pfx("66.0.0.0/8")), asE),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 
 	f.clearReceived()

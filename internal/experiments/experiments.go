@@ -376,7 +376,7 @@ func reannounce(ctrl *core.Controller, x *workload.IXP, peer uint32, q iputil.Pr
 	if wp := x.Participant(peer); wp != nil && len(wp.Ports) > 0 {
 		nh = wp.Ports[0].IP()
 	}
-	return ctrl.ProcessUpdate(peer, &bgp.Update{
+	return ctrl.ApplyUpdates(peer, &bgp.Update{
 		Attrs: &bgp.PathAttrs{ASPath: []uint32{peer, 900 + salt%100, 800 + salt%50}, NextHop: nh},
 		NLRI:  []iputil.Prefix{q},
 	})

@@ -62,9 +62,9 @@ func Fig5a(steps, policyAt, withdrawAt int) (*Fig5Series, error) {
 	exp.WatchRouter("via-AS-A", a, nil)
 	exp.WatchRouter("via-AS-B", b, nil)
 	exp.At(policyAt, func() {
-		ctrl.SetPolicyAndCompile(300, nil, []core.Term{
+		ctrl.Recompile(core.CompilePolicy(300, nil, []core.Term{
 			core.Fwd(pkt.MatchAll.DstPort(80), 200),
-		})
+		}))
 	})
 	exp.At(withdrawAt, func() { b.Withdraw(aws) })
 
@@ -115,11 +115,11 @@ func Fig5b(steps, policyAt int) (*Fig5Series, error) {
 		if balanced {
 			to2 = inst2
 		}
-		_, err := ctrl.SetPolicyAndCompile(400, []core.Term{
+		rep := ctrl.Recompile(core.CompilePolicy(400, []core.Term{
 			core.RewriteTerm(srv.SrcIP(iputil.MustParsePrefix("204.57.0.0/24")), pkt.NoMods.SetDstIP(to2)),
 			core.RewriteTerm(srv.SrcIP(iputil.MustParsePrefix("198.51.100.0/24")), pkt.NoMods.SetDstIP(to1)),
-		}, nil)
-		return err
+		}, nil))
+		return rep.Err
 	}
 	if err := setPolicy(false); err != nil {
 		return nil, err

@@ -120,10 +120,10 @@ func exchange(t *testing.T, f *fabric.Fabric) (*core.Controller, map[pkt.PortID]
 	}
 	announce(200, 2, 200, 900, 901)
 	announce(300, 4, 300)
-	if _, err := ctrl.SetPolicyAndCompile(100, nil, []core.Term{
+	if rep := ctrl.Recompile(core.CompilePolicy(100, nil, []core.Term{
 		core.Fwd(pkt.MatchAll.DstPort(80), 200),
-	}); err != nil {
-		t.Fatal(err)
+	})); rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
 	return ctrl, sinks
 }

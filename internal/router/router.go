@@ -131,12 +131,12 @@ func (r *BorderRouter) Announce(prefix iputil.Prefix, asPath ...uint32) core.Upd
 		Attrs: &bgp.PathAttrs{ASPath: asPath, NextHop: r.port.IP()},
 		NLRI:  []iputil.Prefix{prefix},
 	}
-	return r.ctrl.ProcessUpdate(r.as, u)
+	return r.ctrl.ApplyUpdates(r.as, u)
 }
 
 // Withdraw retracts a previously announced prefix.
 func (r *BorderRouter) Withdraw(prefix iputil.Prefix) core.UpdateResult {
-	return r.ctrl.ProcessUpdate(r.as, &bgp.Update{Withdrawn: []iputil.Prefix{prefix}})
+	return r.ctrl.ApplyUpdates(r.as, &bgp.Update{Withdrawn: []iputil.Prefix{prefix}})
 }
 
 // Send pushes one packet through the router into the fabric: the FIB maps

@@ -5,12 +5,20 @@
 // policy compiler. Re-advertisement (with virtual next hops substituted)
 // is delegated to a per-participant callback so the controller layer can
 // rewrite next hops before the update leaves the box.
+//
+// The server is sharded for full-table feeds: the merged Adj-RIB-In and
+// every participant's Loc-RIB are split into bgp.RIBShards lock domains
+// keyed by bgp.ShardOf, and the decision process for a batch of updates
+// runs one goroutine per touched shard. Updates for prefixes in different
+// shards never contend; the participant registry has its own lock (pmu)
+// that decision workers only read-hold.
 package rs
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sdx/internal/bgp"
 	"sdx/internal/iputil"
@@ -51,9 +59,19 @@ type ParticipantConfig struct {
 	Export   *ExportPolicy
 	// Advertise, when non-nil, is called for every best-route change the
 	// server wants to announce to this participant: route is nil for a
-	// withdrawal. Called with the server lock held; must not call back
-	// into the server.
+	// withdrawal. Called with the owning shard's lock held, and — because
+	// the decision process runs per-shard in parallel — possibly
+	// concurrently from different goroutines for prefixes in different
+	// shards. It must not call back into the server.
 	Advertise func(prefix iputil.Prefix, route *bgp.Route)
+}
+
+// PeerUpdate pairs one BGP UPDATE with the participant it was received
+// from — the unit of the batch-first ingestion API (Server.Apply,
+// core's Controller.ApplyBatch).
+type PeerUpdate struct {
+	From   uint32
+	Update *bgp.Update
 }
 
 // Event records a best-route change for one (participant, prefix) pair.
@@ -69,25 +87,41 @@ func (e Event) String() string {
 }
 
 type participant struct {
-	cfg  ParticipantConfig
-	best map[iputil.Prefix]*bgp.Route // Loc-RIB: best route per prefix, from this participant's view
+	cfg ParticipantConfig
+}
+
+// locShard is one lock domain of the per-participant Loc-RIBs: the best
+// routes for every prefix p with bgp.ShardOf(p) == this shard's index,
+// across all participants. Aligning the Loc-RIB shards 1:1 with the
+// Adj-RIB-In shards lets one goroutine apply a shard's RIB mutations and
+// rerun its slice of the decision process without touching any other
+// shard's lock.
+type locShard struct {
+	mu   sync.RWMutex
+	best map[uint32]map[iputil.Prefix]*bgp.Route // participant AS -> prefix -> best
+}
+
+// ribMutation is one Adj-RIB-In change extracted from an UPDATE: an
+// announcement (route != nil) or a withdrawal (route == nil) of prefix by
+// participant `from`.
+type ribMutation struct {
+	prefix iputil.Prefix
+	from   uint32
+	route  *bgp.Route
 }
 
 // Server is the SDX route server. It is safe for concurrent use.
 type Server struct {
-	mu           sync.RWMutex
+	// pmu guards the participant registry and communityAS. Decision
+	// workers hold it for reading; lock order is pmu before any shard
+	// lock, never the reverse.
+	pmu          sync.RWMutex
 	participants map[uint32]*participant
-	adjIn        *bgp.RIB // merged Adj-RIB-In: route per (prefix, advertising participant)
-	updates      int      // UPDATE messages processed
+	communityAS  uint32 // community semantics (see EnableCommunities); 0 disables
 
-	// Community-based export control (conventional IXP route-server
-	// semantics), enabled by EnableCommunities:
-	//
-	//	(0, peer)       do not announce this route to AS peer
-	//	(0, localAS)    do not announce this route to anyone
-	//	(localAS, peer) announce only to AS peer (whitelist mode when
-	//	                any such community is present)
-	communityAS uint32 // the route server's AS; 0 disables the semantics
+	adjIn   *bgp.RIB // merged Adj-RIB-In: route per (prefix, advertising participant)
+	shards  [bgp.RIBShards]locShard
+	updates atomic.Int64 // UPDATE messages processed
 
 	// Resolved metric handles; nil (the default) makes every update a
 	// no-op, so an unobserved server pays nothing.
@@ -119,17 +153,20 @@ func WithMetrics(reg *telemetry.Registry) Option {
 			return int64(s.adjIn.Len())
 		})
 		reg.RegisterGaugeFunc("rs.loc_rib_routes", func() int64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
 			n := 0
-			for _, p := range s.participants {
-				n += len(p.best)
+			for si := range s.shards {
+				sh := &s.shards[si]
+				sh.mu.RLock()
+				for _, bm := range sh.best {
+					n += len(bm)
+				}
+				sh.mu.RUnlock()
 			}
 			return int64(n)
 		})
 		reg.RegisterGaugeFunc("rs.participants", func() int64 {
-			s.mu.RLock()
-			defer s.mu.RUnlock()
+			s.pmu.RLock()
+			defer s.pmu.RUnlock()
 			return int64(len(s.participants))
 		})
 	}
@@ -138,15 +175,20 @@ func WithMetrics(reg *telemetry.Registry) Option {
 // EnableCommunities turns on conventional route-server community
 // handling with the given route-server AS number.
 func (s *Server) EnableCommunities(localAS uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
 	s.communityAS = localAS
 }
 
 // communityAllows evaluates the community semantics for exporting route r
-// to participant `to`. Called with s.mu held.
-func (s *Server) communityAllows(r *bgp.Route, to uint32) bool {
-	if s.communityAS == 0 || r.Attrs == nil {
+// to participant `to` under route-server AS localAS (0 disables):
+//
+//	(0, peer)       do not announce this route to AS peer
+//	(0, localAS)    do not announce this route to anyone
+//	(localAS, peer) announce only to AS peer (whitelist mode when
+//	                any such community is present)
+func communityAllows(localAS uint32, r *bgp.Route, to uint32) bool {
+	if localAS == 0 || r.Attrs == nil {
 		return true
 	}
 	whitelist := false
@@ -154,11 +196,11 @@ func (s *Server) communityAllows(r *bgp.Route, to uint32) bool {
 	for _, c := range r.Attrs.Communities {
 		hi, lo := c>>16, c&0xffff
 		switch {
-		case hi == 0 && lo == s.communityAS&0xffff:
+		case hi == 0 && lo == localAS&0xffff:
 			return false // announce to no one
 		case hi == 0 && lo == to&0xffff:
 			return false // do not announce to `to`
-		case hi == s.communityAS&0xffff:
+		case hi == localAS&0xffff:
 			whitelist = true
 			if lo == to&0xffff {
 				whitelisted = true
@@ -177,29 +219,48 @@ func New(opts ...Option) *Server {
 		participants: make(map[uint32]*participant),
 		adjIn:        bgp.NewRIB(),
 	}
+	for si := range s.shards {
+		s.shards[si].best = make(map[uint32]map[iputil.Prefix]*bgp.Route)
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
 }
 
+// NumShards returns the number of lock domains the server's RIBs are
+// split into (bgp.RIBShards); prefix p belongs to shard bgp.ShardOf(p).
+func (s *Server) NumShards() int { return bgp.RIBShards }
+
 // AddParticipant registers a participant. It fails on duplicate AS.
 func (s *Server) AddParticipant(cfg ParticipantConfig) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
 	if _, dup := s.participants[cfg.AS]; dup {
 		return fmt.Errorf("rs: duplicate participant AS%d", cfg.AS)
 	}
-	s.participants[cfg.AS] = &participant{cfg: cfg, best: make(map[iputil.Prefix]*bgp.Route)}
+	s.participants[cfg.AS] = &participant{cfg: cfg}
 	// A late joiner learns current best routes for every known prefix.
-	p := s.participants[cfg.AS]
-	for _, prefix := range s.adjIn.Prefixes() {
-		if best := s.bestFor(cfg.AS, prefix); best != nil {
-			p.best[prefix] = best
+	for si := range s.shards {
+		sh := &s.shards[si]
+		//lint:ignore lockblock pmu-before-shard is the documented lock order; shard critical sections are bounded (no I/O) so registry holders never wait on anything unbounded
+		sh.mu.Lock()
+		for _, prefix := range s.adjIn.ShardPrefixes(si) {
+			best := s.bestFor(cfg.AS, prefix)
+			if best == nil {
+				continue
+			}
+			bm := sh.best[cfg.AS]
+			if bm == nil {
+				bm = make(map[iputil.Prefix]*bgp.Route)
+				sh.best[cfg.AS] = bm
+			}
+			bm[prefix] = best
 			if cfg.Advertise != nil {
 				cfg.Advertise(prefix, best)
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -207,11 +268,10 @@ func (s *Server) AddParticipant(cfg ParticipantConfig) error {
 // RemoveParticipant withdraws every route learned from the participant and
 // deregisters it, returning the resulting events for other participants.
 func (s *Server) RemoveParticipant(as uint32) []Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
 	delete(s.participants, as)
-	affected := s.adjIn.RemovePeer(as)
-	return s.decideLocked(affected)
+	return s.removePeerRoutes(as, true)
 }
 
 // FlushPeer withdraws every route learned from the participant while
@@ -220,16 +280,50 @@ func (s *Server) RemoveParticipant(as uint32) []Event {
 // stayed down past the controller's age-out loses its routes, but can
 // re-announce them on the next session without re-registering.
 func (s *Server) FlushPeer(as uint32) []Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	affected := s.adjIn.RemovePeer(as)
-	return s.decideLocked(affected)
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.removePeerRoutes(as, false)
+}
+
+// removePeerRoutes drops every route learned from `as` shard by shard in
+// parallel, rerunning the decision process over the affected prefixes.
+// dropView additionally discards the participant's own Loc-RIB view
+// (deregistration). Caller holds pmu.
+func (s *Server) removePeerRoutes(as uint32, dropView bool) []Event {
+	t := telemetry.StartTimer(s.mDecisionNS)
+	ases := s.sortedASes()
+	var results [bgp.RIBShards][]Event
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if dropView {
+				delete(sh.best, as)
+			}
+			affected := s.adjIn.ShardRemovePeer(si, as)
+			results[si] = s.decideShardLocked(sh, affected, ases)
+		}(si)
+	}
+	wg.Wait()
+	events := mergeEvents(&results)
+	t.Stop()
+	s.mBestChanges.Add(int64(len(events)))
+	return events
 }
 
 // Participants returns the registered AS numbers, sorted.
 func (s *Server) Participants() []uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.sortedASes()
+}
+
+// sortedASes returns the registered AS numbers sorted. Caller holds pmu.
+func (s *Server) sortedASes() []uint32 {
 	out := make([]uint32, 0, len(s.participants))
 	for as := range s.participants {
 		out = append(out, as)
@@ -241,65 +335,132 @@ func (s *Server) Participants() []uint32 {
 // HandleUpdate applies one UPDATE received from participant `from` and
 // returns the best-route changes it caused across all participants.
 // Advertise callbacks fire before HandleUpdate returns.
+//
+// Deprecated-style single-update entry point: it is Apply with a
+// one-element batch. Callers with more than one UPDATE in hand should
+// use Apply (or HandleUpdates) so the decision process runs once per
+// batch instead of once per update.
 func (s *Server) HandleUpdate(from uint32, u *bgp.Update) []Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.updates++
-	var affected []iputil.Prefix
-	for _, p := range u.Withdrawn {
-		if s.adjIn.Remove(p, from) {
-			affected = append(affected, p)
-		}
-	}
-	sender := s.participants[from]
-	for _, p := range u.NLRI {
-		routerID := iputil.Addr(from)
-		if sender != nil {
-			routerID = sender.cfg.RouterID
-		}
-		s.adjIn.Add(&bgp.Route{Prefix: p, Attrs: u.Attrs.Clone(), PeerAS: from, PeerID: routerID})
-		affected = append(affected, p)
-	}
-	s.mUpdatesIn.Inc()
-	return s.decideLocked(affected)
+	return s.Apply([]PeerUpdate{{From: from, Update: u}})
 }
 
-// decideLocked runs the decision process over the affected prefixes with
-// its latency and resulting change count recorded.
-func (s *Server) decideLocked(affected []iputil.Prefix) []Event {
+// HandleUpdates applies a burst of UPDATEs from one participant as a
+// single batch. Equivalent to Apply with every update attributed to
+// `from`.
+func (s *Server) HandleUpdates(from uint32, us ...*bgp.Update) []Event {
+	batch := make([]PeerUpdate, len(us))
+	for i, u := range us {
+		batch[i] = PeerUpdate{From: from, Update: u}
+	}
+	return s.Apply(batch)
+}
+
+// Apply applies a batch of UPDATEs — possibly from many participants —
+// and returns the resulting best-route changes, sorted by (prefix,
+// participant). RIB mutations are partitioned by prefix shard and
+// applied concurrently, one goroutine per touched shard, each rerunning
+// the decision process over only its own affected prefixes; within a
+// shard, mutations apply in batch order, so the final state for every
+// (prefix, peer) pair is the last update in the batch that touched it.
+// Advertise callbacks fire before Apply returns (see ParticipantConfig
+// for their concurrency contract).
+func (s *Server) Apply(batch []PeerUpdate) []Event {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.updates.Add(int64(len(batch)))
+	s.mUpdatesIn.Add(int64(len(batch)))
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+
+	var perShard [bgp.RIBShards][]ribMutation
+	for _, pu := range batch {
+		u := pu.Update
+		for _, p := range u.Withdrawn {
+			si := bgp.ShardOf(p)
+			perShard[si] = append(perShard[si], ribMutation{prefix: p, from: pu.From})
+		}
+		if len(u.NLRI) == 0 {
+			continue
+		}
+		routerID := iputil.Addr(pu.From)
+		if sender := s.participants[pu.From]; sender != nil {
+			routerID = sender.cfg.RouterID
+		}
+		for _, p := range u.NLRI {
+			si := bgp.ShardOf(p)
+			perShard[si] = append(perShard[si], ribMutation{prefix: p, from: pu.From,
+				route: &bgp.Route{Prefix: p, Attrs: u.Attrs.Clone(), PeerAS: pu.From, PeerID: routerID}})
+		}
+	}
+
 	t := telemetry.StartTimer(s.mDecisionNS)
-	events := s.recomputeLocked(affected)
+	ases := s.sortedASes()
+	var results [bgp.RIBShards][]Event
+	var wg sync.WaitGroup
+	for si := range perShard {
+		muts := perShard[si]
+		if len(muts) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, muts []ribMutation) {
+			defer wg.Done()
+			results[si] = s.applyShard(si, muts, ases)
+		}(si, muts)
+	}
+	//lint:ignore lockblock workers only read state pmu already guards (never acquire pmu themselves) and finish in bounded time; holding pmu across the join keeps the registry stable for the whole decision pass
+	wg.Wait()
+	events := mergeEvents(&results)
 	t.Stop()
 	s.mBestChanges.Add(int64(len(events)))
 	return events
 }
 
-// recomputeLocked recomputes best routes for the affected prefixes for
-// every participant, firing Advertise callbacks for changes.
-func (s *Server) recomputeLocked(affected []iputil.Prefix) []Event {
-	var events []Event
-	seen := make(map[iputil.Prefix]bool, len(affected))
-	ases := make([]uint32, 0, len(s.participants))
-	for as := range s.participants {
-		ases = append(ases, as)
-	}
-	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
-	for _, prefix := range affected {
-		if seen[prefix] {
-			continue
+// applyShard applies one shard's RIB mutations in order and reruns the
+// decision process over the prefixes that changed. Caller holds pmu.
+func (s *Server) applyShard(si int, muts []ribMutation, ases []uint32) []Event {
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var affected []iputil.Prefix
+	seen := make(map[iputil.Prefix]bool, len(muts))
+	for _, m := range muts {
+		if m.route != nil {
+			s.adjIn.Add(m.route)
+		} else if !s.adjIn.Remove(m.prefix, m.from) {
+			continue // withdrawal of a route we never had: no-op
 		}
-		seen[prefix] = true
+		if !seen[m.prefix] {
+			seen[m.prefix] = true
+			affected = append(affected, m.prefix)
+		}
+	}
+	return s.decideShardLocked(sh, affected, ases)
+}
+
+// decideShardLocked recomputes best routes for the affected prefixes (all
+// in sh's shard) for every participant, firing Advertise callbacks for
+// changes. Caller holds pmu and sh.mu.
+func (s *Server) decideShardLocked(sh *locShard, affected []iputil.Prefix, ases []uint32) []Event {
+	var events []Event
+	for _, prefix := range affected {
 		for _, as := range ases {
 			p := s.participants[as]
-			old := p.best[prefix]
+			bm := sh.best[as]
+			old := bm[prefix]
 			best := s.bestFor(as, prefix)
-			if sameRoute(old, best) {
+			if old == best {
 				continue
 			}
 			if best == nil {
-				delete(p.best, prefix)
+				delete(bm, prefix)
 			} else {
-				p.best[prefix] = best
+				if bm == nil {
+					bm = make(map[iputil.Prefix]*bgp.Route)
+					sh.best[as] = bm
+				}
+				bm[prefix] = best
 			}
 			events = append(events, Event{Participant: as, Prefix: prefix, Old: old, New: best})
 			if p.cfg.Advertise != nil {
@@ -310,16 +471,33 @@ func (s *Server) recomputeLocked(affected []iputil.Prefix) []Event {
 	return events
 }
 
-func sameRoute(a, b *bgp.Route) bool {
-	if a == nil || b == nil {
-		return a == b
+// mergeEvents flattens per-shard event slices into one slice sorted by
+// (prefix, participant) — a deterministic order regardless of shard
+// scheduling.
+func mergeEvents(results *[bgp.RIBShards][]Event) []Event {
+	n := 0
+	for _, r := range results {
+		n += len(r)
 	}
-	return a == b
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Compare(out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return out[i].Participant < out[j].Participant
+	})
+	return out
 }
 
 // bestFor computes the best route for prefix from participant as's view:
 // the best among routes advertised by other participants whose export
-// policy allows as to see them.
+// policy allows as to see them. Caller holds pmu.
 func (s *Server) bestFor(as uint32, prefix iputil.Prefix) *bgp.Route {
 	var candidates []*bgp.Route
 	for _, r := range s.adjIn.Routes(prefix) {
@@ -329,7 +507,7 @@ func (s *Server) bestFor(as uint32, prefix iputil.Prefix) *bgp.Route {
 		if adv := s.participants[r.PeerAS]; adv != nil && !adv.cfg.Export.Allows(as, prefix) {
 			continue
 		}
-		if !s.communityAllows(r, as) {
+		if !communityAllows(s.communityAS, r, as) {
 			continue
 		}
 		candidates = append(candidates, r)
@@ -339,27 +517,30 @@ func (s *Server) bestFor(as uint32, prefix iputil.Prefix) *bgp.Route {
 
 // BestRoute returns participant as's current best route for prefix.
 func (s *Server) BestRoute(as uint32, prefix iputil.Prefix) (*bgp.Route, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p := s.participants[as]
-	if p == nil {
-		return nil, false
-	}
-	r, ok := p.best[prefix]
+	sh := &s.shards[bgp.ShardOf(prefix)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.best[as][prefix]
 	return r, ok
 }
 
-// BestRoutes returns a copy of participant as's Loc-RIB.
+// BestRoutes returns a copy of participant as's Loc-RIB, merged across
+// shards; nil if as is not a registered participant.
 func (s *Server) BestRoutes(as uint32) map[iputil.Prefix]*bgp.Route {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p := s.participants[as]
-	if p == nil {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	if s.participants[as] == nil {
 		return nil
 	}
-	out := make(map[iputil.Prefix]*bgp.Route, len(p.best))
-	for k, v := range p.best {
-		out[k] = v
+	out := make(map[iputil.Prefix]*bgp.Route)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		//lint:ignore lockblock pmu-before-shard is the documented lock order; read-only snapshot over bounded in-memory maps
+		sh.mu.RLock()
+		for k, v := range sh.best[as] {
+			out[k] = v
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -369,8 +550,8 @@ func (s *Server) BestRoutes(as uint32) map[iputil.Prefix]*bgp.Route {
 // restrict viewer's outbound policies toward via ("forwarding only along
 // BGP-advertised paths", §3.2). The result is sorted.
 func (s *Server) ReachablePrefixes(viewer, via uint32) []iputil.Prefix {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
 	adv := s.participants[via]
 	var out []iputil.Prefix
 	s.adjIn.Walk(func(prefix iputil.Prefix, routes []*bgp.Route) bool {
@@ -381,7 +562,7 @@ func (s *Server) ReachablePrefixes(viewer, via uint32) []iputil.Prefix {
 			if adv != nil && !adv.cfg.Export.Allows(viewer, prefix) {
 				continue
 			}
-			if !s.communityAllows(r, viewer) {
+			if !communityAllows(s.communityAS, r, viewer) {
 				continue
 			}
 			out = append(out, prefix)
@@ -394,8 +575,8 @@ func (s *Server) ReachablePrefixes(viewer, via uint32) []iputil.Prefix {
 // Exports reports whether participant `via` currently announces prefix and
 // exports it to `viewer` — the membership query behind the SDX fast path.
 func (s *Server) Exports(viewer, via uint32, prefix iputil.Prefix) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
 	r, ok := s.adjIn.Get(prefix, via)
 	if !ok {
 		return false
@@ -403,7 +584,7 @@ func (s *Server) Exports(viewer, via uint32, prefix iputil.Prefix) bool {
 	if adv := s.participants[via]; adv != nil && !adv.cfg.Export.Allows(viewer, prefix) {
 		return false
 	}
-	return s.communityAllows(r, viewer)
+	return communityAllows(s.communityAS, r, viewer)
 }
 
 // GlobalBest returns the best route for prefix across every participant's
@@ -411,16 +592,12 @@ func (s *Server) Exports(viewer, via uint32, prefix iputil.Prefix) bool {
 // default next hop used by the SDX's forwarding-equivalence-class grouping
 // (§4.2 pass 2).
 func (s *Server) GlobalBest(prefix iputil.Prefix) *bgp.Route {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return bgp.Best(s.adjIn.Routes(prefix))
 }
 
 // AnnouncedPrefixes returns the prefixes participant as currently
 // announces, sorted.
 func (s *Server) AnnouncedPrefixes(as uint32) []iputil.Prefix {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []iputil.Prefix
 	s.adjIn.Walk(func(prefix iputil.Prefix, routes []*bgp.Route) bool {
 		for _, r := range routes {
@@ -443,9 +620,7 @@ func (s *Server) Prefixes() []iputil.Prefix {
 // as RIB().FilterASPath for §3.2-style policies).
 func (s *Server) RIB() *bgp.RIB { return s.adjIn }
 
-// UpdatesProcessed returns the number of HandleUpdate calls.
+// UpdatesProcessed returns the number of UPDATE messages applied.
 func (s *Server) UpdatesProcessed() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.updates
+	return int(s.updates.Load())
 }

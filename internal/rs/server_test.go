@@ -265,3 +265,106 @@ func TestFlushPeerKeepsParticipant(t *testing.T) {
 		t.Fatalf("empty flush produced events: %v", events)
 	}
 }
+
+// fanout builds a server with n participants, none with callbacks.
+func fanout(t *testing.T, n int) *Server {
+	t.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		if err := s.AddParticipant(ParticipantConfig{AS: 100 + uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestApplyBatchMatchesSerial(t *testing.T) {
+	// A multi-peer batch must leave the server in exactly the state a
+	// serial HandleUpdate sequence produces, for every participant view.
+	mkUpdates := func() []PeerUpdate {
+		var batch []PeerUpdate
+		for i := 0; i < 64; i++ {
+			p := iputil.Addr(0x30_00_00_00|uint32(i)<<8).String() + "/24"
+			from := 100 + uint32(i%5)
+			batch = append(batch, PeerUpdate{From: from, Update: announce([]string{p}, from, 900+uint32(i%3))})
+		}
+		// Re-announce a third with different paths and withdraw every
+		// sixth, so the batch exercises replace and remove on the same
+		// prefixes it announced.
+		for i := 0; i < 64; i += 3 {
+			p := iputil.Addr(0x30_00_00_00|uint32(i)<<8).String() + "/24"
+			from := 100 + uint32(i%5)
+			batch = append(batch, PeerUpdate{From: from, Update: announce([]string{p}, from, 800)})
+		}
+		for i := 0; i < 64; i += 6 {
+			p := iputil.Addr(0x30_00_00_00|uint32(i)<<8).String() + "/24"
+			from := 100 + uint32(i%5)
+			batch = append(batch, PeerUpdate{From: from, Update: withdraw(p)})
+		}
+		return batch
+	}
+
+	serial, batched := fanout(t, 5), fanout(t, 5)
+	for _, pu := range mkUpdates() {
+		serial.HandleUpdate(pu.From, pu.Update)
+	}
+	events := batched.Apply(mkUpdates())
+
+	for as := uint32(100); as < 105; as++ {
+		want, got := serial.BestRoutes(as), batched.BestRoutes(as)
+		if len(want) != len(got) {
+			t.Fatalf("AS%d: serial Loc-RIB has %d prefixes, batched %d", as, len(want), len(got))
+		}
+		for p, wr := range want {
+			gr, ok := got[p]
+			if !ok {
+				t.Fatalf("AS%d: batched view missing %s", as, p)
+			}
+			if wr.PeerAS != gr.PeerAS || wr.Attrs.String() != gr.Attrs.String() {
+				t.Fatalf("AS%d %s: serial best %v, batched best %v", as, p, wr, gr)
+			}
+		}
+	}
+	if lw, lg := len(serial.Prefixes()), len(batched.Prefixes()); lw != lg {
+		t.Fatalf("Adj-RIB-In size: serial %d, batched %d", lw, lg)
+	}
+	if serial.UpdatesProcessed() != batched.UpdatesProcessed() {
+		t.Fatalf("updates processed: serial %d, batched %d",
+			serial.UpdatesProcessed(), batched.UpdatesProcessed())
+	}
+
+	// Events from one Apply come back sorted by (prefix, participant).
+	for i := 1; i < len(events); i++ {
+		c := events[i-1].Prefix.Compare(events[i].Prefix)
+		if c > 0 || (c == 0 && events[i-1].Participant >= events[i].Participant) {
+			t.Fatalf("events out of order at %d: %v then %v", i, events[i-1], events[i])
+		}
+	}
+}
+
+func TestApplyBatchOrderPerPrefixPeer(t *testing.T) {
+	// Within a batch the last update for a (prefix, peer) pair wins.
+	s := fanout(t, 3)
+	p := "40.0.1.0/24"
+	s.Apply([]PeerUpdate{
+		{From: 100, Update: announce([]string{p}, 100, 900)},
+		{From: 100, Update: announce([]string{p}, 100, 901)},
+		{From: 100, Update: withdraw(p)},
+		{From: 100, Update: announce([]string{p}, 100, 902)},
+	})
+	r, ok := s.BestRoute(101, pfx(p))
+	if !ok {
+		t.Fatalf("no best route for %s after batch", p)
+	}
+	if len(r.Attrs.ASPath) != 2 || r.Attrs.ASPath[1] != 902 {
+		t.Fatalf("best path %v, want [100 902]", r.Attrs.ASPath)
+	}
+
+	s.Apply([]PeerUpdate{
+		{From: 100, Update: announce([]string{p}, 100, 903)},
+		{From: 100, Update: withdraw(p)},
+	})
+	if _, ok := s.BestRoute(101, pfx(p)); ok {
+		t.Fatalf("route for %s survived trailing withdrawal", p)
+	}
+}

@@ -77,10 +77,10 @@ func TestScheduledEventChangesRates(t *testing.T) {
 	exp.WatchRouter("b", b, nil)
 	exp.At(3, func() {
 		// A blocks its own outbound SMTP mid-run.
-		if _, err := ctrl.SetPolicyAndCompile(100, nil, []core.Term{
+		if rep := ctrl.Recompile(core.CompilePolicy(100, nil, []core.Term{
 			core.DropTerm(pkt.MatchAll.DstPort(25)),
-		}); err != nil {
-			t.Error(err)
+		})); rep.Err != nil {
+			t.Error(rep.Err)
 		}
 	})
 	res := exp.Run(6)

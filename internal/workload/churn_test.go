@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"sdx/internal/iputil"
+)
+
+func TestGenerateChurnShape(t *testing.T) {
+	x := NewIXP(DefaultTopology(50, 5000, 7))
+	cfg := DefaultChurn(20000, 7)
+	tr := GenerateChurn(x, cfg)
+
+	if len(tr.Events) != 20000 {
+		t.Fatalf("generated %d events, want 20000", len(tr.Events))
+	}
+
+	// Every update must come from a participant that announces the prefix.
+	announcers := make(map[iputil.Prefix]map[uint32]bool)
+	for i := range x.Participants {
+		p := &x.Participants[i]
+		for _, q := range p.Prefixes {
+			if announcers[q] == nil {
+				announcers[q] = make(map[uint32]bool)
+			}
+			announcers[q][p.AS] = true
+		}
+	}
+	counts := make(map[iputil.Prefix]int)
+	withdrawals := 0
+	for _, e := range tr.Events {
+		var q iputil.Prefix
+		if len(e.Update.Withdrawn) > 0 {
+			q = e.Update.Withdrawn[0]
+			withdrawals++
+		} else {
+			q = e.Update.NLRI[0]
+		}
+		if !announcers[q][e.Peer] {
+			t.Fatalf("update for %s attributed to AS%d, which does not announce it", q, e.Peer)
+		}
+		counts[q]++
+	}
+	if f := float64(withdrawals) / float64(len(tr.Events)); f < 0.15 || f > 0.25 {
+		t.Fatalf("withdraw fraction %.3f, want ~0.2", f)
+	}
+
+	// Hot-prefix skew: the most-updated 1% of prefixes must absorb the
+	// configured HotShare (within tolerance).
+	sorted := make([]int, 0, len(counts))
+	for _, c := range counts {
+		sorted = append(sorted, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	hot := len(x.Prefixes) / 100
+	if hot < 1 {
+		hot = 1
+	}
+	hotUpdates := 0
+	for i := 0; i < hot && i < len(sorted); i++ {
+		hotUpdates += sorted[i]
+	}
+	if share := float64(hotUpdates) / float64(len(tr.Events)); share < 0.7 {
+		t.Fatalf("hot 1%% of prefixes took %.2f of updates, want >= 0.7", share)
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	a := GenerateChurn(NewIXP(DefaultTopology(20, 500, 3)), DefaultChurn(1000, 3))
+	b := GenerateChurn(NewIXP(DefaultTopology(20, 500, 3)), DefaultChurn(1000, 3))
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Peer != eb.Peer || ea.At != eb.At || ea.Update.String() != eb.Update.String() {
+			t.Fatalf("event %d differs: %v vs %v", i, ea, eb)
+		}
+	}
+}
+
+func TestScaleProfiles(t *testing.T) {
+	full, ok := LookupScaleProfile("full")
+	if !ok {
+		t.Fatal("full profile missing")
+	}
+	if full.Participants != 1000 || full.Prefixes != 1_000_000 {
+		t.Fatalf("full profile = %+v, want 1000 participants / 1M prefixes", full)
+	}
+	if _, ok := LookupScaleProfile("nope"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+	for _, p := range ScaleProfiles {
+		if p.Participants <= 0 || p.Prefixes <= 0 || p.Updates <= 0 {
+			t.Fatalf("degenerate profile %+v", p)
+		}
+	}
+}

@@ -172,8 +172,10 @@ func Load(x *IXP) (*core.Controller, error) {
 			continue
 		}
 		// Announce in batches sharing one attribute vector, like real
-		// table transfers.
+		// table transfers, and feed the whole table through the batch-first
+		// ingestion API in one call per participant.
 		const batch = 500
+		var updates []*bgp.Update
 		for start := 0; start < len(wp.Prefixes); start += batch {
 			end := min(start+batch, len(wp.Prefixes))
 			path := []uint32{wp.AS}
@@ -184,11 +186,12 @@ func Load(x *IXP) (*core.Controller, error) {
 			if len(wp.Ports) > 0 {
 				nh = wp.Ports[0].IP()
 			}
-			ctrl.ProcessUpdate(wp.AS, &bgp.Update{
+			updates = append(updates, &bgp.Update{
 				Attrs: &bgp.PathAttrs{ASPath: path, NextHop: nh},
 				NLRI:  wp.Prefixes[start:end],
 			})
 		}
+		ctrl.ApplyUpdates(wp.AS, updates...)
 	}
 	return ctrl, nil
 }

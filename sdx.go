@@ -74,7 +74,25 @@ type (
 	PrefixGroup = core.PrefixGroup
 	// ExportPolicy restricts route-server exports per peer.
 	ExportPolicy = rs.ExportPolicy
+
+	// PeerUpdate pairs one BGP UPDATE with the participant it came from —
+	// the unit of the batch-first ingestion API (Controller.ApplyBatch).
+	PeerUpdate = rs.PeerUpdate
+	// UpdateQueue is the bounded, coalescing ingestion queue in front of
+	// a Controller (NewUpdateQueue; see BGPServer.UseIngestQueue).
+	UpdateQueue = core.UpdateQueue
+	// QueueConfig tunes an UpdateQueue.
+	QueueConfig = core.QueueConfig
+	// QueueStats is a point-in-time snapshot of an UpdateQueue.
+	QueueStats = core.QueueStats
 )
+
+// NewUpdateQueue builds and starts a coalescing ingestion queue in front
+// of a controller.
+var NewUpdateQueue = core.NewUpdateQueue
+
+// ErrQueueClosed is returned by UpdateQueue.Enqueue after Stop.
+var ErrQueueClosed = core.ErrQueueClosed
 
 // Telemetry types (see internal/telemetry; injected with WithTelemetry /
 // WithTracer, served by sdxd's -metrics endpoint).
