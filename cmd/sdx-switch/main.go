@@ -17,6 +17,7 @@ import (
 	"sdx/internal/dataplane"
 	"sdx/internal/openflow"
 	"sdx/internal/pkt"
+	"sdx/internal/probe"
 )
 
 func main() {
@@ -26,6 +27,9 @@ func main() {
 	flag.Parse()
 
 	sw := dataplane.NewSwitch("sdx-fabric")
+	// The agent exists before the ports so delivery handlers can punt
+	// liveness probes back to the controller as PacketIns.
+	agent := openflow.NewAgent(sw)
 	for _, f := range strings.Split(*ports, ",") {
 		id, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
 		if err != nil {
@@ -33,6 +37,13 @@ func main() {
 		}
 		pid := pkt.PortID(id)
 		deliver := func(p pkt.Packet) {
+			if p.EthType == probe.EthType {
+				// A delivered liveness probe: hand it back to the
+				// controller's prober with the delivery port stamped.
+				p.InPort = pid
+				agent.Punt(p)
+				return
+			}
 			if !*quiet {
 				log.Printf("port %d <- %v", pid, p)
 			}
@@ -47,7 +58,6 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("fabric switch with ports %s awaiting controller on %s", *ports, ln.Addr())
-	agent := openflow.NewAgent(sw)
 	if err := agent.ListenAndServe(ln); err != nil {
 		log.Fatal(err)
 	}

@@ -37,11 +37,15 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"sdx"
+	"sdx/internal/dataplane"
 	"sdx/internal/openflow"
+	"sdx/internal/probe"
+	"sdx/internal/reconcile"
 )
 
 func main() {
@@ -50,22 +54,29 @@ func main() {
 	configPath := flag.String("config", "", "exchange configuration file")
 	fabric := flag.String("fabric", "", "optional sdx-switch address to program over the control channel")
 	optimize := flag.Duration("optimize-interval", 5*time.Second, "background recompilation interval")
-	metricsAddr := flag.String("metrics", "", "HTTP observability address (serves /metrics, /metrics/text, /trace); empty disables")
+	metricsAddr := flag.String("metrics", "", "HTTP observability address (serves /metrics, /metrics/text, /trace, /health); empty disables")
 	coalesce := flag.Bool("coalesce", true, "route received UPDATEs through the coalescing ingestion queue (per-(peer,prefix) latest-wins, bounded install latency)")
+	reconcileInterval := flag.Duration("reconcile-interval", time.Second, "continuous reconciler period against the external fabric's installed table (0 disables; requires -fabric)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "dataplane liveness probe period across participant port pairs (0 disables; requires -fabric)")
 	flag.Parse()
 
 	ctrl := sdx.New(sdx.WithLogger(log.Printf))
+	var ports []sdx.PortID
 	if *configPath != "" {
-		if err := loadConfig(ctrl, *configPath); err != nil {
+		var err error
+		if ports, err = loadConfig(ctrl, *configPath); err != nil {
 			log.Fatalf("config: %v", err)
 		}
 	}
 	fabricCtx, fabricStop := context.WithCancel(context.Background())
 	defer fabricStop()
+	var rec *reconcile.Reconciler
+	var prb *probe.Prober
 	if *fabric != "" {
 		// The control channel is kept alive by a redialer: whenever the
 		// channel dies, it reconnects with backoff and resyncs the full
 		// rule state (flush + band replay) through AddRuleMirror.
+		var gen atomic.Uint64
 		red := &openflow.Redialer{
 			Dial: func(context.Context) (*openflow.Client, error) {
 				return openflow.Dial(*fabric)
@@ -73,12 +84,21 @@ func main() {
 			Logf: log.Printf,
 		}
 		red.OnUp = func(client *openflow.Client) {
-			// Remote table misses: answer ARP (VNH resolution) and fall
-			// back to normal L2 delivery, both via PACKET_OUT.
+			// Remote table misses: deliver liveness probes that reached
+			// their destination port, answer ARP (VNH resolution), and
+			// fall back to normal L2 delivery via PACKET_OUT.
 			client.OnPacketIn = func(p sdx.Packet) {
+				if to, ok := probe.Destination(p); ok && to == p.InPort {
+					// The switch punted a probe delivered on its
+					// destination port: the forwarding path works.
+					prb.Deliver(p.InPort, p)
+					return
+				}
 				// PACKET_OUT failures mean the control channel died; the
 				// packet is dropped like any other table miss, and the
-				// channel's Done() is the reconnect signal.
+				// channel's Done() is the reconnect signal. A probe that
+				// missed the tables rides the same normal-egress relay as
+				// any other packet.
 				if reply, ok := ctrl.HandleARP(p); ok {
 					_ = client.PacketOut(p.InPort, reply)
 					return
@@ -87,14 +107,85 @@ func main() {
 					_ = client.PacketOut(egress, p)
 				}
 			}
+			gen.Add(1)
 			ctrl.AddRuleMirror(openflow.Mirror{C: client})
 			log.Printf("fabric channel up, rule state resynced")
 		}
 		red.OnDown = func(client *openflow.Client, err error) {
+			gen.Add(1)
 			ctrl.RemoveRuleMirror(openflow.Mirror{C: client})
 			log.Printf("fabric channel down: %v", err)
 		}
+
+		// Continuous reconciler: read the installed table back over the
+		// control channel (DumpFlows), diff against the intended table,
+		// repair minimally, escalate to flush-and-replay on persistent
+		// drift. The generation counter fences repairs across reconnects.
+		rec = reconcile.New(reconcile.Config{
+			Interval: *reconcileInterval,
+			Registry: ctrl.Metrics(),
+			Logf:     log.Printf,
+		}, reconcile.Target{
+			Name:     "fabric",
+			Intended: func() []*dataplane.FlowEntry { return ctrl.Switch().Table().Entries() },
+			Installed: func() ([]*dataplane.FlowEntry, bool) {
+				c := red.Client()
+				if c == nil {
+					return nil, false
+				}
+				groups, err := c.DumpFlows()
+				if err != nil {
+					return nil, false
+				}
+				return openflow.EntriesFromGroups(groups), true
+			},
+			Sink: func() reconcile.Sink {
+				c := red.Client()
+				if c == nil {
+					return nil
+				}
+				return openflow.Mirror{C: c}
+			},
+			Generation: gen.Load,
+			Escalate: func() {
+				if c := red.Client(); c != nil {
+					ctrl.Resync(openflow.Mirror{C: c})
+				}
+			},
+		})
+
+		// Dataplane liveness prober: inject probes into the remote
+		// pipeline between every ordered pair of configured participant
+		// ports; the switch punts delivered probes back as PacketIns.
+		var pairs []probe.Pair
+		for _, from := range ports {
+			for _, to := range ports {
+				if from != to {
+					pairs = append(pairs, probe.Pair{From: from, To: to})
+				}
+			}
+		}
+		prb = probe.New(probe.Config{
+			Interval: *probeInterval,
+			Registry: ctrl.Metrics(),
+			Logf:     log.Printf,
+		}, func(port sdx.PortID, p sdx.Packet) bool {
+			c := red.Client()
+			if c == nil {
+				return false
+			}
+			return c.Inject(port, p) == nil
+		}, pairs...)
+
 		go func() { _ = red.Run(fabricCtx) }()
+		if *reconcileInterval > 0 {
+			rec.Start()
+			log.Printf("reconciler loop at %v", *reconcileInterval)
+		}
+		if *probeInterval > 0 && len(pairs) > 0 {
+			prb.Start()
+			log.Printf("liveness probing %d port pairs at %v", len(pairs), *probeInterval)
+		}
 		stats := func(f func(openflow.ChannelStats) uint64) func() int64 {
 			return func() int64 {
 				c := red.Client()
@@ -122,7 +213,7 @@ func main() {
 		}
 		go func() {
 			// Serve exits when the listener closes at process shutdown.
-			_ = http.Serve(ln, newMetricsMux(ctrl))
+			_ = http.Serve(ln, newMetricsMux(ctrl, rec, prb))
 		}()
 		log.Printf("metrics at http://%s/metrics", ln.Addr())
 	}
@@ -157,6 +248,12 @@ func main() {
 			}
 		case <-stop:
 			log.Printf("shutting down")
+			if prb != nil {
+				prb.Stop()
+			}
+			if rec != nil {
+				rec.Stop()
+			}
 			srv.Close()
 			if queue != nil {
 				queue.Stop()
@@ -170,12 +267,16 @@ func main() {
 	}
 }
 
-func loadConfig(ctrl *sdx.Controller, path string) error {
+// loadConfig installs the configuration into ctrl and returns the
+// physical participant ports it declared, in file order — the port set
+// the liveness prober pairs up.
+func loadConfig(ctrl *sdx.Controller, path string) ([]sdx.PortID, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
+	var ports []sdx.PortID
 
 	type policyLine struct {
 		as      uint32
@@ -193,8 +294,8 @@ func loadConfig(ctrl *sdx.Controller, path string) error {
 			continue
 		}
 		fields := strings.Fields(line)
-		fail := func(format string, args ...any) error {
-			return fmt.Errorf("%s:%d: %s", path, lineno, fmt.Sprintf(format, args...))
+		fail := func(format string, args ...any) ([]sdx.PortID, error) {
+			return nil, fmt.Errorf("%s:%d: %s", path, lineno, fmt.Sprintf(format, args...))
 		}
 		switch fields[0] {
 		case "communities":
@@ -222,6 +323,7 @@ func loadConfig(ctrl *sdx.Controller, path string) error {
 						return fail("bad port %q", pf)
 					}
 					cfg.Ports = append(cfg.Ports, sdx.PhysicalPort{ID: sdx.PortID(id)})
+					ports = append(ports, sdx.PortID(id))
 				}
 			}
 			if _, err := ctrl.AddParticipant(cfg); err != nil {
@@ -246,7 +348,7 @@ func loadConfig(ctrl *sdx.Controller, path string) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Group policy lines per participant and install.
@@ -265,10 +367,10 @@ func loadConfig(ctrl *sdx.Controller, path string) error {
 	}
 	for as, e := range byAS {
 		if err := ctrl.SetPolicy(as, e.in, e.out); err != nil {
-			return fmt.Errorf("%s: policy for AS%d: %w", path, as, err)
+			return nil, fmt.Errorf("%s: policy for AS%d: %w", path, as, err)
 		}
 	}
-	return nil
+	return ports, nil
 }
 
 func parseTerm(fields []string, inbound bool) (sdx.Term, error) {

@@ -31,8 +31,12 @@ policy 100 out drop dstport 25
 policy 200 in port 2 srcip 0.0.0.0/1
 policy 200 in port 3 srcip 128.0.0.0/1
 `)
-	if err := loadConfig(ctrl, path); err != nil {
+	ports, err := loadConfig(ctrl, path)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if want := []sdx.PortID{1, 2, 3}; len(ports) != len(want) || ports[0] != 1 || ports[1] != 2 || ports[2] != 3 {
+		t.Fatalf("ports = %v, want %v", ports, want)
 	}
 	for _, as := range []uint32{100, 200, 400} {
 		if _, ok := ctrl.Participant(as); !ok {
@@ -76,12 +80,12 @@ func TestLoadConfigErrors(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ctrl := sdx.New()
-			if err := loadConfig(ctrl, writeConfig(t, tc.conf)); err == nil {
+			if _, err := loadConfig(ctrl, writeConfig(t, tc.conf)); err == nil {
 				t.Fatalf("config %q should fail", tc.conf)
 			}
 		})
 	}
-	if err := loadConfig(sdx.New(), "/nonexistent/path.conf"); err == nil {
+	if _, err := loadConfig(sdx.New(), "/nonexistent/path.conf"); err == nil {
 		t.Fatal("missing file should fail")
 	}
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 
 	"sdx"
+	"sdx/internal/probe"
+	"sdx/internal/reconcile"
 )
 
 // newMetricsMux serves the controller's observability surface:
@@ -11,7 +14,11 @@ import (
 //	/metrics       registry snapshot as JSON (?format=text for the dump)
 //	/metrics/text  human-readable metric dump
 //	/trace         retained trace events as JSON
-func newMetricsMux(ctrl *sdx.Controller) *http.ServeMux {
+//	/health        reconciler + prober health summary as JSON
+//
+// rec and prb may be nil (no fabric, or the loops are disabled); /health
+// then reports only the components that exist.
+func newMetricsMux(ctrl *sdx.Controller, rec *reconcile.Reconciler, prb *probe.Prober) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", ctrl.Metrics())
 	mux.HandleFunc("/metrics/text", func(w http.ResponseWriter, _ *http.Request) {
@@ -19,5 +26,30 @@ func newMetricsMux(ctrl *sdx.Controller) *http.ServeMux {
 		ctrl.Metrics().WriteText(w)
 	})
 	mux.Handle("/trace", ctrl.Tracer())
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		type reconcileHealth struct {
+			Healthy bool              `json:"healthy"`
+			Last    reconcile.Summary `json:"last"`
+		}
+		type probeHealth struct {
+			Healthy bool               `json:"healthy"`
+			Pairs   []probe.PairHealth `json:"pairs"`
+		}
+		out := struct {
+			Healthy   bool             `json:"healthy"`
+			Reconcile *reconcileHealth `json:"reconcile,omitempty"`
+			Probe     *probeHealth     `json:"probe,omitempty"`
+		}{Healthy: true}
+		if rec != nil {
+			out.Reconcile = &reconcileHealth{Healthy: rec.Healthy(), Last: rec.Last()}
+			out.Healthy = out.Healthy && out.Reconcile.Healthy
+		}
+		if prb != nil {
+			out.Probe = &probeHealth{Healthy: prb.Healthy(), Pairs: prb.Health()}
+			out.Healthy = out.Healthy && out.Probe.Healthy
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
 	return mux
 }

@@ -3,13 +3,16 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"sdx"
 	"sdx/internal/bgp"
+	"sdx/internal/dataplane"
 	"sdx/internal/iputil"
+	"sdx/internal/reconcile"
 )
 
 // TestMetricsMux drives an in-process controller through a BGP burst and a
@@ -34,7 +37,7 @@ func TestMetricsMux(t *testing.T) {
 	}
 	ctrl.Recompile()
 
-	mux := newMetricsMux(ctrl)
+	mux := newMetricsMux(ctrl, nil, nil)
 	get := func(path string) *httptest.ResponseRecorder {
 		t.Helper()
 		rec := httptest.NewRecorder()
@@ -71,5 +74,78 @@ func TestMetricsMux(t *testing.T) {
 	}
 	if len(events) == 0 {
 		t.Fatal("/trace returned no events")
+	}
+}
+
+// TestHealthEndpoint checks the /health JSON summary in three states: no
+// loops wired at all, a reconciler that has not yet passed, and one that
+// has completed a clean pass.
+func TestHealthEndpoint(t *testing.T) {
+	ctrl := sdx.New()
+
+	getHealth := func(mux http.Handler) map[string]json.RawMessage {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /health: status %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("/health content type %q", ct)
+		}
+		var out map[string]json.RawMessage
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("/health: %v", err)
+		}
+		return out
+	}
+
+	// No loops: vacuously healthy, no component sections.
+	out := getHealth(newMetricsMux(ctrl, nil, nil))
+	if string(out["healthy"]) != "true" {
+		t.Fatalf("no-loop health = %s, want true", out["healthy"])
+	}
+	if _, ok := out["reconcile"]; ok {
+		t.Fatal("reconcile section present without a reconciler")
+	}
+	if _, ok := out["probe"]; ok {
+		t.Fatal("probe section present without a prober")
+	}
+
+	// A reconciler over the controller's own local table: intended and
+	// installed are the same snapshot, so one pass is clean.
+	table := ctrl.Switch().Table()
+	rec := reconcile.New(reconcile.Config{}, reconcile.Target{
+		Name:      "local",
+		Intended:  table.Entries,
+		Installed: func() ([]*dataplane.FlowEntry, bool) { return table.Entries(), true },
+		Sink:      func() reconcile.Sink { return nil },
+	})
+	mux := newMetricsMux(ctrl, rec, nil)
+
+	out = getHealth(mux)
+	if string(out["healthy"]) != "false" {
+		t.Fatalf("pre-pass health = %s, want false", out["healthy"])
+	}
+
+	if sum := rec.RunOnce(); !sum.Clean {
+		t.Fatalf("local pass not clean: %+v", sum)
+	}
+	out = getHealth(mux)
+	if string(out["healthy"]) != "true" {
+		t.Fatalf("post-pass health = %s, want true", out["healthy"])
+	}
+	var rh struct {
+		Healthy bool `json:"healthy"`
+		Last    struct {
+			Pass  int  `json:"Pass"`
+			Clean bool `json:"Clean"`
+		} `json:"last"`
+	}
+	if err := json.Unmarshal(out["reconcile"], &rh); err != nil {
+		t.Fatalf("reconcile section: %v", err)
+	}
+	if !rh.Healthy || rh.Last.Pass != 1 || !rh.Last.Clean {
+		t.Fatalf("reconcile section = %+v", rh)
 	}
 }

@@ -170,10 +170,26 @@ type RuleFlusher interface {
 func (c *Controller) AddRuleMirror(sink RuleSink) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.mirrors = append(c.mirrors, sink)
+	c.resyncLocked(sink)
+}
+
+// Resync replays the full installed state into a sink without changing
+// the mirror set: flush (when the sink can), optimized-band replace,
+// fast-band replay. It is the reconciler's escalation path — when
+// targeted repairs keep failing, a Resync rebuilds the remote table from
+// scratch exactly like a control-channel reconnect would.
+func (c *Controller) Resync(sink RuleSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resyncLocked(sink)
+}
+
+// resyncLocked is the shared flush-and-replay body. Callers hold c.mu.
+func (c *Controller) resyncLocked(sink RuleSink) {
 	if f, ok := sink.(RuleFlusher); ok {
 		f.FlushAll()
 	}
-	c.mirrors = append(c.mirrors, sink)
 	sink.Replace(cookieBand1, dataplane.EntriesFromClassifier(c.cur.Band1, band1Base, cookieBand1))
 	sink.Replace(cookieBand2, dataplane.EntriesFromClassifier(c.cur.Band2, band2Base, cookieBand2))
 	var fast []*dataplane.FlowEntry

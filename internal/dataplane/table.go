@@ -54,6 +54,20 @@ type FlowEntry struct {
 // Packets returns the number of packets that hit this entry.
 func (e *FlowEntry) Packets() uint64 { return e.packets.Load() }
 
+// Clone returns a fresh entry with the same programmable identity
+// (priority, match, actions, cookie) and zeroed table state. Entries are
+// owned by the table they are inserted into — seq stamping and hit
+// counters mutate them — so anything installing one entry into several
+// tables (the reconciler's repair path, test corpora) must clone.
+func (e *FlowEntry) Clone() *FlowEntry {
+	return &FlowEntry{
+		Priority: e.Priority,
+		Match:    e.Match,
+		Actions:  append([]pkt.Action(nil), e.Actions...),
+		Cookie:   e.Cookie,
+	}
+}
+
 // Seq returns the entry's insertion sequence number, the final
 // tie-break leg of table precedence. The differential harness asserts
 // compiled and naive lookups agree on the full (priority, cookie, seq)

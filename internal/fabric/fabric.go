@@ -68,6 +68,7 @@ type Fabric struct {
 	portSw   map[pkt.PortID]string            // participant port -> switch
 	nextHop  map[string]map[string]pkt.PortID // from switch -> to switch -> local trunk port
 	order    []string
+	topo     Topology
 }
 
 // New builds the switches, ports and trunk forwarding state for a
@@ -81,6 +82,7 @@ func New(topo Topology) (*Fabric, error) {
 		portSw:   make(map[pkt.PortID]string, len(topo.Ports)),
 		nextHop:  make(map[string]map[string]pkt.PortID, len(topo.Switches)),
 		order:    append([]string(nil), topo.Switches...),
+		topo:     topo,
 	}
 	sort.Strings(f.order)
 	for _, name := range f.order {
@@ -225,6 +227,15 @@ func (f *Fabric) localOutput(on string, egress pkt.PortID) (pkt.PortID, bool) {
 
 // Switch returns one member switch (for injection and inspection).
 func (f *Fabric) Switch(name string) *dataplane.Switch { return f.switches[name] }
+
+// Switches returns the member switch names in deterministic (sorted)
+// order. Callers iterating per-switch state — the reconciler's drift
+// scan, health summaries — key off this instead of re-deriving names.
+func (f *Fabric) Switches() []string { return append([]string(nil), f.order...) }
+
+// Topo returns the topology the fabric was built from. The maps and
+// slices are the caller-supplied originals; treat them as read-only.
+func (f *Fabric) Topo() Topology { return f.topo }
 
 // SwitchOf returns the switch owning a participant port.
 func (f *Fabric) SwitchOf(port pkt.PortID) (*dataplane.Switch, bool) {

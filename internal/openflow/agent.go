@@ -3,6 +3,7 @@ package openflow
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"sdx/internal/dataplane"
@@ -42,6 +43,12 @@ func (a *Agent) packetIn(p pkt.Packet) {
 	// Undeliverable packet-ins are drops, exactly like the no-controller case.
 	_ = a.send(conn, &PacketIn{Packet: p})
 }
+
+// Punt forwards a delivered packet to the controller as a PacketIn —
+// the switch-side half of dataplane liveness probing: delivery handlers
+// hand probe packets here so the controller's prober observes that the
+// forwarding path to the delivery port actually works.
+func (a *Agent) Punt(p pkt.Packet) { a.packetIn(p) }
 
 func (a *Agent) send(conn net.Conn, m Message) error {
 	// Check conn identity under mu but release it before writing: holding
@@ -104,6 +111,8 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 			}
 		case *PacketOut:
 			a.sw.Output(m.Port, m.Packet)
+		case *Inject:
+			a.sw.Inject(m.Port, m.Packet)
 		case *EchoRequest:
 			if err := a.send(conn, &EchoReply{Xid: m.Xid}); err != nil {
 				return err
@@ -116,6 +125,10 @@ func (a *Agent) ServeConn(conn net.Conn) error {
 				Drops:  a.sw.Drops(),
 			}
 			if err := a.send(conn, reply); err != nil {
+				return err
+			}
+		case *DumpRequest:
+			if err := a.send(conn, a.dumpReply(m.Xid)); err != nil {
 				return err
 			}
 		case *Error:
@@ -140,6 +153,29 @@ func (a *Agent) applyFlowMod(m *FlowMod) {
 	case OpFlushAll:
 		a.sw.Table().Flush()
 	}
+}
+
+// dumpReply snapshots the installed table grouped by cookie, groups in
+// ascending cookie order so identical tables dump byte-identically.
+func (a *Agent) dumpReply(xid uint32) *DumpReply {
+	byCookie := make(map[uint64][]FlowRule)
+	for _, e := range a.sw.Table().Entries() {
+		byCookie[e.Cookie] = append(byCookie[e.Cookie], FlowRule{
+			Priority: int32(e.Priority),
+			Match:    e.Match,
+			Actions:  e.Actions,
+		})
+	}
+	cookies := make([]uint64, 0, len(byCookie))
+	for c := range byCookie {
+		cookies = append(cookies, c)
+	}
+	sort.Slice(cookies, func(i, j int) bool { return cookies[i] < cookies[j] })
+	reply := &DumpReply{Xid: xid}
+	for _, c := range cookies {
+		reply.Groups = append(reply.Groups, FlowGroup{Cookie: c, Rules: byCookie[c]})
+	}
+	return reply
 }
 
 func entriesFromRules(rules []FlowRule, cookie uint64) []*dataplane.FlowEntry {

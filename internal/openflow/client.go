@@ -147,6 +147,8 @@ func (c *Client) readLoop() {
 			c.deliver(m.Xid, m)
 		case *StatsReply:
 			c.deliver(m.Xid, m)
+		case *DumpReply:
+			c.deliver(m.Xid, m)
 		case *EchoReply:
 			c.deliver(m.Xid, m)
 		case *EchoRequest:
@@ -245,6 +247,12 @@ func (c *Client) PacketOut(port pkt.PortID, p pkt.Packet) error {
 	return c.send(&PacketOut{Port: port, Packet: p})
 }
 
+// Inject offers a packet to the remote switch's forwarding pipeline as
+// if it arrived on the port. Liveness probes enter the dataplane here.
+func (c *Client) Inject(port pkt.PortID, p pkt.Packet) error {
+	return c.send(&Inject{Port: port, Packet: p})
+}
+
 // Barrier blocks until every preceding FlowMod has been applied.
 func (c *Client) Barrier() error {
 	xid := c.nextXid()
@@ -264,6 +272,32 @@ func (c *Client) Stats() (*StatsReply, error) {
 		return nil, fmt.Errorf("openflow: unexpected reply %T", reply)
 	}
 	return stats, nil
+}
+
+// DumpFlows fetches the remote switch's full installed table grouped by
+// cookie — the reconciler's readback path: without it, drift on the far
+// side of the control channel is invisible to the controller.
+func (c *Client) DumpFlows() ([]FlowGroup, error) {
+	xid := c.nextXid()
+	reply, err := c.roundTrip(xid, &DumpRequest{Xid: xid})
+	if err != nil {
+		return nil, err
+	}
+	dump, ok := reply.(*DumpReply)
+	if !ok {
+		return nil, fmt.Errorf("openflow: unexpected reply %T", reply)
+	}
+	return dump.Groups, nil
+}
+
+// EntriesFromGroups flattens a flow dump into dataplane entries, the
+// shape the reconciler diffs against intended tables.
+func EntriesFromGroups(groups []FlowGroup) []*dataplane.FlowEntry {
+	var out []*dataplane.FlowEntry
+	for _, g := range groups {
+		out = append(out, entriesFromRules(g.Rules, g.Cookie)...)
+	}
+	return out
 }
 
 // Echo round-trips a liveness probe.

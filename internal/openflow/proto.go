@@ -39,6 +39,9 @@ const (
 	TypeStatsRequest uint8 = 9
 	TypeStatsReply   uint8 = 10
 	TypeError        uint8 = 11
+	TypeDumpRequest  uint8 = 12
+	TypeDumpReply    uint8 = 13
+	TypeInject       uint8 = 14
 )
 
 // FlowMod operations.
@@ -120,6 +123,19 @@ type PacketOut struct {
 // Type implements Message.
 func (*PacketOut) Type() uint8 { return TypePacketOut }
 
+// Inject offers a packet to the switch's forwarding pipeline as if it
+// arrived on the port — unlike PacketOut, which emits the packet ON the
+// port without table lookup. The liveness prober rides it: an injected
+// probe must traverse the installed tables (and get punted back as a
+// PacketIn at its destination) to prove the dataplane actually forwards.
+type Inject struct {
+	Port   pkt.PortID
+	Packet pkt.Packet
+}
+
+// Type implements Message.
+func (*Inject) Type() uint8 { return TypeInject }
+
 // Barrier requests a synchronization point: the switch replies once every
 // preceding FlowMod has been applied.
 type Barrier struct{ Xid uint32 }
@@ -149,6 +165,30 @@ type StatsReply struct {
 
 // Type implements Message.
 func (*StatsReply) Type() uint8 { return TypeStatsReply }
+
+// DumpRequest asks for the switch's full installed flow table — the
+// readback half of reconciliation: the controller diffs the reply
+// against its intended tables to find drift that one-way FlowMods can
+// never reveal.
+type DumpRequest struct{ Xid uint32 }
+
+// Type implements Message.
+func (*DumpRequest) Type() uint8 { return TypeDumpRequest }
+
+// FlowGroup is one cookie's installed rules within a DumpReply.
+type FlowGroup struct {
+	Cookie uint64
+	Rules  []FlowRule
+}
+
+// DumpReply carries the installed table grouped by cookie.
+type DumpReply struct {
+	Xid    uint32
+	Groups []FlowGroup
+}
+
+// Type implements Message.
+func (*DumpReply) Type() uint8 { return TypeDumpReply }
 
 // Error reports a protocol or application failure.
 type Error struct {
@@ -236,6 +276,26 @@ func marshalBody(m Message) ([]byte, error) {
 	case *PacketOut:
 		b = binary.BigEndian.AppendUint32(nil, uint32(t.Port))
 		b = appendPacket(b, t.Packet)
+	case *Inject:
+		b = binary.BigEndian.AppendUint32(nil, uint32(t.Port))
+		b = appendPacket(b, t.Packet)
+	case *DumpRequest:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+	case *DumpReply:
+		b = binary.BigEndian.AppendUint32(nil, t.Xid)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(t.Groups)))
+		for _, g := range t.Groups {
+			b = binary.BigEndian.AppendUint64(b, g.Cookie)
+			b = binary.BigEndian.AppendUint32(b, uint32(len(g.Rules)))
+			for _, r := range g.Rules {
+				b = binary.BigEndian.AppendUint32(b, uint32(r.Priority))
+				b = appendMatch(b, r.Match)
+				b = append(b, uint8(len(r.Actions)))
+				for _, a := range r.Actions {
+					b = appendAction(b, a)
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("openflow: cannot marshal %T", m)
 	}
@@ -284,6 +344,35 @@ func unmarshalBody(typ uint8, b []byte) (Message, error) {
 	case TypePacketOut:
 		port := pkt.PortID(d.u32())
 		m = &PacketOut{Port: port, Packet: d.packet()}
+	case TypeInject:
+		port := pkt.PortID(d.u32())
+		m = &Inject{Port: port, Packet: d.packet()}
+	case TypeDumpRequest:
+		m = &DumpRequest{Xid: d.u32()}
+	case TypeDumpReply:
+		dr := &DumpReply{Xid: d.u32()}
+		ng := d.u32()
+		if ng > 1<<20 {
+			return nil, errors.New("openflow: absurd group count")
+		}
+		for g := uint32(0); g < ng && d.err == nil; g++ {
+			grp := FlowGroup{Cookie: d.u64()}
+			nr := d.u32()
+			if nr > 1<<20 {
+				return nil, errors.New("openflow: absurd rule count")
+			}
+			for i := uint32(0); i < nr && d.err == nil; i++ {
+				r := FlowRule{Priority: int32(d.u32())}
+				r.Match = d.match()
+				na := d.u8()
+				for j := uint8(0); j < na && d.err == nil; j++ {
+					r.Actions = append(r.Actions, d.action())
+				}
+				grp.Rules = append(grp.Rules, r)
+			}
+			dr.Groups = append(dr.Groups, grp)
+		}
+		m = dr
 	default:
 		return nil, fmt.Errorf("openflow: unknown message type %d", typ)
 	}

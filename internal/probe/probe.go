@@ -1,0 +1,363 @@
+// Package probe is the SDX's dataplane liveness layer: it injects
+// crafted probe packets between participant port pairs, measures
+// per-pair RTT through the real forwarding pipeline, and marks pairs
+// unhealthy after consecutive losses — active confirmation that the
+// tables the reconciler believes are installed actually move packets.
+//
+// # Probe packet format
+//
+// A probe is an ordinary pkt.Packet shaped to ride the fabric's static
+// trunk band and nothing else:
+//
+//   - SrcMAC/DstMAC: the real port MACs (core.PortMAC) of the pair —
+//     the trunk band forwards by real destination MAC, so a probe
+//     crosses switches exactly like post-policy in-transit traffic
+//   - EthType: 0x88B5 (the IEEE local-experimental ethertype), which no
+//     policy band matches
+//   - SrcPort/DstPort: 0, so workload-style dstport matches can't
+//     capture it
+//   - Payload (28 bytes, big-endian): magic "SDXP", from port u32, to
+//     port u32, sequence u64, send-timestamp ns i64
+//
+// The receiver side taps packet delivery (Deliver) and consumes
+// packets whose EthType and magic match, so probes never leak into
+// application traffic captures.
+package probe
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+	"sdx/internal/telemetry"
+)
+
+// EthType marks probe packets (IEEE 802 local experimental ethertype 1).
+const EthType = 0x88B5
+
+// magic guards against consuming foreign 0x88B5 traffic.
+const magic = 0x53445850 // "SDXP"
+
+// payloadLen is the probe header length.
+const payloadLen = 28
+
+// Pair is one probed (from, to) participant port pair. Probes flow one
+// way; probe both directions by listing both pairs.
+type Pair struct {
+	From, To pkt.PortID
+}
+
+// Config tunes a Prober.
+type Config struct {
+	// Interval is the continuous loop period (default 500ms).
+	Interval time.Duration
+	// Timeout is how long a probe may be outstanding before it counts
+	// as lost (default 2s).
+	Timeout time.Duration
+	// UnhealthyAfter is the consecutive-loss streak that marks a pair
+	// unhealthy (default 3).
+	UnhealthyAfter int
+	// Registry receives probe.* metrics (nil: a private registry).
+	Registry *telemetry.Registry
+	// NowNS supplies timestamps (default time.Now().UnixNano()); tests
+	// on virtual clocks inject their own.
+	NowNS func() int64
+	// Logf, when non-nil, narrates health transitions.
+	Logf func(format string, args ...any)
+}
+
+// PairHealth is one pair's liveness snapshot.
+type PairHealth struct {
+	From       pkt.PortID `json:"from"`
+	To         pkt.PortID `json:"to"`
+	Sent       uint64     `json:"sent"`
+	Received   uint64     `json:"received"`
+	Lost       uint64     `json:"lost"`
+	LossStreak int        `json:"loss_streak"`
+	Healthy    bool       `json:"healthy"`
+	// LastRTTNS is the most recent round-trip (one-way injection to
+	// delivery) in nanoseconds, 0 before the first delivery.
+	LastRTTNS int64 `json:"last_rtt_ns"`
+}
+
+// pairState is the mutable half of PairHealth plus outstanding probes.
+type pairState struct {
+	health      PairHealth
+	outstanding map[uint64]int64 // seq -> sentNS
+	rtt         *telemetry.Histogram
+	nextSeq     uint64
+}
+
+// Prober drives the probe loop. Create with New, feed deliveries via
+// Deliver, drive with RunOnce or Start/Stop.
+type Prober struct {
+	cfg    Config
+	inject func(port pkt.PortID, p pkt.Packet) bool
+	nowNS  func() int64
+
+	sent      *telemetry.Counter
+	received  *telemetry.Counter
+	lost      *telemetry.Counter
+	rttNS     *telemetry.Histogram
+	unhealthy *telemetry.Gauge
+
+	mu    sync.Mutex
+	pairs []*pairState
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a prober over a fixed pair set. inject offers a probe to
+// the dataplane on a participant port (fabric.Fabric.Inject or a
+// single-switch equivalent) and reports whether the port exists.
+func New(cfg Config, inject func(port pkt.PortID, p pkt.Packet) bool, pairs ...Pair) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.UnhealthyAfter <= 0 {
+		cfg.UnhealthyAfter = 3
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	nowNS := cfg.NowNS
+	if nowNS == nil {
+		nowNS = func() int64 { return time.Now().UnixNano() }
+	}
+	p := &Prober{
+		cfg:       cfg,
+		inject:    inject,
+		nowNS:     nowNS,
+		sent:      reg.Counter("probe.sent"),
+		received:  reg.Counter("probe.received"),
+		lost:      reg.Counter("probe.lost"),
+		rttNS:     reg.Histogram("probe.rtt_ns"),
+		unhealthy: reg.Gauge("probe.unhealthy_pairs"),
+		done:      make(chan struct{}),
+	}
+	for _, pair := range pairs {
+		p.pairs = append(p.pairs, &pairState{
+			health:      PairHealth{From: pair.From, To: pair.To, Healthy: true},
+			outstanding: make(map[uint64]int64),
+			rtt:         &telemetry.Histogram{}, // per-pair; the zero value is ready
+		})
+	}
+	return p
+}
+
+// Start launches the continuous loop. Idempotent.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			ticker := time.NewTicker(p.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					p.RunOnce()
+				case <-p.done:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and waits for an in-flight round. Idempotent.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// RunOnce sweeps timed-out probes, updates health, then sends one probe
+// per pair. Injection happens outside the prober lock — the dataplane
+// may deliver (and re-enter Deliver) synchronously.
+func (p *Prober) RunOnce() {
+	now := p.nowNS()
+	cutoff := now - p.cfg.Timeout.Nanoseconds()
+
+	type sendReq struct {
+		from, to pkt.PortID
+		seq      uint64
+	}
+	var sends []sendReq
+	p.mu.Lock()
+	unhealthyCount := 0
+	for _, ps := range p.pairs {
+		// Sweep: outstanding probes older than the timeout are losses.
+		for seq, sentNS := range ps.outstanding {
+			if sentNS <= cutoff {
+				delete(ps.outstanding, seq)
+				ps.health.Lost++
+				ps.health.LossStreak++
+				p.lost.Inc()
+			}
+		}
+		if ps.health.LossStreak >= p.cfg.UnhealthyAfter && ps.health.Healthy {
+			ps.health.Healthy = false
+			p.logf("probe: pair %d->%d unhealthy after %d consecutive losses",
+				ps.health.From, ps.health.To, ps.health.LossStreak)
+		}
+		if !ps.health.Healthy {
+			unhealthyCount++
+		}
+		seq := ps.nextSeq
+		ps.nextSeq++
+		ps.outstanding[seq] = now
+		ps.health.Sent++
+		sends = append(sends, sendReq{from: ps.health.From, to: ps.health.To, seq: seq})
+	}
+	p.unhealthy.Set(int64(unhealthyCount))
+	p.mu.Unlock()
+
+	for _, s := range sends {
+		p.sent.Inc()
+		if !p.inject(s.from, Packet(s.from, s.to, s.seq, now)) {
+			// Nonexistent port: the probe stays outstanding and ages
+			// into a loss, which is the honest reading.
+			continue
+		}
+	}
+}
+
+// Deliver offers a delivered packet to the prober. It returns true when
+// the packet was a probe (consumed), false when the caller should keep
+// delivering it to the application. Safe to call from delivery
+// goroutines concurrently with RunOnce.
+func (p *Prober) Deliver(port pkt.PortID, packet pkt.Packet) bool {
+	// The payload timestamp is informational (it survives transports the
+	// outstanding map cannot see across); RTT uses the map's send time,
+	// which is immune to a damaged payload.
+	from, to, seq, _, ok := parse(packet)
+	if !ok {
+		return false
+	}
+	now := p.nowNS()
+	p.mu.Lock()
+	for _, ps := range p.pairs {
+		if ps.health.From != from || ps.health.To != to {
+			continue
+		}
+		sent, outstanding := ps.outstanding[seq]
+		if !outstanding || to != port {
+			break // duplicate, late-after-loss, or misdelivered: not a fresh receipt
+		}
+		delete(ps.outstanding, seq)
+		ps.health.Received++
+		ps.health.LossStreak = 0
+		if !ps.health.Healthy {
+			ps.health.Healthy = true
+			p.logf("probe: pair %d->%d healthy again", from, to)
+		}
+		rtt := now - sent
+		if rtt < 0 {
+			rtt = 0
+		}
+		ps.health.LastRTTNS = rtt
+		ps.rtt.Observe(rtt)
+		p.mu.Unlock()
+		p.received.Inc()
+		p.rttNS.Observe(rtt)
+		return true
+	}
+	p.mu.Unlock()
+	// A probe for a pair we don't track (or already swept) is still a
+	// probe; consume it so it cannot pollute application captures.
+	return true
+}
+
+// Health returns every pair's snapshot, in construction order.
+func (p *Prober) Health() []PairHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PairHealth, len(p.pairs))
+	for i, ps := range p.pairs {
+		out[i] = ps.health
+	}
+	return out
+}
+
+// Healthy reports whether every pair is currently healthy.
+func (p *Prober) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.pairs {
+		if !ps.health.Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// PairRTT returns the RTT histogram snapshot for one pair, or ok=false
+// for an untracked pair.
+func (p *Prober) PairRTT(from, to pkt.PortID) (telemetry.HistogramSnapshot, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.pairs {
+		if ps.health.From == from && ps.health.To == to {
+			return ps.rtt.Snapshot(), true
+		}
+	}
+	return telemetry.HistogramSnapshot{}, false
+}
+
+func (p *Prober) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// Packet crafts one probe packet for a pair. Exported so harnesses can
+// synthesize probe traffic (e.g. to push it through a lossy datagram
+// transport) without a Prober.
+func Packet(from, to pkt.PortID, seq uint64, sentNS int64) pkt.Packet {
+	payload := make([]byte, payloadLen)
+	binary.BigEndian.PutUint32(payload[0:], magic)
+	binary.BigEndian.PutUint32(payload[4:], uint32(from))
+	binary.BigEndian.PutUint32(payload[8:], uint32(to))
+	binary.BigEndian.PutUint64(payload[12:], seq)
+	binary.BigEndian.PutUint64(payload[20:], uint64(sentNS))
+	return pkt.Packet{
+		InPort:  from,
+		SrcMAC:  core.PortMAC(from),
+		DstMAC:  core.PortMAC(to),
+		EthType: EthType,
+		Payload: payload,
+	}
+}
+
+// Destination extracts the destination participant port of a probe
+// packet, ok=false for non-probe packets. Relays (a controller seeing a
+// punted probe that has not yet reached its destination port) use it to
+// decide between delivering to the prober and forwarding onward.
+func Destination(p pkt.Packet) (pkt.PortID, bool) {
+	_, to, _, _, ok := parse(p)
+	return to, ok
+}
+
+// parse extracts a probe header; ok=false for non-probe packets.
+func parse(p pkt.Packet) (from, to pkt.PortID, seq uint64, sentNS int64, ok bool) {
+	if p.EthType != EthType || len(p.Payload) != payloadLen {
+		return 0, 0, 0, 0, false
+	}
+	if binary.BigEndian.Uint32(p.Payload[0:]) != magic {
+		return 0, 0, 0, 0, false
+	}
+	from = pkt.PortID(binary.BigEndian.Uint32(p.Payload[4:]))
+	to = pkt.PortID(binary.BigEndian.Uint32(p.Payload[8:]))
+	seq = binary.BigEndian.Uint64(p.Payload[12:])
+	sentNS = int64(binary.BigEndian.Uint64(p.Payload[20:]))
+	return from, to, seq, sentNS, true
+}

@@ -1,0 +1,525 @@
+// Package reconcile is the SDX's continuous anti-entropy control loop.
+//
+// The controller's FlowMods are fire-and-forget: a partition, a dropped
+// frame or a restarted switch can silently leave an installed table that
+// is not the intended one, and nothing in the hot path ever notices
+// (the chaos suites proved flow-mods vanish into partitions). The
+// reconciler closes that loop the way production SDN controllers do:
+// periodically read back every switch's installed table, diff it
+// against the intended table, classify the drift, and issue the
+// smallest repair that restores byte-identical state.
+//
+// # Drift classes
+//
+//   - missing: an intended entry absent from the installed table
+//   - stale: an installed entry with the right (priority, match) but
+//     wrong actions — the fingerprint of a lost replace
+//   - extra: an installed entry the intended table doesn't contain
+//   - trunk gap: a participant port with no trunk-band L2 rule on a
+//     member switch (verify.TrunkCoverage), the drift class that
+//     strands in-transit traffic
+//
+// # Repair escalation
+//
+// Repairs stay minimal while minimal works: a cookie band with only
+// missing entries gets a targeted AddBatch; a band with stale or extra
+// entries gets a single Replace of that cookie (the only primitive that
+// removes individual entries); a cookie that should not exist at all
+// gets DeleteCookie. When a target still shows drift after
+// Config.EscalateAfter consecutive passes, the reconciler escalates to
+// the target's full flush-and-replay (OpFlushAll + band replay — the
+// same path a reconnecting control channel takes) and resets the
+// ladder.
+//
+// # Races
+//
+// The reconciler deliberately runs unsynchronized with the controller's
+// own programming: a repair can interleave with a recompilation or a
+// channel resync. Both are eventually consistent — a repair computed
+// against a superseded intent is itself drift on the next pass and is
+// repaired then. The one race that is not self-healing is repairing
+// through a control channel that was torn down and resynced mid-pass
+// (the repair would trample the fresh resync); Target.Generation fences
+// it: the generation is sampled before the diff and re-checked
+// immediately before the repair is issued, and a changed generation
+// aborts the repair for this pass.
+package reconcile
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/fabric"
+	"sdx/internal/telemetry"
+	"sdx/internal/verify"
+)
+
+// Sink receives repair operations. It is structurally identical to
+// core.RuleSink, so an openflow.Mirror, a fabric, a switchSink or a bare
+// FlowTable adapter all satisfy it.
+type Sink interface {
+	AddBatch(entries []*dataplane.FlowEntry)
+	Replace(cookie uint64, entries []*dataplane.FlowEntry)
+	DeleteCookie(cookie uint64)
+}
+
+// Target is one reconciled table — typically one member switch of the
+// fabric. All callbacks must be safe for concurrent use; Intended and
+// Installed return snapshots the reconciler may inspect freely but must
+// not mutate (repairs clone before installing).
+type Target struct {
+	// Name identifies the target in summaries and logs.
+	Name string
+	// Intended returns the controller's intended table for this target.
+	Intended func() []*dataplane.FlowEntry
+	// Installed returns the installed table, or ok=false when the
+	// target is unreachable (channel down) — unreachable is not drift;
+	// the pass skips the target.
+	Installed func() ([]*dataplane.FlowEntry, bool)
+	// Sink returns where repairs go, or nil when unreachable.
+	Sink func() Sink
+	// Generation fences repairs against channel bounces: sampled before
+	// the diff, re-checked before the repair; a change aborts the
+	// repair. Nil means no fencing.
+	Generation func() uint64
+	// Escalate performs the full flush-and-replay resync (e.g.
+	// core.Controller.Resync over the channel). Nil falls back to
+	// per-cookie Replace of the entire intended table.
+	Escalate func()
+	// Topo, when non-nil, enables trunk-gap classification for Name via
+	// verify.TrunkCoverage.
+	Topo *fabric.Topology
+}
+
+// Config tunes a Reconciler.
+type Config struct {
+	// Interval is the continuous loop period (default 1s).
+	Interval time.Duration
+	// EscalateAfter is how many consecutive passes a target may show
+	// drift before the reconciler escalates to flush-and-replay
+	// (default 3; negative disables escalation).
+	EscalateAfter int
+	// Registry receives reconcile.* metrics (nil: a private registry).
+	Registry *telemetry.Registry
+	// Logf, when non-nil, narrates repairs and escalations.
+	Logf func(format string, args ...any)
+}
+
+// Drift counts one target's divergence by class.
+type Drift struct {
+	Missing   int `json:"missing"`
+	Stale     int `json:"stale"`
+	Extra     int `json:"extra"`
+	TrunkGaps int `json:"trunk_gaps"`
+}
+
+// Total returns the drifted entry count (trunk gaps are a view over
+// missing trunk entries, not additional drift).
+func (d Drift) Total() int { return d.Missing + d.Stale + d.Extra }
+
+// TargetSummary reports one target's last pass.
+type TargetSummary struct {
+	Name string `json:"name"`
+	// Drift found by the diff (before repair).
+	Drift Drift `json:"drift"`
+	// Repairs is how many repair operations were issued.
+	Repairs int `json:"repairs"`
+	// Escalated marks a flush-and-replay pass.
+	Escalated bool `json:"escalated,omitempty"`
+	// Unreachable marks a skipped pass (Installed returned false).
+	Unreachable bool `json:"unreachable,omitempty"`
+	// Fenced marks a repair aborted by a generation change.
+	Fenced bool `json:"fenced,omitempty"`
+}
+
+// Summary reports a full reconcile pass.
+type Summary struct {
+	Pass    uint64          `json:"pass"`
+	Targets []TargetSummary `json:"targets"`
+	Repairs int             `json:"repairs"`
+	// Clean is true when every reachable target matched its intent.
+	Clean bool `json:"clean"`
+}
+
+// Reconciler runs the loop. Create with New, drive with RunOnce or
+// Start/Stop.
+type Reconciler struct {
+	cfg     Config
+	targets []Target
+
+	passes      *telemetry.Counter
+	repairs     *telemetry.Counter
+	escalations *telemetry.Counter
+	fenced      *telemetry.Counter
+	dMissing    *telemetry.Counter
+	dStale      *telemetry.Counter
+	dExtra      *telemetry.Counter
+	dTrunk      *telemetry.Counter
+	repairNS    *telemetry.Histogram
+	passNS      *telemetry.Histogram
+
+	mu      sync.Mutex
+	last    Summary
+	streaks map[string]int
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a reconciler over a fixed target set.
+func New(cfg Config, targets ...Target) *Reconciler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.EscalateAfter == 0 {
+		cfg.EscalateAfter = 3
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Reconciler{
+		cfg:         cfg,
+		targets:     targets,
+		passes:      reg.Counter("reconcile.passes"),
+		repairs:     reg.Counter("reconcile.repairs"),
+		escalations: reg.Counter("reconcile.escalations"),
+		fenced:      reg.Counter("reconcile.fenced"),
+		dMissing:    reg.Counter("reconcile.drift_missing"),
+		dStale:      reg.Counter("reconcile.drift_stale"),
+		dExtra:      reg.Counter("reconcile.drift_extra"),
+		dTrunk:      reg.Counter("reconcile.drift_trunk_gaps"),
+		repairNS:    reg.Histogram("reconcile.repair_ns"),
+		passNS:      reg.Histogram("reconcile.pass_ns"),
+		streaks:     make(map[string]int),
+		done:        make(chan struct{}),
+	}
+}
+
+// Start launches the continuous loop. Idempotent.
+func (r *Reconciler) Start() {
+	r.startOnce.Do(func() {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			ticker := time.NewTicker(r.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					r.RunOnce()
+				case <-r.done:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and waits for an in-flight pass. Idempotent.
+func (r *Reconciler) Stop() {
+	r.stopOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// Last returns the most recent pass summary.
+func (r *Reconciler) Last() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.last
+	s.Targets = append([]TargetSummary(nil), r.last.Targets...)
+	return s
+}
+
+// Healthy reports whether the last pass found every reachable target
+// matching its intent. Before the first pass it reports false.
+func (r *Reconciler) Healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last.Pass > 0 && r.last.Clean
+}
+
+// RunOnce executes one full pass over every target and returns its
+// summary. Safe to call concurrently with the loop (passes serialize
+// only on the streak bookkeeping, not on target I/O).
+func (r *Reconciler) RunOnce() Summary {
+	passTimer := telemetry.StartTimer(r.passNS)
+	sum := Summary{Clean: true}
+	for i := range r.targets {
+		ts := r.reconcileTarget(&r.targets[i])
+		if ts.Drift.Total() > 0 || ts.Fenced {
+			sum.Clean = false
+		}
+		sum.Repairs += ts.Repairs
+		sum.Targets = append(sum.Targets, ts)
+	}
+	r.passes.Inc()
+	passTimer.Stop()
+
+	r.mu.Lock()
+	r.last.Pass++
+	sum.Pass = r.last.Pass
+	r.last = sum
+	r.mu.Unlock()
+	return sum
+}
+
+// reconcileTarget diffs and repairs one target.
+func (r *Reconciler) reconcileTarget(t *Target) TargetSummary {
+	ts := TargetSummary{Name: t.Name}
+	var gen uint64
+	if t.Generation != nil {
+		gen = t.Generation()
+	}
+	installed, ok := t.Installed()
+	if !ok {
+		ts.Unreachable = true
+		return ts
+	}
+	intended := t.Intended()
+
+	drift, plan := diff(intended, installed)
+	if t.Topo != nil {
+		drift.TrunkGaps = len(verify.TrunkCoverage(*t.Topo, t.Name, installed))
+	}
+	ts.Drift = drift
+	r.dMissing.Add(int64(drift.Missing))
+	r.dStale.Add(int64(drift.Stale))
+	r.dExtra.Add(int64(drift.Extra))
+	r.dTrunk.Add(int64(drift.TrunkGaps))
+	if drift.Total() == 0 {
+		r.mu.Lock()
+		r.streaks[t.Name] = 0
+		r.mu.Unlock()
+		return ts
+	}
+
+	r.mu.Lock()
+	r.streaks[t.Name]++
+	streak := r.streaks[t.Name]
+	r.mu.Unlock()
+	escalate := r.cfg.EscalateAfter > 0 && streak >= r.cfg.EscalateAfter
+
+	sink := t.Sink()
+	if sink == nil {
+		ts.Unreachable = true
+		return ts
+	}
+	// Generation fence: a channel bounce between the snapshot above and
+	// here means the diff was computed against a table that no longer
+	// exists; issuing the repair would trample the fresh resync.
+	if t.Generation != nil && t.Generation() != gen {
+		ts.Fenced = true
+		r.fenced.Inc()
+		return ts
+	}
+
+	repairTimer := telemetry.StartTimer(r.repairNS)
+	if escalate {
+		ts.Escalated = true
+		r.escalations.Inc()
+		r.logf("reconcile: %s drift %+v persisted %d passes, escalating to flush-and-replay", t.Name, drift, streak)
+		if t.Escalate != nil {
+			t.Escalate()
+		} else {
+			// No flush hook: approximate it — drop foreign cookies (the
+			// planned deletes), then rebuild every intended cookie.
+			for _, op := range plan {
+				if op.kind == 2 {
+					op.apply(sink)
+				}
+			}
+			for _, op := range fullReplacePlan(intended) {
+				op.apply(sink)
+			}
+		}
+		ts.Repairs = 1
+		r.mu.Lock()
+		r.streaks[t.Name] = 0
+		r.mu.Unlock()
+	} else {
+		for _, op := range plan {
+			op.apply(sink)
+		}
+		ts.Repairs = len(plan)
+		r.logf("reconcile: %s drift missing=%d stale=%d extra=%d trunk_gaps=%d repaired with %d ops",
+			t.Name, drift.Missing, drift.Stale, drift.Extra, drift.TrunkGaps, len(plan))
+	}
+	repairTimer.Stop()
+	r.repairs.Add(int64(ts.Repairs))
+	return ts
+}
+
+func (r *Reconciler) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// --- diffing ------------------------------------------------------------------
+
+// repairOp is one planned repair operation.
+type repairOp struct {
+	kind    uint8 // 0 add, 1 replace, 2 delete
+	cookie  uint64
+	entries []*dataplane.FlowEntry
+}
+
+func (op repairOp) apply(sink Sink) {
+	switch op.kind {
+	case 0:
+		sink.AddBatch(cloneAll(op.entries))
+	case 1:
+		sink.Replace(op.cookie, cloneAll(op.entries))
+	case 2:
+		sink.DeleteCookie(op.cookie)
+	}
+}
+
+// cloneAll clones entries for installation: flow entries are owned by
+// the table they live in (seq stamps, hit counters), so the intended
+// table's entries must never be inserted into another table directly.
+func cloneAll(entries []*dataplane.FlowEntry) []*dataplane.FlowEntry {
+	out := make([]*dataplane.FlowEntry, len(entries))
+	for i, e := range entries {
+		out[i] = e.Clone()
+	}
+	return out
+}
+
+// entryKey is the full programmable identity (priority, match, actions).
+func entryKey(e *dataplane.FlowEntry) string { return e.String() }
+
+// matchKey is the (priority, match) identity — shared by an intended
+// entry and its stale installed counterpart.
+func matchKey(e *dataplane.FlowEntry) string {
+	return fmt.Sprintf("%d|%s", e.Priority, e.Match)
+}
+
+// diff computes per-cookie drift between intended and installed and the
+// minimal repair plan: AddBatch for purely-missing cookies, Replace for
+// cookies with stale/extra entries, DeleteCookie for cookies that should
+// not exist. Cookie order is deterministic (ascending) so repairs replay
+// identically across runs.
+func diff(intended, installed []*dataplane.FlowEntry) (Drift, []repairOp) {
+	type bucket struct {
+		intended  []*dataplane.FlowEntry
+		installed []*dataplane.FlowEntry
+	}
+	byCookie := make(map[uint64]*bucket)
+	get := func(c uint64) *bucket {
+		b := byCookie[c]
+		if b == nil {
+			b = &bucket{}
+			byCookie[c] = b
+		}
+		return b
+	}
+	for _, e := range intended {
+		b := get(e.Cookie)
+		b.intended = append(b.intended, e)
+	}
+	for _, e := range installed {
+		b := get(e.Cookie)
+		b.installed = append(b.installed, e)
+	}
+	cookies := make([]uint64, 0, len(byCookie))
+	for c := range byCookie {
+		cookies = append(cookies, c)
+	}
+	for i := 1; i < len(cookies); i++ {
+		for j := i; j > 0 && cookies[j] < cookies[j-1]; j-- {
+			cookies[j], cookies[j-1] = cookies[j-1], cookies[j]
+		}
+	}
+
+	var drift Drift
+	var plan []repairOp
+	for _, c := range cookies {
+		b := byCookie[c]
+		if len(b.intended) == 0 {
+			// Entire cookie is foreign.
+			drift.Extra += len(b.installed)
+			plan = append(plan, repairOp{kind: 2, cookie: c})
+			continue
+		}
+		// Multiset diff on full identity.
+		counts := make(map[string]int, len(b.intended))
+		for _, e := range b.intended {
+			counts[entryKey(e)]++
+		}
+		for _, e := range b.installed {
+			counts[entryKey(e)]--
+		}
+		var missing []*dataplane.FlowEntry
+		missingByMatch := make(map[string]int)
+		seen := make(map[string]int)
+		for _, e := range b.intended {
+			k := entryKey(e)
+			seen[k]++
+			if seen[k] <= counts[k] {
+				missing = append(missing, e)
+				missingByMatch[matchKey(e)]++
+			}
+		}
+		extra := 0
+		extraByMatch := make(map[string]int)
+		for _, e := range b.installed {
+			if counts[entryKey(e)] < 0 {
+				counts[entryKey(e)]++
+				extra++
+				extraByMatch[matchKey(e)]++
+			}
+		}
+		// A missing/extra pair sharing (priority, match) is one stale
+		// entry, not two independent drifts.
+		stale := 0
+		for k, n := range missingByMatch {
+			if m := extraByMatch[k]; m > 0 {
+				if m < n {
+					n = m
+				}
+				stale += n
+			}
+		}
+		drift.Missing += len(missing) - stale
+		drift.Stale += stale
+		drift.Extra += extra - stale
+		switch {
+		case len(missing) == 0 && extra == 0:
+			// Cookie is clean.
+		case extra == 0:
+			plan = append(plan, repairOp{kind: 0, cookie: c, entries: missing})
+		default:
+			plan = append(plan, repairOp{kind: 1, cookie: c, entries: b.intended})
+		}
+	}
+	return drift, plan
+}
+
+// fullReplacePlan rebuilds every intended cookie with Replace — the
+// sink-only escalation fallback when a target has no Escalate hook.
+func fullReplacePlan(intended []*dataplane.FlowEntry) []repairOp {
+	byCookie := make(map[uint64][]*dataplane.FlowEntry)
+	var order []uint64
+	for _, e := range intended {
+		if _, ok := byCookie[e.Cookie]; !ok {
+			order = append(order, e.Cookie)
+		}
+		byCookie[e.Cookie] = append(byCookie[e.Cookie], e)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	plan := make([]repairOp, 0, len(order))
+	for _, c := range order {
+		plan = append(plan, repairOp{kind: 1, cookie: c, entries: byCookie[c]})
+	}
+	return plan
+}

@@ -1,0 +1,336 @@
+package reconcile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sdx/internal/dataplane"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/telemetry"
+)
+
+// tableSink adapts a FlowTable to Sink (the table's DeleteCookie
+// returns a count, so the interface is not satisfied structurally).
+type tableSink struct{ t *dataplane.FlowTable }
+
+func (s tableSink) AddBatch(es []*dataplane.FlowEntry)               { s.t.AddBatch(es) }
+func (s tableSink) Replace(cookie uint64, es []*dataplane.FlowEntry) { s.t.Replace(cookie, es) }
+func (s tableSink) DeleteCookie(cookie uint64)                       { s.t.DeleteCookie(cookie) }
+
+// dump renders a table as the canonical sorted rule listing — the
+// byte-identical convergence check shared with the chaos harnesses.
+func dump(t *dataplane.FlowTable) string {
+	es := t.Entries()
+	lines := make([]string, len(es))
+	for i, e := range es {
+		lines[i] = fmt.Sprintf("cookie=%d %s", e.Cookie, e)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func randEntry(r *rand.Rand, cookie uint64) *dataplane.FlowEntry {
+	m := pkt.MatchAll
+	if r.Intn(2) == 0 {
+		m = m.InPort(pkt.PortID(1 + r.Intn(8)))
+	}
+	if r.Intn(2) == 0 {
+		m = m.DstMAC(pkt.MAC(r.Uint64() & 0xffffffffffff))
+	}
+	if r.Intn(2) == 0 {
+		m = m.DstIP(iputil.NewPrefix(iputil.Addr(r.Uint32()), uint8(8+r.Intn(25))))
+	}
+	if r.Intn(3) == 0 {
+		m = m.DstPort(uint16(1 + r.Intn(1024)))
+	}
+	var acts []pkt.Action
+	for i := 0; i < r.Intn(3); i++ {
+		a := pkt.Output(pkt.PortID(1 + r.Intn(8)))
+		if r.Intn(2) == 0 {
+			a.Mods = a.Mods.SetDstMAC(pkt.MAC(r.Uint64() & 0xffffffffffff))
+		}
+		acts = append(acts, a)
+	}
+	return &dataplane.FlowEntry{
+		Priority: 1 + r.Intn(1_000_000),
+		Match:    m,
+		Actions:  acts,
+		Cookie:   cookie,
+	}
+}
+
+// buildIntended creates a random intended table across three cookie
+// bands, deduplicated on full identity so the multiset diff has
+// unambiguous ground truth.
+func buildIntended(r *rand.Rand) []*dataplane.FlowEntry {
+	seen := map[string]bool{}
+	var out []*dataplane.FlowEntry
+	for _, cookie := range []uint64{1, 2, 3} {
+		for i := 0; i < 3+r.Intn(15); i++ {
+			e := randEntry(r, cookie)
+			if k := fmt.Sprintf("cookie=%d %s", e.Cookie, e); !seen[k] {
+				seen[k] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// corrupt builds an installed table from the intended one with random
+// deletions, priority/action mutations and injected extras.
+func corrupt(r *rand.Rand, intended []*dataplane.FlowEntry) []*dataplane.FlowEntry {
+	var out []*dataplane.FlowEntry
+	for _, e := range intended {
+		switch r.Intn(6) {
+		case 0: // deletion
+		case 1: // priority mutation (missing + extra)
+			c := e.Clone()
+			c.Priority += 1 + r.Intn(1000)
+			out = append(out, c)
+		case 2: // action mutation (stale)
+			c := e.Clone()
+			c.Actions = append([]pkt.Action(nil), c.Actions...)
+			c.Actions = append(c.Actions, pkt.Output(pkt.PortID(100+r.Intn(8))))
+			out = append(out, c)
+		default:
+			out = append(out, e.Clone())
+		}
+	}
+	for i := 0; i < r.Intn(5); i++ { // extras under a known cookie
+		out = append(out, randEntry(r, uint64(1+r.Intn(3))))
+	}
+	for i := 0; i < r.Intn(3); i++ { // extras under a foreign cookie
+		out = append(out, randEntry(r, 99))
+	}
+	return out
+}
+
+// TestReconcilePropertyRestoresAndIdempotent is the 200-seed satellite:
+// one pass restores byte-identical tables, a second pass reports zero
+// repairs.
+func TestReconcilePropertyRestoresAndIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		intendedEntries := buildIntended(r)
+		intendedTable := dataplane.NewFlowTable()
+		intendedTable.AddBatch(cloneAll(intendedEntries))
+		installedTable := dataplane.NewFlowTable()
+		installedTable.AddBatch(corrupt(r, intendedEntries))
+
+		rec := New(Config{},
+			Target{
+				Name:      "sw",
+				Intended:  intendedTable.Entries,
+				Installed: func() ([]*dataplane.FlowEntry, bool) { return installedTable.Entries(), true },
+				Sink:      func() Sink { return tableSink{installedTable} },
+			})
+
+		first := rec.RunOnce()
+		if got, want := dump(installedTable), dump(intendedTable); got != want {
+			t.Fatalf("seed %d: one pass did not restore the table\n-- got --\n%s\n-- want --\n%s\n(first pass: %+v)",
+				seed, got, want, first)
+		}
+		second := rec.RunOnce()
+		if second.Repairs != 0 || !second.Clean {
+			t.Fatalf("seed %d: second pass not a no-op: %+v", seed, second)
+		}
+		if second.Targets[0].Drift.Total() != 0 {
+			t.Fatalf("seed %d: residual drift %+v", seed, second.Targets[0].Drift)
+		}
+	}
+}
+
+// TestReconcileDriftClassification crafts one instance of each drift
+// class and checks the classifier's counts.
+func TestReconcileDriftClassification(t *testing.T) {
+	mk := func(prio int, port uint16, out pkt.PortID, cookie uint64) *dataplane.FlowEntry {
+		return &dataplane.FlowEntry{
+			Priority: prio,
+			Match:    pkt.MatchAll.DstPort(port),
+			Actions:  []pkt.Action{pkt.Output(out)},
+			Cookie:   cookie,
+		}
+	}
+	intended := []*dataplane.FlowEntry{
+		mk(100, 80, 1, 1),  // will be missing
+		mk(90, 443, 2, 1),  // will be stale (wrong actions installed)
+		mk(80, 8080, 3, 1), // intact
+	}
+	installed := []*dataplane.FlowEntry{
+		mk(90, 443, 9, 1),  // stale counterpart
+		mk(80, 8080, 3, 1), // intact
+		mk(70, 22, 4, 1),   // extra
+		mk(60, 23, 5, 99),  // foreign cookie: extra
+	}
+	drift, plan := diff(intended, installed)
+	want := Drift{Missing: 1, Stale: 1, Extra: 2}
+	if drift != want {
+		t.Fatalf("drift = %+v, want %+v", drift, want)
+	}
+	// Band 1 has stale+extra entries -> Replace; cookie 99 -> delete.
+	if len(plan) != 2 || plan[0].kind != 1 || plan[0].cookie != 1 || plan[1].kind != 2 || plan[1].cookie != 99 {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	// Purely missing drift must plan a targeted AddBatch, not a Replace.
+	drift, plan = diff(intended, intended[1:])
+	if drift != (Drift{Missing: 1}) {
+		t.Fatalf("missing-only drift = %+v", drift)
+	}
+	if len(plan) != 1 || plan[0].kind != 0 || len(plan[0].entries) != 1 {
+		t.Fatalf("missing-only plan = %+v", plan)
+	}
+}
+
+// TestReconcileEscalation drives a target whose sink silently drops
+// every repair (a lossy channel) and asserts the ladder escalates after
+// EscalateAfter passes, calling the target's flush-and-replay hook.
+func TestReconcileEscalation(t *testing.T) {
+	intendedTable := dataplane.NewFlowTable()
+	intendedTable.AddBatch([]*dataplane.FlowEntry{
+		{Priority: 10, Match: pkt.MatchAll.DstPort(80), Cookie: 1},
+	})
+	installedTable := dataplane.NewFlowTable()
+
+	escalated := 0
+	reg := telemetry.NewRegistry()
+	rec := New(Config{EscalateAfter: 3, Registry: reg},
+		Target{
+			Name:      "lossy",
+			Intended:  intendedTable.Entries,
+			Installed: func() ([]*dataplane.FlowEntry, bool) { return installedTable.Entries(), true },
+			Sink:      func() Sink { return dropSink{} },
+			Escalate: func() {
+				escalated++
+				installedTable.Flush()
+				installedTable.AddBatch(cloneAll(intendedTable.Entries()))
+			},
+		})
+
+	for pass := 1; pass <= 2; pass++ {
+		s := rec.RunOnce()
+		if s.Targets[0].Escalated {
+			t.Fatalf("pass %d escalated early", pass)
+		}
+	}
+	s := rec.RunOnce()
+	if !s.Targets[0].Escalated || escalated != 1 {
+		t.Fatalf("pass 3 should escalate: %+v (escalated=%d)", s, escalated)
+	}
+	if got, want := dump(installedTable), dump(intendedTable); got != want {
+		t.Fatalf("escalation did not restore the table:\n%s\nvs\n%s", got, want)
+	}
+	if s = rec.RunOnce(); !s.Clean || s.Repairs != 0 {
+		t.Fatalf("post-escalation pass not clean: %+v", s)
+	}
+	if v := reg.Counter("reconcile.escalations").Value(); v != 1 {
+		t.Fatalf("escalations counter = %d", v)
+	}
+}
+
+// dropSink swallows every repair — a channel that acks and loses.
+type dropSink struct{}
+
+func (dropSink) AddBatch([]*dataplane.FlowEntry)        {}
+func (dropSink) Replace(uint64, []*dataplane.FlowEntry) {}
+func (dropSink) DeleteCookie(uint64)                    {}
+
+// TestReconcileGenerationFence bounces the generation between the diff
+// and the repair and asserts the repair is aborted, not issued against
+// the superseded table.
+func TestReconcileGenerationFence(t *testing.T) {
+	intendedTable := dataplane.NewFlowTable()
+	intendedTable.AddBatch([]*dataplane.FlowEntry{
+		{Priority: 10, Match: pkt.MatchAll.DstPort(80), Cookie: 1},
+	})
+	installedTable := dataplane.NewFlowTable()
+
+	gen := uint64(1)
+	calls := 0
+	rec := New(Config{},
+		Target{
+			Name:      "bouncing",
+			Intended:  intendedTable.Entries,
+			Installed: func() ([]*dataplane.FlowEntry, bool) { return installedTable.Entries(), true },
+			Sink:      func() Sink { return tableSink{installedTable} },
+			Generation: func() uint64 {
+				calls++
+				if calls == 2 { // the re-check of the first pass sees a bounce
+					gen++
+				}
+				return gen
+			},
+		})
+
+	s := rec.RunOnce()
+	if !s.Targets[0].Fenced || s.Repairs != 0 {
+		t.Fatalf("bounced pass should fence: %+v", s)
+	}
+	if installedTable.Len() != 0 {
+		t.Fatalf("fenced repair still wrote %d entries", installedTable.Len())
+	}
+	// Generation is now stable: the next pass repairs normally.
+	s = rec.RunOnce()
+	if s.Targets[0].Fenced || s.Repairs == 0 {
+		t.Fatalf("stable pass should repair: %+v", s)
+	}
+	if got, want := dump(installedTable), dump(intendedTable); got != want {
+		t.Fatalf("repair after fence incomplete:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestReconcileUnreachable skips unreachable targets without drift
+// accounting or repairs.
+func TestReconcileUnreachable(t *testing.T) {
+	intendedTable := dataplane.NewFlowTable()
+	intendedTable.AddBatch([]*dataplane.FlowEntry{
+		{Priority: 10, Match: pkt.MatchAll, Cookie: 1},
+	})
+	rec := New(Config{},
+		Target{
+			Name:      "down",
+			Intended:  intendedTable.Entries,
+			Installed: func() ([]*dataplane.FlowEntry, bool) { return nil, false },
+			Sink:      func() Sink { return nil },
+		})
+	s := rec.RunOnce()
+	if !s.Targets[0].Unreachable || s.Repairs != 0 {
+		t.Fatalf("unreachable pass: %+v", s)
+	}
+	if !s.Clean {
+		t.Fatalf("unreachable is not drift: %+v", s)
+	}
+}
+
+// TestReconcileLoop exercises Start/Stop: the continuous loop repairs
+// injected drift without explicit RunOnce calls.
+func TestReconcileLoop(t *testing.T) {
+	intendedTable := dataplane.NewFlowTable()
+	intendedTable.AddBatch([]*dataplane.FlowEntry{
+		{Priority: 10, Match: pkt.MatchAll.DstPort(80), Cookie: 1},
+	})
+	installedTable := dataplane.NewFlowTable()
+	rec := New(Config{Interval: 2 * time.Millisecond},
+		Target{
+			Name:      "sw",
+			Intended:  intendedTable.Entries,
+			Installed: func() ([]*dataplane.FlowEntry, bool) { return installedTable.Entries(), true },
+			Sink:      func() Sink { return tableSink{installedTable} },
+		})
+	rec.Start()
+	defer rec.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rec.Healthy() && dump(installedTable) == dump(intendedTable) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("loop never converged: installed=%q", dump(installedTable))
+}

@@ -27,10 +27,12 @@ import (
 
 	"sdx"
 	"sdx/internal/bgp"
+	"sdx/internal/core"
 	"sdx/internal/dataplane"
 	"sdx/internal/iputil"
 	"sdx/internal/openflow"
 	"sdx/internal/pkt"
+	"sdx/internal/reconcile"
 	"sdx/internal/simnet"
 	"sdx/internal/verify"
 )
@@ -159,10 +161,20 @@ type Deployment struct {
 	Remote *dataplane.Switch
 	Peers  map[uint32]*Peer
 
+	// Rec is the deployment's reconciler over the remote table. Always
+	// constructed; its continuous loop runs only when
+	// Options.ReconcileInterval is set. Drive it manually with
+	// ReconcileOnce.
+	Rec *reconcile.Reconciler
+
 	red    *openflow.Redialer
 	swLn   *simnet.Listener
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	gen  uint64        // control-channel/table generation (see genSink)
+	sink core.RuleSink // registered mirror for the live channel, nil while down
 }
 
 // Options tunes a deployment. The zero value picks chaos-friendly
@@ -174,6 +186,22 @@ type Options struct {
 	MinBackoff time.Duration // dialer retry floor
 	MaxBackoff time.Duration // dialer retry ceiling
 	AgeOut     time.Duration // controller route age-out after PeerDown
+
+	// ReconcileInterval, when non-zero, starts the continuous reconciler
+	// loop at that period. The reconciler itself is always constructed,
+	// so tests can drive deterministic passes with ReconcileOnce.
+	ReconcileInterval time.Duration
+	// ProbeInterval, when non-zero, starts the fabric deployment's
+	// continuous dataplane liveness probe loop at that period (the
+	// single-switch deployment has no trunk band for probes to ride).
+	ProbeInterval time.Duration
+	// DisableAudit turns off the fabric deployment's anti-entropy
+	// channel bounce (the test-only audit inside Converged); installed
+	// state then heals only through the reconciler.
+	DisableAudit bool
+	// Logf, when non-nil, narrates audits, bounces, reconciler repairs
+	// and probe health transitions.
+	Logf func(format string, args ...any)
 }
 
 func (o *Options) fill() {
@@ -255,8 +283,24 @@ func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Depl
 			_ = conn.SetDeadline(time.Time{})
 			return c, nil
 		},
-		OnUp:       func(c *openflow.Client) { ctrl.AddRuleMirror(openflow.Mirror{C: c}) },
-		OnDown:     func(c *openflow.Client, _ error) { ctrl.RemoveRuleMirror(openflow.Mirror{C: c}) },
+		OnUp: func(c *openflow.Client) {
+			sink := &genSink{bump: d.bumpGen, inner: openflow.Mirror{C: c}}
+			d.mu.Lock()
+			d.gen++
+			d.sink = sink
+			d.mu.Unlock()
+			ctrl.AddRuleMirror(sink)
+		},
+		OnDown: func(c *openflow.Client, _ error) {
+			d.mu.Lock()
+			d.gen++
+			sink := d.sink
+			d.sink = nil
+			d.mu.Unlock()
+			if sink != nil {
+				ctrl.RemoveRuleMirror(sink)
+			}
+		},
 		MinBackoff: opts.MinBackoff,
 		MaxBackoff: opts.MaxBackoff,
 		Seed:       seed + 1,
@@ -266,6 +310,33 @@ func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Depl
 		defer d.wg.Done()
 		_ = d.red.Run(ctx)
 	}()
+
+	d.Rec = reconcile.New(reconcile.Config{
+		Interval: opts.ReconcileInterval,
+		Registry: ctrl.Metrics(),
+		Logf:     opts.Logf,
+	}, reconcile.Target{
+		Name:     "remote",
+		Intended: func() []*dataplane.FlowEntry { return ctrl.Switch().Table().Entries() },
+		Installed: func() ([]*dataplane.FlowEntry, bool) {
+			if d.red.Client() == nil {
+				return nil, false
+			}
+			return remote.Table().Entries(), true
+		},
+		Sink: func() reconcile.Sink {
+			c := d.red.Client()
+			if c == nil {
+				return nil
+			}
+			return openflow.Mirror{C: c}
+		},
+		Generation: d.genOf,
+		Escalate:   d.escalate,
+	})
+	if opts.ReconcileInterval > 0 {
+		d.Rec.Start()
+	}
 
 	for _, spec := range specs {
 		p := newPeer(n, ctrl, spec, opts, seed)
@@ -278,6 +349,56 @@ func Start(n *simnet.Network, seed int64, specs []PeerSpec, opts Options) (*Depl
 	}
 	return d, nil
 }
+
+// genSink wraps a registered control-channel sink and bumps a generation
+// counter on every controller write. The reconciler samples the
+// generation before diffing and re-checks it before repairing, so a
+// resync or recompile landing in between fences the (now stale) repair
+// instead of letting it trample the fresh table.
+type genSink struct {
+	bump  func()
+	inner core.RuleSink
+}
+
+func (g *genSink) AddBatch(es []*dataplane.FlowEntry) { g.bump(); g.inner.AddBatch(es) }
+func (g *genSink) Replace(cookie uint64, es []*dataplane.FlowEntry) {
+	g.bump()
+	g.inner.Replace(cookie, es)
+}
+func (g *genSink) DeleteCookie(cookie uint64) { g.bump(); g.inner.DeleteCookie(cookie) }
+func (g *genSink) FlushAll() {
+	g.bump()
+	if f, ok := g.inner.(core.RuleFlusher); ok {
+		f.FlushAll()
+	}
+}
+
+func (d *Deployment) bumpGen() {
+	d.mu.Lock()
+	d.gen++
+	d.mu.Unlock()
+}
+
+func (d *Deployment) genOf() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// escalate is the reconciler's flush-and-replay path: a full controller
+// resync through the registered (generation-bumping) sink, exactly what
+// a control-channel reconnect performs.
+func (d *Deployment) escalate() {
+	d.mu.Lock()
+	sink := d.sink
+	d.mu.Unlock()
+	if sink != nil {
+		d.Ctrl.Resync(sink)
+	}
+}
+
+// ReconcileOnce drives one deterministic reconciler pass.
+func (d *Deployment) ReconcileOnce() reconcile.Summary { return d.Rec.RunOnce() }
 
 // buildController assembles a controller with the specs' participants and
 // policies installed and an initial compile done.
@@ -336,10 +457,12 @@ func newPeer(n *simnet.Network, ctrl *sdx.Controller, spec PeerSpec, opts Option
 	return p
 }
 
-// Stop tears the deployment down: the route server first (a closing
+// Stop tears the deployment down: the reconciler loop first (a repair
+// must not race the teardown), then the route server (a closing
 // exchange must not record PeerDowns), then every dialer, then the agent
 // listener, and waits for all goroutines.
 func (d *Deployment) Stop() {
+	d.Rec.Stop()
 	_ = d.Srv.Close()
 	d.cancel()
 	_ = d.swLn.Close()
@@ -395,6 +518,11 @@ func (d *Deployment) WaitConverged(timeout time.Duration) error {
 // ConvergeMetric is the registry histogram recording fault-heal to
 // steady-state latencies, in virtual-clock nanoseconds.
 const ConvergeMetric = "chaos_converge_ns"
+
+// ReconcileConvergeMetric is the registry histogram recording fault-heal
+// to steady-state latencies for runs where the anti-entropy audit is
+// disabled and convergence is driven by the reconciler alone.
+const ReconcileConvergeMetric = "reconcile_converge_ns"
 
 // WaitConvergedTimed is WaitConverged called at the moment a fault heals:
 // it measures the virtual-clock latency until the convergence streak

@@ -40,6 +40,8 @@ import (
 	"sdx/internal/iputil"
 	"sdx/internal/openflow"
 	"sdx/internal/pkt"
+	"sdx/internal/probe"
+	"sdx/internal/reconcile"
 	"sdx/internal/simnet"
 	"sdx/internal/verify"
 )
@@ -66,17 +68,30 @@ type FabricDeployment struct {
 	Model *fabric.Fabric
 	Peers map[uint32]*Peer
 
+	// Rec reconciles every remote switch's installed table against the
+	// local model. Always constructed; its continuous loop runs only
+	// when Options.ReconcileInterval is set (drive it manually with
+	// ReconcileOnce).
+	Rec *reconcile.Reconciler
+	// Prb injects liveness probes across all participant port pairs of
+	// the remote fabric. Always constructed; its loop runs only when
+	// Options.ProbeInterval is set.
+	Prb *probe.Prober
+
 	specs     []PeerSpec
+	opts      Options
 	topo      fabric.Topology
 	names     []string // sorted switch names
 	remote    map[string]*dataplane.Switch
 	portSw    map[pkt.PortID]string
 	trunkTags []string
 
-	reds    map[string]*openflow.Redialer
-	mu      sync.Mutex
-	sinks   map[*openflow.Client]core.RuleSink
-	diverge map[string]int
+	reds       map[string]*openflow.Redialer
+	mu         sync.Mutex
+	sinks      map[*openflow.Client]core.RuleSink
+	diverge    map[string]int
+	gens       map[string]uint64 // per-switch channel/table generation
+	appDeliver map[pkt.PortID]func(pkt.Packet)
 
 	lns    []*simnet.Listener
 	cancel context.CancelFunc
@@ -114,20 +129,23 @@ func StartFabric(n *simnet.Network, seed int64, specs []PeerSpec, topo fabric.To
 
 	ctx, cancel := context.WithCancel(context.Background())
 	fd := &FabricDeployment{
-		Net:     n,
-		Ctrl:    ctrl,
-		Srv:     sdx.ServeBGP(ctrl, rsLn, 64512),
-		Model:   model,
-		Peers:   make(map[uint32]*Peer),
-		specs:   specs,
-		topo:    topo,
-		remote:  make(map[string]*dataplane.Switch),
-		portSw:  make(map[pkt.PortID]string, len(topo.Ports)),
-		reds:    make(map[string]*openflow.Redialer),
-		sinks:   make(map[*openflow.Client]core.RuleSink),
-		diverge: make(map[string]int),
-		lns:     []*simnet.Listener{},
-		cancel:  cancel,
+		Net:        n,
+		Ctrl:       ctrl,
+		Srv:        sdx.ServeBGP(ctrl, rsLn, 64512),
+		Model:      model,
+		Peers:      make(map[uint32]*Peer),
+		specs:      specs,
+		opts:       opts,
+		topo:       topo,
+		remote:     make(map[string]*dataplane.Switch),
+		portSw:     make(map[pkt.PortID]string, len(topo.Ports)),
+		reds:       make(map[string]*openflow.Redialer),
+		sinks:      make(map[*openflow.Client]core.RuleSink),
+		diverge:    make(map[string]int),
+		gens:       make(map[string]uint64),
+		appDeliver: make(map[pkt.PortID]func(pkt.Packet)),
+		lns:        []*simnet.Listener{},
+		cancel:     cancel,
 	}
 	fail := func(err error) (*FabricDeployment, error) {
 		fd.Stop()
@@ -139,20 +157,46 @@ func StartFabric(n *simnet.Network, seed int64, specs []PeerSpec, topo fabric.To
 	fd.names = append(fd.names, topo.Switches...)
 	sort.Strings(fd.names)
 
-	// Remote switches: participant ports per the topology, trunk ports
-	// per the links (delivery wired to the trunk pipes below).
+	// Remote switches: participant ports per the topology (delivery
+	// routed through the probe tap), trunk ports per the links (delivery
+	// wired to the trunk pipes below).
 	for _, name := range fd.names {
 		sw := dataplane.NewSwitch(name)
 		for port, owner := range topo.Ports {
 			if owner != name {
 				continue
 			}
-			if err := sw.AddPort(port, fmt.Sprintf("p%d", port), nil); err != nil {
+			port := port
+			deliver := func(p pkt.Packet) { fd.deliverParticipant(port, p) }
+			if err := sw.AddPort(port, fmt.Sprintf("p%d", port), deliver); err != nil {
 				return fail(err)
 			}
 		}
 		fd.remote[name] = sw
 	}
+
+	// Liveness prober: every ordered pair of distinct participant ports,
+	// injected into the remote fabric so probes cross the real trunk
+	// pipes. Constructed before any delivery can happen so the tap in
+	// deliverParticipant never races the assignment.
+	ports := make([]pkt.PortID, 0, len(topo.Ports))
+	for port := range topo.Ports {
+		ports = append(ports, port)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	var pairs []probe.Pair
+	for _, from := range ports {
+		for _, to := range ports {
+			if from != to {
+				pairs = append(pairs, probe.Pair{From: from, To: to})
+			}
+		}
+	}
+	fd.Prb = probe.New(probe.Config{
+		Interval: opts.ProbeInterval,
+		Registry: ctrl.Metrics(),
+		Logf:     opts.Logf,
+	}, fd.InjectRemote, pairs...)
 	for i, l := range topo.Links {
 		a, b := fd.remote[l.A], fd.remote[l.B]
 		if a == nil || b == nil {
@@ -212,17 +256,20 @@ func StartFabric(n *simnet.Network, seed int64, specs []PeerSpec, topo fabric.To
 				return c, nil
 			},
 			OnUp: func(c *openflow.Client) {
-				sink, err := model.SwitchSink(name, openflow.Mirror{C: c})
+				inner, err := model.SwitchSink(name, openflow.Mirror{C: c})
 				if err != nil {
 					return
 				}
+				sink := &genSink{bump: func() { fd.bumpGen(name) }, inner: inner}
 				fd.mu.Lock()
+				fd.gens[name]++
 				fd.sinks[c] = sink
 				fd.mu.Unlock()
 				ctrl.AddRuleMirror(sink)
 			},
 			OnDown: func(c *openflow.Client, _ error) {
 				fd.mu.Lock()
+				fd.gens[name]++
 				sink := fd.sinks[c]
 				delete(fd.sinks, c)
 				fd.mu.Unlock()
@@ -251,17 +298,115 @@ func StartFabric(n *simnet.Network, seed int64, specs []PeerSpec, topo fabric.To
 			_ = p.dialer.Run(ctx)
 		}()
 	}
+
+	// Reconciler: one target per member switch, diffing the remote table
+	// against the local model's, repairing over the live control channel
+	// and escalating to the controller's flush-and-replay resync.
+	targets := make([]reconcile.Target, 0, len(fd.names))
+	for _, name := range fd.names {
+		name := name
+		targets = append(targets, reconcile.Target{
+			Name:     name,
+			Intended: func() []*dataplane.FlowEntry { return model.Switch(name).Table().Entries() },
+			Installed: func() ([]*dataplane.FlowEntry, bool) {
+				if fd.reds[name].Client() == nil {
+					return nil, false
+				}
+				return fd.remote[name].Table().Entries(), true
+			},
+			Sink: func() reconcile.Sink {
+				c := fd.reds[name].Client()
+				if c == nil {
+					return nil
+				}
+				return openflow.Mirror{C: c}
+			},
+			Generation: func() uint64 { return fd.genOf(name) },
+			Escalate:   func() { fd.escalateSwitch(name) },
+			Topo:       &fd.topo,
+		})
+	}
+	fd.Rec = reconcile.New(reconcile.Config{
+		Interval: opts.ReconcileInterval,
+		Registry: ctrl.Metrics(),
+		Logf:     opts.Logf,
+	}, targets...)
+	if opts.ReconcileInterval > 0 {
+		fd.Rec.Start()
+	}
+	if opts.ProbeInterval > 0 {
+		fd.Prb.Start()
+	}
 	return fd, nil
 }
 
-// Stop tears the deployment down in the same order as Deployment.Stop.
+// Stop tears the deployment down in the same order as Deployment.Stop,
+// stopping the reconciler and prober loops first.
 func (fd *FabricDeployment) Stop() {
+	if fd.Prb != nil {
+		fd.Prb.Stop()
+	}
+	if fd.Rec != nil {
+		fd.Rec.Stop()
+	}
 	_ = fd.Srv.Close()
 	fd.cancel()
 	for _, ln := range fd.lns {
 		_ = ln.Close()
 	}
 	fd.wg.Wait()
+}
+
+// deliverParticipant is the delivery tap on every participant port:
+// liveness probes are consumed by the prober, everything else goes to
+// the application handler installed with OnDeliver.
+func (fd *FabricDeployment) deliverParticipant(port pkt.PortID, p pkt.Packet) {
+	if fd.Prb.Deliver(port, p) {
+		return
+	}
+	fd.mu.Lock()
+	h := fd.appDeliver[port]
+	fd.mu.Unlock()
+	if h != nil {
+		h(p)
+	}
+}
+
+func (fd *FabricDeployment) bumpGen(name string) {
+	fd.mu.Lock()
+	fd.gens[name]++
+	fd.mu.Unlock()
+}
+
+func (fd *FabricDeployment) genOf(name string) uint64 {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.gens[name]
+}
+
+// escalateSwitch is one switch's flush-and-replay path: a full
+// controller resync through the channel's registered per-switch sink,
+// which replays the policy bands and the static trunk band.
+func (fd *FabricDeployment) escalateSwitch(name string) {
+	c := fd.reds[name].Client()
+	if c == nil {
+		return
+	}
+	fd.mu.Lock()
+	sink := fd.sinks[c]
+	fd.mu.Unlock()
+	if sink != nil {
+		fd.Ctrl.Resync(sink)
+	}
+}
+
+// ReconcileOnce drives one deterministic reconciler pass.
+func (fd *FabricDeployment) ReconcileOnce() reconcile.Summary { return fd.Rec.RunOnce() }
+
+func (fd *FabricDeployment) logf(format string, args ...any) {
+	if fd.opts.Logf != nil {
+		fd.opts.Logf(format, args...)
+	}
 }
 
 // Targets returns every faultable transport of the deployment with both
@@ -321,14 +466,17 @@ func (fd *FabricDeployment) InjectRemote(port pkt.PortID, p pkt.Packet) bool {
 	return fd.remote[name].Inject(port, p) > 0
 }
 
-// OnDeliver installs the delivery handler for a participant port on the
-// remote fabric.
+// OnDeliver installs the application delivery handler for a participant
+// port on the remote fabric. Handlers sit behind the probe tap: liveness
+// probes are consumed before they reach the handler.
 func (fd *FabricDeployment) OnDeliver(port pkt.PortID, deliver func(pkt.Packet)) error {
-	name, ok := fd.portSw[port]
-	if !ok {
+	if _, ok := fd.portSw[port]; !ok {
 		return fmt.Errorf("chaostest: unknown participant port %d", port)
 	}
-	return fd.remote[name].SetDeliver(port, deliver)
+	fd.mu.Lock()
+	fd.appDeliver[port] = deliver
+	fd.mu.Unlock()
+	return nil
 }
 
 // ServerView renders what the route server currently advertises to as.
@@ -379,7 +527,9 @@ func (fd *FabricDeployment) Converged() error {
 			fd.mu.Unlock()
 			continue
 		}
-		fd.auditDiverged(name)
+		if !fd.opts.DisableAudit {
+			fd.auditDiverged(name)
+		}
 		if firstErr == nil {
 			firstErr = fmt.Errorf("switch %s table diverges from model\n remote:\n  %s\n model:\n  %s",
 				name, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
@@ -389,7 +539,12 @@ func (fd *FabricDeployment) Converged() error {
 }
 
 // auditDiverged advances one switch's divergence streak and bounces its
-// live channel when the streak exceeds the in-flight grace.
+// live channel when the streak exceeds the in-flight grace. The bounce
+// is fenced by the switch's generation: the client and generation are
+// captured at the decision, and the close is skipped when the channel
+// has already been bounced and resynced in between — closing the fresh
+// channel would tear down the very resync that healed the divergence
+// (and, with the reconciler running, trample its repaired table).
 func (fd *FabricDeployment) auditDiverged(name string) {
 	fd.mu.Lock()
 	fd.diverge[name]++
@@ -397,12 +552,34 @@ func (fd *FabricDeployment) auditDiverged(name string) {
 	if bounce {
 		fd.diverge[name] = 0
 	}
+	gen := fd.gens[name]
 	fd.mu.Unlock()
-	if bounce {
-		if c := fd.reds[name].Client(); c != nil {
-			_ = c.Close()
-		}
+	if !bounce {
+		return
 	}
+	c := fd.reds[name].Client()
+	// Log seam: the bounce decision is committed; a redialer resync may
+	// land between here and bounceAt (the regression test parks here).
+	fd.logf("chaostest: audit: switch %s table diverged %d consecutive checks, bouncing control channel", name, divergeBounce)
+	fd.bounceAt(name, c, gen)
+}
+
+// bounceAt closes the control-channel client captured at the bounce
+// decision unless the switch's generation has moved on — a moved
+// generation means the channel already bounced (or resynced) and the
+// captured decision is stale.
+func (fd *FabricDeployment) bounceAt(name string, c *openflow.Client, gen uint64) {
+	if c == nil {
+		return
+	}
+	fd.mu.Lock()
+	cur := fd.gens[name]
+	fd.mu.Unlock()
+	if cur != gen {
+		fd.logf("chaostest: audit: switch %s resynced under the bounce (gen %d -> %d), skipping stale bounce", name, gen, cur)
+		return
+	}
+	_ = c.Close()
 }
 
 // VerifyTables runs the semantic verifier (internal/verify) over every
@@ -444,6 +621,18 @@ func (fd *FabricDeployment) WaitConvergedTimed(timeout time.Duration) (time.Dura
 	elapsed, err := waitConverged(fd.Net.Clock(), timeout, fd.Converged)
 	if err == nil {
 		fd.Ctrl.Metrics().Histogram(ConvergeMetric).Observe(int64(elapsed))
+	}
+	return elapsed, err
+}
+
+// WaitReconcileConvergedTimed is WaitConvergedTimed for audit-disabled
+// runs: the same convergence condition, recorded into
+// ReconcileConvergeMetric so reconciler-driven heal latencies are
+// reported separately from audit-driven ones.
+func (fd *FabricDeployment) WaitReconcileConvergedTimed(timeout time.Duration) (time.Duration, error) {
+	elapsed, err := waitConverged(fd.Net.Clock(), timeout, fd.Converged)
+	if err == nil {
+		fd.Ctrl.Metrics().Histogram(ReconcileConvergeMetric).Observe(int64(elapsed))
 	}
 	return elapsed, err
 }

@@ -1,0 +1,210 @@
+package chaostest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdx"
+	"sdx/internal/dataplane"
+	"sdx/internal/fabric"
+	"sdx/internal/openflow"
+	"sdx/internal/pkt"
+	"sdx/internal/reconcile"
+	"sdx/internal/simnet"
+)
+
+// twoSwitchTopo is the minimal fabric for harness-internal tests: two
+// switches, one participant port each, one trunk link.
+func twoSwitchTopo() fabric.Topology {
+	return fabric.Topology{
+		Switches: []string{"s1", "s2"},
+		Ports:    map[pkt.PortID]string{1: "s1", 2: "s2"},
+		Links:    []fabric.Link{{A: "s1", B: "s2", PortA: 100, PortB: 101}},
+	}
+}
+
+// awaitCond polls cond until it holds or the deadline passes.
+func awaitCond(t *testing.T, timeout time.Duration, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", desc)
+}
+
+// TestAuditBounceSkipsResyncedChannel is the regression test for the
+// audit/reconciler race on a channel bounce mid-resync: the audit decides
+// to bounce a diverged channel, but before it closes the client the
+// channel dies and resyncs on its own (bumping the switch generation).
+// The stale bounce must be skipped — closing the fresh client would tear
+// down the resync that just healed the divergence. The test parks the
+// audit at the log seam between the bounce decision and the close, forces
+// the interleaving deterministically, and then re-runs the audit unparked
+// to prove the bounce still fires when nothing intervenes.
+func TestAuditBounceSkipsResyncedChannel(t *testing.T) {
+	var armed atomic.Bool
+	logBlocked := make(chan struct{})
+	logRelease := make(chan struct{})
+	var logMu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+		if strings.Contains(format, "bouncing control channel") && armed.CompareAndSwap(true, false) {
+			close(logBlocked)
+			<-logRelease
+		}
+	}
+	logged := func(sub string) bool {
+		logMu.Lock()
+		defer logMu.Unlock()
+		for _, l := range logs {
+			if strings.Contains(l, sub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	n := simnet.New(41)
+	defer n.Close()
+	fd, err := StartFabric(n, 41, nil, twoSwitchTopo(), Options{Logf: logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Stop()
+
+	var c0 *openflow.Client
+	awaitCond(t, 5*time.Second, "s1 control channel up", func() bool {
+		c0 = fd.OFClient("s1")
+		return c0 != nil
+	})
+
+	// Park the audit between its bounce decision and the close.
+	fd.mu.Lock()
+	fd.diverge["s1"] = divergeBounce - 1
+	fd.mu.Unlock()
+	armed.Store(true)
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		fd.auditDiverged("s1")
+	}()
+	<-logBlocked
+
+	// While the audit is parked holding the captured (client, generation),
+	// the channel dies and the redialer resyncs it: exactly the
+	// interleaving that used to get the fresh channel bounced.
+	_ = c0.Close()
+	var c1 *openflow.Client
+	awaitCond(t, 5*time.Second, "s1 control channel resync", func() bool {
+		c1 = fd.OFClient("s1")
+		return c1 != nil && c1 != c0
+	})
+	close(logRelease)
+	<-auditDone
+
+	if !logged("skipping stale bounce") {
+		t.Fatalf("parked audit did not skip its stale bounce; logs:\n  %s", strings.Join(logs, "\n  "))
+	}
+	// The fresh channel must have survived the released audit.
+	if err := c1.Barrier(); err != nil {
+		t.Fatalf("fresh channel dead after stale audit released: %v", err)
+	}
+	if got := fd.OFClient("s1"); got != c1 {
+		t.Fatalf("fresh channel was bounced by the stale audit (client changed)")
+	}
+
+	// Control: with no resync interleaved, the same decision must bounce
+	// the live channel (the anti-entropy behaviour the audit exists for).
+	fd.mu.Lock()
+	fd.diverge["s1"] = divergeBounce - 1
+	fd.mu.Unlock()
+	fd.auditDiverged("s1")
+	awaitCond(t, 5*time.Second, "audited channel bounce", func() bool {
+		c := fd.OFClient("s1")
+		return c != c1
+	})
+}
+
+// TestFabricReconcileRepairsRemote drives the reconciler against a
+// deliberately corrupted remote switch: the trunk band deleted (a trunk
+// gap, the drift class that strands in-transit traffic) plus a foreign
+// cookie installed. One pass must classify and repair both; after a
+// barrier the next pass must be clean with zero repairs (idempotence) and
+// the remote table byte-identical to the model.
+func TestFabricReconcileRepairsRemote(t *testing.T) {
+	specs := []PeerSpec{
+		{AS: 100, Port: 1, Outbound: []sdx.Term{sdx.Fwd(sdx.MatchAll.DstPort(80), 200)}},
+		{AS: 200, Port: 2, Anns: []Announcement{
+			{Prefix: sdx.MustParsePrefix("11.0.0.0/8"), Path: []uint32{200}},
+		}},
+	}
+	n := simnet.New(97)
+	defer n.Close()
+	fd, err := StartFabric(n, 97, specs, twoSwitchTopo(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Stop()
+	if err := fd.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fd.SwitchNames() {
+		if err := fd.OFClient(name).Barrier(); err != nil {
+			t.Fatalf("switch %s barrier: %v", name, err)
+		}
+	}
+	if sum := fd.ReconcileOnce(); !sum.Clean {
+		t.Fatalf("baseline pass not clean: %+v", sum)
+	}
+
+	// Corrupt s2 behind the controller's back.
+	tbl := fd.remote["s2"].Table()
+	if tbl.DeleteCookie(fabric.TrunkCookie) == 0 {
+		t.Fatal("corruption removed no trunk entries")
+	}
+	tbl.AddBatch([]*dataplane.FlowEntry{{
+		Priority: 7,
+		Cookie:   4242,
+		Actions:  []pkt.Action{pkt.Output(1)},
+	}})
+
+	sum := fd.ReconcileOnce()
+	if sum.Clean || sum.Repairs == 0 {
+		t.Fatalf("corruption pass found nothing: %+v", sum)
+	}
+	var s2 *reconcile.TargetSummary
+	for i := range sum.Targets {
+		if sum.Targets[i].Name == "s2" {
+			s2 = &sum.Targets[i]
+		}
+	}
+	if s2 == nil {
+		t.Fatalf("no s2 target in summary: %+v", sum)
+	}
+	if s2.Drift.Missing == 0 || s2.Drift.Extra == 0 || s2.Drift.TrunkGaps == 0 {
+		t.Fatalf("drift misclassified: %+v", s2.Drift)
+	}
+	if err := fd.OFClient("s2").Barrier(); err != nil {
+		t.Fatalf("post-repair barrier: %v", err)
+	}
+
+	if sum := fd.ReconcileOnce(); !sum.Clean || sum.Repairs != 0 {
+		t.Fatalf("repair not idempotent: %+v", sum)
+	}
+	model, remote := fd.ModelRules("s2"), fd.RemoteRules("s2")
+	if strings.Join(model, "\n") != strings.Join(remote, "\n") {
+		t.Fatalf("s2 not byte-identical after repair\n remote:\n  %s\n model:\n  %s",
+			strings.Join(remote, "\n  "), strings.Join(model, "\n  "))
+	}
+}

@@ -38,6 +38,13 @@
 // taints the pair (Tainted), letting a harness bounce connections that
 // carried damaged bytes, the way an operator would bounce a session that
 // desynced.
+//
+// Alongside the stream conns, DatagramPipe provides an unreliable
+// message-boundary transport (silent loss, no backpressure) with one
+// extra fault class streams cannot express: packet-level reordering
+// (Profile.ReorderEvery / ReorderDelay). The liveness prober's tests
+// run on it — probe traffic is exactly what must survive loss and
+// reordering unmasked by a stream abstraction.
 package simnet
 
 import (
@@ -79,6 +86,14 @@ type Profile struct {
 	// io.ErrShortWrite) on average every ShortWriteEvery write calls; 0
 	// disables.
 	ShortWriteEvery int64
+	// ReorderEvery holds back one datagram on average every ReorderEvery
+	// sends, letting later datagrams overtake it — packet-level
+	// reordering. Datagram pipes only (a byte stream cannot reorder
+	// without corrupting itself); 0 disables.
+	ReorderEvery int64
+	// ReorderDelay is how long a held-back datagram is delayed beyond its
+	// normal delivery time (virtual). Zero means a 30ms default.
+	ReorderDelay time.Duration
 }
 
 // Network is a collection of simulated listeners and connections sharing
@@ -93,7 +108,8 @@ type Network struct {
 	closed    bool
 	nextID    int
 	listeners map[string]*Listener
-	pairs     []*Conn // dial-side conn of every pair, in creation order
+	pairs     []*Conn         // dial-side conn of every pair, in creation order
+	dgrams    []*DatagramConn // first end of every datagram pipe
 	partAll   bool
 	partTag   map[string]bool
 	partDir   map[string]map[string]bool // from -> to -> blackholed
@@ -392,11 +408,15 @@ func (n *Network) Close() {
 		lns = append(lns, l)
 	}
 	pairs := append([]*Conn(nil), n.pairs...)
+	dgrams := append([]*DatagramConn(nil), n.dgrams...)
 	n.mu.Unlock()
 	for _, l := range lns {
 		_ = l.Close()
 	}
 	for _, c := range pairs {
+		c.closePair()
+	}
+	for _, c := range dgrams {
 		c.closePair()
 	}
 }

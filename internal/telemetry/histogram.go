@@ -112,6 +112,22 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Merge folds another histogram's snapshot into this one, adding its
+// bucket counts (at each bucket's upper bound, so re-snapshotting keeps
+// every sample in its original bucket) and carrying the exact sum over.
+// It is how a test binary aggregates per-deployment registries into one
+// cross-run benchmark histogram. No-op on a nil receiver.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	for _, b := range s.Buckets {
+		h.buckets[bucketIndex(b.Le)].Add(b.Count)
+		h.count.Add(b.Count)
+	}
+	h.sum.Add(s.Sum)
+}
+
 // Quantile estimates the q-th quantile of the observed values, linearly
 // interpolated within the containing bucket. Out-of-range inputs are
 // defined: an empty histogram always reports 0, q ≤ 0 (or NaN) reports
