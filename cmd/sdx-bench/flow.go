@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"math/rand"
+
+	"sdx/internal/bgp"
+	"sdx/internal/dataplane"
+	"sdx/internal/flow"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/rs"
+	"sdx/internal/trafficgen"
+)
+
+// flowReport is the machine-readable flow-analytics baseline written by
+// `sdx-bench -flow` (schema sdx-bench/flow/v1). It gates the sampler's
+// cost contract: attaching a 1-in-N sampler to the batched fast path may
+// cost at most 5% over the detached baseline and must not allocate on
+// the non-sampled path, and it records the BGP-correlation join latency
+// against a populated Loc-RIB. All durations are integer nanoseconds in
+// fields suffixed _ns.
+type flowReport struct {
+	Schema      string    `json:"schema"`
+	GeneratedAt time.Time `json:"generatedAt"`
+	Seed        int64     `json:"seed"`
+	Host        hostInfo  `json:"host"`
+	Rules       int       `json:"rules"`
+	Batch       int       `json:"batch"`
+	SampleRate  int       `json:"sampleRate"`
+
+	BaseNsPerPkt    int64   `json:"baseNsPerPkt"`    // sampler detached
+	SampledNsPerPkt int64   `json:"sampledNsPerPkt"` // sampler attached at SampleRate
+	OverheadPct     float64 `json:"overheadPct"`
+	AllocsPerPkt    int64   `json:"allocsPerPkt"` // non-sampled path, sampler attached
+
+	JoinPrefixes int   `json:"joinPrefixes"`
+	JoinP50NS    int64 `json:"joinP50_ns"`
+	JoinP99NS    int64 `json:"joinP99_ns"`
+
+	Checks []dataplaneCheck `json:"checks"`
+}
+
+const (
+	flowRules      = 7000 // the paper's §6 working point, as in -dataplane
+	flowSampleRate = 1024
+)
+
+// measureFlowOverhead times the warm batched fast path with the sampler
+// detached and attached, interleaved round-robin so clock drift and
+// cache effects hit both sides equally, and reports the median ns/pkt
+// for each side.
+func measureFlowOverhead(seed int64) (base, sampled int64, err error) {
+	es := dpRules(flowRules, seed)
+	tbl := dataplane.NewFlowTable()
+	tbl.SetCompiled(true)
+	tbl.AddBatch(es)
+	tbl.Precompile()
+
+	gen := trafficgen.NewPacketGen(seed+1, trafficgen.PoolsFromEntries(es)).
+		SetHitBias(0.9).SetWorkingSet(2048)
+	stream := make([]pkt.Packet, dpBatch)
+	out := make([]pkt.Packet, 0, 4*dpBatch)
+	for i := 0; i < 2048/dpBatch*2; i++ {
+		gen.Fill(stream)
+		out = tbl.ProcessBatch(stream, out[:0], nil)
+	}
+
+	smp := flow.NewSampler(1<<15, nil)
+	drainDone := make(chan struct{})
+	defer close(drainDone)
+	go func() { // drain exports so the channel never backs up
+		for {
+			select {
+			case <-smp.Records():
+			case <-drainDone:
+				return
+			}
+		}
+	}()
+
+	const rounds = 300
+	const batchesPerSide = 4
+	offSamples := make([]float64, 0, rounds*batchesPerSide)
+	onSamples := make([]float64, 0, rounds*batchesPerSide)
+	side := func(samples *[]float64) {
+		for b := 0; b < batchesPerSide; b++ {
+			gen.Fill(stream)
+			t0 := time.Now()
+			out = tbl.ProcessBatch(stream, out[:0], nil)
+			*samples = append(*samples, float64(time.Since(t0).Nanoseconds())/float64(len(stream)))
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		tbl.SetSampler(nil, 0)
+		side(&offSamples)
+		tbl.SetSampler(smp, flowSampleRate)
+		side(&onSamples)
+	}
+	median := func(s []float64) int64 {
+		sort.Float64s(s)
+		return int64(s[len(s)/2])
+	}
+	return median(offSamples), median(onSamples), nil
+}
+
+// measureFlowAllocs proves the non-sampled path allocation-free with a
+// sampler attached: at a stride far beyond the packet count, every
+// packet takes the counter-compare-only branch.
+func measureFlowAllocs(seed int64) int64 {
+	es := dpRules(flowRules, seed)
+	tbl := dataplane.NewFlowTable()
+	tbl.SetCompiled(true)
+	tbl.AddBatch(es)
+	tbl.Precompile()
+	smp := flow.NewSampler(64, nil)
+	tbl.SetSampler(smp, 1<<30)
+
+	gen := trafficgen.NewPacketGen(seed+2, trafficgen.PoolsFromEntries(es)).
+		SetHitBias(0.9).SetWorkingSet(2048)
+	stream := make([]pkt.Packet, dpBatch)
+	out := make([]pkt.Packet, 0, 4*dpBatch)
+	for i := 0; i < 2048/dpBatch*2; i++ {
+		gen.Fill(stream)
+		out = tbl.ProcessBatch(stream, out[:0], nil)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out = tbl.ProcessBatch(stream, out[:0], nil)
+		}
+	})
+	return res.AllocsPerOp() / int64(len(stream))
+}
+
+// measureJoinLatency populates a route server with full-feed-shaped
+// announcements and times RIBResolver.Resolve over a mixed hit/miss
+// address stream against the warm snapshot.
+func measureJoinLatency(seed int64) (prefixes int, p50, p99 int64, hits int, err error) {
+	server := rs.New()
+	const peers = 8
+	for i := 0; i < peers; i++ {
+		if err := server.AddParticipant(rs.ParticipantConfig{AS: 100 + uint32(i)}); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	r := rand.New(rand.NewSource(seed + 3))
+	const nPrefixes = 5000
+	updates := make([]rs.PeerUpdate, 0, nPrefixes)
+	announced := make([]iputil.Prefix, 0, nPrefixes)
+	for i := 0; i < nPrefixes; i++ {
+		as := 100 + uint32(r.Intn(peers))
+		pfx := iputil.NewPrefix(iputil.Addr(r.Uint32()), 24)
+		announced = append(announced, pfx)
+		updates = append(updates, rs.PeerUpdate{From: as, Update: &bgp.Update{
+			NLRI:  []iputil.Prefix{pfx},
+			Attrs: &bgp.PathAttrs{ASPath: []uint32{as, 900}, NextHop: iputil.Addr(as)},
+		}})
+	}
+	server.Apply(updates)
+
+	res := flow.NewRIBResolver(server, time.Hour, nil)
+	res.Resolve(announced[0].Addr()) // build the snapshot outside the timed loop
+
+	const lookups = 50000
+	samples := make([]float64, 0, lookups)
+	for i := 0; i < lookups; i++ {
+		var addr iputil.Addr
+		if i%4 != 0 { // 3/4 hits inside announced space, 1/4 random
+			addr = announced[r.Intn(len(announced))].Addr() + iputil.Addr(r.Intn(200))
+		} else {
+			addr = iputil.Addr(r.Uint32())
+		}
+		t0 := time.Now()
+		_, ok := res.Resolve(addr)
+		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+		if ok {
+			hits++
+		}
+	}
+	sort.Float64s(samples)
+	return nPrefixes, int64(samples[len(samples)/2]), int64(samples[len(samples)*99/100]), hits, nil
+}
+
+// writeFlowReport runs the three flow measurements, enforces the cost
+// contract (<=5% sampler overhead, zero allocations on the non-sampled
+// path, a working RIB join), and writes the baseline file.
+func writeFlowReport(path string, seed int64) error {
+	report := flowReport{
+		Schema:      "sdx-bench/flow/v1",
+		GeneratedAt: time.Now().UTC(),
+		Seed:        seed,
+		Rules:       flowRules,
+		Batch:       dpBatch,
+		SampleRate:  flowSampleRate,
+		Host: hostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+
+	base, sampled, err := measureFlowOverhead(seed)
+	if err != nil {
+		return err
+	}
+	report.BaseNsPerPkt = base
+	report.SampledNsPerPkt = sampled
+	if base > 0 {
+		report.OverheadPct = 100 * float64(sampled-base) / float64(base)
+	}
+	fmt.Printf("  sampler overhead: base %dns/pkt, 1-in-%d sampled %dns/pkt (%+.2f%%)\n",
+		base, flowSampleRate, sampled, report.OverheadPct)
+	overheadOK := report.OverheadPct <= 5
+	report.Checks = append(report.Checks, dataplaneCheck{
+		Name: "sampler-overhead",
+		OK:   overheadOK,
+		Note: fmt.Sprintf("%+.2f%% vs detached baseline (ceiling 5%%)", report.OverheadPct),
+	})
+
+	report.AllocsPerPkt = measureFlowAllocs(seed)
+	fmt.Printf("  non-sampled path: %d allocs/pkt with sampler attached\n", report.AllocsPerPkt)
+	allocsOK := report.AllocsPerPkt == 0
+	report.Checks = append(report.Checks, dataplaneCheck{
+		Name: "zero-alloc-nonsampled",
+		OK:   allocsOK,
+		Note: fmt.Sprintf("%d allocs/pkt on the non-sampled batched path", report.AllocsPerPkt),
+	})
+
+	prefixes, p50, p99, hits, err := measureJoinLatency(seed)
+	if err != nil {
+		return err
+	}
+	report.JoinPrefixes = prefixes
+	report.JoinP50NS = p50
+	report.JoinP99NS = p99
+	fmt.Printf("  rib join: %d prefixes, p50 %dns p99 %dns, %d hits\n", prefixes, p50, p99, hits)
+	joinOK := hits > 0 && p50 > 0
+	report.Checks = append(report.Checks, dataplaneCheck{
+		Name: "rib-join",
+		OK:   joinOK,
+		Note: fmt.Sprintf("%d/50000 lookups attributed over %d prefixes", hits, prefixes),
+	})
+
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(buf))
+
+	if !overheadOK {
+		return fmt.Errorf("flow: sampler overhead %.2f%% exceeds the 5%% ceiling", report.OverheadPct)
+	}
+	if !allocsOK {
+		return fmt.Errorf("flow: non-sampled path allocates %d/pkt, want 0", report.AllocsPerPkt)
+	}
+	if !joinOK {
+		return fmt.Errorf("flow: rib join produced no attributions")
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the machine-readable benchmark baseline instead of text tables")
 	dataplaneOut := flag.Bool("dataplane", false, "benchmark the dataplane fast path (compiled engine + megaflow cache vs naive scan) and write its baseline")
 	scaleOut := flag.Bool("scale", false, "run the full-table scale benchmark (serial vs coalesced ingestion) and write its baseline")
+	flowOut := flag.Bool("flow", false, "benchmark the flow-analytics pipeline (sampler overhead, non-sampled allocs, RIB join latency) and write its baseline")
 	scaleCase := flag.String("scale-case", "", "with -scale: run only the named case (ci, participants1000)")
 	against := flag.String("against", "", "with -scale: compare the fresh report against this committed baseline and fail on >20% install-p95 regression")
 	outPath := flag.String("o", "", "output path (default BENCH_compile.json for -json, BENCH_dataplane.json for -dataplane, BENCH_scale.json for -scale)")
@@ -48,6 +49,16 @@ func main() {
 			if err := checkScaleRegression(path, *against); err != nil {
 				log.Fatalf("scale regression gate: %v", err)
 			}
+		}
+		return
+	}
+	if *flowOut {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_flow.json"
+		}
+		if err := writeFlowReport(path, *seed); err != nil {
+			log.Fatalf("flow baseline: %v", err)
 		}
 		return
 	}

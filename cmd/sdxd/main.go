@@ -43,6 +43,7 @@ import (
 
 	"sdx"
 	"sdx/internal/dataplane"
+	"sdx/internal/flow"
 	"sdx/internal/openflow"
 	"sdx/internal/probe"
 	"sdx/internal/reconcile"
@@ -58,9 +59,25 @@ func main() {
 	coalesce := flag.Bool("coalesce", true, "route received UPDATEs through the coalescing ingestion queue (per-(peer,prefix) latest-wins, bounded install latency)")
 	reconcileInterval := flag.Duration("reconcile-interval", time.Second, "continuous reconciler period against the external fabric's installed table (0 disables; requires -fabric)")
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "dataplane liveness probe period across participant port pairs (0 disables; requires -fabric)")
+	flowRate := flag.Int("flow-sample-rate", 1024, "sFlow-style 1-in-N packet sampling rate on the local dataplane (0 disables flow analytics)")
+	flowTopK := flag.Int("flow-topk", 16, "heavy-hitter top-k summary size for flow analytics")
 	flag.Parse()
 
 	ctrl := sdx.New(sdx.WithLogger(log.Printf))
+	var ana *flow.Analytics
+	if *flowRate > 0 {
+		// Sampled flow export: 1-in-N samples off the local switch's
+		// forwarding path into the analytics service, each flow joined
+		// against the route server's Loc-RIB best route. Served at /flows.
+		sampler := flow.NewSampler(0, ctrl.Metrics())
+		ctrl.Switch().Table().SetSampler(sampler, *flowRate)
+		resolver := flow.NewRIBResolver(ctrl.RouteServer(), time.Second, ctrl.Metrics())
+		ana = flow.NewAnalytics(flow.Config{SampleRate: *flowRate, TopK: *flowTopK},
+			sampler.Records(), resolver, ctrl.Metrics())
+		ana.SetLogger(log.Printf)
+		ana.Start()
+		log.Printf("flow analytics: sampling 1-in-%d, top-%d heavy hitters", *flowRate, *flowTopK)
+	}
 	var ports []sdx.PortID
 	if *configPath != "" {
 		var err error
@@ -213,7 +230,7 @@ func main() {
 		}
 		go func() {
 			// Serve exits when the listener closes at process shutdown.
-			_ = http.Serve(ln, newMetricsMux(ctrl, rec, prb))
+			_ = http.Serve(ln, newMetricsMux(ctrl, rec, prb, ana))
 		}()
 		log.Printf("metrics at http://%s/metrics", ln.Addr())
 	}
@@ -248,6 +265,9 @@ func main() {
 			}
 		case <-stop:
 			log.Printf("shutting down")
+			if ana != nil {
+				ana.Stop()
+			}
 			if prb != nil {
 				prb.Stop()
 			}

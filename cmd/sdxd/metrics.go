@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"sdx"
+	"sdx/internal/flow"
 	"sdx/internal/probe"
 	"sdx/internal/reconcile"
 )
@@ -15,10 +17,17 @@ import (
 //	/metrics/text  human-readable metric dump
 //	/trace         retained trace events as JSON
 //	/health        reconciler + prober health summary as JSON
+//	/flows         flow-analytics snapshot (tracked flows + top-k) as JSON
 //
-// rec and prb may be nil (no fabric, or the loops are disabled); /health
-// then reports only the components that exist.
-func newMetricsMux(ctrl *sdx.Controller, rec *reconcile.Reconciler, prb *probe.Prober) *http.ServeMux {
+// rec, prb and ana may be nil (no fabric, or the loops are disabled);
+// /health then reports only the components that exist, and /flows
+// returns 404 when flow analytics is off.
+//
+// /health is an orchestrator gate: it returns 200 only while every
+// wired component is healthy, and 503 with the failing components
+// listed when the prober reports unhealthy pairs or the reconciler is
+// drifting or in escalation.
+func newMetricsMux(ctrl *sdx.Controller, rec *reconcile.Reconciler, prb *probe.Prober, ana *flow.Analytics) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", ctrl.Metrics())
 	mux.HandleFunc("/metrics/text", func(w http.ResponseWriter, _ *http.Request) {
@@ -37,17 +46,48 @@ func newMetricsMux(ctrl *sdx.Controller, rec *reconcile.Reconciler, prb *probe.P
 		}
 		out := struct {
 			Healthy   bool             `json:"healthy"`
+			Failing   []string         `json:"failing,omitempty"`
 			Reconcile *reconcileHealth `json:"reconcile,omitempty"`
 			Probe     *probeHealth     `json:"probe,omitempty"`
 		}{Healthy: true}
 		if rec != nil {
 			out.Reconcile = &reconcileHealth{Healthy: rec.Healthy(), Last: rec.Last()}
-			out.Healthy = out.Healthy && out.Reconcile.Healthy
+			if !out.Reconcile.Healthy {
+				out.Healthy = false
+				out.Failing = append(out.Failing, "reconcile")
+			}
+			for _, ts := range out.Reconcile.Last.Targets {
+				if ts.Escalated {
+					out.Failing = append(out.Failing, "reconcile:"+ts.Name+":escalated")
+				}
+			}
 		}
 		if prb != nil {
 			out.Probe = &probeHealth{Healthy: prb.Healthy(), Pairs: prb.Health()}
-			out.Healthy = out.Healthy && out.Probe.Healthy
+			if !out.Probe.Healthy {
+				out.Healthy = false
+				for _, ph := range out.Probe.Pairs {
+					if !ph.Healthy {
+						out.Failing = append(out.Failing, fmt.Sprintf("probe:%d->%d", ph.From, ph.To))
+					}
+				}
+			}
 		}
+		w.Header().Set("Content-Type", "application/json")
+		if !out.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, _ *http.Request) {
+		if ana == nil {
+			http.Error(w, "flow analytics disabled (-flow-sample-rate 0)", http.StatusNotFound)
+			return
+		}
+		out := struct {
+			Flows []flow.FlowStat `json:"flows"`
+			Top   []flow.TopEntry `json:"top"`
+		}{Flows: ana.Snapshot(), Top: ana.Top()}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
 	})

@@ -1,0 +1,143 @@
+package sdx
+
+// End-to-end test of the flow-analytics feedback loop (ISSUE 10's
+// tentpole): a synthetic elephant flow through the fabric is picked up
+// by the 1-in-N dataplane sampler, aggregated and joined against the
+// route server's Loc-RIB, detected as a heavy hitter, and fed back into
+// policy — the rebalancer demotes the overloaded port and recompiles
+// the inbound-TE policy, measurably shifting forwarding to the other
+// port. The analytics are driven deterministically (Drain/Tick instead
+// of the wall-clock collector) so the test cannot flake on timing.
+
+import (
+	"testing"
+	"time"
+
+	"sdx/internal/core"
+	"sdx/internal/flow"
+	"sdx/internal/pkt"
+	"sdx/internal/router"
+)
+
+func TestElephantFlowTriggersRebalance(t *testing.T) {
+	x := New()
+	for _, cfg := range []ParticipantConfig{
+		{AS: 100, Name: "A", Ports: []PhysicalPort{{ID: 1}}},
+		{AS: 200, Name: "B", Ports: []PhysicalPort{{ID: 2}, {ID: 3}}}, // dual-homed
+	} {
+		if _, err := x.AddParticipant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attach := func(as uint32, port PortID) *router.BorderRouter {
+		r, err := router.Attach(x, as, core.PhysicalPort{ID: port})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b1, b2 := attach(100, 1), attach(200, 2), attach(200, 3)
+
+	// B announces its prefix; the announcement arrives from the session
+	// on port 2, so the Loc-RIB attributes the traffic to peer AS 200.
+	eyeballs := MustParsePrefix("93.184.0.0/16")
+	b1.Announce(eyeballs, 200)
+
+	// Flow pipeline: sampler on the fabric's table, analytics joined
+	// against the route server, rebalancer managing B's inbound TE.
+	const sampleRate = 8
+	reg := x.Metrics()
+	sampler := flow.NewSampler(1<<14, reg)
+	x.Switch().Table().SetSampler(sampler, sampleRate)
+	resolver := flow.NewRIBResolver(x.RouteServer(), time.Hour, reg)
+	ana := flow.NewAnalytics(flow.Config{
+		SampleRate:     sampleRate,
+		Interval:       100 * time.Millisecond,
+		HeavyHitterBps: 1 << 20, // 1 MiB/s estimated
+		Alpha:          1,
+	}, sampler.Records(), resolver, reg)
+	reb := flow.NewRebalancer(x, time.Hour, reg, t.Logf)
+	reb.AddGroup(flow.BalanceGroup{
+		AS:    200,
+		Ports: []PortID{2, 3},
+		Build: func(ranked []PortID) []Term {
+			// All inbound traffic to B prefers the top-ranked port.
+			return []Term{core.FwdPort(pkt.MatchAll, ranked[0])}
+		},
+	})
+
+	// Phase 1: before the elephant, traffic lands on B's preferred port 2.
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			if !a.SendIPv4(MustParseAddr("10.0.0.1"), MustParseAddr("93.184.216.34"),
+				40000, 80, make([]byte, 1000)) {
+				t.Fatal("send failed: no route from A")
+			}
+		}
+	}
+	send(64)
+	if got := len(b1.Received()); got != 64 {
+		t.Fatalf("baseline: B1 received %d/64 packets", got)
+	}
+	if got := len(b2.Received()); got != 0 {
+		t.Fatalf("baseline: B2 received %d packets before rebalance", got)
+	}
+	stat2Before, _ := x.Switch().Stats(2)
+	stat3Before, _ := x.Switch().Stats(3)
+
+	// Phase 2: the elephant. 4096 × ~1054B frames in one 100ms tick is
+	// ≈43 MB/s estimated — far above the 1 MiB/s threshold.
+	send(4096)
+	ana.Drain()
+	events := ana.Tick()
+	if len(events) != 1 {
+		t.Fatalf("elephant raised %d heavy-hitter events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Stat.Egress != 2 {
+		t.Fatalf("heavy hitter egress = %d, want 2", ev.Stat.Egress)
+	}
+	if ev.Stat.Route == nil || ev.Stat.Route.PeerAS != 200 || ev.Stat.Route.Prefix != eyeballs {
+		t.Fatalf("heavy hitter not BGP-correlated: %+v", ev.Stat.Route)
+	}
+	if ev.Stat.Rate < 1<<20 {
+		t.Fatalf("heavy hitter rate = %.0f B/s, below threshold", ev.Stat.Rate)
+	}
+	if !reb.HandleEvent(ev) {
+		t.Fatal("rebalancer ignored the heavy-hitter event")
+	}
+	if got := reb.Ranking(200); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("ranking after rebalance = %v, want [3 2]", got)
+	}
+
+	// Phase 3: the recompiled policy shifts forwarding to port 3.
+	b1.ClearReceived()
+	send(256)
+	if got := len(b2.Received()); got != 256 {
+		t.Fatalf("post-rebalance: B2 received %d/256 packets", got)
+	}
+	if got := len(b1.Received()); got != 0 {
+		t.Fatalf("post-rebalance: B1 still received %d packets", got)
+	}
+	stat2After, _ := x.Switch().Stats(2)
+	stat3After, _ := x.Switch().Stats(3)
+	elephantBytes := stat2After.TxBytes - stat2Before.TxBytes
+	shiftedBytes := stat3After.TxBytes - stat3Before.TxBytes
+	if shiftedBytes == 0 {
+		t.Fatal("no bytes shifted to port 3")
+	}
+	if elephantBytes == 0 {
+		t.Fatal("elephant bytes missing from port 2 counters")
+	}
+	t.Logf("forwarding shift verified: port2 +%dB (elephant), port3 +%dB (post-rebalance)",
+		elephantBytes, shiftedBytes)
+
+	// The top-k summary has the elephant on top.
+	top := ana.Top()
+	if len(top) == 0 || top[0].Key.DstPort != 80 {
+		t.Fatalf("top-k = %+v", top)
+	}
+	if reg.Counter("flow.rebalances").Value() != 1 {
+		t.Fatalf("flow.rebalances = %d", reg.Counter("flow.rebalances").Value())
+	}
+}

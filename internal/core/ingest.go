@@ -116,9 +116,16 @@ type UpdateQueue struct {
 	// explicit Flush) so batches reach the controller in drain order.
 	drainMu sync.Mutex
 
-	kick chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	kick     chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	// testHookPreApply, when non-nil, runs between the batch swap and
+	// ApplyBatch — the window where entries exist only in the drainer's
+	// hands. Tests use it to freeze a drain mid-cycle and race Flush
+	// against Stop; production leaves it nil.
+	testHookPreApply func()
 
 	mEnqueued  *telemetry.Counter
 	mCoalesced *telemetry.Counter
@@ -159,30 +166,76 @@ func NewUpdateQueue(ctrl *Controller, cfg QueueConfig) *UpdateQueue {
 // Enqueue offers one UPDATE from peer `from` to the queue, splitting it
 // into per-prefix actions and coalescing each onto any pending entry for
 // the same (peer, prefix). It blocks while the pending set is full and
-// the action would grow it (the backpressure contract), and returns
+// the update would grow it (the backpressure contract), and returns
 // ErrQueueClosed after Stop.
+//
+// Enqueue is all-or-nothing: admission is decided for the WHOLE update
+// before anything is inserted, so an Enqueue woken by Stop rejects the
+// update intact rather than leaving a prefix subset of it applied (the
+// session would retransmit the full update on reconnect; a half-applied
+// one would be silently wrong until then).
 func (q *UpdateQueue) Enqueue(from uint32, u *bgp.Update) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	type action struct {
+		k     updateKey
+		attrs *bgp.PathAttrs
+	}
+	acts := make([]action, 0, len(u.Withdrawn)+len(u.NLRI))
 	for _, p := range u.Withdrawn {
-		if err := q.putLocked(updateKey{peer: from, prefix: p}, nil); err != nil {
-			return err
-		}
+		acts = append(acts, action{k: updateKey{peer: from, prefix: p}})
 	}
 	for _, p := range u.NLRI {
-		if err := q.putLocked(updateKey{peer: from, prefix: p}, u.Attrs); err != nil {
-			return err
+		acts = append(acts, action{k: updateKey{peer: from, prefix: p}, attrs: u.Attrs})
+	}
+	if len(acts) == 0 {
+		return nil
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Admission: wait until every new entry this update needs fits at
+	// once. `need` is recomputed after each wakeup — a racing enqueuer
+	// may have inserted some of our keys meanwhile, turning them into
+	// coalesces that cost no slot.
+	for {
+		if q.closed {
+			return ErrQueueClosed
 		}
+		need := 0
+		seen := make(map[updateKey]struct{}, len(acts))
+		for _, a := range acts {
+			if _, ok := q.pending[a.k]; ok {
+				continue
+			}
+			if _, dup := seen[a.k]; dup {
+				continue
+			}
+			seen[a.k] = struct{}{}
+			need++
+		}
+		if len(q.pending)+need <= q.cfg.MaxPending {
+			break
+		}
+		if need > q.cfg.MaxPending && len(q.pending) == 0 {
+			// An update larger than the whole bound can never satisfy
+			// the normal condition; admit it against an empty set (one
+			// transient overshoot) instead of deadlocking its session.
+			break
+		}
+		q.mBlocked.Inc()
+		q.kickDrain()
+		//lint:ignore lockblock sync.Cond.Wait atomically releases q.mu while parked — this is the condition-variable idiom, not a blocking call under the lock
+		q.notFull.Wait()
+	}
+	for _, a := range acts {
+		q.putLocked(a.k, a.attrs)
 	}
 	return nil
 }
 
-// putLocked coalesces one action into the pending set, blocking while a
-// new entry would overflow it. Caller holds q.mu.
-func (q *UpdateQueue) putLocked(k updateKey, attrs *bgp.PathAttrs) error {
-	if q.closed {
-		return ErrQueueClosed
-	}
+// putLocked coalesces one admitted action into the pending set. Caller
+// holds q.mu and has already reserved capacity via Enqueue's admission
+// loop.
+func (q *UpdateQueue) putLocked(k updateKey, attrs *bgp.PathAttrs) {
 	q.enqueued++
 	q.mEnqueued.Inc()
 	if e, ok := q.pending[k]; ok {
@@ -190,22 +243,13 @@ func (q *UpdateQueue) putLocked(k updateKey, attrs *bgp.PathAttrs) error {
 		e.attrs = attrs
 		q.coalesced++
 		q.mCoalesced.Inc()
-		return nil
-	}
-	for len(q.pending) >= q.cfg.MaxPending {
-		q.mBlocked.Inc()
-		q.kickDrain()
-		q.notFull.Wait()
-		if q.closed {
-			return ErrQueueClosed
-		}
+		return
 	}
 	q.pending[k] = &pendingUpdate{attrs: attrs, timer: telemetry.StartTimer(q.mInstallNS)}
 	q.order = append(q.order, k)
 	if len(q.pending) >= q.cfg.MaxBatch {
 		q.kickDrain()
 	}
-	return nil
 }
 
 // kickDrain nudges the drainer without blocking.
@@ -256,6 +300,17 @@ func (q *UpdateQueue) drainOnce() {
 	q.notFull.Broadcast()
 	q.mu.Unlock()
 
+	// From here until ApplyBatch returns, the swapped entries exist only
+	// in this frame: they are gone from q.pending (a concurrent Flush or
+	// Stop sees an empty set) but not yet in the route server. drainMu —
+	// held for the whole cycle — is what makes that window safe: every
+	// other drain path, including Stop's final sweep, queues behind it,
+	// so the batch is always applied before anyone can conclude the
+	// queue is empty. TestQueueFlushStopRace pins this down.
+	if q.testHookPreApply != nil {
+		q.testHookPreApply()
+	}
+
 	batch := make([]rs.PeerUpdate, 0, len(order))
 	for _, k := range order {
 		e := pending[k]
@@ -290,16 +345,24 @@ func (q *UpdateQueue) Flush() {
 }
 
 // Stop drains remaining entries, halts the drainer and releases any
-// blocked enqueuers. Enqueue fails with ErrQueueClosed afterwards. Safe
-// to call once.
+// blocked enqueuers. Enqueue fails with ErrQueueClosed afterwards.
+// Idempotent: extra calls (including concurrent ones) wait for the
+// first to finish and return without re-closing the done channel.
+//
+// The final drainOnce serializes behind any in-flight Flush via
+// drainMu, so a batch that a Flush had already swapped out of the
+// pending set is fully applied before Stop returns — entries are never
+// lost or double-applied across the Flush/Stop seam.
 func (q *UpdateQueue) Stop() {
-	q.mu.Lock()
-	q.closed = true
-	q.notFull.Broadcast()
-	q.mu.Unlock()
-	close(q.done)
-	q.wg.Wait()
-	q.drainOnce()
+	q.stopOnce.Do(func() {
+		q.mu.Lock()
+		q.closed = true
+		q.notFull.Broadcast()
+		q.mu.Unlock()
+		close(q.done)
+		q.wg.Wait()
+		q.drainOnce()
+	})
 }
 
 // Stats returns a snapshot of the queue's counters.

@@ -200,3 +200,184 @@ func TestQueueTelemetryPublished(t *testing.T) {
 		t.Fatalf("queue_depth gauge %d after flush, want 0", snap.Gauges["ingest.queue_depth"])
 	}
 }
+
+// TestQueueFlushStopRace freezes a Flush mid-drain — after the batch
+// swap, before ApplyBatch, via the test seam — and races Stop against
+// it. The swapped batch must still be applied (drainMu covers the
+// window), an entry enqueued during the stall must drain through Stop's
+// final sweep, and nothing is applied twice.
+func TestQueueFlushStopRace(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxDelay: time.Hour})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	q.testHookPreApply = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(50))); err != nil {
+		t.Fatal(err)
+	}
+	flushed := make(chan struct{})
+	go func() { q.Flush(); close(flushed) }()
+	<-entered // Flush holds the swapped batch; pending is empty again
+
+	// An entry arrives during the stalled drain, and Stop races the
+	// in-flight Flush.
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(51))); err != nil {
+		t.Fatal(err)
+	}
+	stopped := make(chan struct{})
+	go func() { q.Stop(); close(stopped) }()
+
+	// Stop cannot complete while the Flush still holds drainMu with an
+	// unapplied batch.
+	select {
+	case <-stopped:
+		t.Fatal("Stop completed while a drain held a swapped, unapplied batch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	<-flushed
+	<-stopped
+
+	for _, p := range []iputil.Prefix{pfxI(50), pfxI(51)} {
+		if _, ok := ctrl.RouteServer().BestRoute(101, p); !ok {
+			t.Fatalf("entry %s lost across the Flush/Stop race", p)
+		}
+	}
+	if st := q.Stats(); st.Applied != 2 {
+		t.Fatalf("applied %d entries, want 2 (each exactly once)", st.Applied)
+	}
+	if n := ctrl.RouteServer().UpdatesProcessed(); n != 2 {
+		t.Fatalf("route server processed %d updates, want 2", n)
+	}
+}
+
+// TestQueueEnqueueAtomicOnStop: an Enqueue blocked on backpressure must
+// reject its WHOLE update when Stop closes the queue. Before the
+// admission-loop fix, Enqueue inserted prefixes one at a time and could
+// block between them — a racing Stop then applied a subset of the
+// update and discarded the rest with an error.
+func TestQueueEnqueueAtomicOnStop(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxPending: 2, MaxDelay: time.Hour})
+
+	// Stall the drainer: a sacrificial entry's drain freezes in the
+	// seam holding drainMu, so backpressure kicks cannot free capacity.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	q.testHookPreApply = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(59))); err != nil {
+		t.Fatal(err)
+	}
+	flushed := make(chan struct{})
+	go func() { q.Flush(); close(flushed) }()
+	<-entered
+
+	// One of two slots taken: a two-prefix update does not fit whole.
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(60))); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Enqueue(100, announceU(100, 2, pfxI(62), pfxI(63))) }()
+
+	blocked := ctrl.Metrics().Counter("ingest.blocked")
+	for deadline := time.Now().Add(10 * time.Second); blocked.Value() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("two-prefix enqueue never hit backpressure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The old code would have inserted pfxI(62) here (depth 2) before
+	// blocking on pfxI(63); atomic admission inserts nothing.
+	if st := q.Stats(); st.Depth != 1 {
+		t.Fatalf("depth %d while blocked, want 1 (no partial insert)", st.Depth)
+	}
+
+	stopped := make(chan struct{})
+	go func() { q.Stop(); close(stopped) }()
+	if err := <-done; err != ErrQueueClosed {
+		t.Fatalf("blocked Enqueue across Stop = %v, want ErrQueueClosed", err)
+	}
+	close(release)
+	<-flushed
+	<-stopped
+
+	// The admitted entries drained; the rejected update left no trace.
+	for _, p := range []iputil.Prefix{pfxI(59), pfxI(60)} {
+		if _, ok := ctrl.RouteServer().BestRoute(101, p); !ok {
+			t.Fatalf("admitted entry %s lost", p)
+		}
+	}
+	for _, p := range []iputil.Prefix{pfxI(62), pfxI(63)} {
+		if _, ok := ctrl.RouteServer().BestRoute(101, p); ok {
+			t.Fatalf("prefix %s from a rejected update was applied", p)
+		}
+	}
+}
+
+// TestQueueStopIdempotent: Stop used to close(q.done) unconditionally,
+// so a second call — e.g. a deferred Stop after an explicit shutdown
+// path already ran — panicked on the closed channel.
+func TestQueueStopIdempotent(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxDelay: time.Hour})
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(70))); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Stop()
+		}()
+	}
+	wg.Wait()
+	q.Stop() // and again after the dust settles
+	if _, ok := ctrl.RouteServer().BestRoute(101, pfxI(70)); !ok {
+		t.Fatal("concurrent Stops dropped the pending entry")
+	}
+	if err := q.Enqueue(100, announceU(100, 1, pfxI(71))); err != ErrQueueClosed {
+		t.Fatalf("Enqueue after Stop = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestQueueOversizedUpdateAdmitted: an update with more new prefixes
+// than MaxPending can never satisfy the normal admission condition; it
+// must be admitted against a drained queue (one transient overshoot)
+// rather than deadlocking its session forever.
+func TestQueueOversizedUpdateAdmitted(t *testing.T) {
+	ctrl := ingestFixture(t, 2)
+	q := NewUpdateQueue(ctrl, QueueConfig{MaxPending: 2, MaxDelay: time.Millisecond})
+	defer q.Stop()
+	big := announceU(100, 1, pfxI(80), pfxI(81), pfxI(82), pfxI(83))
+	done := make(chan error, 1)
+	go func() { done <- q.Enqueue(100, big) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("oversized update deadlocked instead of being admitted")
+	}
+	q.Flush()
+	for i := 80; i <= 83; i++ {
+		if _, ok := ctrl.RouteServer().BestRoute(101, pfxI(i)); !ok {
+			t.Fatalf("oversized-update prefix %s lost", pfxI(i))
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package dataplane
+
+import (
+	"sync/atomic"
+
+	"sdx/internal/pkt"
+)
+
+// SampleSink receives the 1-in-N packet samples a FlowTable exports
+// (sFlow-style). Sample is called synchronously from the forwarding
+// path — from ProcessBatch inside the switch's per-port workers and
+// from the single-packet Process/ProcessNaive paths — so
+// implementations must be non-blocking and allocation-conscious; the
+// canonical sink (internal/flow.Sampler) does a non-blocking send onto
+// a buffered channel and drops on overflow.
+//
+// p is the packet as it arrived at the table (pre-rewrite), cookie is
+// the matched entry's owner tag, egress is the first output port the
+// entry's actions emitted on (OutNone for drops), and frameLen is the
+// packet's on-the-wire length — the quantity a rate estimator scales by
+// the sampling rate.
+type SampleSink interface {
+	Sample(p pkt.Packet, cookie uint64, egress pkt.PortID, frameLen int)
+}
+
+// tableSampler is the table's immutable sampling configuration; a
+// shared packet counter spreads the 1-in-N stride across every path and
+// batch that processes packets concurrently.
+type tableSampler struct {
+	n     uint64 // sample 1 in n packets
+	sink  SampleSink
+	count atomic.Uint64 // packets seen since SetSampler
+}
+
+// SetSampler attaches a 1-in-N packet sampler to the table (nil sink or
+// rate < 1 detaches). Only matched packets produce samples, but every
+// processed packet advances the stride, so the estimator's scale factor
+// stays exactly rate. The non-sampled path stays allocation-free: the
+// batched path pays one atomic add per batch plus an integer compare
+// per packet, the single-packet path one atomic add per packet.
+func (t *FlowTable) SetSampler(sink SampleSink, rate int) {
+	if sink == nil || rate < 1 {
+		t.smp.Store(nil)
+		return
+	}
+	t.smp.Store(&tableSampler{n: uint64(rate), sink: sink})
+}
+
+// SamplerRate returns the configured 1-in-N rate (0 when detached).
+func (t *FlowTable) SamplerRate() int {
+	if s := t.smp.Load(); s != nil {
+		return int(s.n)
+	}
+	return 0
+}

@@ -136,7 +136,7 @@ func (s *Switch) Inject(ingress pkt.PortID, p pkt.Packet) int {
 		return 0
 	}
 	in.rxPkts.Add(1)
-	in.rxBytes.Add(uint64(len(p.Payload)))
+	in.rxBytes.Add(uint64(p.FrameLen()))
 	p.InPort = ingress
 
 	outs := s.table.Process(p)
@@ -172,7 +172,7 @@ func (s *Switch) deliverOut(q pkt.Packet) bool {
 		return false
 	}
 	out.txPkts.Add(1)
-	out.txBytes.Add(uint64(len(q.Payload)))
+	out.txBytes.Add(uint64(q.FrameLen()))
 	if out.deliver != nil {
 		out.deliver(q)
 	}
@@ -193,7 +193,7 @@ func (s *Switch) processBatch(ingress pkt.PortID, in []pkt.Packet, out []pkt.Pac
 	}
 	for i := range in {
 		pt.rxPkts.Add(1)
-		pt.rxBytes.Add(uint64(len(in[i].Payload)))
+		pt.rxBytes.Add(uint64(in[i].FrameLen()))
 		in[i].InPort = ingress
 	}
 	start := len(out)
@@ -321,7 +321,7 @@ func (s *Switch) Output(egress pkt.PortID, p pkt.Packet) bool {
 	}
 	p.InPort = egress
 	out.txPkts.Add(1)
-	out.txBytes.Add(uint64(len(p.Payload)))
+	out.txBytes.Add(uint64(p.FrameLen()))
 	if out.deliver != nil {
 		out.deliver(p)
 	}

@@ -43,7 +43,8 @@ func TestSwitchForwards(t *testing.T) {
 	}
 	rx, _ := sw.Stats(1)
 	tx, _ := sw.Stats(2)
-	if rx.RxPackets != 1 || rx.RxBytes != 1 || tx.TxPackets != 1 {
+	wantBytes := uint64(pkt.Packet{Payload: []byte("x")}.FrameLen())
+	if rx.RxPackets != 1 || rx.RxBytes != wantBytes || tx.TxPackets != 1 {
 		t.Fatalf("stats: %+v / %+v", rx, tx)
 	}
 }

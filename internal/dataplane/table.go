@@ -74,7 +74,8 @@ func (e *FlowEntry) Clone() *FlowEntry {
 // identity, not just on equal-looking matches.
 func (e *FlowEntry) Seq() uint64 { return e.seq }
 
-// Bytes returns the number of payload bytes that hit this entry.
+// Bytes returns the number of on-the-wire frame bytes that hit this
+// entry (pkt.Packet.FrameLen per packet).
 func (e *FlowEntry) Bytes() uint64 { return e.bytes.Load() }
 
 // String renders "prio match -> actions".
@@ -117,6 +118,11 @@ type FlowTable struct {
 	// mode overrides the process default engine: 0 default, 1 compiled,
 	// -1 naive.
 	mode atomic.Int32
+
+	// smp is the optional 1-in-N packet sampler (see sampler.go); nil
+	// when sampling is off, which is the only cost the non-sampling hot
+	// path pays.
+	smp atomic.Pointer[tableSampler]
 }
 
 // NewFlowTable returns an empty table.
@@ -384,13 +390,26 @@ func (t *FlowTable) ProcessNaive(p pkt.Packet) []pkt.Packet {
 }
 
 func (t *FlowTable) apply(e *FlowEntry, p pkt.Packet) []pkt.Packet {
+	// Every processed packet advances the sampling stride — misses too,
+	// matching ProcessBatch — so 1-in-N stays an exact scale factor over
+	// the stream the table saw.
+	s := t.smp.Load()
+	sampled := s != nil && s.count.Add(1)%s.n == 0
 	if e == nil {
 		t.misses.Add(1)
 		return nil
 	}
 	e.packets.Add(1)
-	e.bytes.Add(uint64(len(p.Payload)))
+	// Byte counters count the full on-the-wire frame, not just the
+	// payload — rate analytics scale these by the sampling rate, and
+	// payload-only counting undercounts every small-packet flow by the
+	// header bytes.
+	flen := p.FrameLen()
+	e.bytes.Add(uint64(flen))
 	if len(e.Actions) == 0 {
+		if sampled {
+			s.sink.Sample(p, e.Cookie, pkt.OutNone, flen)
+		}
 		return dropVerdict
 	}
 	out := make([]pkt.Packet, 0, len(e.Actions))
@@ -401,6 +420,13 @@ func (t *FlowTable) apply(e *FlowEntry, p pkt.Packet) []pkt.Packet {
 			continue
 		}
 		out = append(out, q)
+	}
+	if sampled {
+		eg := pkt.OutNone
+		if len(out) > 0 {
+			eg = out[0].InPort // action application stores egress in InPort
+		}
+		s.sink.Sample(p, e.Cookie, eg, flen)
 	}
 	return out
 }
@@ -413,7 +439,22 @@ func (t *FlowTable) apply(e *FlowEntry, p pkt.Packet) []pkt.Packet {
 // allocations — callers (the switch's per-port workers, the benchmark
 // harness) reuse their slabs across batches.
 func (t *FlowTable) ProcessBatch(in []pkt.Packet, out []pkt.Packet, miss func(pkt.Packet)) []pkt.Packet {
+	// Sampling pays one atomic add per batch: reserve a counter range for
+	// the whole batch up front and walk the 1-in-N stride through it, so
+	// the non-sampled path adds only an integer compare per packet.
+	s := t.smp.Load()
+	next := -1
+	if s != nil {
+		start := s.count.Add(uint64(len(in))) - uint64(len(in))
+		if off := s.n - 1 - start%s.n; off < uint64(len(in)) {
+			next = int(off)
+		}
+	}
 	for i := range in {
+		sampled := i == next
+		if sampled {
+			next += int(s.n)
+		}
 		e := t.Lookup(in[i])
 		if e == nil {
 			t.misses.Add(1)
@@ -423,11 +464,20 @@ func (t *FlowTable) ProcessBatch(in []pkt.Packet, out []pkt.Packet, miss func(pk
 			continue
 		}
 		e.packets.Add(1)
-		e.bytes.Add(uint64(len(in[i].Payload)))
+		flen := in[i].FrameLen() // full frame length, as in apply
+		e.bytes.Add(uint64(flen))
+		before := len(out)
 		for _, a := range e.Actions {
 			if q, emitted := a.Apply(in[i]); emitted {
 				out = append(out, q)
 			}
+		}
+		if sampled {
+			eg := pkt.OutNone
+			if len(out) > before {
+				eg = out[before].InPort
+			}
+			s.sink.Sample(in[i], e.Cookie, eg, flen)
 		}
 	}
 	return out

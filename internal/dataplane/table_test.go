@@ -41,12 +41,15 @@ func TestFlowTableProcessCounters(t *testing.T) {
 	tbl := NewFlowTable()
 	e := &FlowEntry{Priority: 1, Match: pkt.MatchAll, Actions: []pkt.Action{pkt.Output(3)}}
 	tbl.Add(e)
-	out := tbl.Process(pkt.Packet{Payload: make([]byte, 100)})
+	p := pkt.Packet{Payload: make([]byte, 100)}
+	out := tbl.Process(p)
 	if len(out) != 1 || out[0].InPort != 3 {
 		t.Fatalf("Process = %v", out)
 	}
-	if e.Packets() != 1 || e.Bytes() != 100 {
-		t.Fatalf("counters: %d pkts %d bytes", e.Packets(), e.Bytes())
+	// Byte counters count the full frame (header bytes included), not
+	// just the payload.
+	if e.Packets() != 1 || e.Bytes() != uint64(p.FrameLen()) {
+		t.Fatalf("counters: %d pkts %d bytes (want %d bytes)", e.Packets(), e.Bytes(), p.FrameLen())
 	}
 }
 

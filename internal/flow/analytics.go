@@ -1,0 +1,337 @@
+package flow
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sdx/internal/pkt"
+	"sdx/internal/telemetry"
+)
+
+// Config tunes an Analytics service. The zero value selects the
+// defaults noted per field.
+type Config struct {
+	// SampleRate is the dataplane's 1-in-N rate — the scale factor that
+	// turns sampled frame bytes into estimated stream bytes. Required
+	// (there is no sensible default for an estimator's scale).
+	SampleRate int
+	// TopK bounds the space-saving heavy-hitter summary. Default 16.
+	TopK int
+	// Interval is the rate-estimation tick. Default 1s.
+	Interval time.Duration
+	// HeavyHitterBps is the estimated bytes/s above which a flow raises
+	// a heavy-hitter event. 0 disables events.
+	HeavyHitterBps float64
+	// Alpha is the EWMA smoothing weight of the newest interval's rate.
+	// Default 0.5.
+	Alpha float64
+	// IdleTicks evicts a flow after this many ticks without a sample.
+	// Default 10.
+	IdleTicks int
+	// MaxFlows caps the tracked-flow map; new flows arriving at the cap
+	// are still counted toward the top-k summary but not tracked
+	// per-flow. Default 65536.
+	MaxFlows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleRate < 1 {
+		c.SampleRate = 1
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.IdleTicks <= 0 {
+		c.IdleTicks = 10
+	}
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = 65536
+	}
+	return c
+}
+
+// FlowStat is one tracked flow's estimate, as served by /flows and
+// carried in heavy-hitter events. Byte/packet figures are scaled by the
+// sampling rate; Rate is the EWMA estimated bytes/s.
+type FlowStat struct {
+	Key        Key          `json:"key"`
+	Cookie     uint64       `json:"cookie"`
+	Egress     pkt.PortID   `json:"egress"`
+	Samples    uint64       `json:"samples"`
+	EstPackets uint64       `json:"estPackets"`
+	EstBytes   uint64       `json:"estBytes"`
+	Rate       float64      `json:"rateBps"`
+	HeavyGen   uint64       `json:"heavyGen,omitempty"` // >0 while above threshold
+	Route      *Attribution `json:"route,omitempty"`    // Loc-RIB join, nil if unresolved
+}
+
+// Event is a heavy-hitter threshold crossing: the flow's estimate at
+// the tick its EWMA rate first exceeded Config.HeavyHitterBps. The
+// detector re-arms once the rate falls below half the threshold
+// (hysteresis), so a flow hovering at the threshold raises one event,
+// not one per tick.
+type Event struct {
+	Stat FlowStat
+}
+
+// flowStat is the mutable per-flow state behind FlowStat.
+type flowStat struct {
+	cookie     uint64
+	egress     pkt.PortID
+	samples    uint64
+	estBytes   uint64
+	estPackets uint64
+	tickBytes  uint64 // estimated bytes accumulated this tick
+	rate       float64
+	idle       int
+	hot        bool
+	joined     bool
+	route      *Attribution
+}
+
+// Analytics aggregates sampled flow records into rate estimates,
+// correlates them with BGP state through a Resolver, and raises
+// heavy-hitter events. Drive it either with Start/Stop (a collector
+// goroutine drains the sampler channel and ticks on a wall-clock
+// interval) or deterministically with Ingest/Tick from a test.
+//
+// Telemetry: flow.records (ingested samples), flow.flows_tracked
+// (gauge), flow.heavy_hitters (events raised), flow.evicted (idle
+// evictions).
+type Analytics struct {
+	cfg      Config
+	src      <-chan Record
+	resolver Resolver    // optional
+	onEvent  func(Event) // optional; set before Start
+	logf     func(string, ...any)
+
+	mu    sync.Mutex
+	flows map[Key]*flowStat
+	top   *spaceSaving
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mRecords *telemetry.Counter
+	mHeavy   *telemetry.Counter
+	mEvicted *telemetry.Counter
+}
+
+// NewAnalytics builds an analytics service draining src. resolver and
+// reg may be nil (no BGP correlation / no metrics).
+func NewAnalytics(cfg Config, src <-chan Record, resolver Resolver, reg *telemetry.Registry) *Analytics {
+	a := &Analytics{
+		cfg:      cfg.withDefaults(),
+		src:      src,
+		resolver: resolver,
+		flows:    make(map[Key]*flowStat),
+		stop:     make(chan struct{}),
+		mRecords: reg.Counter("flow.records"),
+		mHeavy:   reg.Counter("flow.heavy_hitters"),
+		mEvicted: reg.Counter("flow.evicted"),
+	}
+	a.top = newSpaceSaving(a.cfg.TopK)
+	reg.RegisterGaugeFunc("flow.flows_tracked", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.flows))
+	})
+	return a
+}
+
+// OnHeavyHitter registers the event callback. Call before Start; the
+// callback runs on the collector goroutine (or the Tick caller) with no
+// analytics locks held, so it may recompile policy.
+func (a *Analytics) OnHeavyHitter(fn func(Event)) { a.onEvent = fn }
+
+// SetLogger directs event logging to logf.
+func (a *Analytics) SetLogger(logf func(string, ...any)) { a.logf = logf }
+
+// Start launches the collector goroutine. Stop halts it.
+func (a *Analytics) Start() {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case rec := <-a.src:
+				a.Ingest(rec)
+			case <-t.C:
+				a.emit(a.Tick())
+			case <-a.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the collector goroutine.
+func (a *Analytics) Stop() {
+	close(a.stop)
+	a.wg.Wait()
+}
+
+// Drain ingests every record currently queued on the source channel
+// without blocking — the deterministic alternative to the collector
+// goroutine for tests.
+func (a *Analytics) Drain() int {
+	n := 0
+	for {
+		select {
+		case rec := <-a.src:
+			a.Ingest(rec)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// Ingest folds one sampled record into the flow map and the top-k
+// summary. Estimated bytes are FrameLen scaled by the sampling rate.
+func (a *Analytics) Ingest(rec Record) {
+	est := uint64(rec.FrameLen) * uint64(a.cfg.SampleRate)
+	a.mRecords.Inc()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.top.Observe(rec.Key, est)
+	st, ok := a.flows[rec.Key]
+	if !ok {
+		if len(a.flows) >= a.cfg.MaxFlows {
+			return // summarized in top-k only
+		}
+		st = &flowStat{}
+		a.flows[rec.Key] = st
+	}
+	st.cookie = rec.Cookie
+	st.egress = rec.Egress // latest egress wins: policy may have moved the flow
+	st.samples++
+	st.estPackets += uint64(a.cfg.SampleRate)
+	st.estBytes += est
+	st.tickBytes += est
+	st.idle = 0
+}
+
+// Tick advances rate estimation by one interval: every flow's EWMA rate
+// absorbs the bytes accumulated since the previous tick, idle flows are
+// evicted, and flows newly crossing the heavy-hitter threshold are
+// returned as events (already joined against the resolver). Start's
+// collector calls it on the ticker; tests call it directly.
+func (a *Analytics) Tick() []Event {
+	dt := a.cfg.Interval.Seconds()
+	var events []Event
+	a.mu.Lock()
+	for k, st := range a.flows {
+		inst := float64(st.tickBytes) / dt
+		st.rate = a.cfg.Alpha*inst + (1-a.cfg.Alpha)*st.rate
+		if st.tickBytes == 0 {
+			st.idle++
+			if st.idle > a.cfg.IdleTicks {
+				delete(a.flows, k)
+				a.top.Forget(k)
+				a.mEvicted.Inc()
+				continue
+			}
+		}
+		st.tickBytes = 0
+		thr := a.cfg.HeavyHitterBps
+		switch {
+		case thr > 0 && !st.hot && st.rate >= thr:
+			st.hot = true
+			a.joinLocked(k, st)
+			events = append(events, Event{Stat: a.statLocked(k, st)})
+			a.mHeavy.Inc()
+		case st.hot && (thr <= 0 || st.rate < thr/2):
+			st.hot = false // hysteresis: re-arm well below the threshold
+		}
+	}
+	a.mu.Unlock()
+	return events
+}
+
+// emit runs the callback for each event, outside the lock.
+func (a *Analytics) emit(events []Event) {
+	for _, ev := range events {
+		if a.logf != nil {
+			a.logf("flow: heavy hitter %v rate=%.0fB/s egress=%d peerAS=%d",
+				ev.Stat.Key, ev.Stat.Rate, ev.Stat.Egress, ev.Stat.PeerAS())
+		}
+		if a.onEvent != nil {
+			a.onEvent(ev)
+		}
+	}
+}
+
+// PeerAS is the attributed announcing peer (0 when unresolved).
+func (s FlowStat) PeerAS() uint32 {
+	if s.Route == nil {
+		return 0
+	}
+	return s.Route.PeerAS
+}
+
+// joinLocked resolves the flow's destination against the Loc-RIB once
+// per flow (re-resolved only if it previously failed). Caller holds
+// a.mu; the resolver takes no analytics locks.
+func (a *Analytics) joinLocked(k Key, st *flowStat) {
+	if st.joined || a.resolver == nil {
+		return
+	}
+	if at, ok := a.resolver.Resolve(k.DstIP); ok {
+		st.route = &at
+		st.joined = true
+	}
+}
+
+// statLocked renders one flow's exported view. Caller holds a.mu.
+func (a *Analytics) statLocked(k Key, st *flowStat) FlowStat {
+	out := FlowStat{
+		Key:        k,
+		Cookie:     st.cookie,
+		Egress:     st.egress,
+		Samples:    st.samples,
+		EstPackets: st.estPackets,
+		EstBytes:   st.estBytes,
+		Rate:       st.rate,
+		Route:      st.route,
+	}
+	if st.hot {
+		out.HeavyGen = 1
+	}
+	return out
+}
+
+// Snapshot returns every tracked flow ordered by estimated rate
+// (largest first), joined against the resolver where possible.
+func (a *Analytics) Snapshot() []FlowStat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]FlowStat, 0, len(a.flows))
+	for k, st := range a.flows {
+		a.joinLocked(k, st)
+		out = append(out, a.statLocked(k, st))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].EstBytes > out[j].EstBytes
+	})
+	return out
+}
+
+// Top returns the space-saving top-k summary by estimated total bytes.
+func (a *Analytics) Top() []TopEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.top.Top()
+}

@@ -1,0 +1,75 @@
+// Package flow is the SDX's traffic-visibility layer: sFlow-style
+// sampled flow export from the software dataplane, rate estimation and
+// BGP correlation over the samples, and heavy-hitter driven policy
+// feedback.
+//
+// The pipeline has four stages:
+//
+//  1. A Sampler attaches to a FlowTable (SetSampler) and receives every
+//     1-in-N packet the table processes, turning each into a compact
+//     Record (5-tuple + ingress port + matched rule cookie + egress)
+//     on a bounded channel — non-blocking, dropping on overflow, so
+//     the forwarding path never waits on analytics.
+//  2. An Analytics service aggregates records into per-flow estimates
+//     (bytes and packets scaled by the sampling rate, EWMA bytes/s)
+//     and maintains a space-saving top-k over estimated volume.
+//  3. A RIBResolver joins each flow's destination against the route
+//     server's Loc-RIB best route (longest-prefix match), attributing
+//     the traffic to the announcing peer AS and AS-path — the
+//     measurement half of traffic-aware peering.
+//  4. A Rebalancer closes the loop: flows whose estimated rate crosses
+//     the heavy-hitter threshold raise events, and events whose egress
+//     port belongs to a registered balance group trigger a policy
+//     recompile with that port demoted in the group's preference
+//     ranking — the paper's inbound traffic engineering application
+//     driven by observed load instead of static configuration.
+//
+// The sampling-accuracy tradeoff is the standard sFlow one: with rate N
+// and a flow contributing s samples, the byte estimate's relative
+// standard error is about sqrt((N-1)/(s*N)) ≲ 1/sqrt(s) — a flow seen
+// 100 times is known to ~10% regardless of N. Heavy hitters, by
+// definition, accumulate samples fastest and are therefore exactly the
+// flows the estimator is most accurate about; the threshold should stay
+// well above N·MTU per interval so a single sampled packet cannot fake
+// an elephant.
+package flow
+
+import (
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+)
+
+// Key identifies one flow: the 5-tuple plus the fabric ingress port.
+// Flows are directional; the reverse direction is a different Key.
+type Key struct {
+	SrcIP   iputil.Addr
+	DstIP   iputil.Addr
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+	InPort  pkt.PortID
+}
+
+// Record is one exported packet sample: the flow key, the matched
+// rule's cookie, the egress port the dataplane chose (OutNone for
+// drops), and the sampled packet's on-the-wire frame length. Multiplied
+// by the sampling rate, FrameLen is an unbiased estimate of the bytes
+// the flow moved between samples.
+type Record struct {
+	Key      Key
+	Cookie   uint64
+	Egress   pkt.PortID
+	FrameLen int
+}
+
+// keyOf extracts the flow key from a sampled packet.
+func keyOf(p pkt.Packet) Key {
+	return Key{
+		SrcIP:   p.SrcIP,
+		DstIP:   p.DstIP,
+		Proto:   p.Proto,
+		SrcPort: p.SrcPort,
+		DstPort: p.DstPort,
+		InPort:  p.InPort,
+	}
+}

@@ -1,0 +1,283 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/core"
+	"sdx/internal/iputil"
+	"sdx/internal/pkt"
+	"sdx/internal/rs"
+	"sdx/internal/telemetry"
+)
+
+func testKey(srcPort uint16) Key {
+	return Key{
+		SrcIP:   iputil.MustParseAddr("10.0.0.1"),
+		DstIP:   iputil.MustParseAddr("93.184.216.34"),
+		Proto:   pkt.ProtoTCP,
+		SrcPort: srcPort,
+		DstPort: 80,
+		InPort:  1,
+	}
+}
+
+func TestSamplerExportsAndDrops(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewSampler(2, reg)
+	p := pkt.Packet{
+		SrcIP: iputil.MustParseAddr("10.0.0.1"), DstIP: iputil.MustParseAddr("20.0.0.1"),
+		EthType: pkt.EthTypeIPv4, Proto: pkt.ProtoUDP, SrcPort: 5, DstPort: 53, InPort: 3,
+	}
+	for i := 0; i < 3; i++ {
+		s.Sample(p, 7, 9, p.FrameLen())
+	}
+	if got := len(s.Records()); got != 2 {
+		t.Fatalf("buffered records = %d, want 2 (third dropped)", got)
+	}
+	rec := <-s.Records()
+	want := Key{SrcIP: p.SrcIP, DstIP: p.DstIP, Proto: p.Proto, SrcPort: 5, DstPort: 53, InPort: 3}
+	if rec.Key != want || rec.Cookie != 7 || rec.Egress != 9 || rec.FrameLen != p.FrameLen() {
+		t.Fatalf("record = %+v", rec)
+	}
+	if reg.Counter("flow.sampled").Value() != 2 || reg.Counter("flow.export_dropped").Value() != 1 {
+		t.Fatalf("telemetry: sampled=%d dropped=%d",
+			reg.Counter("flow.sampled").Value(), reg.Counter("flow.export_dropped").Value())
+	}
+}
+
+// TestSpaceSavingKeepsElephants: with the summary full of mice, an
+// elephant that out-accumulates the minimum is guaranteed in.
+func TestSpaceSavingKeepsElephants(t *testing.T) {
+	ss := newSpaceSaving(3)
+	for i := uint16(0); i < 3; i++ {
+		ss.Observe(testKey(1000+i), 100)
+	}
+	elephant := testKey(9)
+	for i := 0; i < 50; i++ {
+		ss.Observe(elephant, 1000)
+	}
+	top := ss.Top()
+	if top[0].Key != elephant {
+		t.Fatalf("top[0] = %+v, want elephant", top[0])
+	}
+	// The elephant inherited the evicted minimum's count as error.
+	if top[0].Err != 100 || top[0].Count != 100+50*1000 {
+		t.Fatalf("elephant count=%d err=%d", top[0].Count, top[0].Err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("summary size = %d, want 3", len(top))
+	}
+}
+
+func TestSpaceSavingForget(t *testing.T) {
+	ss := newSpaceSaving(2)
+	ss.Observe(testKey(1), 10)
+	ss.Forget(testKey(1))
+	if len(ss.Top()) != 0 {
+		t.Fatal("Forget left the flow in the summary")
+	}
+}
+
+// staticResolver maps one destination to one attribution.
+type staticResolver struct {
+	dst iputil.Addr
+	at  Attribution
+}
+
+func (r staticResolver) Resolve(dst iputil.Addr) (Attribution, bool) {
+	if dst == r.dst {
+		return r.at, true
+	}
+	return Attribution{}, false
+}
+
+func TestAnalyticsRatesAndEviction(t *testing.T) {
+	ch := make(chan Record, 16)
+	a := NewAnalytics(Config{SampleRate: 10, Interval: time.Second, Alpha: 1, IdleTicks: 2}, ch, nil, nil)
+
+	k := testKey(1)
+	// Two samples of 100-byte frames at 1-in-10: 2000 estimated bytes.
+	for i := 0; i < 2; i++ {
+		ch <- Record{Key: k, Cookie: 5, Egress: 2, FrameLen: 100}
+	}
+	if n := a.Drain(); n != 2 {
+		t.Fatalf("Drain = %d", n)
+	}
+	a.Tick()
+	snap := a.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	st := snap[0]
+	if st.EstBytes != 2000 || st.EstPackets != 20 || st.Samples != 2 || st.Rate != 2000 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if st.Cookie != 5 || st.Egress != 2 {
+		t.Fatalf("stat identity = %+v", st)
+	}
+	// Idle for more than IdleTicks evicts the flow.
+	for i := 0; i < 4; i++ {
+		a.Tick()
+	}
+	if got := len(a.Snapshot()); got != 0 {
+		t.Fatalf("flow not evicted after idle ticks: %d tracked", got)
+	}
+}
+
+func TestAnalyticsHeavyHitterEdgeAndHysteresis(t *testing.T) {
+	ch := make(chan Record, 64)
+	res := staticResolver{
+		dst: testKey(1).DstIP,
+		at:  Attribution{Prefix: iputil.MustParsePrefix("93.184.0.0/16"), PeerAS: 200, ASPath: []uint32{200}},
+	}
+	a := NewAnalytics(Config{SampleRate: 10, Interval: time.Second, Alpha: 1, HeavyHitterBps: 5000}, ch, res, nil)
+
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			a.Ingest(Record{Key: testKey(1), Egress: 2, FrameLen: 100})
+		}
+	}
+	feed(2) // 2000 B/s — below threshold
+	if evs := a.Tick(); len(evs) != 0 {
+		t.Fatalf("below-threshold tick raised %d events", len(evs))
+	}
+	feed(10) // 10000 B/s — crossing
+	evs := a.Tick()
+	if len(evs) != 1 {
+		t.Fatalf("crossing tick raised %d events, want 1", len(evs))
+	}
+	ev := evs[0].Stat
+	if ev.Route == nil || ev.Route.PeerAS != 200 || ev.PeerAS() != 200 {
+		t.Fatalf("event not joined: %+v", ev.Route)
+	}
+	if ev.Egress != 2 || ev.Rate < 5000 {
+		t.Fatalf("event = %+v", ev)
+	}
+	feed(10) // still hot: no second event
+	if evs := a.Tick(); len(evs) != 0 {
+		t.Fatalf("still-hot tick raised %d events", len(evs))
+	}
+	feed(3) // 3000 B/s — above half-threshold: stays armed-off
+	a.Tick()
+	feed(10) // back above: no event until it dipped below thr/2
+	if evs := a.Tick(); len(evs) != 0 {
+		t.Fatalf("re-crossing without hysteresis reset raised an event")
+	}
+	feed(1) // 1000 B/s < thr/2 — re-arms
+	a.Tick()
+	feed(10)
+	if evs := a.Tick(); len(evs) != 1 {
+		t.Fatalf("re-armed crossing raised %d events, want 1", len(evs))
+	}
+}
+
+func TestRIBResolverJoins(t *testing.T) {
+	server := rs.New()
+	if err := server.AddParticipant(rs.ParticipantConfig{AS: 200}); err != nil {
+		t.Fatal(err)
+	}
+	pfx := iputil.MustParsePrefix("93.184.0.0/16")
+	server.Apply([]rs.PeerUpdate{{From: 200, Update: &bgp.Update{
+		NLRI:  []iputil.Prefix{pfx},
+		Attrs: &bgp.PathAttrs{ASPath: []uint32{200}, NextHop: iputil.MustParseAddr("172.0.1.1")},
+	}}})
+
+	reg := telemetry.NewRegistry()
+	r := NewRIBResolver(server, time.Hour, reg)
+	at, ok := r.Resolve(iputil.MustParseAddr("93.184.216.34"))
+	if !ok || at.PeerAS != 200 || at.Prefix != pfx {
+		t.Fatalf("Resolve = %+v ok=%v", at, ok)
+	}
+	if _, ok := r.Resolve(iputil.MustParseAddr("8.8.8.8")); ok {
+		t.Fatal("resolved unannounced space")
+	}
+
+	// A new announcement is invisible until Invalidate (TTL is 1h here).
+	pfx2 := iputil.MustParsePrefix("8.0.0.0/8")
+	server.Apply([]rs.PeerUpdate{{From: 200, Update: &bgp.Update{
+		NLRI:  []iputil.Prefix{pfx2},
+		Attrs: &bgp.PathAttrs{ASPath: []uint32{200, 300}, NextHop: iputil.MustParseAddr("172.0.1.1")},
+	}}})
+	if _, ok := r.Resolve(iputil.MustParseAddr("8.8.8.8")); ok {
+		t.Fatal("snapshot refreshed before TTL/Invalidate")
+	}
+	r.Invalidate()
+	at, ok = r.Resolve(iputil.MustParseAddr("8.8.8.8"))
+	if !ok || len(at.ASPath) != 2 {
+		t.Fatalf("post-Invalidate Resolve = %+v ok=%v", at, ok)
+	}
+	if reg.Counter("flow.rib_refreshes").Value() < 2 {
+		t.Fatalf("refreshes = %d", reg.Counter("flow.rib_refreshes").Value())
+	}
+	if hs := reg.Snapshot().Histograms["flow.join_ns"]; hs.Count < 4 {
+		t.Fatalf("join_ns count = %d", hs.Count)
+	}
+}
+
+// captureCompiler counts Recompile calls without running a compiler.
+type captureCompiler struct{ calls int }
+
+func (c *captureCompiler) Recompile(opts ...core.CompileOption) core.CompileReport {
+	c.calls++
+	return core.CompileReport{}
+}
+
+func TestRebalancerDemotesOverloadedPort(t *testing.T) {
+	ctrl := &captureCompiler{}
+	var builtWith [][]pkt.PortID
+	reg := telemetry.NewRegistry()
+	r := NewRebalancer(ctrl, time.Hour, reg, nil)
+	r.AddGroup(BalanceGroup{
+		AS:    200,
+		Ports: []pkt.PortID{2, 3, 4},
+		Build: func(ranked []pkt.PortID) []core.Term {
+			builtWith = append(builtWith, ranked)
+			return []core.Term{core.FwdPort(pkt.MatchAll, ranked[0])}
+		},
+	})
+	if ctrl.calls != 1 || len(builtWith) != 1 {
+		t.Fatalf("AddGroup: calls=%d builds=%d", ctrl.calls, len(builtWith))
+	}
+
+	ev := Event{Stat: FlowStat{Key: testKey(1), Egress: 2, Rate: 1e6}}
+	if !r.HandleEvent(ev) {
+		t.Fatal("event on managed preferred port did not rebalance")
+	}
+	if got := r.Ranking(200); len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 2 {
+		t.Fatalf("ranking after demotion = %v, want [3 4 2]", got)
+	}
+	if last := builtWith[len(builtWith)-1]; last[0] != 3 {
+		t.Fatalf("policy rebuilt with ranking %v", last)
+	}
+	if reg.Counter("flow.rebalances").Value() != 1 {
+		t.Fatalf("rebalances = %d", reg.Counter("flow.rebalances").Value())
+	}
+
+	// Cooldown (1h here) suppresses the next event.
+	if r.HandleEvent(Event{Stat: FlowStat{Egress: 3, Rate: 1e6}}) {
+		t.Fatal("rebalanced during cooldown")
+	}
+	// Unmanaged egress is ignored.
+	if r.HandleEvent(Event{Stat: FlowStat{Egress: 99, Rate: 1e6}}) {
+		t.Fatal("rebalanced for unmanaged port")
+	}
+}
+
+func TestRebalancerLastPortNoop(t *testing.T) {
+	ctrl := &captureCompiler{}
+	r := NewRebalancer(ctrl, time.Nanosecond, nil, nil)
+	r.AddGroup(BalanceGroup{
+		AS:    300,
+		Ports: []pkt.PortID{5, 6},
+		Build: func(ranked []pkt.PortID) []core.Term { return nil },
+	})
+	// Egress 6 is already the least-preferred port: nothing to demote.
+	if r.HandleEvent(Event{Stat: FlowStat{Egress: 6, Rate: 1e9}}) {
+		t.Fatal("demoting the last-ranked port should be a no-op")
+	}
+	if ctrl.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (AddGroup only)", ctrl.calls)
+	}
+}

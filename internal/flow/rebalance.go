@@ -1,0 +1,132 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"sdx/internal/core"
+	"sdx/internal/pkt"
+	"sdx/internal/telemetry"
+)
+
+// Compiler is the slice of the controller the rebalancer needs: one
+// recompile entry point. *core.Controller satisfies it.
+type Compiler interface {
+	Recompile(opts ...core.CompileOption) core.CompileReport
+}
+
+// BalanceGroup declares one auto-balanced inbound-TE workload: a
+// participant AS, the fabric ports traffic to it may use, and a Build
+// callback that renders a port preference ranking into the AS's inbound
+// policy terms. The rebalancer owns the ranking; Build owns the policy
+// shape (all-to-primary, hash-split with a preferred bucket, ...).
+type BalanceGroup struct {
+	AS    uint32
+	Ports []pkt.PortID // initial preference order, most preferred first
+	Build func(ranked []pkt.PortID) []core.Term
+}
+
+// Rebalancer closes the measurement→policy loop: a heavy-hitter event
+// whose egress port belongs to a registered balance group demotes that
+// port to the back of the group's preference ranking and recompiles the
+// group's inbound policy from the new ranking. A per-group cooldown
+// keeps one elephant from thrashing the compiler; an event for a port
+// already ranked last is a no-op (the group is already doing its best).
+//
+// Telemetry: flow.rebalances counts recompiles triggered.
+type Rebalancer struct {
+	ctrl     Compiler
+	cooldown time.Duration
+	logf     func(string, ...any)
+
+	mu     sync.Mutex
+	groups []*groupState
+
+	mRebalances *telemetry.Counter
+}
+
+type groupState struct {
+	g      BalanceGroup
+	ranked []pkt.PortID
+	next   time.Time // cooldown deadline
+}
+
+// NewRebalancer builds a rebalancer driving ctrl. cooldown <= 0
+// defaults to 5s; reg and logf may be nil.
+func NewRebalancer(ctrl Compiler, cooldown time.Duration, reg *telemetry.Registry, logf func(string, ...any)) *Rebalancer {
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Rebalancer{
+		ctrl:        ctrl,
+		cooldown:    cooldown,
+		logf:        logf,
+		mRebalances: reg.Counter("flow.rebalances"),
+	}
+}
+
+// AddGroup registers a balance group and installs its initial policy
+// (Build over the declared port order).
+func (r *Rebalancer) AddGroup(g BalanceGroup) {
+	gs := &groupState{g: g, ranked: append([]pkt.PortID(nil), g.Ports...)}
+	r.mu.Lock()
+	r.groups = append(r.groups, gs)
+	r.mu.Unlock()
+	r.ctrl.Recompile(core.CompilePolicy(g.AS, g.Build(gs.ranked), nil))
+}
+
+// Ranking returns a group's current port preference order (nil if the
+// AS has no group).
+func (r *Rebalancer) Ranking(as uint32) []pkt.PortID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, gs := range r.groups {
+		if gs.g.AS == as {
+			return append([]pkt.PortID(nil), gs.ranked...)
+		}
+	}
+	return nil
+}
+
+// HandleEvent reacts to one heavy-hitter event, reporting whether it
+// triggered a recompile. Wire it to Analytics.OnHeavyHitter.
+func (r *Rebalancer) HandleEvent(ev Event) bool {
+	r.mu.Lock()
+	var gs *groupState
+	idx := -1
+	for _, cand := range r.groups {
+		for i, p := range cand.ranked {
+			if p == ev.Stat.Egress {
+				gs, idx = cand, i
+				break
+			}
+		}
+		if gs != nil {
+			break
+		}
+	}
+	if gs == nil || idx == len(gs.ranked)-1 {
+		r.mu.Unlock()
+		return false // unmanaged port, or already maximally demoted
+	}
+	now := time.Now()
+	if now.Before(gs.next) {
+		r.mu.Unlock()
+		return false // cooling down
+	}
+	gs.next = now.Add(r.cooldown)
+	overloaded := gs.ranked[idx]
+	gs.ranked = append(gs.ranked[:idx], gs.ranked[idx+1:]...)
+	gs.ranked = append(gs.ranked, overloaded)
+	as := gs.g.AS
+	terms := gs.g.Build(append([]pkt.PortID(nil), gs.ranked...))
+	r.mu.Unlock()
+
+	if r.logf != nil {
+		r.logf("flow: rebalancing AS%d — demoting overloaded port %d (flow %v at %.0fB/s)",
+			as, overloaded, ev.Stat.Key, ev.Stat.Rate)
+	}
+	r.ctrl.Recompile(core.CompilePolicy(as, terms, nil))
+	r.mRebalances.Inc()
+	return true
+}

@@ -1,0 +1,109 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"sdx/internal/bgp"
+	"sdx/internal/iputil"
+	"sdx/internal/rs"
+	"sdx/internal/telemetry"
+)
+
+// Attribution is the BGP half of a correlated flow: the Loc-RIB best
+// route covering the flow's destination, reduced to what the analytics
+// layer reports — announcing peer, AS-path and the covering prefix.
+type Attribution struct {
+	Prefix  iputil.Prefix `json:"prefix"`
+	PeerAS  uint32        `json:"peerAS"`
+	ASPath  []uint32      `json:"asPath,omitempty"`
+	NextHop iputil.Addr   `json:"nextHop"`
+}
+
+// Resolver joins a flow destination against routing state. The zero
+// Attribution with ok=false means "no covering route" — expected for
+// traffic to unannounced space, never an error.
+type Resolver interface {
+	Resolve(dst iputil.Addr) (Attribution, bool)
+}
+
+// RIBResolver resolves destinations against a route server's Loc-RIB by
+// longest-prefix match over a periodically rebuilt snapshot trie.
+// Snapshotting decouples the join from the route server's shard locks:
+// a resolve is one trie walk, and RIB churn is absorbed at the refresh
+// cadence (stale attributions for at most refreshEvery — fine for rate
+// analytics that already average over seconds).
+//
+// Telemetry: flow.join_ns times each resolve; flow.rib_refreshes counts
+// snapshot rebuilds.
+type RIBResolver struct {
+	server       *rs.Server
+	refreshEvery time.Duration
+
+	mu    sync.Mutex
+	trie  *iputil.Trie
+	next  time.Time // deadline for the next snapshot rebuild
+	stale bool
+
+	mJoin    *telemetry.Histogram
+	mRefresh *telemetry.Counter
+}
+
+// NewRIBResolver returns a resolver over server's Loc-RIB, rebuilding
+// its snapshot at most every refreshEvery (default 1s). reg may be nil.
+func NewRIBResolver(server *rs.Server, refreshEvery time.Duration, reg *telemetry.Registry) *RIBResolver {
+	if refreshEvery <= 0 {
+		refreshEvery = time.Second
+	}
+	return &RIBResolver{
+		server:       server,
+		refreshEvery: refreshEvery,
+		mJoin:        reg.Histogram("flow.join_ns"),
+		mRefresh:     reg.Counter("flow.rib_refreshes"),
+	}
+}
+
+// Invalidate forces the next Resolve to rebuild the snapshot (e.g.
+// after a burst of updates the caller wants reflected immediately).
+func (r *RIBResolver) Invalidate() {
+	r.mu.Lock()
+	r.stale = true
+	r.mu.Unlock()
+}
+
+// Resolve joins dst against the Loc-RIB snapshot.
+func (r *RIBResolver) Resolve(dst iputil.Addr) (Attribution, bool) {
+	t := telemetry.StartTimer(r.mJoin)
+	defer t.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if now := time.Now(); r.trie == nil || r.stale || now.After(r.next) {
+		r.rebuildLocked()
+		r.next = now.Add(r.refreshEvery)
+		r.stale = false
+	}
+	v, ok := r.trie.Lookup(dst)
+	if !ok {
+		return Attribution{}, false
+	}
+	rt := v.(*bgp.Route)
+	at := Attribution{Prefix: rt.Prefix, PeerAS: rt.PeerAS}
+	if rt.Attrs != nil {
+		at.ASPath = rt.Attrs.ASPath
+		at.NextHop = rt.Attrs.NextHop
+	}
+	return at, true
+}
+
+// rebuildLocked snapshots every announced prefix's global best route
+// into a fresh trie. Caller holds r.mu.
+func (r *RIBResolver) rebuildLocked() {
+	trie := &iputil.Trie{}
+	for _, p := range r.server.Prefixes() {
+		if best := r.server.GlobalBest(p); best != nil {
+			trie.Insert(p, best)
+		}
+	}
+	r.trie = trie
+	r.mRefresh.Inc()
+}

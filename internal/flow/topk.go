@@ -1,0 +1,76 @@
+package flow
+
+import "sort"
+
+// ssItem is one monitored flow in the space-saving summary.
+type ssItem struct {
+	key   Key
+	count uint64 // estimated total (may overestimate by at most err)
+	err   uint64 // count inherited from the evicted minimum
+}
+
+// spaceSaving is the Metwally et al. space-saving summary: it tracks at
+// most k flows, and when a new flow arrives with the summary full it
+// replaces the current minimum, inheriting its count as the new item's
+// error bound. Every flow whose true volume exceeds count_min is
+// guaranteed to be in the summary, which is exactly the guarantee a
+// heavy-hitter detector needs: elephants cannot be evicted by mice.
+type spaceSaving struct {
+	k     int
+	items map[Key]*ssItem
+}
+
+func newSpaceSaving(k int) *spaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &spaceSaving{k: k, items: make(map[Key]*ssItem, k)}
+}
+
+// Observe adds inc estimated bytes to key's count, evicting the current
+// minimum if the summary is full and key is new.
+func (s *spaceSaving) Observe(key Key, inc uint64) {
+	if it, ok := s.items[key]; ok {
+		it.count += inc
+		return
+	}
+	if len(s.items) < s.k {
+		s.items[key] = &ssItem{key: key, count: inc}
+		return
+	}
+	var min *ssItem
+	for _, it := range s.items {
+		if min == nil || it.count < min.count {
+			min = it
+		}
+	}
+	delete(s.items, min.key)
+	s.items[key] = &ssItem{key: key, count: min.count + inc, err: min.count}
+}
+
+// TopEntry is one row of the summary: the estimated count and its
+// maximum overestimation error.
+type TopEntry struct {
+	Key   Key
+	Count uint64 // estimated total bytes
+	Err   uint64 // Count may exceed the true total by at most this
+}
+
+// Top returns the summary ordered by estimated count, largest first.
+func (s *spaceSaving) Top() []TopEntry {
+	out := make([]TopEntry, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, TopEntry{Key: it.key, Count: it.count, Err: it.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key.SrcPort < out[j].Key.SrcPort // stable-ish for tests
+	})
+	return out
+}
+
+// Forget removes a flow from the summary (used on idle eviction so the
+// top-k reflects live traffic).
+func (s *spaceSaving) Forget(key Key) { delete(s.items, key) }

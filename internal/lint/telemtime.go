@@ -15,6 +15,7 @@ var DefaultInstrumentedPackages = map[string]bool{
 	"sdx/internal/rs":        true,
 	"sdx/internal/bgp":       true,
 	"sdx/internal/dataplane": true,
+	"sdx/internal/flow":      true,
 	"sdx/internal/openflow":  true,
 	"sdx/internal/policy":    true,
 }

@@ -123,6 +123,40 @@ type Packet struct {
 	Payload []byte
 }
 
+// Synthesized header sizes used by FrameLen. The packet model carries
+// parsed fields rather than raw octets, so on-the-wire length is
+// reconstructed from the standard fixed header sizes (no IP options, no
+// VLAN tags — the fabric is untagged and the generators emit plain
+// headers).
+const (
+	EthHeaderLen  = 14 // dst MAC + src MAC + EtherType
+	IPv4HeaderLen = 20 // fixed header, no options
+	TCPHeaderLen  = 20 // fixed header, no options
+	UDPHeaderLen  = 8
+	ICMPHeaderLen = 8 // type/code/checksum + rest-of-header
+)
+
+// FrameLen returns the packet's on-the-wire Ethernet frame length: the
+// L2/L3/L4 headers implied by EthType and Proto plus the payload. This
+// is what per-rule and per-port byte counters count — an sFlow-style
+// rate estimate scaled from payload bytes alone would undercount every
+// small-packet flow by the ~54-byte header tax.
+func (p Packet) FrameLen() int {
+	n := EthHeaderLen + len(p.Payload)
+	if p.EthType == EthTypeIPv4 {
+		n += IPv4HeaderLen
+		switch p.Proto {
+		case ProtoTCP:
+			n += TCPHeaderLen
+		case ProtoUDP:
+			n += UDPHeaderLen
+		case ProtoICMP:
+			n += ICMPHeaderLen
+		}
+	}
+	return n
+}
+
 // HeaderKey is the comparable tuple of a packet's matchable header fields
 // plus its location — everything Match can constrain, nothing it cannot.
 // It keys the dataplane's exact-match megaflow cache: two packets with

@@ -35,6 +35,7 @@ import (
 	"sdx/internal/core"
 	"sdx/internal/dataplane"
 	"sdx/internal/fabric"
+	"sdx/internal/flow"
 	"sdx/internal/iputil"
 	"sdx/internal/pkt"
 	"sdx/internal/policy"
@@ -299,3 +300,47 @@ var NewProber = probe.New
 
 // ProbeEthType marks probe packets (IEEE local-experimental ethertype).
 const ProbeEthType = probe.EthType
+
+// Sampled flow export with BGP-correlated analytics: a 1-in-N dataplane
+// sampler feeds compact flow records into an aggregator that joins
+// heavy flows against the route server's Loc-RIB and can drive policy
+// (auto-rebalancing an inbound-TE group away from an overloaded port).
+type (
+	// FlowSampler exports 1-in-N sampled packets as flow records
+	// (attach with FlowTable.SetSampler).
+	FlowSampler = flow.Sampler
+	// FlowKey is the 5-tuple + ingress-port identity of one flow.
+	FlowKey = flow.Key
+	// FlowRecord is one exported sample.
+	FlowRecord = flow.Record
+	// FlowConfig tunes the analytics stage (rates, top-k, thresholds).
+	FlowConfig = flow.Config
+	// FlowAnalytics aggregates records into per-flow rate estimates,
+	// BGP attribution and heavy-hitter events.
+	FlowAnalytics = flow.Analytics
+	// FlowStat is one tracked flow's estimated state.
+	FlowStat = flow.FlowStat
+	// FlowAttribution is the Loc-RIB join result for one flow.
+	FlowAttribution = flow.Attribution
+	// FlowEvent is one edge-triggered heavy-hitter notification.
+	FlowEvent = flow.Event
+	// FlowRebalancer demotes overloaded ports in balance groups on
+	// heavy-hitter events and recompiles their inbound policy.
+	FlowRebalancer = flow.Rebalancer
+	// FlowBalanceGroup declares one auto-balanced inbound-TE workload.
+	FlowBalanceGroup = flow.BalanceGroup
+)
+
+// NewFlowSampler builds a flow-record exporter for FlowTable.SetSampler.
+var NewFlowSampler = flow.NewSampler
+
+// NewFlowAnalytics builds the aggregation/join/detection stage over a
+// sampler's record stream.
+var NewFlowAnalytics = flow.NewAnalytics
+
+// NewRIBResolver builds a TTL-snapshot Loc-RIB resolver for flow
+// attribution.
+var NewRIBResolver = flow.NewRIBResolver
+
+// NewFlowRebalancer builds the heavy-hitter→policy feedback stage.
+var NewFlowRebalancer = flow.NewRebalancer
